@@ -1,0 +1,81 @@
+#ifndef XFRAUD_BENCH_BENCH_COMMON_H_
+#define XFRAUD_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the reproduction benchmarks. Every bench binary prints
+// the paper table/figure it regenerates, using the scaled-down simulated
+// datasets (see DESIGN.md §1 for the substitution rationale and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "xfraud/xfraud.h"
+
+namespace xfraud::bench {
+
+/// Paper seeds "A" and "B" (Table 7): two model-init/training seeds.
+inline constexpr uint64_t kSeedA = 1001;
+inline constexpr uint64_t kSeedB = 2002;
+
+/// True when XFRAUD_BENCH_FAST=1: shrink epochs/datasets for smoke runs.
+inline bool FastMode() {
+  const char* env = std::getenv("XFRAUD_BENCH_FAST");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline core::DetectorConfig DetectorConfigFor(const graph::HeteroGraph& g) {
+  core::DetectorConfig c;
+  c.feature_dim = g.feature_dim();
+  c.hidden_dim = 32;
+  c.num_heads = 4;
+  c.num_layers = 2;
+  c.dropout = 0.2f;
+  return c;
+}
+
+inline std::unique_ptr<core::GnnModel> MakeModel(const std::string& name,
+                                                 const graph::HeteroGraph& g,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  if (name == "GAT") {
+    baselines::GatConfig c;
+    c.feature_dim = g.feature_dim();
+    c.hidden_dim = 32;
+    c.num_heads = 4;
+    c.num_layers = 2;
+    return std::make_unique<baselines::GatModel>(c, &rng);
+  }
+  if (name == "GEM") {
+    baselines::GemConfig c;
+    c.feature_dim = g.feature_dim();
+    c.hidden_dim = 32;
+    c.num_layers = 2;
+    return std::make_unique<baselines::GemModel>(c, &rng);
+  }
+  return std::make_unique<core::XFraudDetector>(DetectorConfigFor(g), &rng);
+}
+
+/// Training protocol shared by the end-to-end benches: AdamW, clip 0.25,
+/// fraud-upweighted CE (the paper trains on the imbalanced sampled sets).
+inline train::TrainOptions BenchTrainOptions(uint64_t seed, int epochs) {
+  train::TrainOptions opts;
+  opts.max_epochs = epochs;
+  opts.patience = epochs;  // fixed-epoch protocol like the paper's 128
+  opts.batch_size = 256;
+  opts.lr = 2e-3f;
+  opts.clip = 0.25f;
+  opts.class_weights = {1.0f, 4.0f};
+  opts.seed = seed;
+  return opts;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::cout << "\n==== " << title << " ====\n"
+            << "reproduces: " << paper << "\n\n";
+}
+
+}  // namespace xfraud::bench
+
+#endif  // XFRAUD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,98 @@
+// Regenerates paper Figure 10 and §4.2: the ablation of xFraud detector
+// (= HGT, with HGSampling) vs xFraud detector+ (GraphSAGE-style sampler) on
+// the small and large datasets — total inference time on the test set and
+// the resulting AUC. The network is identical; only the sampler differs
+// (§3.2.3), and on sparse transaction graphs HGSampling's type-budget
+// bookkeeping makes it markedly more expensive at matched coverage.
+
+#include "bench_common.h"
+
+namespace xfraud::bench {
+namespace {
+
+struct AblationRow {
+  std::string dataset;
+  std::string variant;
+  double auc = 0.0;
+  double train_epoch_s = 0.0;
+  double inference_total_s = 0.0;
+};
+
+AblationRow RunVariant(const data::SimDataset& ds, bool use_hgt_sampler,
+                       int epochs) {
+  AblationRow row;
+  row.dataset = ds.name;
+  row.variant = use_hgt_sampler ? "detector (HGT / HGSampling)"
+                                : "detector+ (GraphSAGE sampler)";
+
+  Rng rng(kSeedA);
+  core::XFraudDetector model(DetectorConfigFor(ds.graph), &rng);
+
+  // Matched coverage: both samplers target ~2-hop neighbourhoods of similar
+  // size. HGSampling's width scales with the batch (as pyHGT's
+  // sampled_number does), which is exactly where its per-candidate budget
+  // bookkeeping gets expensive on sparse graphs (§3.2.3).
+  sample::SageSampler sage(2, 12);
+  sample::HgSampler hgt(4, 4, /*width_per_seed=*/true);
+  const sample::Sampler* sampler =
+      use_hgt_sampler ? static_cast<const sample::Sampler*>(&hgt)
+                      : static_cast<const sample::Sampler*>(&sage);
+
+  train::TrainOptions opts = BenchTrainOptions(kSeedA, epochs);
+  train::Trainer trainer(&model, sampler, opts);
+  auto result = trainer.Train(ds);
+  row.train_epoch_s = result.mean_epoch_seconds;
+
+  WallTimer timer;
+  auto eval = trainer.Evaluate(ds.graph, ds.test_nodes, /*batch_size=*/640);
+  row.inference_total_s = timer.ElapsedSeconds();
+  row.auc = eval.auc;
+  return row;
+}
+
+void Run() {
+  PrintHeader("Sampler ablation: detector (HGT) vs detector+",
+              "Figure 10 (total test inference time, log scale, and AUC on "
+              "the small and large datasets)");
+
+  bool fast = FastMode();
+  std::vector<data::GeneratorConfig> configs = {
+      data::TransactionGenerator::SimSmall()};
+  std::vector<std::string> names = {"sim-small"};
+  if (!fast) {
+    configs.push_back(data::TransactionGenerator::SimLarge());
+    names.push_back("sim-large");
+  }
+  int epochs = fast ? 3 : 8;
+
+  TablePrinter table({"Dataset", "Variant", "AUC", "Train (s/epoch)",
+                      "Test inference (s total)", "Speedup"});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    data::SimDataset ds =
+        data::TransactionGenerator::Make(configs[i], names[i]);
+    AblationRow hgt = RunVariant(ds, /*use_hgt_sampler=*/true, epochs);
+    AblationRow sage = RunVariant(ds, /*use_hgt_sampler=*/false, epochs);
+    table.AddRow({hgt.dataset, hgt.variant, TablePrinter::Num(hgt.auc, 4),
+                  TablePrinter::Num(hgt.train_epoch_s, 3),
+                  TablePrinter::Num(hgt.inference_total_s, 3), "1.0x"});
+    table.AddRow({sage.dataset, sage.variant, TablePrinter::Num(sage.auc, 4),
+                  TablePrinter::Num(sage.train_epoch_s, 3),
+                  TablePrinter::Num(sage.inference_total_s, 3),
+                  TablePrinter::Num(
+                      hgt.inference_total_s / sage.inference_total_s, 1) +
+                      "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "(paper shape: detector+ is ~5-7x faster at inference with "
+               "equal or slightly better AUC — 0.7248 vs 0.7262 on small, "
+               "0.8683 vs 0.8690 on large)\n";
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Microbenchmarks of the autograd substrate (google-benchmark): the ops on
+// the detector's critical path, forward and forward+backward. Useful for
+// tracking regressions in the engine that every experiment sits on.
+
+#include <benchmark/benchmark.h>
+
+#include "xfraud/nn/modules.h"
+#include "xfraud/nn/ops.h"
+
+namespace xfraud::nn {
+namespace {
+
+void BM_MatMulForward(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Var a(Tensor::Uniform(n, 64, 1.0f, &rng), false);
+  Var b(Tensor::Uniform(64, 64, 1.0f, &rng), false);
+  for (auto _ : state) {
+    Var c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_MatMulForward)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MatMulTrain(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(2);
+  Var a(Tensor::Uniform(n, 64, 1.0f, &rng), true);
+  Var b(Tensor::Uniform(64, 64, 1.0f, &rng), true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Var loss = Sum(MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+}
+BENCHMARK(BM_MatMulTrain)->Arg(256)->Arg(1024);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  int64_t edges = state.range(0);
+  Rng rng(3);
+  Var scores(Tensor::Uniform(edges, 4, 1.0f, &rng), false);
+  std::vector<int32_t> segments(edges);
+  int64_t num_segments = edges / 3 + 1;
+  for (int64_t e = 0; e < edges; ++e) {
+    segments[e] = static_cast<int32_t>(rng.NextBounded(num_segments));
+  }
+  for (auto _ : state) {
+    Var att = SegmentSoftmax(scores, segments, num_segments);
+    benchmark::DoNotOptimize(att.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ScatterGather(benchmark::State& state) {
+  int64_t edges = state.range(0);
+  int64_t nodes = edges / 2 + 1;
+  Rng rng(4);
+  Var h(Tensor::Uniform(nodes, 32, 1.0f, &rng), false);
+  std::vector<int32_t> src(edges), dst(edges);
+  for (int64_t e = 0; e < edges; ++e) {
+    src[e] = static_cast<int32_t>(rng.NextBounded(nodes));
+    dst[e] = static_cast<int32_t>(rng.NextBounded(nodes));
+  }
+  for (auto _ : state) {
+    Var agg = ScatterAddRows(IndexRows(h, src), dst, nodes);
+    benchmark::DoNotOptimize(agg.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_ScatterGather)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  int64_t batch = state.range(0);
+  Rng rng(5);
+  Mlp mlp(96, 32, 2, 0.2f, &rng);
+  Var x(Tensor::Uniform(batch, 96, 1.0f, &rng), false);
+  std::vector<int> labels(batch);
+  for (auto& l : labels) l = rng.NextBernoulli(0.05);
+  for (auto _ : state) {
+    mlp.ZeroGrad();
+    Var loss = CrossEntropy(mlp.Forward(x, true, &rng), labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpTrainStep)->Arg(256)->Arg(1024);
+
+void BM_LayerNormForward(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  Rng rng(6);
+  LayerNormModule norm(64);
+  Var x(Tensor::Uniform(rows, 64, 1.0f, &rng), false);
+  for (auto _ : state) {
+    Var y = norm.Forward(x);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_LayerNormForward)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace xfraud::nn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Regenerates the Appendix B label pipeline and the Appendix H.4 production
+// analysis: a raw transaction stream with a realistically tiny fraud rate is
+// pre-filtered by mined rules (the BU's skope-rules stand-in, footnote 6),
+// then all frauds plus a benign sample become the training labels. The
+// bench prints the fraud rate at each stage (paper: 0.016% -> 0.043% ->
+// 4.33%) and back-projects a high-precision operating point to the raw
+// stream (paper: 0.98 sampled precision -> 0.32 stream precision).
+
+#include "bench_common.h"
+
+#include "xfraud/data/prefilter.h"
+
+namespace xfraud::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Label pipeline & production back-projection",
+              "Appendix B (three-step labeling), Appendix H.4");
+
+  // A raw stream with a very low fraud rate: reuse the generator but blow
+  // up the benign population relative to fraud.
+  data::GeneratorConfig config = data::TransactionGenerator::SimSmall();
+  config.num_buyers = FastMode() ? 6000 : 20000;
+  config.num_fraud_rings = FastMode() ? 5 : 10;
+  config.num_stolen_cards = FastMode() ? 12 : 25;
+  config.feature_signal = 1.2;  // pre-filter rules need a feature signal
+  data::TransactionGenerator generator(config);
+  auto stream = generator.GenerateRecords();
+
+  // Mine the rules on an earlier labeled sample (here: the stream itself;
+  // in production the rules predate the model).
+  data::RuleFilter::Options rule_options;
+  rule_options.min_lift = 3.0;
+  data::RuleFilter filter = data::RuleFilter::Fit(stream, rule_options);
+  std::cout << "mined " << filter.rules().size() << " pre-filter rules:\n";
+  for (const auto& rule : filter.rules()) {
+    std::cout << "  " << rule.ToString() << "\n";
+  }
+
+  Rng rng(5);
+  data::PipelineResult pipeline =
+      data::RunLabelPipeline(stream, filter, /*benign_keep_fraction=*/0.10,
+                             &rng);
+  TablePrinter stages({"Stage", "#Txns", "#Frauds", "Fraud rate"});
+  for (const auto& stage : pipeline.stages) {
+    stages.AddRow({stage.name, std::to_string(stage.transactions),
+                   std::to_string(stage.frauds),
+                   TablePrinter::Num(stage.fraud_rate * 100.0, 3) + "%"});
+  }
+  std::cout << "\n";
+  stages.Print(std::cout);
+  std::cout << "(paper: 0.016% -> 0.043% -> 4.33%; the shape to match is a "
+               "rule filter that concentrates fraud ~3x while keeping "
+               "recall, then sampling that lifts the rate to a few "
+               "percent)\n";
+  double kept_fraud =
+      pipeline.stages.back().frauds /
+      std::max(1.0, static_cast<double>(pipeline.stages.front().frauds));
+  std::cout << "fraud recall through the pipeline: "
+            << TablePrinter::Num(kept_fraud * 100.0, 1) << "%\n";
+
+  // ---- Appendix H.4: train on the sampled set, back-project precision ----
+  // Train on the stage-3 labels; the unlabeled stage-2 transactions stay in
+  // the graph as linkage context (Appendix B).
+  data::SimDataset ds = data::TransactionGenerator::BuildDataset(
+      pipeline.graph_records, "pipeline", 0.7, 0.1, 99);
+  Rng model_rng(kSeedA);
+  core::XFraudDetector detector(DetectorConfigFor(ds.graph), &model_rng);
+  sample::SageSampler sampler(2, 12);
+  train::Trainer trainer(&detector, &sampler,
+                         BenchTrainOptions(kSeedA, FastMode() ? 5 : 14));
+  trainer.Train(ds);
+  auto eval = trainer.Evaluate(ds.graph, ds.test_nodes);
+  std::cout << "\ndetector trained on the sampled labels: test AUC "
+            << TablePrinter::Num(eval.auc, 4) << "\n";
+
+  TablePrinter proj({"target recall", "threshold", "sampled precision",
+                     "projected stream precision", "BU workload"});
+  for (double target : {0.1, 0.2, 0.3}) {
+    double threshold = 0.5;
+    for (double t = 0.999; t > 0.5; t -= 0.001) {
+      auto m = train::MetricsAtThreshold(eval.scores, eval.labels, t);
+      if (m.recall >= target) {
+        threshold = t;
+        break;
+      }
+    }
+    auto m = train::MetricsAtThreshold(eval.scores, eval.labels, threshold);
+    double stream_precision = train::BackProjectPrecision(
+        m.precision, pipeline.benign_keep_fraction);
+    std::string workload =
+        stream_precision > 0
+            ? "1 real fraud per " +
+                  TablePrinter::Num(1.0 / stream_precision, 1) +
+                  " investigations"
+            : "-";
+    proj.AddRow({TablePrinter::Num(target, 1),
+                 TablePrinter::Num(threshold, 3),
+                 TablePrinter::Num(m.precision, 3),
+                 TablePrinter::Num(stream_precision, 3), workload});
+  }
+  proj.Print(std::cout);
+  std::cout << "(paper: 0.98 sampled precision at 0.1 recall -> 0.32 on the "
+               "stream = 1 real fraud per ~3 investigations)\n";
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::Run();
+  return 0;
+}

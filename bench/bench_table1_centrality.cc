@@ -1,0 +1,119 @@
+// Regenerates paper Table 1 (top-k hit rate of the 13 centrality measures,
+// GNNExplainer, and random weights against human annotations on all 41
+// communities) and Figure 7 (the per-community centrality-vs-explainer
+// trade-off that motivates the hybrid explainer).
+
+#include "bench_common.h"
+
+namespace xfraud::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Explainability micro-benchmark",
+              "Table 1 (hit rates of 13 centrality measures vs GNNExplainer "
+              "vs random), Figure 7 (per-community trade-off)");
+
+  explain::StudyOptions options;
+  if (FastMode()) {
+    options.detector_epochs = 6;
+    options.all_measures = false;
+  }
+  WallTimer timer;
+  explain::CommunityStudy study(options);
+  std::cout << "study: " << study.communities().size()
+            << " communities (paper: 41; 18 fraud-seeded, 23 benign), "
+            << "detector test AUC "
+            << TablePrinter::Num(study.test_auc(), 4)
+            << " (paper sample AUC 0.8188), built in "
+            << TablePrinter::Num(timer.ElapsedSeconds(), 1) << "s\n";
+  int64_t edges = 0;
+  for (const auto& c : study.communities()) {
+    edges += static_cast<int64_t>(c.undirected.size());
+  }
+  std::cout << "avg edges per community: "
+            << TablePrinter::Num(
+                   static_cast<double>(edges) / study.communities().size(), 1)
+            << " (paper: 81.56)\n";
+
+  const std::vector<int> ks = {5, 10, 15, 20, 25};
+  Rng rng(99);
+  TablePrinter table({"Measure", "H_Top5", "H_Top10", "H_Top15", "H_Top20",
+                      "H_Top25"});
+
+  auto row_for = [&](const std::string& name,
+                     const std::function<double(
+                         const explain::CommunityRecord&, int)>& rate) {
+    std::vector<std::string> row = {name};
+    for (int k : ks) {
+      double total = 0.0;
+      for (const auto& c : study.communities()) total += rate(c, k);
+      row.push_back(
+          TablePrinter::Num(total / study.communities().size(), 3));
+    }
+    table.AddRow(row);
+  };
+
+  for (int m = 0; m < explain::kNumCentralityMeasures; ++m) {
+    auto measure = static_cast<explain::CentralityMeasure>(m);
+    if (!options.all_measures &&
+        (measure == explain::CentralityMeasure::kCommunicabilityBetweenness ||
+         measure == explain::CentralityMeasure::kSubgraph)) {
+      continue;
+    }
+    row_for(explain::CentralityMeasureName(measure),
+            [&, m](const explain::CommunityRecord& c, int k) {
+              return explain::TopkHitRate(c.human_edges,
+                                          c.centrality_edges[m], k, &rng);
+            });
+  }
+  row_for("GNNExplainer weights",
+          [&](const explain::CommunityRecord& c, int k) {
+            return explain::TopkHitRate(c.human_edges, c.explainer_edges, k,
+                                        &rng);
+          });
+  row_for("random weights", [&](const explain::CommunityRecord& c, int k) {
+    return explain::RandomHitRate(c.human_edges, k, &rng, 10);
+  });
+  std::cout << "\nTable 1 analogue:\n";
+  table.Print(std::cout);
+  std::cout << "(paper shape: all informed measures cluster well above "
+               "random; no single measure dominates)\n";
+
+  // ---- Figure 7: per-community delta H(e) - H(c) --------------------------
+  std::cout << "\nFigure 7 analogue: per-community H(e) - H(c) at top10 "
+               "(best-4 centrality measures)\n";
+  const explain::CentralityMeasure best4[] = {
+      explain::CentralityMeasure::kEdgeBetweenness,
+      explain::CentralityMeasure::kDegree,
+      explain::CentralityMeasure::kEdgeLoad,
+      explain::CentralityMeasure::kCloseness,
+  };
+  for (auto measure : best4) {
+    std::cout << explain::CentralityMeasureName(measure) << ": ";
+    int explainer_wins = 0, centrality_wins = 0;
+    for (const auto& c : study.communities()) {
+      double he =
+          explain::TopkHitRate(c.human_edges, c.explainer_edges, 10, &rng);
+      double hc = explain::TopkHitRate(
+          c.human_edges, c.centrality_edges[static_cast<int>(measure)], 10,
+          &rng);
+      double delta = he - hc;
+      explainer_wins += delta > 0.02;
+      centrality_wins += delta < -0.02;
+      std::cout << (delta > 0.02 ? "+" : (delta < -0.02 ? "-" : "."));
+    }
+    std::cout << "  (explainer wins " << explainer_wins
+              << ", centrality wins " << centrality_wins << ")\n";
+  }
+  std::cout << "(paper shape: signs alternate across communities — neither "
+               "measure dominates, motivating the hybrid explainer)\n";
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates paper Table 2 (dataset summary), Table 6 (node-type counts)
+// and the Figure 1 / Table 5 landscape rows for the simulated datasets that
+// substitute the proprietary eBay graphs (DESIGN.md §1).
+
+#include "bench_common.h"
+
+namespace xfraud::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Dataset statistics",
+              "Table 2 (dataset summary), Table 6 (node type counts), "
+              "Figure 1 / Table 5 (edges-per-node landscape)");
+
+  struct Spec {
+    std::string name;
+    data::GeneratorConfig config;
+    std::string paper_analogue;
+  };
+  std::vector<Spec> specs = {
+      {"sim-small", data::TransactionGenerator::SimSmall(),
+       "eBay-small (289K nodes, 613K edges, 4.30% fraud, 114-d)"},
+      {"sim-large", data::TransactionGenerator::SimLarge(),
+       "eBay-large (8.9M nodes, 13.2M edges, 3.57% fraud, 480-d)"},
+  };
+  if (!FastMode()) {
+    specs.push_back({"sim-xlarge", data::TransactionGenerator::SimXLarge(),
+                     "eBay-xlarge (1.1B nodes, 3.7B edges, 4.33% fraud, "
+                     "480-d)"});
+  }
+
+  TablePrinter table2({"Dataset", "Features", "Graph type", "#Nodes",
+                       "#Edges(undirected)", "Fraud%", "Edges/Node"});
+  TablePrinter table6({"Dataset", "txn", "pmt", "email", "addr", "buyer"});
+
+  for (const auto& spec : specs) {
+    WallTimer timer;
+    data::SimDataset ds =
+        data::TransactionGenerator::Make(spec.config, spec.name);
+    const auto& g = ds.graph;
+    int64_t undirected = g.num_edges() / 2;
+    table2.AddRow({spec.name, std::to_string(g.feature_dim()), "hetero",
+                   std::to_string(g.num_nodes()), std::to_string(undirected),
+                   TablePrinter::Num(g.FraudRate() * 100.0, 2) + "%",
+                   TablePrinter::Num(static_cast<double>(undirected) /
+                                         g.num_nodes(),
+                                     2)});
+    auto counts = g.NodeTypeCounts();
+    auto pct = [&](graph::NodeType t) {
+      int64_t c = counts[static_cast<int>(t)];
+      return std::to_string(c) + " (" +
+             TablePrinter::Num(100.0 * c / g.num_nodes(), 1) + "%)";
+    };
+    table6.AddRow({spec.name, pct(graph::NodeType::kTxn),
+                   pct(graph::NodeType::kPmt), pct(graph::NodeType::kEmail),
+                   pct(graph::NodeType::kAddr),
+                   pct(graph::NodeType::kBuyer)});
+    std::cout << "built " << spec.name << " in "
+              << TablePrinter::Num(timer.ElapsedSeconds(), 1) << "s  (paper: "
+              << spec.paper_analogue << ")\n";
+  }
+
+  std::cout << "\nTable 2 analogue (simulated datasets):\n";
+  table2.Print(std::cout);
+  std::cout << "\nTable 6 analogue (node type mix):\n";
+  table6.Print(std::cout);
+
+  std::cout << "\nFigure 1 / Table 5 context (edges-per-node of published "
+               "hetero graphs vs ours):\n";
+  TablePrinter landscape({"Dataset", "#Nodes", "#Edges", "Edges/Node"});
+  landscape.AddRow({"OAG (HGT)", "179M", "2B", "11.17"});
+  landscape.AddRow({"GEM-graph", "8M", "10M", "1.67"});
+  landscape.AddRow({"eBay-small (paper)", "288,853", "612,904", "2.12"});
+  landscape.AddRow({"eBay-large (paper)", "8,857,866", "13,158,984", "1.49"});
+  landscape.AddRow({"eBay-xlarge (paper)", "1.1B", "3.7B", "3.36"});
+  landscape.Print(std::cout);
+  std::cout << "\nTakeaway: the simulated graphs sit in the same sparse "
+               "regime (~1.5-3.4 edges/node) that motivates detector+'s "
+               "cheap sampler (paper §3.2.3).\n";
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::Run();
+  return 0;
+}

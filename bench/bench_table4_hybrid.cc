@@ -1,0 +1,106 @@
+// Regenerates paper Table 4 (top-k hit rates of the hybrid explainer on the
+// 20 test communities) and Table 12 (train/test hit rates of edge
+// betweenness, GNNExplainer, hybrid-ridge and hybrid-grid across k, with the
+// grid's learned centrality coefficient A), plus the Appendix F polynomial
+// degree scan.
+
+#include "bench_common.h"
+
+namespace xfraud::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Hybrid explainer",
+              "Table 4 (test hit rates), Table 12 (train/test + learned A), "
+              "Appendix F polynomial-degree scan");
+
+  explain::StudyOptions options;
+  if (FastMode()) {
+    options.detector_epochs = 6;
+    options.all_measures = false;
+  }
+  explain::CommunityStudy study(options);
+  std::cout << "study: " << study.communities().size()
+            << " communities, 21 train / "
+            << study.communities().size() - 21 << " test (paper: 21/20)\n";
+
+  // The hybrid uses the best top-5 centrality from Table 1: edge
+  // betweenness (paper Appendix F).
+  auto all = study.Weights(explain::CentralityMeasure::kEdgeBetweenness);
+  std::vector<explain::CommunityWeights> train, test;
+  explain::CommunityStudy::SplitTrainTest(all, &train, &test);
+
+  Rng rng(7);
+  auto mean_rate = [&rng](const std::vector<explain::CommunityWeights>& set,
+                          int k, auto weight_of) {
+    double total = 0.0;
+    for (const auto& c : set) {
+      total += explain::TopkHitRate(c.human, weight_of(c), k, &rng);
+    }
+    return set.empty() ? 0.0 : total / set.size();
+  };
+
+  const std::vector<int> ks = {5, 10, 15, 20, 25, 30, 35, 40, 45};
+  TablePrinter t12({"H(_)", "EdgeBetw train", "EdgeBetw test",
+                    "GNNExpl train", "GNNExpl test", "Hyb(ridge) train",
+                    "Hyb(ridge) test", "Hyb(grid) train", "Hyb(grid) test",
+                    "A_train(grid)"});
+  TablePrinter t4({"H(_)", "Edge betweenness H(c)", "GNNExplainer H(e)",
+                   "Hybrid (ridge) H(h)", "Hybrid (grid) H(h)"});
+
+  for (int k : ks) {
+    explain::HybridExplainer ridge =
+        explain::HybridExplainer::FitRidge(train, k, &rng);
+    explain::HybridExplainer grid =
+        explain::HybridExplainer::FitGrid(train, k, &rng);
+
+    auto centrality_of = [](const explain::CommunityWeights& c) {
+      return c.centrality;
+    };
+    auto explainer_of = [](const explain::CommunityWeights& c) {
+      return c.explainer;
+    };
+    double c_train = mean_rate(train, k, centrality_of);
+    double c_test = mean_rate(test, k, centrality_of);
+    double e_train = mean_rate(train, k, explainer_of);
+    double e_test = mean_rate(test, k, explainer_of);
+    double r_train = ridge.MeanHitRate(train, k, &rng);
+    double r_test = ridge.MeanHitRate(test, k, &rng);
+    double g_train = grid.MeanHitRate(train, k, &rng);
+    double g_test = grid.MeanHitRate(test, k, &rng);
+
+    t12.AddRow({"Top" + std::to_string(k), TablePrinter::Num(c_train, 4),
+                TablePrinter::Num(c_test, 4), TablePrinter::Num(e_train, 4),
+                TablePrinter::Num(e_test, 4), TablePrinter::Num(r_train, 4),
+                TablePrinter::Num(r_test, 4), TablePrinter::Num(g_train, 4),
+                TablePrinter::Num(g_test, 4),
+                TablePrinter::Num(grid.a(), 2)});
+    if (k <= 25) {
+      t4.AddRow({"Top" + std::to_string(k), TablePrinter::Num(c_test, 4),
+                 TablePrinter::Num(e_test, 4), TablePrinter::Num(r_test, 4),
+                 TablePrinter::Num(g_test, 4)});
+    }
+  }
+
+  std::cout << "\nTable 4 analogue (test communities):\n";
+  t4.Print(std::cout);
+  std::cout << "(paper shape: the hybrid is at least as good as the better "
+               "of its two components at most k)\n";
+
+  std::cout << "\nTable 12 analogue (train/test + grid coefficient A):\n";
+  t12.Print(std::cout);
+
+  Rng poly_rng(13);
+  int best_degree = explain::BestPolynomialDegree(train, 10, &poly_rng, 3);
+  std::cout << "\nAppendix F polynomial scan: best feature degree d = "
+            << best_degree << " (paper: d = 1, a linear combination)\n";
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Regenerates Appendix E/G quantitative results:
+//   Table 8    — GNNExplainer vs random hit rate (avg aggregation);
+//   Tables 9-11 — the same split by community label (c0/c1) and under the
+//                 three node->edge aggregation strategies (avg/min/sum);
+//   IAA        — human vs random inter-annotator agreement (Cohen's kappa);
+//   Table 13   — TP/TN/FP/FN confusion split by simple (single-buyer) vs
+//                complex (multi-buyer) communities.
+
+#include "bench_common.h"
+
+namespace xfraud::bench {
+namespace {
+
+using data::EdgeAggregation;
+
+const char* AggName(EdgeAggregation agg) {
+  switch (agg) {
+    case EdgeAggregation::kAvg:
+      return "avg";
+    case EdgeAggregation::kMin:
+      return "min";
+    case EdgeAggregation::kSum:
+      return "sum";
+  }
+  return "?";
+}
+
+void Run() {
+  PrintHeader("Annotation agreement & aggregation ablation",
+              "Tables 8-11 (GNNExplainer vs random, avg/min/sum, c0/c1), "
+              "Appendix E IAA, Table 13 (confusion by community type)");
+
+  explain::StudyOptions options;
+  if (FastMode()) {
+    options.detector_epochs = 6;
+    options.all_measures = false;
+  }
+  explain::CommunityStudy study(options);
+
+  // ---- Appendix E: inter-annotator agreement ------------------------------
+  data::AnnotationSimulator random_annotator(
+      data::AnnotationSimulator::Options{.seed = 0xA11CE});
+  double human_kappa = 0.0;
+  double random_kappa = 0.0;
+  for (const auto& c : study.communities()) {
+    human_kappa += data::MeanPairwiseKappa(c.annotations);
+    // 10 random repetitions, as in Appendix E.
+    double r = 0.0;
+    for (int rep = 0; rep < 10; ++rep) {
+      r += data::MeanPairwiseKappa(
+          random_annotator.AnnotateRandom(c.sub.num_nodes()));
+    }
+    random_kappa += r / 10.0;
+  }
+  human_kappa /= study.communities().size();
+  random_kappa /= study.communities().size();
+  std::cout << "IAA (mean pairwise Cohen's kappa): human "
+            << TablePrinter::Num(human_kappa, 3) << " (paper 0.532), random "
+            << TablePrinter::Num(random_kappa, 3) << " (paper -0.006)\n";
+
+  // ---- Tables 8-11 ---------------------------------------------------------
+  Rng rng(31);
+  const std::vector<int> ks = {5, 10, 15, 20, 25};
+  for (EdgeAggregation agg :
+       {EdgeAggregation::kAvg, EdgeAggregation::kMin, EdgeAggregation::kSum}) {
+    TablePrinter table({"Topk hit rate", "Top5", "Top10", "Top15", "Top20",
+                        "Top25"});
+    // Rows: random, GNNExplainer, delta — overall and per label class.
+    auto add_rows = [&](const std::string& suffix, int label_filter) {
+      std::vector<double> rnd(ks.size(), 0.0), gnn(ks.size(), 0.0);
+      int count = 0;
+      for (const auto& c : study.communities()) {
+        if (label_filter >= 0 && c.seed_label != label_filter) continue;
+        ++count;
+        auto human = data::EdgeImportanceFromNodes(c.node_importance,
+                                                   c.undirected, agg);
+        for (size_t i = 0; i < ks.size(); ++i) {
+          gnn[i] +=
+              explain::TopkHitRate(human, c.explainer_edges, ks[i], &rng);
+          rnd[i] += explain::RandomHitRate(human, ks[i], &rng, 5);
+        }
+      }
+      std::vector<std::string> r_row = {"Random" + suffix};
+      std::vector<std::string> g_row = {"GNNExplainer" + suffix};
+      std::vector<std::string> d_row = {"Delta(GNNExpl-Random)" + suffix};
+      for (size_t i = 0; i < ks.size(); ++i) {
+        rnd[i] /= count;
+        gnn[i] /= count;
+        r_row.push_back(TablePrinter::Num(rnd[i], 2));
+        g_row.push_back(TablePrinter::Num(gnn[i], 2));
+        d_row.push_back(TablePrinter::Num(gnn[i] - rnd[i], 2));
+      }
+      table.AddRow(r_row);
+      table.AddRow(g_row);
+      table.AddRow(d_row);
+    };
+    add_rows("", -1);
+    add_rows("_c0", 0);
+    add_rows("_c1", 1);
+    std::cout << "\nTable " << (agg == EdgeAggregation::kAvg
+                                    ? "8/9 analogue (aggregation: avg)"
+                                    : (agg == EdgeAggregation::kMin
+                                           ? "10 analogue (aggregation: min)"
+                                           : "11 analogue (aggregation: "
+                                             "sum)"))
+              << ":\n";
+    table.Print(std::cout);
+  }
+  std::cout << "(paper shape: GNNExplainer well above random at every k and "
+               "in both community classes; no substantial difference across "
+               "aggregations)\n";
+
+  // ---- Table 13: confusion by community complexity ------------------------
+  // Simple community: exactly one buyer node; complex: more than one.
+  int counts[2][4] = {{0, 0, 0, 0}, {0, 0, 0, 0}};  // [simple][TP,TN,FP,FN]
+  for (const auto& c : study.communities()) {
+    int buyers = 0;
+    for (int32_t global : c.sub.nodes) {
+      buyers +=
+          study.dataset().graph.node_type(global) == graph::NodeType::kBuyer;
+    }
+    int simple = buyers <= 1 ? 0 : 1;
+    bool predicted_fraud = c.seed_score >= 0.5;
+    bool is_fraud = c.seed_label == 1;
+    int outcome = predicted_fraud
+                      ? (is_fraud ? 0 : 2)   // TP : FP
+                      : (is_fraud ? 3 : 1);  // FN : TN
+    ++counts[simple][outcome];
+  }
+  TablePrinter t13({"Community type", "TP", "TN", "FP", "FN"});
+  t13.AddRow({"simple (1 buyer)", std::to_string(counts[0][0]),
+              std::to_string(counts[0][1]), std::to_string(counts[0][2]),
+              std::to_string(counts[0][3])});
+  t13.AddRow({"complex (>1 buyer)", std::to_string(counts[1][0]),
+              std::to_string(counts[1][1]), std::to_string(counts[1][2]),
+              std::to_string(counts[1][3])});
+  std::cout << "\nTable 13 analogue (detector outcomes by community "
+               "complexity):\n";
+  t13.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "xfraud/common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace xfraud {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash != nullptr ? slash + 1 : file;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >= g_min_level.load()) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace xfraud

@@ -1,0 +1,76 @@
+#ifndef XFRAUD_COMMON_LOGGING_H_
+#define XFRAUD_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace xfraud {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum severity that is actually printed.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum severity (e.g. silence logs in benchmarks).
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by XF_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace xfraud
+
+#define XF_LOG(level)                                                  \
+  ::xfraud::internal::LogMessage(::xfraud::LogLevel::k##level,         \
+                                 __FILE__, __LINE__)                   \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Internal invariants only;
+/// recoverable failures return Status instead.
+#define XF_CHECK(condition)                                            \
+  if (condition) {                                                     \
+  } else                                                               \
+    ::xfraud::internal::FatalLogMessage(__FILE__, __LINE__, #condition) \
+        .stream()
+
+#define XF_CHECK_EQ(a, b) XF_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XF_CHECK_NE(a, b) XF_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XF_CHECK_LT(a, b) XF_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XF_CHECK_LE(a, b) XF_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XF_CHECK_GT(a, b) XF_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define XF_CHECK_GE(a, b) XF_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // XFRAUD_COMMON_LOGGING_H_

@@ -1,0 +1,33 @@
+#ifndef XFRAUD_COMMON_TABLE_PRINTER_H_
+#define XFRAUD_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xfraud {
+
+/// Renders aligned plain-text tables so the benchmark binaries can print rows
+/// in the same layout as the paper's tables.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to `precision` decimals.
+  static std::string Num(double value, int precision = 4);
+
+  /// Writes the table (with a separator under the header) to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_TABLE_PRINTER_H_

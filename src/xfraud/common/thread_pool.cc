@@ -1,0 +1,96 @@
+#include "xfraud/common/thread_pool.h"
+
+#include <atomic>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    XF_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk the index space so tiny bodies don't drown in queue overhead.
+  size_t chunks = std::min(n, threads_.size() * 4);
+  size_t chunk_size = (n + chunks - 1) / chunks;
+  std::atomic<size_t> next{0};
+  for (size_t c = 0; c < chunks; ++c) {
+    Submit([&next, n, chunk_size, &fn] {
+      size_t begin = next.fetch_add(chunk_size);
+      size_t end = std::min(begin + chunk_size, n);
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+Barrier::Barrier(size_t parties) : parties_(parties) {
+  XF_CHECK_GT(parties, 0u);
+}
+
+void Barrier::ArriveAndWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [this, gen] { return generation_ != gen; });
+}
+
+}  // namespace xfraud

@@ -1,0 +1,69 @@
+#ifndef XFRAUD_COMMON_THREAD_POOL_H_
+#define XFRAUD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xfraud {
+
+/// Fixed-size worker pool with a simple task queue. Used by the multi-threaded
+/// KV loader and the distributed-training simulation.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Reusable barrier synchronizing a fixed number of participants. Used to
+/// model the DDP gradient all-reduce rendezvous.
+class Barrier {
+ public:
+  explicit Barrier(size_t parties);
+
+  /// Blocks until all parties have arrived; the last arrival releases all.
+  void ArriveAndWait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t parties_;
+  size_t waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#ifndef XFRAUD_COMMON_TIMER_H_
+#define XFRAUD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace xfraud {
+
+/// Monotonic wall-clock stopwatch used for the paper's time measurements
+/// (train s/epoch, inference s/batch).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_TIMER_H_

@@ -1,0 +1,129 @@
+#include "xfraud/core/hetero_conv.h"
+
+#include <cmath>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::core {
+
+using nn::Var;
+
+HeteroConvLayer::HeteroConvLayer(int64_t dim, int num_heads, float dropout,
+                                 bool first_layer, bool use_residual,
+                                 xfraud::Rng* rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      dropout_(dropout),
+      first_layer_(first_layer),
+      use_residual_(use_residual),
+      norm_(dim) {
+  XF_CHECK_EQ(head_dim_ * num_heads, dim) << "dim must divide num_heads";
+  q_linears_.reserve(graph::kNumNodeTypes);
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    q_linears_.emplace_back(dim, dim, rng);
+    k_linears_.emplace_back(dim, dim, rng);
+    v_linears_.emplace_back(dim, dim, rng);
+  }
+  float bound = std::sqrt(6.0f / static_cast<float>(dim));
+  w_att_src_ = Var(nn::Tensor::Uniform(graph::kNumNodeTypes, dim, bound, rng),
+                   /*requires_grad=*/true);
+  w_att_dst_ = Var(nn::Tensor::Uniform(graph::kNumNodeTypes, dim, bound, rng),
+                   /*requires_grad=*/true);
+  edge_type_emb_ = Var(nn::Tensor(graph::kNumEdgeTypes, dim, 0.0f),
+                       /*requires_grad=*/true);
+}
+
+Var HeteroConvLayer::Forward(const Var& node_input,
+                             const std::vector<int32_t>& node_types,
+                             const std::vector<int32_t>& edge_src,
+                             const std::vector<int32_t>& edge_dst,
+                             const std::vector<int32_t>& edge_types,
+                             const ForwardOptions& options) const {
+  int64_t num_nodes = node_input.rows();
+  XF_CHECK_EQ(node_input.cols(), dim_);
+  XF_CHECK_EQ(edge_src.size(), edge_dst.size());
+
+  if (edge_src.empty()) {
+    // Isolated batch: no messages; normalization + activation only.
+    Var h = use_residual_ ? node_input : node_input;
+    return nn::Relu(norm_.Forward(h));
+  }
+
+  // Per-row (edge or node) type vectors for the typed linears.
+  std::vector<int32_t> src_types(edge_src.size());
+  std::vector<int32_t> dst_types(edge_src.size());
+  for (size_t e = 0; e < edge_src.size(); ++e) {
+    src_types[e] = node_types[edge_src[e]];
+    dst_types[e] = node_types[edge_dst[e]];
+  }
+
+  // Queries are per target node (eqs. 2/3), then gathered per edge.
+  Var q_nodes = ApplyTypedLinear(q_linears_, node_input, node_types);
+  Var q_edges = nn::IndexRows(q_nodes, edge_dst);
+
+  // Keys/values are per edge: the source state plus — at the first layer —
+  // the edge-type embedding (eqs. 4-7).
+  Var kv_input = nn::IndexRows(node_input, edge_src);
+  if (first_layer_) {
+    kv_input = nn::Add(kv_input, nn::IndexRows(edge_type_emb_, edge_types));
+  }
+  Var k_edges = ApplyTypedLinear(k_linears_, kv_input, src_types);
+  Var v_edges = ApplyTypedLinear(v_linears_, kv_input, src_types);
+
+  // Per-edge attention parameter rows selected by endpoint type (eq. 8).
+  Var w_src_edges = nn::IndexRows(w_att_src_, src_types);
+  Var w_dst_edges = nn::IndexRows(w_att_dst_, dst_types);
+
+  float inv_sqrt_dk = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Var scores;  // [E, H]
+  for (int h = 0; h < num_heads_; ++h) {
+    int64_t off = h * head_dim_;
+    Var k_h = nn::SliceCols(k_edges, off, head_dim_);
+    Var q_h = nn::SliceCols(q_edges, off, head_dim_);
+    Var ws_h = nn::SliceCols(w_src_edges, off, head_dim_);
+    Var wd_h = nn::SliceCols(w_dst_edges, off, head_dim_);
+    Var score_h = nn::Scale(nn::Add(nn::RowSum(nn::Mul(k_h, ws_h)),
+                                    nn::RowSum(nn::Mul(q_h, wd_h))),
+                            inv_sqrt_dk);
+    scores = scores.defined() ? nn::ConcatCols(scores, score_h) : score_h;
+  }
+
+  // eq. 9: normalize over each target's in-neighbourhood, per head.
+  Var att = nn::SegmentSoftmax(scores, edge_dst, num_nodes);
+  att = nn::Dropout(att, dropout_, options.training, options.rng);
+
+  // eq. 10: per-head value weighting, concatenated back to [E, dim].
+  Var messages;
+  for (int h = 0; h < num_heads_; ++h) {
+    Var v_h = nn::SliceCols(v_edges, h * head_dim_, head_dim_);
+    Var att_h = nn::SliceCols(att, h, 1);
+    Var msg_h = nn::MulColBroadcast(v_h, att_h);
+    messages = messages.defined() ? nn::ConcatCols(messages, msg_h) : msg_h;
+  }
+
+  if (options.edge_mask != nullptr) {
+    messages = nn::MulColBroadcast(messages, *options.edge_mask);
+  }
+
+  // eq. 1 aggregate, then layer norm + ReLU (paper §3.2.1 step 2).
+  Var agg = nn::ScatterAddRows(messages, edge_dst, num_nodes);
+  Var h = use_residual_ ? nn::Add(agg, node_input) : agg;
+  return nn::Relu(norm_.Forward(h));
+}
+
+void HeteroConvLayer::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParameter>* out) const {
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    std::string type_name = graph::NodeTypeName(static_cast<graph::NodeType>(t));
+    q_linears_[t].CollectParameters(prefix + "q." + type_name + ".", out);
+    k_linears_[t].CollectParameters(prefix + "k." + type_name + ".", out);
+    v_linears_[t].CollectParameters(prefix + "v." + type_name + ".", out);
+  }
+  out->push_back({prefix + "w_att_src", w_att_src_});
+  out->push_back({prefix + "w_att_dst", w_att_dst_});
+  if (first_layer_) out->push_back({prefix + "edge_type_emb", edge_type_emb_});
+  norm_.CollectParameters(prefix + "norm.", out);
+}
+
+}  // namespace xfraud::core

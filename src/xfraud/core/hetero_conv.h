@@ -1,0 +1,70 @@
+#ifndef XFRAUD_CORE_HETERO_CONV_H_
+#define XFRAUD_CORE_HETERO_CONV_H_
+
+#include <vector>
+
+#include "xfraud/core/gnn_model.h"
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/nn/modules.h"
+
+namespace xfraud::core {
+
+/// One heterogeneous convolution layer of the xFraud detector
+/// (paper §3.2.2, eqs. 2-10).
+///
+/// For every edge e = (v_s, v_t) and attention head i:
+///   Q^i(v_t) = Q-Linear_{τ(v_t)}^i(input_t)                       (eq. 2/3)
+///   K^i(v_s) = K-Linear_{τ(v_s)}^i(input_s [+ φ(e)^emb at l=1])   (eq. 4/5)
+///   V^i(v_s) = V-Linear_{τ(v_s)}^i(input_s [+ φ(e)^emb at l=1])   (eq. 6/7)
+///   α-head^i = (K^i(v_s)·w_att_{τ(v_s)} + Q^i(v_t)·w_att_{τ(v_t)}) / √d_k
+///                                                                  (eq. 8)
+///   α        = softmax over N(v_t) of the per-head scores          (eq. 9)
+///   msg      = ‖_i V^i(v_s) ⊙ dropout(α-head^i)                    (eq. 10)
+///   H^l[v_t] = Aggregate (sum over incoming messages)              (eq. 1)
+/// followed by layer normalization and ReLU (paper §3.2.1 step 2), with an
+/// optional residual connection.
+///
+/// Node-type embeddings and edge-type embeddings are zero-initialized
+/// learnable tables (paper §3.2.2 item (1)); type embeddings enter the layer
+/// inputs at l = 1 only, exactly as eqs. 2-7 prescribe. The attention
+/// weights w_att are per-node-type vectors (one d_k block per head),
+/// uniform-random initialized. The softmax in eq. 9 is a segment softmax
+/// keyed by the target node, computed per head.
+class HeteroConvLayer : public nn::Module {
+ public:
+  HeteroConvLayer(int64_t dim, int num_heads, float dropout, bool first_layer,
+                  bool use_residual, xfraud::Rng* rng);
+
+  /// Runs the layer. `node_input` is H^{l-1} [N, dim]; returns H^l [N, dim].
+  /// `edge_mask` optionally rescales each edge's message ([E,1], explainer
+  /// hook).
+  nn::Var Forward(const nn::Var& node_input,
+                  const std::vector<int32_t>& node_types,
+                  const std::vector<int32_t>& edge_src,
+                  const std::vector<int32_t>& edge_dst,
+                  const std::vector<int32_t>& edge_types,
+                  const ForwardOptions& options) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>* out) const override;
+
+ private:
+  int64_t dim_;
+  int num_heads_;
+  int64_t head_dim_;
+  float dropout_;
+  bool first_layer_;
+  bool use_residual_;
+
+  std::vector<nn::Linear> q_linears_;  // one per node type
+  std::vector<nn::Linear> k_linears_;
+  std::vector<nn::Linear> v_linears_;
+  nn::Var w_att_src_;  // [kNumNodeTypes, dim]: per-type, per-head d_k blocks
+  nn::Var w_att_dst_;
+  nn::Var edge_type_emb_;  // [kNumEdgeTypes, dim], zero-init (layer 1 only)
+  nn::LayerNormModule norm_;
+};
+
+}  // namespace xfraud::core
+
+#endif  // XFRAUD_CORE_HETERO_CONV_H_

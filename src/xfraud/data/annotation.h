@@ -1,0 +1,73 @@
+#ifndef XFRAUD_DATA_ANNOTATION_H_
+#define XFRAUD_DATA_ANNOTATION_H_
+
+#include <vector>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/graph/subgraph.h"
+
+namespace xfraud::data {
+
+/// Simulated stand-in for the paper's five expert annotators (Appendix E):
+/// each annotator assigns every community node an importance score in
+/// {0, 1, 2} for how much it matters to the seed prediction.
+///
+/// The annotators read a latent ground-truth importance that mixes
+///  (a) topology: how structurally central the node is in the community, and
+///  (b) task signal: how strongly the node touches fraudulent transactions.
+/// The mix is exactly the trade-off the paper observes between centrality
+/// measures (topology-aware) and GNNExplainer (task-aware), which the hybrid
+/// explainer exploits (§3.4). Per-annotator bias and noise are calibrated so
+/// the inter-annotator agreement lands near the paper's reported κ ≈ 0.53,
+/// with random annotators near 0.
+class AnnotationSimulator {
+ public:
+  struct Options {
+    int num_annotators = 5;
+    double topology_weight = 0.5;  // weight of (a)
+    double task_weight = 0.5;      // weight of (b)
+    double annotator_bias_std = 0.15;
+    double annotator_noise_std = 0.22;
+    uint64_t seed = 7;
+  };
+
+  explicit AnnotationSimulator(Options options);
+
+  /// Per-annotator scores: result[a][local_node] in {0,1,2}.
+  std::vector<std::vector<int>> Annotate(const graph::HeteroGraph& g,
+                                         const graph::Subgraph& community);
+
+  /// Mean across annotators -> node importance in [0,2] (Appendix E).
+  static std::vector<double> NodeImportance(
+      const std::vector<std::vector<int>>& annotations);
+
+  /// Uniform random annotations over {0,1,2} (the paper's IAA control).
+  std::vector<std::vector<int>> AnnotateRandom(int64_t num_nodes);
+
+ private:
+  Options options_;
+  xfraud::Rng rng_;
+};
+
+/// Aggregation of node importance into edge importance (Appendix E): the
+/// paper evaluates averaging, summing and taking the minimum of the two
+/// endpoint scores and finds no substantial difference.
+enum class EdgeAggregation { kAvg, kSum, kMin };
+
+/// Edge importance scores for the undirected edges of a community.
+std::vector<double> EdgeImportanceFromNodes(
+    const std::vector<double>& node_importance,
+    const std::vector<graph::UndirectedEdge>& edges, EdgeAggregation agg);
+
+/// Unweighted Cohen's kappa between two categorical annotation vectors.
+double CohensKappa(const std::vector<int>& a, const std::vector<int>& b,
+                   int num_categories = 3);
+
+/// Mean pairwise Cohen's kappa across all annotator pairs.
+double MeanPairwiseKappa(const std::vector<std::vector<int>>& annotations,
+                         int num_categories = 3);
+
+}  // namespace xfraud::data
+
+#endif  // XFRAUD_DATA_ANNOTATION_H_

@@ -1,0 +1,32 @@
+#ifndef XFRAUD_DATA_LOG_IO_H_
+#define XFRAUD_DATA_LOG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "xfraud/common/status.h"
+#include "xfraud/graph/graph_builder.h"
+
+namespace xfraud::data {
+
+/// Tab-separated transaction-log import/export, so externally produced logs
+/// can be fed into the graph constructor (paper Fig. 2's ingestion path).
+///
+/// Format (one transaction per line, header row required):
+///   txn_id \t buyer_id \t email \t payment_token \t shipping_address
+///   \t label \t period \t f0,f1,...,f{D-1}
+/// label is "fraud", "benign" or "unknown"; features are comma-separated
+/// floats. Empty entity fields denote absent linkages (guest checkout etc.).
+Status WriteTransactionLog(
+    const std::vector<graph::TransactionRecord>& records,
+    const std::string& path);
+
+/// Parses a log written by WriteTransactionLog (or produced externally in
+/// the same format). Malformed lines yield InvalidArgument with the line
+/// number in the message.
+Result<std::vector<graph::TransactionRecord>> ReadTransactionLog(
+    const std::string& path);
+
+}  // namespace xfraud::data
+
+#endif  // XFRAUD_DATA_LOG_IO_H_

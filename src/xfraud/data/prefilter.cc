@@ -1,0 +1,151 @@
+#include "xfraud/data/prefilter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::data {
+
+std::string Rule::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "feature[%d] %s %.3f (p=%.2f r=%.2f)", dim,
+                greater ? ">=" : "<=", threshold, precision, recall);
+  return buf;
+}
+
+RuleFilter RuleFilter::Fit(
+    const std::vector<graph::TransactionRecord>& records,
+    const Options& options) {
+  RuleFilter filter;
+  if (records.empty()) return filter;
+  int64_t dims = static_cast<int64_t>(records[0].features.size());
+  int64_t total_fraud = 0;
+  for (const auto& r : records) {
+    total_fraud += r.label == graph::kLabelFraud;
+  }
+  if (total_fraud == 0) return filter;
+  double base_rate = static_cast<double>(total_fraud) / records.size();
+  double precision_floor =
+      std::max(options.min_precision, options.min_lift * base_rate);
+
+  // `covered` marks frauds already caught by accepted rules, so each new
+  // rule is scored by the *additional* fraud it recovers (greedy set cover).
+  std::vector<char> covered(records.size(), 0);
+
+  for (int round = 0; round < options.max_rules; ++round) {
+    Rule best;
+    double best_gain = 0.0;
+    for (int64_t dim = 0; dim < dims; ++dim) {
+      // Candidate thresholds: uniform quantiles plus geometric tail
+      // quantiles — fraud is rare, so the informative thresholds often sit
+      // in the extreme tails a uniform grid never reaches.
+      std::vector<float> values;
+      values.reserve(records.size());
+      for (const auto& r : records) values.push_back(r.features[dim]);
+      std::sort(values.begin(), values.end());
+      std::vector<float> thresholds;
+      for (int q = 1; q < options.quantiles; ++q) {
+        thresholds.push_back(values[values.size() * q / options.quantiles]);
+      }
+      for (size_t tail = 1; tail < values.size(); tail *= 2) {
+        thresholds.push_back(values[values.size() - tail]);  // upper tail
+        thresholds.push_back(values[tail - 1]);              // lower tail
+      }
+      std::sort(thresholds.begin(), thresholds.end());
+      thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                       thresholds.end());
+      for (float threshold : thresholds) {
+        for (bool greater : {true, false}) {
+          Rule rule;
+          rule.dim = static_cast<int>(dim);
+          rule.threshold = threshold;
+          rule.greater = greater;
+          int64_t fires = 0, hits = 0, new_hits = 0;
+          for (size_t i = 0; i < records.size(); ++i) {
+            if (!rule.Fires(records[i].features)) continue;
+            ++fires;
+            if (records[i].label == graph::kLabelFraud) {
+              ++hits;
+              new_hits += covered[i] ? 0 : 1;
+            }
+          }
+          if (fires == 0) continue;
+          double precision = static_cast<double>(hits) / fires;
+          if (precision < precision_floor) continue;
+          // Gain: newly covered fraud, slightly preferring tighter rules.
+          double gain = new_hits * precision;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best = rule;
+            best.precision = precision;
+            best.recall = static_cast<double>(hits) / total_fraud;
+          }
+        }
+      }
+    }
+    if (best_gain <= 0.0) break;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].label == graph::kLabelFraud &&
+          best.Fires(records[i].features)) {
+        covered[i] = 1;
+      }
+    }
+    filter.rules_.push_back(best);
+  }
+  return filter;
+}
+
+bool RuleFilter::Keep(const graph::TransactionRecord& record) const {
+  for (const auto& rule : rules_) {
+    if (rule.Fires(record.features)) return true;
+  }
+  return false;
+}
+
+PipelineResult RunLabelPipeline(
+    const std::vector<graph::TransactionRecord>& stream,
+    const RuleFilter& filter, double benign_keep_fraction, xfraud::Rng* rng) {
+  XF_CHECK(rng != nullptr);
+  PipelineResult result;
+  result.benign_keep_fraction = benign_keep_fraction;
+
+  auto stage_of = [](const std::string& name,
+                     const std::vector<graph::TransactionRecord>& records) {
+    PipelineStage stage;
+    stage.name = name;
+    stage.transactions = static_cast<int64_t>(records.size());
+    for (const auto& r : records) {
+      stage.frauds += r.label == graph::kLabelFraud;
+    }
+    stage.fraud_rate = stage.transactions > 0
+                           ? static_cast<double>(stage.frauds) /
+                                 stage.transactions
+                           : 0.0;
+    return stage;
+  };
+
+  result.stages.push_back(stage_of("(1) raw stream", stream));
+
+  std::vector<graph::TransactionRecord> filtered;
+  for (const auto& r : stream) {
+    if (filter.Keep(r)) filtered.push_back(r);
+  }
+  result.stages.push_back(stage_of("(2) after rule filter", filtered));
+
+  for (auto& r : filtered) {
+    bool keep_label = r.label == graph::kLabelFraud ||
+                      rng->NextBernoulli(benign_keep_fraction);
+    if (keep_label) {
+      result.sampled.push_back(r);
+    } else {
+      r.label = graph::kLabelUnknown;
+    }
+    result.graph_records.push_back(std::move(r));
+  }
+  result.stages.push_back(stage_of("(3) frauds + sampled benign",
+                                   result.sampled));
+  return result;
+}
+
+}  // namespace xfraud::data

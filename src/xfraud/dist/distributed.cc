@@ -1,0 +1,228 @@
+#include "xfraud/dist/distributed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xfraud/common/logging.h"
+#include "xfraud/common/timer.h"
+#include "xfraud/dist/partition.h"
+#include "xfraud/graph/subgraph.h"
+#include "xfraud/nn/optim.h"
+
+namespace xfraud::dist {
+
+using train::FraudProbabilities;
+
+DistributedTrainer::DistributedTrainer(std::vector<core::GnnModel*> replicas,
+                                       const sample::Sampler* sampler,
+                                       DistributedOptions options)
+    : replicas_(std::move(replicas)),
+      sampler_(sampler),
+      options_(options) {
+  XF_CHECK_EQ(replicas_.size(), static_cast<size_t>(options_.num_workers));
+}
+
+DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
+  const int kappa = options_.num_workers;
+  DistributedResult result;
+  xfraud::Rng rng(options_.train.seed * 0x2545F491ULL + 0xBEEF);
+
+  // ---- Partition: PIC -> 128 clusters -> kappa balanced groups ----------
+  std::vector<int> worker_of =
+      PartitionForWorkers(ds.graph, options_.num_clusters, kappa, &rng);
+
+  std::vector<std::vector<int32_t>> worker_nodes(kappa);
+  for (int64_t v = 0; v < ds.graph.num_nodes(); ++v) {
+    worker_nodes[worker_of[v]].push_back(static_cast<int32_t>(v));
+  }
+  // Edge-cut diagnostic: fraction of directed edges crossing partitions.
+  int64_t cut = 0;
+  for (int64_t v = 0; v < ds.graph.num_nodes(); ++v) {
+    for (int64_t e = ds.graph.InDegreeBegin(static_cast<int32_t>(v));
+         e < ds.graph.InDegreeEnd(static_cast<int32_t>(v)); ++e) {
+      cut += worker_of[ds.graph.neighbors()[e]] != worker_of[v];
+    }
+  }
+  result.edge_cut_fraction =
+      ds.graph.num_edges() > 0
+          ? static_cast<double>(cut) / ds.graph.num_edges()
+          : 0.0;
+
+  // Each worker materializes its induced partition graph (its whole world).
+  struct Worker {
+    graph::HeteroGraph graph;
+    std::vector<int32_t> local_train;  // local train seed ids
+    std::unique_ptr<nn::AdamW> optimizer;
+    xfraud::Rng rng{0};
+    size_t cursor = 0;
+    double compute_seconds = 0.0;  // this epoch
+    double loss_sum = 0.0;
+    int64_t steps = 0;
+  };
+  std::vector<Worker> workers(kappa);
+  std::vector<int8_t> in_train(ds.graph.num_nodes(), 0);
+  for (int32_t v : ds.train_nodes) in_train[v] = 1;
+  for (int w = 0; w < kappa; ++w) {
+    result.partition_nodes.push_back(
+        static_cast<int64_t>(worker_nodes[w].size()));
+    std::vector<int32_t> local_to_global;
+    workers[w].graph =
+        graph::InducedGraph(ds.graph, worker_nodes[w], &local_to_global);
+    for (size_t local = 0; local < local_to_global.size(); ++local) {
+      if (in_train[local_to_global[local]]) {
+        workers[w].local_train.push_back(static_cast<int32_t>(local));
+      }
+    }
+    workers[w].optimizer = std::make_unique<nn::AdamW>(
+        replicas_[w]->Parameters(),
+        nn::AdamWOptions{.lr = options_.train.lr,
+                         .weight_decay = options_.train.weight_decay});
+    workers[w].rng = xfraud::Rng(options_.train.seed + 1000 + w);
+    workers[w].rng.Shuffle(&workers[w].local_train);
+  }
+
+  // Steps per epoch: the busiest worker's batch count (others wrap).
+  size_t max_train = 1;
+  for (const auto& w : workers) {
+    max_train = std::max(max_train, w.local_train.size());
+  }
+  int64_t steps_per_epoch = static_cast<int64_t>(
+      (max_train + options_.train.batch_size - 1) /
+      options_.train.batch_size);
+
+  // Validation via replica 0 on the full graph.
+  sample::SageSampler eval_sampler(2, 12);
+  auto evaluate = [&](const std::vector<int32_t>& nodes) {
+    train::EvalResult eval;
+    core::ForwardOptions fwd;
+    xfraud::Rng eval_rng(7);
+    for (size_t begin = 0; begin < nodes.size(); begin += 640) {
+      size_t end = std::min(begin + 640, nodes.size());
+      std::vector<int32_t> seeds(nodes.begin() + begin, nodes.begin() + end);
+      sample::MiniBatch batch =
+          eval_sampler.SampleBatch(ds.graph, seeds, &eval_rng);
+      nn::Var logits = replicas_[0]->Forward(batch, fwd);
+      auto probs = FraudProbabilities(logits);
+      eval.scores.insert(eval.scores.end(), probs.begin(), probs.end());
+      eval.labels.insert(eval.labels.end(), batch.target_labels.begin(),
+                         batch.target_labels.end());
+    }
+    eval.auc = train::RocAuc(eval.scores, eval.labels);
+    return eval;
+  };
+
+  auto params0 = replicas_[0]->Parameters();
+  std::vector<std::vector<nn::NamedParameter>> params(kappa);
+  for (int w = 0; w < kappa; ++w) params[w] = replicas_[w]->Parameters();
+
+  int stale = 0;
+  for (int epoch = 0; epoch < options_.train.max_epochs; ++epoch) {
+    WallTimer epoch_timer;
+    for (auto& w : workers) {
+      w.compute_seconds = 0.0;
+      w.loss_sum = 0.0;
+      w.steps = 0;
+    }
+    for (int64_t step = 0; step < steps_per_epoch; ++step) {
+      // Phase 1: every worker computes gradients on its own partition.
+      // (Run serially on this single-core host; each worker's compute time
+      // is measured individually to model the concurrent cluster.)
+      for (int w = 0; w < kappa; ++w) {
+        Worker& worker = workers[w];
+        if (worker.local_train.empty()) {
+          for (auto& p : params[w]) p.var.ZeroGrad();
+          continue;
+        }
+        WallTimer t;
+        std::vector<int32_t> seeds;
+        for (int b = 0; b < options_.train.batch_size; ++b) {
+          if (worker.cursor >= worker.local_train.size()) {
+            worker.cursor = 0;
+            worker.rng.Shuffle(&worker.local_train);
+          }
+          seeds.push_back(worker.local_train[worker.cursor++]);
+        }
+        // Dedup seeds that wrapped around within one batch.
+        std::sort(seeds.begin(), seeds.end());
+        seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+        sample::MiniBatch batch =
+            sampler_->SampleBatch(worker.graph, seeds, &worker.rng);
+        core::ForwardOptions fwd;
+        fwd.training = true;
+        fwd.rng = &worker.rng;
+        nn::Var logits = replicas_[w]->Forward(batch, fwd);
+        nn::Var loss = nn::CrossEntropy(logits, batch.target_labels,
+                                        options_.train.class_weights);
+        worker.optimizer->ZeroGrad();
+        loss.Backward();
+        worker.loss_sum += loss.item();
+        ++worker.steps;
+        worker.compute_seconds += t.ElapsedSeconds();
+      }
+
+      // Phase 2: DDP all-reduce — average gradients across replicas and
+      // write the mean back into every replica's gradient buffers.
+      for (size_t p = 0; p < params0.size(); ++p) {
+        nn::Tensor& acc = params[0][p].var.grad();
+        for (int w = 1; w < kappa; ++w) {
+          acc.AddInPlace(params[w][p].var.grad());
+        }
+        acc.ScaleInPlace(1.0f / static_cast<float>(kappa));
+        for (int w = 1; w < kappa; ++w) {
+          params[w][p].var.grad() = acc;
+        }
+      }
+
+      // Phase 3: identical optimizer step on every replica (states match,
+      // so replicas stay synchronized).
+      for (int w = 0; w < kappa; ++w) {
+        workers[w].optimizer->ClipGradNorm(options_.train.clip);
+        workers[w].optimizer->Step();
+      }
+    }
+
+    double wall = epoch_timer.ElapsedSeconds();
+    double slowest = 0.0;
+    double loss_sum = 0.0;
+    int64_t loss_steps = 0;
+    for (const auto& w : workers) {
+      slowest = std::max(slowest, w.compute_seconds);
+      loss_sum += w.loss_sum;
+      loss_steps += w.steps;
+    }
+
+    train::EvalResult val = evaluate(ds.val_nodes);
+    DistributedEpoch stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_steps > 0 ? loss_sum / loss_steps : 0.0;
+    stats.val_auc = val.auc;
+    stats.wall_seconds = wall;
+    stats.simulated_cluster_seconds =
+        slowest + options_.sync_overhead_seconds * steps_per_epoch;
+    result.history.push_back(stats);
+
+    if (options_.train.verbose) {
+      XF_LOG(Info) << "dist(" << kappa << ") epoch " << epoch << " loss "
+                   << stats.train_loss << " val_auc " << val.auc << " sim "
+                   << stats.simulated_cluster_seconds << "s";
+    }
+    if (val.auc > result.best_val_auc) {
+      result.best_val_auc = val.auc;
+      stale = 0;
+    } else if (++stale >= options_.train.patience) {
+      break;
+    }
+  }
+
+  for (const auto& e : result.history) {
+    result.mean_wall_epoch_seconds += e.wall_seconds;
+    result.mean_simulated_epoch_seconds += e.simulated_cluster_seconds;
+  }
+  if (!result.history.empty()) {
+    result.mean_wall_epoch_seconds /= result.history.size();
+    result.mean_simulated_epoch_seconds /= result.history.size();
+  }
+  return result;
+}
+
+}  // namespace xfraud::dist

@@ -1,0 +1,80 @@
+#ifndef XFRAUD_DIST_DISTRIBUTED_H_
+#define XFRAUD_DIST_DISTRIBUTED_H_
+
+#include <memory>
+#include <vector>
+
+#include "xfraud/core/gnn_model.h"
+#include "xfraud/data/generator.h"
+#include "xfraud/sample/sampler.h"
+#include "xfraud/train/trainer.h"
+
+namespace xfraud::dist {
+
+/// Options of the distributed-training simulation (paper §3.3, §4).
+struct DistributedOptions {
+  int num_workers = 8;    // kappa
+  int num_clusters = 128;  // PIC subgraphs before grouping
+  train::TrainOptions train;
+  /// Modeled per-step all-reduce latency added to the simulated cluster
+  /// epoch time (gradient exchange is not free on a real cluster).
+  double sync_overhead_seconds = 0.002;
+};
+
+/// Per-epoch record of the distributed run.
+struct DistributedEpoch {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_auc = 0.0;
+  /// Measured wall-clock of this epoch (all workers ran on this machine).
+  double wall_seconds = 0.0;
+  /// Simulated cluster wall-clock: max over workers of their measured
+  /// compute plus the modeled sync cost — what a kappa-machine cluster
+  /// would take, since workers compute concurrently there. (This host has
+  /// one core, so thread wall-clock would not show the paper's speedup; the
+  /// per-worker compute is measured for real, only the overlap is modeled.
+  /// See DESIGN.md §1.)
+  double simulated_cluster_seconds = 0.0;
+};
+
+struct DistributedResult {
+  std::vector<DistributedEpoch> history;
+  double best_val_auc = 0.0;
+  double mean_wall_epoch_seconds = 0.0;
+  double mean_simulated_epoch_seconds = 0.0;
+  /// Node counts of each worker's partition (balance diagnostics).
+  std::vector<int64_t> partition_nodes;
+  /// Fraction of directed edges cut by the partitioning.
+  double edge_cut_fraction = 0.0;
+};
+
+/// DistributedDataParallel simulation (paper §3.3.2): `num_workers` model
+/// replicas with identical initial weights, each training on its own PIC
+/// partition of the graph. Every step, each replica computes gradients on a
+/// mini-batch drawn from its partition; gradients are averaged across
+/// replicas (the DDP all-reduce) and the identical update is applied to
+/// every replica, keeping them synchronized — exactly PyTorch DDP's
+/// semantics. Because each worker only sees its partition's induced
+/// subgraph, neighbourhoods are restrained, reproducing the paper's
+/// quality/efficiency trade-off (§4.1: more machines, faster epochs, lower
+/// AUC).
+class DistributedTrainer {
+ public:
+  /// `replicas` must be identically-initialized models (same seed).
+  DistributedTrainer(std::vector<core::GnnModel*> replicas,
+                     const sample::Sampler* sampler,
+                     DistributedOptions options);
+
+  /// Partitions ds.graph, trains, and evaluates replica 0 against the
+  /// global validation split each epoch.
+  DistributedResult Train(const data::SimDataset& ds);
+
+ private:
+  std::vector<core::GnnModel*> replicas_;
+  const sample::Sampler* sampler_;
+  DistributedOptions options_;
+};
+
+}  // namespace xfraud::dist
+
+#endif  // XFRAUD_DIST_DISTRIBUTED_H_

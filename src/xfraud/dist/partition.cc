@@ -1,0 +1,153 @@
+#include "xfraud/dist/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::dist {
+
+std::vector<int> KMeans1D(const std::vector<double>& values, int k,
+                          xfraud::Rng* rng, int iters) {
+  XF_CHECK_GT(k, 0);
+  int64_t n = static_cast<int64_t>(values.size());
+  if (n == 0) return {};
+  k = std::min<int>(k, static_cast<int>(n));
+
+  // Init centers at evenly spaced quantiles (stable for 1-D data).
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> centers(k);
+  for (int c = 0; c < k; ++c) {
+    centers[c] = sorted[(n - 1) * (2 * c + 1) / (2 * k)];
+  }
+
+  std::vector<int> assign(n, 0);
+  for (int it = 0; it < iters; ++it) {
+    bool changed = false;
+    for (int64_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d = std::fabs(values[i] - centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<double> sum(k, 0.0);
+    std::vector<int64_t> count(k, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      sum[assign[i]] += values[i];
+      ++count[assign[i]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (count[c] > 0) {
+        centers[c] = sum[c] / count[c];
+      } else {
+        // Re-seed an empty cluster at a random point.
+        centers[c] = values[rng->NextBounded(n)];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return assign;
+}
+
+std::vector<int> PowerIterationClustering(const graph::HeteroGraph& g, int k,
+                                          xfraud::Rng* rng, int iters) {
+  int64_t n = g.num_nodes();
+  XF_CHECK_GT(n, 0);
+  // Random init normalized to unit L1 norm (Lin & Cohen start from the
+  // degree vector or random; random avoids the trivial stationary point).
+  std::vector<double> v(n);
+  double norm = 0.0;
+  for (auto& x : v) {
+    x = rng->NextUniform(0.5, 1.5);
+    norm += std::fabs(x);
+  }
+  for (auto& x : v) x /= norm;
+
+  std::vector<double> next(n);
+  for (int it = 0; it < iters; ++it) {
+    // Lazy walk: next = 1/2 v + 1/2 D^-1 W v. The transaction graph is
+    // bipartite (txn <-> entity edges only), so the plain iteration
+    // oscillates between the two sides; the lazy step damps the -1
+    // eigenvalue and converges to the per-component consensus PIC needs.
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t begin = g.InDegreeBegin(static_cast<int32_t>(i));
+      int64_t end = g.InDegreeEnd(static_cast<int32_t>(i));
+      if (begin == end) {
+        next[i] = v[i];  // isolated node: keep its value
+        continue;
+      }
+      double acc = 0.0;
+      for (int64_t e = begin; e < end; ++e) acc += v[g.neighbors()[e]];
+      next[i] = 0.5 * v[i] + 0.5 * acc / static_cast<double>(end - begin);
+    }
+    double l1 = 0.0;
+    for (double x : next) l1 += std::fabs(x);
+    if (l1 < 1e-300) break;
+    for (int64_t i = 0; i < n; ++i) v[i] = next[i] / l1;
+  }
+  return KMeans1D(v, k, rng);
+}
+
+std::vector<int> GroupClusters(const std::vector<int64_t>& cluster_sizes,
+                               int num_groups) {
+  XF_CHECK_GT(num_groups, 0);
+  int64_t total = std::accumulate(cluster_sizes.begin(), cluster_sizes.end(),
+                                  int64_t{0});
+  int64_t target = (total + num_groups - 1) / num_groups;  // ceil(|V|/kappa)
+
+  // Ascending size order (footnote 3), then fill group after group.
+  std::vector<size_t> order(cluster_sizes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cluster_sizes[a] < cluster_sizes[b];
+  });
+
+  std::vector<int> group_of(cluster_sizes.size(), 0);
+  int group = 0;
+  int64_t filled = 0;
+  size_t remaining = order.size();
+  for (size_t idx : order) {
+    group_of[idx] = group;
+    filled += cluster_sizes[idx];
+    --remaining;
+    // Advance when the group reached its quota — or when every remaining
+    // group must receive at least one of the remaining clusters.
+    bool must_reserve =
+        remaining > 0 &&
+        remaining <= static_cast<size_t>(num_groups - group - 1);
+    if ((filled >= target || must_reserve) && group + 1 < num_groups) {
+      ++group;
+      filled = 0;
+    }
+  }
+  return group_of;
+}
+
+std::vector<int> PartitionForWorkers(const graph::HeteroGraph& g,
+                                     int num_clusters, int num_workers,
+                                     xfraud::Rng* rng) {
+  std::vector<int> cluster_of = PowerIterationClustering(g, num_clusters, rng);
+  std::vector<int64_t> sizes(num_clusters, 0);
+  for (int c : cluster_of) ++sizes[c];
+  std::vector<int> group_of_cluster = GroupClusters(sizes, num_workers);
+  std::vector<int> worker_of(g.num_nodes());
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    worker_of[v] = group_of_cluster[cluster_of[v]];
+  }
+  return worker_of;
+}
+
+}  // namespace xfraud::dist

@@ -1,0 +1,40 @@
+#ifndef XFRAUD_DIST_PARTITION_H_
+#define XFRAUD_DIST_PARTITION_H_
+
+#include <vector>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/graph/hetero_graph.h"
+
+namespace xfraud::dist {
+
+/// 1-D k-means (used by PIC on the embedding it produces). Returns the
+/// cluster id per value.
+std::vector<int> KMeans1D(const std::vector<double>& values, int k,
+                          xfraud::Rng* rng, int iters = 50);
+
+/// Power Iteration Clustering (Lin & Cohen 2010), the paper's graph
+/// partitioner (§3.3.1): iterate v <- D^-1 W v on the (unit-weight)
+/// affinity matrix with per-iteration renormalization; the truncated
+/// iteration converges to a 1-D embedding that separates clusters, which a
+/// k-means pass then cuts into `k` groups. Returns the cluster id per node.
+/// Disconnected nodes converge to distinct plateau values and are separated
+/// naturally.
+std::vector<int> PowerIterationClustering(const graph::HeteroGraph& g, int k,
+                                          xfraud::Rng* rng, int iters = 40);
+
+/// §4 footnote 3: orders the clusters by ascending node count, then packs
+/// them greedily into `num_groups` groups of ~|V|/num_groups nodes each so
+/// every worker receives a similar load. Returns the group id per cluster.
+std::vector<int> GroupClusters(const std::vector<int64_t>& cluster_sizes,
+                               int num_groups);
+
+/// End-to-end partitioning: PIC into `num_clusters` subgraphs, grouped into
+/// `num_workers` balanced groups. Returns the worker id per node.
+std::vector<int> PartitionForWorkers(const graph::HeteroGraph& g,
+                                     int num_clusters, int num_workers,
+                                     xfraud::Rng* rng);
+
+}  // namespace xfraud::dist
+
+#endif  // XFRAUD_DIST_PARTITION_H_

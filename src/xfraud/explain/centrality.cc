@@ -1,0 +1,444 @@
+#include "xfraud/explain/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "xfraud/common/logging.h"
+#include "xfraud/la/matrix.h"
+
+namespace xfraud::explain {
+
+namespace {
+
+/// BFS shortest-path structure from one source: distances, predecessor
+/// lists, path counts, and nodes in non-decreasing distance order.
+struct BfsTree {
+  std::vector<int> dist;
+  std::vector<std::vector<int>> preds;
+  std::vector<double> sigma;  // number of shortest paths
+  std::vector<int> order;     // BFS order
+};
+
+BfsTree Bfs(const SimpleGraph& g, int source) {
+  BfsTree t;
+  t.dist.assign(g.n, -1);
+  t.preds.assign(g.n, {});
+  t.sigma.assign(g.n, 0.0);
+  t.order.reserve(g.n);
+  std::deque<int> queue = {source};
+  t.dist[source] = 0;
+  t.sigma[source] = 1.0;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    t.order.push_back(v);
+    for (int u : g.adj[v]) {
+      if (t.dist[u] < 0) {
+        t.dist[u] = t.dist[v] + 1;
+        queue.push_back(u);
+      }
+      if (t.dist[u] == t.dist[v] + 1) {
+        t.sigma[u] += t.sigma[v];
+        t.preds[u].push_back(v);
+      }
+    }
+  }
+  return t;
+}
+
+la::Matrix Adjacency(const SimpleGraph& g) {
+  la::Matrix a(g.n, g.n);
+  for (const auto& [u, v] : g.edges) {
+    a(u, v) = 1.0;
+    a(v, u) = 1.0;
+  }
+  return a;
+}
+
+la::Matrix Laplacian(const SimpleGraph& g) {
+  la::Matrix l(g.n, g.n);
+  for (const auto& [u, v] : g.edges) {
+    l(u, v) -= 1.0;
+    l(v, u) -= 1.0;
+    l(u, u) += 1.0;
+    l(v, v) += 1.0;
+  }
+  return l;
+}
+
+double PairNormalization(int n) {
+  // (n-1)(n-2)/2, the number of pairs excluding a given node.
+  return n > 2 ? (static_cast<double>(n) - 1) * (n - 2) / 2.0 : 1.0;
+}
+
+/// Shared core of exact/approximate current-flow betweenness: accumulates
+/// the node throughput for the given (s, t) pairs.
+std::vector<double> CurrentFlowCore(
+    const SimpleGraph& g, const la::Matrix& c,
+    const std::vector<std::pair<int, int>>& pairs, double scale) {
+  std::vector<double> out(g.n, 0.0);
+  for (const auto& [s, t] : pairs) {
+    for (int v = 0; v < g.n; ++v) {
+      if (v == s || v == t) continue;
+      double through = 0.0;
+      for (int u : g.adj[v]) {
+        double current = c(v, s) - c(v, t) - c(u, s) + c(u, t);
+        through += std::fabs(current);
+      }
+      out[v] += 0.5 * through;
+    }
+  }
+  for (double& x : out) x *= scale;
+  return out;
+}
+
+}  // namespace
+
+SimpleGraph SimpleGraph::FromEdges(int n,
+                                   std::vector<std::pair<int, int>> edges) {
+  SimpleGraph g;
+  g.n = n;
+  g.edges = std::move(edges);
+  g.adj.assign(n, {});
+  for (const auto& [u, v] : g.edges) {
+    XF_CHECK_GE(u, 0);
+    XF_CHECK_LT(u, n);
+    XF_CHECK_GE(v, 0);
+    XF_CHECK_LT(v, n);
+    XF_CHECK_NE(u, v);
+    g.adj[u].push_back(v);
+    g.adj[v].push_back(u);
+  }
+  return g;
+}
+
+std::vector<double> DegreeCentrality(const SimpleGraph& g) {
+  std::vector<double> out(g.n, 0.0);
+  double norm = g.n > 1 ? 1.0 / (g.n - 1) : 1.0;
+  for (int v = 0; v < g.n; ++v) {
+    out[v] = static_cast<double>(g.adj[v].size()) * norm;
+  }
+  return out;
+}
+
+std::vector<double> ClosenessCentrality(const SimpleGraph& g) {
+  std::vector<double> out(g.n, 0.0);
+  for (int v = 0; v < g.n; ++v) {
+    BfsTree t = Bfs(g, v);
+    double total = 0.0;
+    int reachable = 0;
+    for (int u = 0; u < g.n; ++u) {
+      if (u != v && t.dist[u] > 0) {
+        total += t.dist[u];
+        ++reachable;
+      }
+    }
+    if (total > 0.0 && g.n > 1) {
+      // Wasserman-Faust scaling for disconnected graphs.
+      out[v] = (reachable / total) * (reachable / (g.n - 1.0));
+    }
+  }
+  return out;
+}
+
+std::vector<double> HarmonicCentrality(const SimpleGraph& g) {
+  std::vector<double> out(g.n, 0.0);
+  for (int v = 0; v < g.n; ++v) {
+    BfsTree t = Bfs(g, v);
+    for (int u = 0; u < g.n; ++u) {
+      if (u != v && t.dist[u] > 0) out[v] += 1.0 / t.dist[u];
+    }
+  }
+  return out;
+}
+
+std::vector<double> BetweennessCentrality(const SimpleGraph& g) {
+  std::vector<double> out(g.n, 0.0);
+  for (int s = 0; s < g.n; ++s) {
+    BfsTree t = Bfs(g, s);
+    std::vector<double> delta(g.n, 0.0);
+    for (auto it = t.order.rbegin(); it != t.order.rend(); ++it) {
+      int w = *it;
+      for (int p : t.preds[w]) {
+        delta[p] += t.sigma[p] / t.sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) out[w] += delta[w];
+    }
+  }
+  // Each unordered pair is counted from both endpoints.
+  double norm = 1.0 / (2.0 * PairNormalization(g.n));
+  for (double& x : out) x *= norm;
+  return out;
+}
+
+std::vector<double> LoadCentrality(const SimpleGraph& g) {
+  std::vector<double> out(g.n, 0.0);
+  for (int s = 0; s < g.n; ++s) {
+    // Each reachable node is the destination of one unit packet from s;
+    // packets travel backward through predecessors, split equally.
+    std::vector<double> flow(g.n, 1.0);
+    BfsTree t = Bfs(g, s);
+    for (auto it = t.order.rbegin(); it != t.order.rend(); ++it) {
+      int w = *it;
+      if (w == s) continue;
+      double share = flow[w] / static_cast<double>(t.preds[w].size());
+      for (int p : t.preds[w]) flow[p] += share;
+      out[w] += flow[w] - 1.0;  // exclude the packet terminating at w
+    }
+  }
+  double norm = 1.0 / (2.0 * PairNormalization(g.n));
+  for (double& x : out) x *= norm;
+  return out;
+}
+
+std::vector<double> EigenvectorCentrality(const SimpleGraph& g) {
+  if (g.n == 0) return {};
+  // Power-iterate A + I: same eigenvectors, but the shift breaks the ±λ
+  // eigenvalue symmetry of bipartite graphs that makes plain power
+  // iteration oscillate (networkx applies the same shift).
+  la::Matrix shifted = Adjacency(g).Add(la::Matrix::Identity(g.n));
+  return la::PowerIteration(shifted, 2000, 1e-12);
+}
+
+std::vector<double> SubgraphCentrality(const SimpleGraph& g) {
+  la::Matrix e = la::Expm(Adjacency(g));
+  std::vector<double> out(g.n);
+  for (int v = 0; v < g.n; ++v) out[v] = e(v, v);
+  return out;
+}
+
+std::vector<double> CommunicabilityBetweenness(const SimpleGraph& g) {
+  std::vector<double> out(g.n, 0.0);
+  if (g.n < 3) return out;
+  la::Matrix a = Adjacency(g);
+  la::Matrix big_g = la::Expm(a);
+  double norm = 1.0 / ((g.n - 1.0) * (g.n - 1.0) - (g.n - 1.0));
+  for (int r = 0; r < g.n; ++r) {
+    // Remove node r's connections and recompute the communicability.
+    la::Matrix a_r = a;
+    for (int i = 0; i < g.n; ++i) {
+      a_r(r, i) = 0.0;
+      a_r(i, r) = 0.0;
+    }
+    la::Matrix e_r = la::Expm(a_r);
+    double omega = 0.0;
+    for (int p = 0; p < g.n; ++p) {
+      if (p == r) continue;
+      for (int q = 0; q < g.n; ++q) {
+        if (q == r || q == p) continue;
+        double gpq = big_g(p, q);
+        if (gpq <= 1e-15) continue;
+        omega += (gpq - e_r(p, q)) / gpq;
+      }
+    }
+    out[r] = omega * norm;
+  }
+  return out;
+}
+
+std::vector<double> CurrentFlowBetweenness(const SimpleGraph& g) {
+  if (g.n < 3) return std::vector<double>(g.n, 0.0);
+  la::Matrix c = la::PseudoInverseSymmetric(Laplacian(g));
+  std::vector<std::pair<int, int>> pairs;
+  for (int s = 0; s < g.n; ++s) {
+    for (int t = s + 1; t < g.n; ++t) pairs.emplace_back(s, t);
+  }
+  return CurrentFlowCore(g, c, pairs, 1.0 / PairNormalization(g.n));
+}
+
+std::vector<double> CurrentFlowCloseness(const SimpleGraph& g) {
+  std::vector<double> out(g.n, 0.0);
+  if (g.n < 2) return out;
+  la::Matrix c = la::PseudoInverseSymmetric(Laplacian(g));
+  for (int v = 0; v < g.n; ++v) {
+    double total = 0.0;
+    for (int t = 0; t < g.n; ++t) {
+      if (t == v) continue;
+      total += c(v, v) + c(t, t) - 2.0 * c(v, t);
+    }
+    out[v] = total > 1e-15 ? (g.n - 1.0) / total : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> ApproxCurrentFlowBetweenness(const SimpleGraph& g,
+                                                 xfraud::Rng* rng,
+                                                 int samples) {
+  if (g.n < 3) return std::vector<double>(g.n, 0.0);
+  la::Matrix c = la::PseudoInverseSymmetric(Laplacian(g));
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    int s = static_cast<int>(rng->NextBounded(g.n));
+    int t = static_cast<int>(rng->NextBounded(g.n));
+    while (t == s) t = static_cast<int>(rng->NextBounded(g.n));
+    pairs.emplace_back(s, t);
+  }
+  // Scale the sampled-pair average up to the all-pairs count, then apply
+  // the exact measure's normalization so values are comparable.
+  double all_pairs = static_cast<double>(g.n) * (g.n - 1) / 2.0;
+  double scale = all_pairs / static_cast<double>(samples) /
+                 PairNormalization(g.n);
+  return CurrentFlowCore(g, c, pairs, scale);
+}
+
+std::vector<double> EdgeBetweenness(const SimpleGraph& g) {
+  // Map unordered pair -> edge index for accumulation.
+  std::vector<double> out(g.edges.size(), 0.0);
+  std::vector<std::vector<std::pair<int, int>>> edge_index(g.n);
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    auto [u, v] = g.edges[e];
+    edge_index[u].emplace_back(v, static_cast<int>(e));
+    edge_index[v].emplace_back(u, static_cast<int>(e));
+  }
+  auto find_edge = [&](int u, int v) {
+    for (const auto& [nbr, idx] : edge_index[u]) {
+      if (nbr == v) return idx;
+    }
+    XF_CHECK(false) << "edge not found";
+    return -1;
+  };
+
+  for (int s = 0; s < g.n; ++s) {
+    BfsTree t = Bfs(g, s);
+    std::vector<double> delta(g.n, 0.0);
+    for (auto it = t.order.rbegin(); it != t.order.rend(); ++it) {
+      int w = *it;
+      for (int p : t.preds[w]) {
+        double share = t.sigma[p] / t.sigma[w] * (1.0 + delta[w]);
+        out[find_edge(p, w)] += share;
+        delta[p] += share;
+      }
+    }
+  }
+  double norm = g.n > 1 ? 1.0 / (static_cast<double>(g.n) * (g.n - 1)) : 1.0;
+  for (double& x : out) x *= norm;  // both directions counted => n(n-1)/2 * 2
+  return out;
+}
+
+std::vector<double> EdgeLoad(const SimpleGraph& g) {
+  std::vector<double> out(g.edges.size(), 0.0);
+  std::vector<std::vector<std::pair<int, int>>> edge_index(g.n);
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    auto [u, v] = g.edges[e];
+    edge_index[u].emplace_back(v, static_cast<int>(e));
+    edge_index[v].emplace_back(u, static_cast<int>(e));
+  }
+  auto find_edge = [&](int u, int v) {
+    for (const auto& [nbr, idx] : edge_index[u]) {
+      if (nbr == v) return idx;
+    }
+    XF_CHECK(false) << "edge not found";
+    return -1;
+  };
+
+  for (int s = 0; s < g.n; ++s) {
+    std::vector<double> flow(g.n, 1.0);
+    BfsTree t = Bfs(g, s);
+    for (auto it = t.order.rbegin(); it != t.order.rend(); ++it) {
+      int w = *it;
+      if (w == s) continue;
+      double share = flow[w] / static_cast<double>(t.preds[w].size());
+      for (int p : t.preds[w]) {
+        flow[p] += share;
+        out[find_edge(p, w)] += share;
+      }
+    }
+  }
+  return out;
+}
+
+const char* CentralityMeasureName(CentralityMeasure measure) {
+  switch (measure) {
+    case CentralityMeasure::kEdgeBetweenness:
+      return "edge betweenness";
+    case CentralityMeasure::kEdgeLoad:
+      return "edge load";
+    case CentralityMeasure::kApproxCurrentFlowBetweenness:
+      return "approximate current flow betweenness";
+    case CentralityMeasure::kBetweenness:
+      return "betweenness";
+    case CentralityMeasure::kCloseness:
+      return "closeness";
+    case CentralityMeasure::kCommunicabilityBetweenness:
+      return "communicability betweenness";
+    case CentralityMeasure::kCurrentFlowBetweenness:
+      return "current flow betweenness";
+    case CentralityMeasure::kCurrentFlowCloseness:
+      return "current flow closeness";
+    case CentralityMeasure::kDegree:
+      return "degree";
+    case CentralityMeasure::kEigenvector:
+      return "eigenvector";
+    case CentralityMeasure::kHarmonic:
+      return "harmonic";
+    case CentralityMeasure::kLoad:
+      return "load";
+    case CentralityMeasure::kSubgraph:
+      return "subgraph";
+  }
+  return "?";
+}
+
+std::vector<double> EdgeWeightsByCentrality(
+    const std::vector<graph::UndirectedEdge>& edges, int64_t num_nodes,
+    CentralityMeasure measure, xfraud::Rng* rng) {
+  // Edge measures run on the community graph itself.
+  if (measure == CentralityMeasure::kEdgeBetweenness ||
+      measure == CentralityMeasure::kEdgeLoad) {
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(edges.size());
+    for (const auto& e : edges) pairs.emplace_back(e.u, e.v);
+    SimpleGraph g = SimpleGraph::FromEdges(static_cast<int>(num_nodes),
+                                           std::move(pairs));
+    return measure == CentralityMeasure::kEdgeBetweenness ? EdgeBetweenness(g)
+                                                          : EdgeLoad(g);
+  }
+
+  // Node measures run on the line graph, whose vertex i is community edge i.
+  auto line_adj = graph::LineGraphAdjacency(edges, num_nodes);
+  std::vector<std::pair<int, int>> line_edges;
+  for (size_t u = 0; u < line_adj.size(); ++u) {
+    for (int v : line_adj[u]) {
+      if (static_cast<int>(u) < v) {
+        line_edges.emplace_back(static_cast<int>(u), v);
+      }
+    }
+  }
+  SimpleGraph lg = SimpleGraph::FromEdges(static_cast<int>(edges.size()),
+                                          std::move(line_edges));
+  switch (measure) {
+    case CentralityMeasure::kApproxCurrentFlowBetweenness:
+      XF_CHECK(rng != nullptr);
+      return ApproxCurrentFlowBetweenness(lg, rng);
+    case CentralityMeasure::kBetweenness:
+      return BetweennessCentrality(lg);
+    case CentralityMeasure::kCloseness:
+      return ClosenessCentrality(lg);
+    case CentralityMeasure::kCommunicabilityBetweenness:
+      return CommunicabilityBetweenness(lg);
+    case CentralityMeasure::kCurrentFlowBetweenness:
+      return CurrentFlowBetweenness(lg);
+    case CentralityMeasure::kCurrentFlowCloseness:
+      return CurrentFlowCloseness(lg);
+    case CentralityMeasure::kDegree:
+      return DegreeCentrality(lg);
+    case CentralityMeasure::kEigenvector:
+      return EigenvectorCentrality(lg);
+    case CentralityMeasure::kHarmonic:
+      return HarmonicCentrality(lg);
+    case CentralityMeasure::kLoad:
+      return LoadCentrality(lg);
+    case CentralityMeasure::kSubgraph:
+      return SubgraphCentrality(lg);
+    case CentralityMeasure::kEdgeBetweenness:
+    case CentralityMeasure::kEdgeLoad:
+      break;
+  }
+  XF_CHECK(false);
+  return {};
+}
+
+}  // namespace xfraud::explain

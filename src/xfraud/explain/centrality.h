@@ -1,0 +1,112 @@
+#ifndef XFRAUD_EXPLAIN_CENTRALITY_H_
+#define XFRAUD_EXPLAIN_CENTRALITY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/graph/subgraph.h"
+
+namespace xfraud::explain {
+
+/// A plain undirected graph, the domain of the centrality measures. In the
+/// explainer pipeline this is either a community itself (edge measures) or
+/// its line graph (node measures used as edge measures, Appendix F).
+struct SimpleGraph {
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::vector<int>> adj;
+
+  static SimpleGraph FromEdges(int n, std::vector<std::pair<int, int>> edges);
+
+  int64_t num_edges() const { return static_cast<int64_t>(edges.size()); }
+};
+
+// ---- Node centralities ----------------------------------------------------
+// All follow the standard (networkx-compatible) definitions; exact values on
+// canonical graphs are verified in tests/centrality_test.cc.
+
+/// degree / (n-1).
+std::vector<double> DegreeCentrality(const SimpleGraph& g);
+
+/// Freeman closeness with the Wasserman-Faust component scaling.
+std::vector<double> ClosenessCentrality(const SimpleGraph& g);
+
+/// Harmonic centrality: sum of 1/d(v, u) over u != v.
+std::vector<double> HarmonicCentrality(const SimpleGraph& g);
+
+/// Brandes shortest-path betweenness, normalized by (n-1)(n-2)/2.
+std::vector<double> BetweennessCentrality(const SimpleGraph& g);
+
+/// Newman-Goh load centrality: unit packets from every source to every
+/// target, split equally among shortest-path predecessors at each hop.
+/// Normalized like betweenness.
+std::vector<double> LoadCentrality(const SimpleGraph& g);
+
+/// Dominant eigenvector of the adjacency matrix (power iteration),
+/// normalized to unit Euclidean norm.
+std::vector<double> EigenvectorCentrality(const SimpleGraph& g);
+
+/// Estrada subgraph centrality: diag(expm(A)).
+std::vector<double> SubgraphCentrality(const SimpleGraph& g);
+
+/// Estrada-Hatano communicability betweenness.
+std::vector<double> CommunicabilityBetweenness(const SimpleGraph& g);
+
+/// Newman current-flow (random-walk) betweenness via the Laplacian
+/// pseudo-inverse; endpoint flows excluded; normalized by (n-1)(n-2)/2.
+std::vector<double> CurrentFlowBetweenness(const SimpleGraph& g);
+
+/// Current-flow closeness (information centrality):
+/// (n-1) / sum_t (C_vv + C_tt - 2 C_vt).
+std::vector<double> CurrentFlowCloseness(const SimpleGraph& g);
+
+/// Monte-Carlo approximation of current-flow betweenness: `samples` random
+/// (s, t) pairs instead of all pairs.
+std::vector<double> ApproxCurrentFlowBetweenness(const SimpleGraph& g,
+                                                 xfraud::Rng* rng,
+                                                 int samples = 64);
+
+// ---- Edge centralities -----------------------------------------------------
+
+/// Brandes edge betweenness, normalized by n(n-1)/2.
+std::vector<double> EdgeBetweenness(const SimpleGraph& g);
+
+/// Edge load: shortest-path packet flow crossing each edge.
+std::vector<double> EdgeLoad(const SimpleGraph& g);
+
+// ---- The Table 1 measure suite ---------------------------------------------
+
+/// The 13 measures of paper Table 1, in its row order.
+enum class CentralityMeasure {
+  kEdgeBetweenness = 0,
+  kEdgeLoad,
+  kApproxCurrentFlowBetweenness,
+  kBetweenness,
+  kCloseness,
+  kCommunicabilityBetweenness,
+  kCurrentFlowBetweenness,
+  kCurrentFlowCloseness,
+  kDegree,
+  kEigenvector,
+  kHarmonic,
+  kLoad,
+  kSubgraph,
+};
+
+inline constexpr int kNumCentralityMeasures = 13;
+
+const char* CentralityMeasureName(CentralityMeasure measure);
+
+/// Edge weights of a community under `measure` (Appendix F): edge measures
+/// run on the community graph directly; node measures run on its line graph,
+/// whose vertices are exactly the community's undirected edges.
+std::vector<double> EdgeWeightsByCentrality(
+    const std::vector<graph::UndirectedEdge>& edges, int64_t num_nodes,
+    CentralityMeasure measure, xfraud::Rng* rng);
+
+}  // namespace xfraud::explain
+
+#endif  // XFRAUD_EXPLAIN_CENTRALITY_H_

@@ -1,0 +1,79 @@
+#ifndef XFRAUD_EXPLAIN_EVALUATION_H_
+#define XFRAUD_EXPLAIN_EVALUATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "xfraud/core/detector.h"
+#include "xfraud/data/annotation.h"
+#include "xfraud/data/generator.h"
+#include "xfraud/explain/centrality.h"
+#include "xfraud/explain/gnn_explainer.h"
+#include "xfraud/explain/hybrid.h"
+
+namespace xfraud::explain {
+
+/// Everything the quantitative explainer evaluation (paper §5.1) needs for
+/// one community: the subgraph, the simulated annotations, the GNNExplainer
+/// weights, and the per-measure centrality weights — all on the community's
+/// undirected edges.
+struct CommunityRecord {
+  graph::Subgraph sub;
+  std::vector<graph::UndirectedEdge> undirected;
+  int seed_label = 0;                 // label of the seed transaction
+  double seed_score = 0.0;            // detector fraud probability
+  std::vector<std::vector<int>> annotations;  // [annotator][node]
+  std::vector<double> node_importance;        // mean annotation per node
+  std::vector<double> human_edges;    // edge importance (avg aggregation)
+  std::vector<double> explainer_edges;  // GNNExplainer weights w(e)
+  /// centrality_edges[m] = weights under CentralityMeasure m.
+  std::vector<std::vector<double>> centrality_edges;
+};
+
+/// Configuration of the §5.1 study: 41 communities around randomly selected
+/// test transactions, 18 fraud-seeded and 23 benign-seeded.
+struct StudyOptions {
+  int fraud_communities = 18;
+  int benign_communities = 23;
+  int min_community_nodes = 8;
+  int max_community_nodes = 80;
+  int detector_epochs = 20;
+  uint64_t seed = 2021;
+  /// Skip the two matrix-exponential measures (communicability betweenness
+  /// is O(n) expm calls per community) when a cheap run is needed.
+  bool all_measures = true;
+};
+
+/// The full §5.1 pipeline: generates a sim-small workload, trains the
+/// detector+, samples the communities, simulates the annotators, runs
+/// GNNExplainer per community, and computes the 13 centrality measures.
+class CommunityStudy {
+ public:
+  explicit CommunityStudy(StudyOptions options);
+
+  const std::vector<CommunityRecord>& communities() const {
+    return communities_;
+  }
+  const data::SimDataset& dataset() const { return dataset_; }
+  const core::XFraudDetector& detector() const { return *detector_; }
+  double test_auc() const { return test_auc_; }
+
+  /// CommunityWeights (w(c)=given measure, w(e), human) for each community.
+  std::vector<CommunityWeights> Weights(CentralityMeasure measure) const;
+
+  /// The paper's 21/20 train/test community split (§5.1).
+  static void SplitTrainTest(const std::vector<CommunityWeights>& all,
+                             std::vector<CommunityWeights>* train,
+                             std::vector<CommunityWeights>* test);
+
+ private:
+  StudyOptions options_;
+  data::SimDataset dataset_;
+  std::unique_ptr<core::XFraudDetector> detector_;
+  std::vector<CommunityRecord> communities_;
+  double test_auc_ = 0.0;
+};
+
+}  // namespace xfraud::explain
+
+#endif  // XFRAUD_EXPLAIN_EVALUATION_H_

@@ -1,0 +1,76 @@
+#include "xfraud/explain/feature_importance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "xfraud/common/logging.h"
+#include "xfraud/common/table_printer.h"
+#include "xfraud/graph/hetero_graph.h"
+
+namespace xfraud::explain {
+
+FeatureImportance ComputeFeatureImportance(const Explanation& explanation,
+                                           const sample::MiniBatch& batch) {
+  const nn::Tensor& mask = explanation.node_feature_mask;
+  XF_CHECK_EQ(mask.rows(), batch.num_nodes());
+  XF_CHECK(!batch.target_locals.empty());
+  int32_t seed = batch.target_locals.front();
+  int64_t dims = mask.cols();
+
+  FeatureImportance out;
+  out.seed.resize(dims);
+  for (int64_t c = 0; c < dims; ++c) out.seed[c] = mask.At(seed, c);
+
+  // Mean over transaction rows only: entity nodes have zero features, so
+  // their masks are regularizer artifacts, not signal.
+  out.community_mean.assign(dims, 0.0);
+  int64_t txn_count = 0;
+  for (int64_t v = 0; v < batch.num_nodes(); ++v) {
+    if (batch.node_types[v] !=
+        static_cast<int32_t>(graph::NodeType::kTxn)) {
+      continue;
+    }
+    ++txn_count;
+    for (int64_t c = 0; c < dims; ++c) {
+      out.community_mean[c] += mask.At(v, c);
+    }
+  }
+  if (txn_count > 0) {
+    for (auto& m : out.community_mean) m /= static_cast<double>(txn_count);
+  }
+  out.seed_excess.resize(dims);
+  for (int64_t c = 0; c < dims; ++c) {
+    out.seed_excess[c] = out.seed[c] - out.community_mean[c];
+  }
+  return out;
+}
+
+std::vector<int> TopDimensions(const std::vector<double>& importance,
+                               int k) {
+  std::vector<int> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return importance[a] > importance[b];
+  });
+  order.resize(std::min<size_t>(k, order.size()));
+  return order;
+}
+
+std::string RenderFeatureImportance(const FeatureImportance& importance,
+                                    int top_k) {
+  std::ostringstream os;
+  auto section = [&](const char* title, const std::vector<double>& values) {
+    os << title << ":";
+    for (int dim : TopDimensions(values, top_k)) {
+      os << "  f[" << dim << "]=" << TablePrinter::Num(values[dim], 3);
+    }
+    os << "\n";
+  };
+  section("seed feature importance", importance.seed);
+  section("community mean importance", importance.community_mean);
+  section("seed excess (investigation leads)", importance.seed_excess);
+  return os.str();
+}
+
+}  // namespace xfraud::explain

@@ -1,0 +1,57 @@
+#include "xfraud/explain/hit_rate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::explain {
+
+std::vector<int> TopkIndices(const std::vector<double>& values, int k,
+                             xfraud::Rng* rng) {
+  int n = static_cast<int>(values.size());
+  k = std::min(k, n);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Random tie-break: shuffle first, then stable-sort by value descending.
+  rng->Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return values[a] > values[b];
+  });
+  order.resize(k);
+  return order;
+}
+
+double TopkHitRate(const std::vector<double>& reference,
+                   const std::vector<double>& candidate, int k,
+                   xfraud::Rng* rng, int draws) {
+  XF_CHECK_EQ(reference.size(), candidate.size());
+  XF_CHECK_GT(k, 0);
+  if (reference.empty()) return 0.0;
+  int effective_k = std::min<int>(k, static_cast<int>(reference.size()));
+  double total = 0.0;
+  for (int d = 0; d < draws; ++d) {
+    std::vector<int> ref_top = TopkIndices(reference, k, rng);
+    std::vector<int> cand_top = TopkIndices(candidate, k, rng);
+    std::sort(ref_top.begin(), ref_top.end());
+    std::sort(cand_top.begin(), cand_top.end());
+    std::vector<int> common;
+    std::set_intersection(ref_top.begin(), ref_top.end(), cand_top.begin(),
+                          cand_top.end(), std::back_inserter(common));
+    total += static_cast<double>(common.size()) / effective_k;
+  }
+  return total / draws;
+}
+
+double RandomHitRate(const std::vector<double>& reference, int k,
+                     xfraud::Rng* rng, int repeats, int draws) {
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    std::vector<double> random_weights(reference.size());
+    for (auto& w : random_weights) w = rng->NextDouble();
+    total += TopkHitRate(reference, random_weights, k, rng, draws);
+  }
+  return repeats > 0 ? total / repeats : 0.0;
+}
+
+}  // namespace xfraud::explain

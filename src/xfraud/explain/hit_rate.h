@@ -1,0 +1,30 @@
+#ifndef XFRAUD_EXPLAIN_HIT_RATE_H_
+#define XFRAUD_EXPLAIN_HIT_RATE_H_
+
+#include <vector>
+
+#include "xfraud/common/rng.h"
+
+namespace xfraud::explain {
+
+/// The paper's agreement metric (§3.4.1): H_topk = |topk(human) ∩
+/// topk(explainer)| / k. Human edge-importance scores are coarse (multiples
+/// of 1/5 in [0,2]) so top-k sets are tie-ridden; following Appendix E, ties
+/// are broken by averaging the hit rate over `draws` random tie-breaking
+/// draws on BOTH rankings.
+double TopkHitRate(const std::vector<double>& reference,
+                   const std::vector<double>& candidate, int k,
+                   xfraud::Rng* rng, int draws = 100);
+
+/// Hit rate of uniformly random edge weights against `reference`, averaged
+/// over `repeats` weight draws (the paper's random baseline, Table 8).
+double RandomHitRate(const std::vector<double>& reference, int k,
+                     xfraud::Rng* rng, int repeats = 10, int draws = 100);
+
+/// Indices of the k largest values, breaking ties randomly.
+std::vector<int> TopkIndices(const std::vector<double>& values, int k,
+                             xfraud::Rng* rng);
+
+}  // namespace xfraud::explain
+
+#endif  // XFRAUD_EXPLAIN_HIT_RATE_H_

@@ -1,0 +1,169 @@
+#include "xfraud/explain/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xfraud/common/logging.h"
+#include "xfraud/explain/hit_rate.h"
+#include "xfraud/la/matrix.h"
+
+namespace xfraud::explain {
+
+namespace {
+
+/// Rescales weights to [0, 1] per community so centrality and explainer
+/// weights (different natural scales, §3.4.1) combine commensurably.
+std::vector<double> Normalize(const std::vector<double>& w) {
+  double lo = *std::min_element(w.begin(), w.end());
+  double hi = *std::max_element(w.begin(), w.end());
+  std::vector<double> out(w.size(), 0.0);
+  if (hi - lo < 1e-15) return out;
+  for (size_t i = 0; i < w.size(); ++i) out[i] = (w[i] - lo) / (hi - lo);
+  return out;
+}
+
+double HitRateOfCoefficients(const std::vector<CommunityWeights>& communities,
+                             double a, double b, int k, xfraud::Rng* rng) {
+  double total = 0.0;
+  for (const auto& c : communities) {
+    std::vector<double> wc = Normalize(c.centrality);
+    std::vector<double> we = Normalize(c.explainer);
+    std::vector<double> combined(wc.size());
+    for (size_t i = 0; i < wc.size(); ++i) combined[i] = a * wc[i] + b * we[i];
+    total += TopkHitRate(c.human, combined, k, rng);
+  }
+  return communities.empty() ? 0.0 : total / communities.size();
+}
+
+}  // namespace
+
+std::vector<double> RidgeRegression(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    double alpha) {
+  XF_CHECK(!x.empty());
+  XF_CHECK_EQ(x.size(), y.size());
+  size_t d = x[0].size();
+  la::Matrix xtx(d, d);
+  std::vector<double> xty(d, 0.0);
+  for (size_t r = 0; r < x.size(); ++r) {
+    XF_CHECK_EQ(x[r].size(), d);
+    for (size_t i = 0; i < d; ++i) {
+      xty[i] += x[r][i] * y[r];
+      for (size_t j = 0; j < d; ++j) xtx(i, j) += x[r][i] * x[r][j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) xtx(i, i) += alpha;
+  std::vector<double> beta;
+  XF_CHECK(la::SolveLinearSystem(xtx, xty, &beta));
+  return beta;
+}
+
+HybridExplainer HybridExplainer::FitRidge(
+    const std::vector<CommunityWeights>& train, int k, xfraud::Rng* rng,
+    const std::vector<double>& alphas) {
+  // Pool normalized (w(c), w(e)) -> human rows across train communities.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const auto& c : train) {
+    std::vector<double> wc = Normalize(c.centrality);
+    std::vector<double> we = Normalize(c.explainer);
+    for (size_t i = 0; i < wc.size(); ++i) {
+      x.push_back({wc[i], we[i]});
+      y.push_back(c.human[i]);
+    }
+  }
+  double best_rate = -1.0;
+  double best_a = 0.5, best_b = 0.5;
+  for (double alpha : alphas) {
+    std::vector<double> beta = RidgeRegression(x, y, alpha);
+    double rate = HitRateOfCoefficients(train, beta[0], beta[1], k, rng);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_a = beta[0];
+      best_b = beta[1];
+    }
+  }
+  return HybridExplainer(best_a, best_b);
+}
+
+HybridExplainer HybridExplainer::FitGrid(
+    const std::vector<CommunityWeights>& train, int k, xfraud::Rng* rng) {
+  double best_rate = -1.0;
+  double best_a = 0.0;
+  for (int step = 0; step <= 100; ++step) {
+    double a = step / 100.0;
+    double rate = HitRateOfCoefficients(train, a, 1.0 - a, k, rng);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_a = a;
+    }
+  }
+  return HybridExplainer(best_a, 1.0 - best_a);
+}
+
+std::vector<double> HybridExplainer::Combine(
+    const CommunityWeights& community) const {
+  std::vector<double> wc = Normalize(community.centrality);
+  std::vector<double> we = Normalize(community.explainer);
+  std::vector<double> out(wc.size());
+  for (size_t i = 0; i < wc.size(); ++i) out[i] = a_ * wc[i] + b_ * we[i];
+  return out;
+}
+
+double HybridExplainer::MeanHitRate(
+    const std::vector<CommunityWeights>& communities, int k,
+    xfraud::Rng* rng) const {
+  return HitRateOfCoefficients(communities, a_, b_, k, rng);
+}
+
+int BestPolynomialDegree(const std::vector<CommunityWeights>& train, int k,
+                         xfraud::Rng* rng, int max_degree) {
+  int best_degree = 1;
+  double best_rate = -1.0;
+  for (int degree = 1; degree <= max_degree; ++degree) {
+    // Polynomial features: all monomials wc^p * we^q with 1 <= p+q <= d.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    auto featurize = [degree](double wc, double we) {
+      std::vector<double> row;
+      for (int p = 0; p <= degree; ++p) {
+        for (int q = 0; q <= degree - p; ++q) {
+          if (p + q == 0) continue;
+          row.push_back(std::pow(wc, p) * std::pow(we, q));
+        }
+      }
+      return row;
+    };
+    for (const auto& c : train) {
+      std::vector<double> wc = Normalize(c.centrality);
+      std::vector<double> we = Normalize(c.explainer);
+      for (size_t i = 0; i < wc.size(); ++i) {
+        x.push_back(featurize(wc[i], we[i]));
+        y.push_back(c.human[i]);
+      }
+    }
+    std::vector<double> beta = RidgeRegression(x, y, 0.5);
+    // Evaluate the fitted polynomial's hit rate on the train communities.
+    double total = 0.0;
+    for (const auto& c : train) {
+      std::vector<double> wc = Normalize(c.centrality);
+      std::vector<double> we = Normalize(c.explainer);
+      std::vector<double> combined(wc.size(), 0.0);
+      for (size_t i = 0; i < wc.size(); ++i) {
+        std::vector<double> row = featurize(wc[i], we[i]);
+        for (size_t j = 0; j < row.size(); ++j) {
+          combined[i] += beta[j] * row[j];
+        }
+      }
+      total += TopkHitRate(c.human, combined, k, rng);
+    }
+    double rate = train.empty() ? 0.0 : total / train.size();
+    if (rate > best_rate + 1e-9) {
+      best_rate = rate;
+      best_degree = degree;
+    }
+  }
+  return best_degree;
+}
+
+}  // namespace xfraud::explain

@@ -1,0 +1,68 @@
+#ifndef XFRAUD_EXPLAIN_HYBRID_H_
+#define XFRAUD_EXPLAIN_HYBRID_H_
+
+#include <vector>
+
+#include "xfraud/common/rng.h"
+
+namespace xfraud::explain {
+
+/// Per-community inputs to the hybrid explainer: the task-agnostic
+/// centrality edge weights w(c), the task-aware GNNExplainer edge weights
+/// w(e), and the human (simulated-annotator) edge-importance reference.
+struct CommunityWeights {
+  std::vector<double> centrality;  // w(c)
+  std::vector<double> explainer;   // w(e)
+  std::vector<double> human;       // reference edge importance
+};
+
+/// The learnable hybrid explainer of paper §3.4.2 / Appendix F: combined
+/// edge weights A·w(c) + B·w(e), with the coefficients learned on training
+/// communities either by ridge regression against the human scores or by
+/// directly maximizing the average top-k hit rate over a grid.
+class HybridExplainer {
+ public:
+  /// Fits A, B by ridge regression of human scores on [w(c), w(e)] pooled
+  /// over the training communities, with L2 strength `alpha` selected from
+  /// `alphas` by training-set hit rate at `k` (Appendix F (3)).
+  static HybridExplainer FitRidge(
+      const std::vector<CommunityWeights>& train, int k, xfraud::Rng* rng,
+      const std::vector<double>& alphas = {0.01, 0.25, 0.5, 0.75, 0.99});
+
+  /// Grid search A ∈ {0.00, 0.01, ..., 1.00}, B = 1 - A, maximizing the
+  /// average top-k hit rate on the training communities (Appendix F (2)).
+  static HybridExplainer FitGrid(const std::vector<CommunityWeights>& train,
+                                 int k, xfraud::Rng* rng);
+
+  /// Combined weights A·w(c) + B·w(e) for one community.
+  std::vector<double> Combine(const CommunityWeights& community) const;
+
+  /// Mean top-k hit rate of the combined weights over `communities`.
+  double MeanHitRate(const std::vector<CommunityWeights>& communities, int k,
+                     xfraud::Rng* rng) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  HybridExplainer(double a, double b) : a_(a), b_(b) {}
+
+  double a_ = 0.5;  // centrality coefficient
+  double b_ = 0.5;  // explainer coefficient
+};
+
+/// Appendix F (1): fits polynomial combinations of degree d ∈ [1, max_degree]
+/// by ridge regression and returns the degree with the best mean train hit
+/// rate (the paper finds d = 1 is the best fit).
+int BestPolynomialDegree(const std::vector<CommunityWeights>& train, int k,
+                         xfraud::Rng* rng, int max_degree = 3);
+
+/// Plain ridge regression: solves (X^T X + alpha I) beta = X^T y.
+/// Exposed for tests.
+std::vector<double> RidgeRegression(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    double alpha);
+
+}  // namespace xfraud::explain
+
+#endif  // XFRAUD_EXPLAIN_HYBRID_H_

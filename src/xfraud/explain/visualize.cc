@@ -1,0 +1,88 @@
+#include "xfraud/explain/visualize.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::explain {
+
+std::string DescribeNode(const graph::HeteroGraph& g,
+                         const graph::Subgraph& community, int32_t local) {
+  int32_t global = community.nodes[local];
+  std::ostringstream os;
+  os << local << ":" << graph::NodeTypeName(g.node_type(global));
+  if (g.node_type(global) == graph::NodeType::kTxn) {
+    switch (g.label(global)) {
+      case graph::kLabelFraud:
+        os << "(fraud)";
+        break;
+      case graph::kLabelBenign:
+        os << "(benign)";
+        break;
+      default:
+        os << "(?)";
+        break;
+    }
+  }
+  if (local == community.seed_local) os << "*";
+  return os.str();
+}
+
+std::string RenderCommunity(const graph::HeteroGraph& g,
+                            const graph::Subgraph& community,
+                            const std::vector<double>& edge_weights,
+                            int max_edges) {
+  auto undirected = graph::UndirectedEdges(community);
+  XF_CHECK_EQ(undirected.size(), edge_weights.size());
+
+  std::ostringstream os;
+  os << "community: " << community.num_nodes() << " nodes, "
+     << undirected.size() << " undirected edges; seed "
+     << DescribeNode(g, community, community.seed_local) << "\n";
+
+  auto counts = std::vector<int>(graph::kNumNodeTypes, 0);
+  int fraud = 0, benign = 0;
+  for (int64_t v = 0; v < community.num_nodes(); ++v) {
+    int32_t global = community.nodes[v];
+    ++counts[static_cast<int>(g.node_type(global))];
+    if (g.node_type(global) == graph::NodeType::kTxn) {
+      if (g.label(global) == graph::kLabelFraud) ++fraud;
+      if (g.label(global) == graph::kLabelBenign) ++benign;
+    }
+  }
+  os << "  types:";
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    os << " " << graph::NodeTypeName(static_cast<graph::NodeType>(t)) << "="
+       << counts[t];
+  }
+  os << " | txn labels: fraud=" << fraud << " benign=" << benign << "\n";
+
+  double max_w = 1e-12;
+  for (double w : edge_weights) max_w = std::max(max_w, w);
+
+  std::vector<size_t> order(undirected.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return edge_weights[a] > edge_weights[b];
+  });
+
+  int shown = 0;
+  for (size_t idx : order) {
+    if (shown++ >= max_edges) {
+      os << "  ... (" << undirected.size() - max_edges << " more)\n";
+      break;
+    }
+    const auto& e = undirected[idx];
+    int bar = static_cast<int>(edge_weights[idx] / max_w * 20.0 + 0.5);
+    os << "  [";
+    for (int i = 0; i < 20; ++i) os << (i < bar ? '#' : ' ');
+    os << "] " << DescribeNode(g, community, e.u) << " -- "
+       << DescribeNode(g, community, e.v) << "  w="
+       << edge_weights[idx] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xfraud::explain

@@ -1,0 +1,32 @@
+#ifndef XFRAUD_EXPLAIN_VISUALIZE_H_
+#define XFRAUD_EXPLAIN_VISUALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/graph/subgraph.h"
+
+namespace xfraud::explain {
+
+/// Plain-text rendering of a community with explainer edge weights — the
+/// reproduction's analogue of the paper's case-study figures (Figs. 6, 11,
+/// 16, 17): every undirected edge is listed with endpoint types/labels and
+/// a bar whose length encodes the (hybrid) edge weight; the thicker the
+/// edge, the stronger its role in the seed's prediction.
+///
+/// `edge_weights` must align with UndirectedEdges(community). Edges are
+/// printed in descending weight order; `max_edges` caps the listing.
+std::string RenderCommunity(const graph::HeteroGraph& g,
+                            const graph::Subgraph& community,
+                            const std::vector<double>& edge_weights,
+                            int max_edges = 25);
+
+/// One-line description of a community node, e.g. "7:txn(fraud)" or
+/// "12:addr" — used by RenderCommunity and the examples.
+std::string DescribeNode(const graph::HeteroGraph& g,
+                         const graph::Subgraph& community, int32_t local);
+
+}  // namespace xfraud::explain
+
+#endif  // XFRAUD_EXPLAIN_VISUALIZE_H_

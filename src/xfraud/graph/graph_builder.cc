@@ -1,0 +1,99 @@
+#include "xfraud/graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::graph {
+
+Status GraphBuilder::AddTransaction(const TransactionRecord& record) {
+  if (record.txn_id.empty()) {
+    return Status::InvalidArgument("transaction id must be non-empty");
+  }
+  if (txn_ids_.count(record.txn_id) != 0) {
+    return Status::AlreadyExists("duplicate transaction id: " + record.txn_id);
+  }
+  if (feature_dim_ < 0) {
+    feature_dim_ = static_cast<int64_t>(record.features.size());
+  } else if (feature_dim_ != static_cast<int64_t>(record.features.size())) {
+    return Status::InvalidArgument(
+        "inconsistent feature dimension for txn " + record.txn_id);
+  }
+
+  int32_t txn = static_cast<int32_t>(node_types_.size());
+  node_types_.push_back(NodeType::kTxn);
+  labels_.push_back(record.label);
+  txn_ids_.emplace(record.txn_id, txn);
+  txn_nodes_.push_back(txn);
+  txn_features_.push_back(record.features);
+
+  auto link = [&](NodeType type, const std::string& key) {
+    if (key.empty()) return;
+    int32_t entity = InternEntity(type, key);
+    edges_.push_back({txn, entity, type});
+  };
+  link(NodeType::kBuyer, record.buyer_id);
+  link(NodeType::kEmail, record.email);
+  link(NodeType::kPmt, record.payment_token);
+  link(NodeType::kAddr, record.shipping_address);
+  return Status::OK();
+}
+
+int32_t GraphBuilder::InternEntity(NodeType type, const std::string& key) {
+  auto& table = entity_ids_[static_cast<int>(type)];
+  auto it = table.find(key);
+  if (it != table.end()) return it->second;
+  int32_t id = static_cast<int32_t>(node_types_.size());
+  node_types_.push_back(type);
+  labels_.push_back(kLabelUnknown);
+  table.emplace(key, id);
+  return id;
+}
+
+int32_t GraphBuilder::TxnNode(const std::string& txn_id) const {
+  auto it = txn_ids_.find(txn_id);
+  return it == txn_ids_.end() ? -1 : it->second;
+}
+
+HeteroGraph GraphBuilder::Build() const {
+  int64_t n = static_cast<int64_t>(node_types_.size());
+
+  // Each linkage contributes two directed edges: entity -> txn (consumed
+  // when aggregating into the transaction) and txn -> entity.
+  std::vector<int64_t> in_degree(n, 0);
+  for (const auto& e : edges_) {
+    ++in_degree[e.txn];
+    ++in_degree[e.entity];
+  }
+  std::vector<int64_t> offsets(n + 1, 0);
+  for (int64_t v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + in_degree[v];
+
+  std::vector<int32_t> neighbors(offsets[n]);
+  std::vector<EdgeType> edge_types(offsets[n]);
+  std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& e : edges_) {
+    // Incoming edge of the txn: source is the entity.
+    int64_t slot = cursor[e.txn]++;
+    neighbors[slot] = e.entity;
+    edge_types[slot] = EntityToTxnEdge(e.entity_type);
+    // Incoming edge of the entity: source is the txn.
+    slot = cursor[e.entity]++;
+    neighbors[slot] = e.txn;
+    edge_types[slot] = TxnToEntityEdge(e.entity_type);
+  }
+
+  int64_t dim = std::max<int64_t>(feature_dim_, 0);
+  nn::Tensor features(static_cast<int64_t>(txn_features_.size()), dim);
+  std::vector<int32_t> feature_row(n, -1);
+  for (size_t i = 0; i < txn_features_.size(); ++i) {
+    feature_row[txn_nodes_[i]] = static_cast<int32_t>(i);
+    std::copy(txn_features_[i].begin(), txn_features_[i].end(),
+              features.Row(static_cast<int64_t>(i)));
+  }
+
+  return HeteroGraph(node_types_, std::move(offsets), std::move(neighbors),
+                     std::move(edge_types), std::move(features),
+                     std::move(feature_row), labels_);
+}
+
+}  // namespace xfraud::graph

@@ -1,0 +1,76 @@
+#ifndef XFRAUD_GRAPH_GRAPH_BUILDER_H_
+#define XFRAUD_GRAPH_GRAPH_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xfraud/common/status.h"
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/nn/tensor.h"
+
+namespace xfraud::graph {
+
+/// One row of the transaction log (paper Fig. 3). Empty entity strings mean
+/// the linkage is absent — e.g. guest checkouts have no buyer account
+/// (paper §3.2.1) but can still be linked via email/payment/address.
+struct TransactionRecord {
+  std::string txn_id;
+  std::string buyer_id;   // empty for guest checkout
+  std::string email;
+  std::string payment_token;
+  std::string shipping_address;
+  std::vector<float> features;
+  int8_t label = kLabelUnknown;  // kLabelBenign / kLabelFraud / kLabelUnknown
+  /// Coarse timestamp (e.g. month index) for temporal/incremental training
+  /// protocols (paper Appendix H.5). Not part of the graph structure: the
+  /// detector deliberately drops HGT's relative temporal encoding (§3.2.1).
+  int32_t period = 0;
+};
+
+/// Converts transaction logs into a HeteroGraph (the paper's "graph
+/// constructor", Fig. 2 / §3.1): each transaction and each distinct linking
+/// entity becomes a node; each use of an entity by a transaction becomes a
+/// pair of directed edges.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Appends one transaction. Returns InvalidArgument for duplicate txn ids
+  /// or inconsistent feature dimensionality.
+  Status AddTransaction(const TransactionRecord& record);
+
+  /// Number of transactions added so far.
+  int64_t num_transactions() const { return static_cast<int64_t>(txn_nodes_.size()); }
+
+  /// Finalizes into an immutable CSR graph. The builder can keep receiving
+  /// transactions afterwards (Build snapshots current state).
+  HeteroGraph Build() const;
+
+  /// Node id assigned to a transaction id; -1 if unknown.
+  int32_t TxnNode(const std::string& txn_id) const;
+
+ private:
+  int32_t InternEntity(NodeType type, const std::string& key);
+
+  struct PendingEdge {
+    int32_t txn;
+    int32_t entity;
+    NodeType entity_type;
+  };
+
+  std::vector<NodeType> node_types_;
+  std::vector<int8_t> labels_;
+  std::vector<PendingEdge> edges_;
+  std::unordered_map<std::string, int32_t> txn_ids_;
+  // Entity keys are namespaced by type: the same string used as an email and
+  // as an address must become two distinct nodes.
+  std::unordered_map<std::string, int32_t> entity_ids_[kNumNodeTypes];
+  std::vector<int32_t> txn_nodes_;
+  std::vector<std::vector<float>> txn_features_;
+  int64_t feature_dim_ = -1;
+};
+
+}  // namespace xfraud::graph
+
+#endif  // XFRAUD_GRAPH_GRAPH_BUILDER_H_

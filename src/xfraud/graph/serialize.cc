@@ -1,0 +1,168 @@
+#include "xfraud/graph/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "xfraud/kv/kvstore.h"
+
+namespace xfraud::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'F', 'G', 'R'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v, uint32_t* crc_acc,
+              std::string* buffer) {
+  const char* data = reinterpret_cast<const char*>(v.data());
+  size_t bytes = v.size() * sizeof(T);
+  out.write(data, static_cast<std::streamsize>(bytes));
+  buffer->append(data, bytes);
+  (void)crc_acc;
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::istream& in, size_t count, std::vector<T>* v,
+             std::string* buffer) {
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) return false;
+  buffer->append(reinterpret_cast<const char*>(v->data()),
+                 count * sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+Status SaveGraph(const HeteroGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+  int64_t num_nodes = g.num_nodes();
+  int64_t num_edges = g.num_edges();
+  // Count feature rows.
+  int64_t feature_rows = 0;
+  for (int32_t v = 0; v < num_nodes; ++v) feature_rows += g.HasFeatures(v);
+  int64_t feature_dim = g.feature_dim();
+  WritePod(out, num_nodes);
+  WritePod(out, num_edges);
+  WritePod(out, feature_rows);
+  WritePod(out, feature_dim);
+
+  std::string crc_buffer;
+  // Node types, labels, feature-row map.
+  std::vector<uint8_t> types(num_nodes);
+  std::vector<int8_t> labels(num_nodes);
+  std::vector<int32_t> feature_row(num_nodes, -1);
+  std::vector<float> features;
+  features.reserve(feature_rows * feature_dim);
+  int32_t next_row = 0;
+  for (int32_t v = 0; v < num_nodes; ++v) {
+    types[v] = static_cast<uint8_t>(g.node_type(v));
+    labels[v] = g.label(v);
+    if (g.HasFeatures(v)) {
+      feature_row[v] = next_row++;
+      const float* row = g.Features(v);
+      features.insert(features.end(), row, row + feature_dim);
+    }
+  }
+  std::vector<int64_t> offsets(num_nodes + 1);
+  for (int32_t v = 0; v < num_nodes; ++v) offsets[v] = g.InDegreeBegin(v);
+  offsets[num_nodes] = num_edges;
+  std::vector<uint8_t> edge_types(num_edges);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    edge_types[e] = static_cast<uint8_t>(g.edge_types()[e]);
+  }
+
+  WriteVec(out, types, nullptr, &crc_buffer);
+  WriteVec(out, labels, nullptr, &crc_buffer);
+  WriteVec(out, feature_row, nullptr, &crc_buffer);
+  WriteVec(out, offsets, nullptr, &crc_buffer);
+  WriteVec(out, g.neighbors(), nullptr, &crc_buffer);
+  WriteVec(out, edge_types, nullptr, &crc_buffer);
+  WriteVec(out, features, nullptr, &crc_buffer);
+
+  uint32_t crc = kv::Crc32(crc_buffer.data(), crc_buffer.size());
+  WritePod(out, crc);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<HeteroGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad graph magic: " + path);
+  }
+  uint32_t version = 0;
+  int64_t num_nodes = 0, num_edges = 0, feature_rows = 0, feature_dim = 0;
+  if (!ReadPod(in, &version) || version != kVersion ||
+      !ReadPod(in, &num_nodes) || !ReadPod(in, &num_edges) ||
+      !ReadPod(in, &feature_rows) || !ReadPod(in, &feature_dim) ||
+      num_nodes < 0 || num_edges < 0 || feature_rows < 0 ||
+      feature_dim < 0) {
+    return Status::Corruption("bad graph header: " + path);
+  }
+
+  std::string crc_buffer;
+  std::vector<uint8_t> types;
+  std::vector<int8_t> labels;
+  std::vector<int32_t> feature_row;
+  std::vector<int64_t> offsets;
+  std::vector<int32_t> neighbors;
+  std::vector<uint8_t> edge_types;
+  std::vector<float> features;
+  if (!ReadVec(in, num_nodes, &types, &crc_buffer) ||
+      !ReadVec(in, num_nodes, &labels, &crc_buffer) ||
+      !ReadVec(in, num_nodes, &feature_row, &crc_buffer) ||
+      !ReadVec(in, num_nodes + 1, &offsets, &crc_buffer) ||
+      !ReadVec(in, num_edges, &neighbors, &crc_buffer) ||
+      !ReadVec(in, num_edges, &edge_types, &crc_buffer) ||
+      !ReadVec(in, feature_rows * feature_dim, &features, &crc_buffer)) {
+    return Status::Corruption("truncated graph payload: " + path);
+  }
+  uint32_t stored_crc = 0;
+  if (!ReadPod(in, &stored_crc) ||
+      stored_crc != kv::Crc32(crc_buffer.data(), crc_buffer.size())) {
+    return Status::Corruption("graph checksum mismatch: " + path);
+  }
+
+  std::vector<NodeType> node_types(num_nodes);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    if (types[v] >= kNumNodeTypes) {
+      return Status::Corruption("bad node type in " + path);
+    }
+    node_types[v] = static_cast<NodeType>(types[v]);
+  }
+  std::vector<EdgeType> etypes(num_edges);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    if (edge_types[e] >= kNumEdgeTypes) {
+      return Status::Corruption("bad edge type in " + path);
+    }
+    etypes[e] = static_cast<EdgeType>(edge_types[e]);
+  }
+  nn::Tensor feature_tensor(feature_rows, feature_dim, std::move(features));
+  return HeteroGraph(std::move(node_types), std::move(offsets),
+                     std::move(neighbors), std::move(etypes),
+                     std::move(feature_tensor), std::move(feature_row),
+                     std::move(labels));
+}
+
+}  // namespace xfraud::graph

@@ -1,0 +1,25 @@
+#ifndef XFRAUD_GRAPH_SERIALIZE_H_
+#define XFRAUD_GRAPH_SERIALIZE_H_
+
+#include <string>
+
+#include "xfraud/common/status.h"
+#include "xfraud/graph/hetero_graph.h"
+
+namespace xfraud::graph {
+
+/// Writes a HeteroGraph to a binary file:
+///   magic "XFGR", u32 version, i64 num_nodes, i64 num_edges,
+///   i64 num_feature_rows, i64 feature_dim, then the raw arrays
+///   (node types, offsets, neighbors, edge types, feature rows, labels,
+///   feature payload), each preceded by nothing — sizes are implied by the
+///   header. A trailing CRC-32 over the payload guards integrity.
+Status SaveGraph(const HeteroGraph& g, const std::string& path);
+
+/// Loads a graph written by SaveGraph. Corruption (bad magic/CRC/sizes)
+/// yields a Corruption status.
+Result<HeteroGraph> LoadGraph(const std::string& path);
+
+}  // namespace xfraud::graph
+
+#endif  // XFRAUD_GRAPH_SERIALIZE_H_

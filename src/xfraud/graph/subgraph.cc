@@ -1,0 +1,219 @@
+#include "xfraud/graph/subgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::graph {
+
+std::vector<NodeType> Subgraph::LocalNodeTypes(const HeteroGraph& g) const {
+  std::vector<NodeType> types(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) types[i] = g.node_type(nodes[i]);
+  return types;
+}
+
+std::vector<UndirectedEdge> UndirectedEdges(const Subgraph& sub) {
+  std::map<std::pair<int32_t, int32_t>, UndirectedEdge> dedup;
+  for (int64_t e = 0; e < sub.num_edges(); ++e) {
+    int32_t a = sub.src[e];
+    int32_t b = sub.dst[e];
+    if (a == b) continue;
+    bool forward = a < b;
+    auto key = forward ? std::make_pair(a, b) : std::make_pair(b, a);
+    auto [it, inserted] = dedup.try_emplace(key);
+    if (inserted) {
+      it->second.u = key.first;
+      it->second.v = key.second;
+    }
+    // Orientation u->v is "directed_a", v->u is "directed_b".
+    if (forward) {
+      it->second.directed_a = static_cast<int32_t>(e);
+    } else {
+      it->second.directed_b = static_cast<int32_t>(e);
+    }
+  }
+  std::vector<UndirectedEdge> out;
+  out.reserve(dedup.size());
+  for (auto& [key, edge] : dedup) out.push_back(edge);
+  return out;
+}
+
+namespace {
+
+/// Induces all edges of g among the collected nodes into `sub`.
+void InduceEdges(const HeteroGraph& g, Subgraph* sub) {
+  for (size_t local = 0; local < sub->nodes.size(); ++local) {
+    int32_t v = sub->nodes[local];
+    for (int64_t e = g.InDegreeBegin(v); e < g.InDegreeEnd(v); ++e) {
+      int32_t u = g.neighbors()[e];
+      auto it = sub->local_of.find(u);
+      if (it == sub->local_of.end()) continue;
+      sub->src.push_back(it->second);
+      sub->dst.push_back(static_cast<int32_t>(local));
+      sub->etypes.push_back(g.edge_types()[e]);
+    }
+  }
+}
+
+int32_t AddNode(Subgraph* sub, int32_t global) {
+  auto [it, inserted] =
+      sub->local_of.emplace(global, static_cast<int32_t>(sub->nodes.size()));
+  if (inserted) sub->nodes.push_back(global);
+  return it->second;
+}
+
+}  // namespace
+
+Subgraph KHopSubgraph(const HeteroGraph& g, int32_t seed, int hops,
+                      int fanout, xfraud::Rng* rng) {
+  XF_CHECK_GE(seed, 0);
+  XF_CHECK_LT(seed, g.num_nodes());
+  Subgraph sub;
+  sub.seed_local = AddNode(&sub, seed);
+
+  std::vector<int32_t> frontier = {seed};
+  for (int hop = 0; hop < hops && !frontier.empty(); ++hop) {
+    std::vector<int32_t> next;
+    for (int32_t v : frontier) {
+      int64_t begin = g.InDegreeBegin(v);
+      int64_t end = g.InDegreeEnd(v);
+      int64_t degree = end - begin;
+      if (fanout < 0 || degree <= fanout) {
+        for (int64_t e = begin; e < end; ++e) {
+          int32_t u = g.neighbors()[e];
+          if (sub.local_of.count(u) == 0) {
+            AddNode(&sub, u);
+            next.push_back(u);
+          }
+        }
+      } else {
+        // Uniform sample without replacement via partial Fisher-Yates.
+        XF_CHECK(rng != nullptr);
+        std::vector<int64_t> slots(degree);
+        for (int64_t i = 0; i < degree; ++i) slots[i] = begin + i;
+        for (int i = 0; i < fanout; ++i) {
+          int64_t j =
+              i + static_cast<int64_t>(rng->NextBounded(degree - i));
+          std::swap(slots[i], slots[j]);
+          int32_t u = g.neighbors()[slots[i]];
+          if (sub.local_of.count(u) == 0) {
+            AddNode(&sub, u);
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  InduceEdges(g, &sub);
+  return sub;
+}
+
+Subgraph Community(const HeteroGraph& g, int32_t seed, int64_t max_nodes) {
+  XF_CHECK_GE(seed, 0);
+  XF_CHECK_LT(seed, g.num_nodes());
+  Subgraph sub;
+  sub.seed_local = AddNode(&sub, seed);
+  std::deque<int32_t> queue = {seed};
+  while (!queue.empty() &&
+         static_cast<int64_t>(sub.nodes.size()) < max_nodes) {
+    int32_t v = queue.front();
+    queue.pop_front();
+    for (int64_t e = g.InDegreeBegin(v); e < g.InDegreeEnd(v); ++e) {
+      int32_t u = g.neighbors()[e];
+      if (sub.local_of.count(u) != 0) continue;
+      if (static_cast<int64_t>(sub.nodes.size()) >= max_nodes) break;
+      AddNode(&sub, u);
+      queue.push_back(u);
+    }
+  }
+  InduceEdges(g, &sub);
+  return sub;
+}
+
+HeteroGraph InducedGraph(const HeteroGraph& g,
+                         const std::vector<int32_t>& nodes,
+                         std::vector<int32_t>* local_to_global) {
+  std::unordered_map<int32_t, int32_t> local_of;
+  local_of.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    local_of.emplace(nodes[i], static_cast<int32_t>(i));
+  }
+  if (local_to_global != nullptr) *local_to_global = nodes;
+
+  int64_t n = static_cast<int64_t>(nodes.size());
+  std::vector<NodeType> node_types(n);
+  std::vector<int8_t> labels(n);
+  std::vector<int32_t> feature_row(n, -1);
+  int64_t num_txn = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    node_types[i] = g.node_type(nodes[i]);
+    labels[i] = g.label(nodes[i]);
+    if (g.HasFeatures(nodes[i])) feature_row[i] = static_cast<int32_t>(num_txn++);
+  }
+  nn::Tensor features(num_txn, g.feature_dim());
+  for (int64_t i = 0; i < n; ++i) {
+    if (feature_row[i] < 0) continue;
+    const float* src = g.Features(nodes[i]);
+    std::copy(src, src + g.feature_dim(), features.Row(feature_row[i]));
+  }
+
+  // Two passes over in-edges: degree count, then fill.
+  std::vector<int64_t> offsets(n + 1, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t v = nodes[i];
+    int64_t degree = 0;
+    for (int64_t e = g.InDegreeBegin(v); e < g.InDegreeEnd(v); ++e) {
+      degree += local_of.count(g.neighbors()[e]) > 0;
+    }
+    offsets[i + 1] = offsets[i] + degree;
+  }
+  std::vector<int32_t> neighbors(offsets[n]);
+  std::vector<EdgeType> edge_types(offsets[n]);
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t v = nodes[i];
+    int64_t slot = offsets[i];
+    for (int64_t e = g.InDegreeBegin(v); e < g.InDegreeEnd(v); ++e) {
+      auto it = local_of.find(g.neighbors()[e]);
+      if (it == local_of.end()) continue;
+      neighbors[slot] = it->second;
+      edge_types[slot] = g.edge_types()[e];
+      ++slot;
+    }
+  }
+  return HeteroGraph(std::move(node_types), std::move(offsets),
+                     std::move(neighbors), std::move(edge_types),
+                     std::move(features), std::move(feature_row),
+                     std::move(labels));
+}
+
+std::vector<std::vector<int32_t>> LineGraphAdjacency(
+    const std::vector<UndirectedEdge>& edges, int64_t num_nodes) {
+  // incident[v] = indices of undirected edges touching v.
+  std::vector<std::vector<int32_t>> incident(num_nodes);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    incident[edges[e].u].push_back(static_cast<int32_t>(e));
+    incident[edges[e].v].push_back(static_cast<int32_t>(e));
+  }
+  std::vector<std::vector<int32_t>> adj(edges.size());
+  for (const auto& inc : incident) {
+    for (size_t i = 0; i < inc.size(); ++i) {
+      for (size_t j = i + 1; j < inc.size(); ++j) {
+        adj[inc[i]].push_back(inc[j]);
+        adj[inc[j]].push_back(inc[i]);
+      }
+    }
+  }
+  // Two edges can share both endpoints only in multigraphs, which the
+  // undirected dedup prevents; adjacency lists are therefore duplicate-free
+  // except via distinct shared endpoints — dedup defensively anyway.
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+}  // namespace xfraud::graph

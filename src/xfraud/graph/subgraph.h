@@ -1,0 +1,78 @@
+#ifndef XFRAUD_GRAPH_SUBGRAPH_H_
+#define XFRAUD_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/graph/hetero_graph.h"
+
+namespace xfraud::graph {
+
+/// A node-induced subgraph with local ids, used both as the mini-batch
+/// carrier for sampled training and as the "community" unit of the explainer
+/// evaluation (paper §5.1: a community is the neighbourhood taken around a
+/// transaction seed).
+struct Subgraph {
+  /// Local -> global node id.
+  std::vector<int32_t> nodes;
+  /// Global -> local node id.
+  std::unordered_map<int32_t, int32_t> local_of;
+  /// Directed edges in local ids (src sends a message to dst).
+  std::vector<int32_t> src;
+  std::vector<int32_t> dst;
+  std::vector<EdgeType> etypes;
+  /// Local id of the seed (when built around one; else -1).
+  int32_t seed_local = -1;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(src.size()); }
+
+  /// Local node types resolved against `g`.
+  std::vector<NodeType> LocalNodeTypes(const HeteroGraph& g) const;
+};
+
+/// Undirected view of a subgraph: each unordered node pair appears once,
+/// with the indices of its (up to two) directed edges. The explainer assigns
+/// two weights to a bidirectional pair; evaluation takes the larger one
+/// (paper footnote 4), which this view makes explicit.
+struct UndirectedEdge {
+  int32_t u;  // local id, u < v
+  int32_t v;
+  int32_t directed_a = -1;  // index into Subgraph::src of u->v (or -1)
+  int32_t directed_b = -1;  // index of v->u (or -1)
+};
+
+std::vector<UndirectedEdge> UndirectedEdges(const Subgraph& sub);
+
+/// Breadth-first k-hop expansion around `seed`. At each hop at most
+/// `fanout` neighbours per node are followed (uniformly sampled when the
+/// in-neighbourhood is larger; fanout < 0 means unlimited). All edges among
+/// collected nodes are induced.
+Subgraph KHopSubgraph(const HeteroGraph& g, int32_t seed, int hops,
+                      int fanout, xfraud::Rng* rng);
+
+/// The explainer's community: every node connected to `seed` (BFS over the
+/// whole weakly-connected component), capped at `max_nodes` nodes.
+Subgraph Community(const HeteroGraph& g, int32_t seed, int64_t max_nodes);
+
+/// Materializes the node-induced subgraph over `nodes` as a standalone
+/// HeteroGraph (features/labels copied). `local_to_global` receives the node
+/// id mapping. Used to give each distributed worker its own partition graph
+/// (paper §3.3.1): edges leaving the partition are cut, which is what
+/// restrains each worker's field of neighbours (§4.1).
+HeteroGraph InducedGraph(const HeteroGraph& g,
+                         const std::vector<int32_t>& nodes,
+                         std::vector<int32_t>* local_to_global);
+
+/// Adjacency list of the line graph L(G) of the undirected edge set: one
+/// vertex per undirected edge, connected when two edges share an endpoint.
+/// Used to run node-centrality measures as edge centralities (Appendix F).
+std::vector<std::vector<int32_t>> LineGraphAdjacency(
+    const std::vector<UndirectedEdge>& edges, int64_t num_nodes);
+
+}  // namespace xfraud::graph
+
+#endif  // XFRAUD_GRAPH_SUBGRAPH_H_

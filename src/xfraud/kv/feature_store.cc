@@ -1,0 +1,223 @@
+#include "xfraud/kv/feature_store.h"
+
+#include <cstring>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::kv {
+
+namespace {
+
+std::string NodeKey(int32_t id) { return "n" + std::to_string(id); }
+std::string FeatKey(int32_t id) { return "f" + std::to_string(id); }
+std::string AdjKey(int32_t id) { return "a" + std::to_string(id); }
+
+template <typename T>
+void AppendPod(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view data, size_t* offset, T* out) {
+  if (*offset + sizeof(T) > data.size()) return false;
+  std::memcpy(out, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Status FeatureStore::Ingest(const graph::HeteroGraph& g) {
+  std::string meta;
+  AppendPod(&meta, g.num_nodes());
+  AppendPod(&meta, g.feature_dim());
+  XF_RETURN_IF_ERROR(store_->Put("m", meta));
+
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    std::string node;
+    AppendPod(&node, static_cast<uint8_t>(g.node_type(v)));
+    AppendPod(&node, g.label(v));
+    AppendPod(&node, static_cast<uint8_t>(g.HasFeatures(v) ? 1 : 0));
+    XF_RETURN_IF_ERROR(store_->Put(NodeKey(v), node));
+
+    if (g.HasFeatures(v)) {
+      std::string feat(reinterpret_cast<const char*>(g.Features(v)),
+                       g.feature_dim() * sizeof(float));
+      XF_RETURN_IF_ERROR(store_->Put(FeatKey(v), feat));
+    }
+
+    std::string adj;
+    for (int64_t e = g.InDegreeBegin(v); e < g.InDegreeEnd(v); ++e) {
+      AppendPod(&adj, g.neighbors()[e]);
+      AppendPod(&adj, static_cast<uint8_t>(g.edge_types()[e]));
+    }
+    XF_RETURN_IF_ERROR(store_->Put(AdjKey(v), adj));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> FeatureStore::NumNodes() const {
+  std::string meta;
+  XF_RETURN_IF_ERROR(store_->Get("m", &meta));
+  size_t offset = 0;
+  int64_t num_nodes = 0;
+  if (!ReadPod(meta, &offset, &num_nodes)) {
+    return Status::Corruption("bad metadata record");
+  }
+  return num_nodes;
+}
+
+Result<int64_t> FeatureStore::FeatureDim() const {
+  std::string meta;
+  XF_RETURN_IF_ERROR(store_->Get("m", &meta));
+  size_t offset = sizeof(int64_t);
+  int64_t dim = 0;
+  if (!ReadPod(meta, &offset, &dim)) {
+    return Status::Corruption("bad metadata record");
+  }
+  return dim;
+}
+
+Status FeatureStore::ReadFeatures(int32_t node,
+                                  std::vector<float>* out) const {
+  std::string raw;
+  XF_RETURN_IF_ERROR(store_->Get(FeatKey(node), &raw));
+  if (raw.size() % sizeof(float) != 0) {
+    return Status::Corruption("bad feature record size");
+  }
+  out->resize(raw.size() / sizeof(float));
+  std::memcpy(out->data(), raw.data(), raw.size());
+  return Status::OK();
+}
+
+Status FeatureStore::ReadNeighbors(int32_t node,
+                                   std::vector<int32_t>* neighbors,
+                                   std::vector<uint8_t>* edge_types) const {
+  std::string raw;
+  XF_RETURN_IF_ERROR(store_->Get(AdjKey(node), &raw));
+  constexpr size_t kEntry = sizeof(int32_t) + sizeof(uint8_t);
+  if (raw.size() % kEntry != 0) {
+    return Status::Corruption("bad adjacency record size");
+  }
+  size_t count = raw.size() / kEntry;
+  neighbors->resize(count);
+  edge_types->resize(count);
+  size_t offset = 0;
+  for (size_t i = 0; i < count; ++i) {
+    ReadPod(raw, &offset, &(*neighbors)[i]);
+    ReadPod(raw, &offset, &(*edge_types)[i]);
+  }
+  return Status::OK();
+}
+
+Status FeatureStore::ReadNode(int32_t node, graph::NodeType* type,
+                              int8_t* label) const {
+  std::string raw;
+  XF_RETURN_IF_ERROR(store_->Get(NodeKey(node), &raw));
+  size_t offset = 0;
+  uint8_t type_byte = 0, has_features = 0;
+  if (!ReadPod(raw, &offset, &type_byte) || !ReadPod(raw, &offset, label) ||
+      !ReadPod(raw, &offset, &has_features)) {
+    return Status::Corruption("bad node record");
+  }
+  *type = static_cast<graph::NodeType>(type_byte);
+  return Status::OK();
+}
+
+Result<sample::MiniBatch> FeatureStore::LoadBatch(
+    const std::vector<int32_t>& seeds, int hops, int fanout,
+    xfraud::Rng* rng) const {
+  Result<int64_t> dim = FeatureDim();
+  if (!dim.ok()) return dim.status();
+
+  sample::MiniBatch batch;
+  graph::Subgraph& sub = batch.sub;
+  auto add_node = [&sub](int32_t global) {
+    auto [it, inserted] = sub.local_of.emplace(
+        global, static_cast<int32_t>(sub.nodes.size()));
+    if (inserted) sub.nodes.push_back(global);
+    return it->second;
+  };
+
+  std::vector<int32_t> frontier;
+  for (int32_t seed : seeds) {
+    if (sub.local_of.count(seed) == 0) {
+      add_node(seed);
+      frontier.push_back(seed);
+    }
+  }
+  // BFS expansion through KV adjacency reads.
+  std::vector<int32_t> neighbors;
+  std::vector<uint8_t> etypes;
+  for (int hop = 0; hop < hops && !frontier.empty(); ++hop) {
+    std::vector<int32_t> next;
+    for (int32_t v : frontier) {
+      XF_RETURN_IF_ERROR(ReadNeighbors(v, &neighbors, &etypes));
+      int64_t degree = static_cast<int64_t>(neighbors.size());
+      int64_t take = fanout < 0 ? degree
+                                : std::min<int64_t>(degree, fanout);
+      // Partial shuffle when capping.
+      std::vector<int64_t> order(degree);
+      for (int64_t i = 0; i < degree; ++i) order[i] = i;
+      if (take < degree) {
+        for (int64_t i = 0; i < take; ++i) {
+          int64_t j = i + static_cast<int64_t>(rng->NextBounded(degree - i));
+          std::swap(order[i], order[j]);
+        }
+      }
+      for (int64_t i = 0; i < take; ++i) {
+        int32_t u = neighbors[order[i]];
+        if (sub.local_of.count(u) == 0) {
+          add_node(u);
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Induce edges and fill tensors via KV reads.
+  batch.features = nn::Tensor(static_cast<int64_t>(sub.nodes.size()),
+                              dim.value());
+  batch.node_types.resize(sub.nodes.size());
+  for (size_t local = 0; local < sub.nodes.size(); ++local) {
+    int32_t global = sub.nodes[local];
+    graph::NodeType type;
+    int8_t label;
+    XF_RETURN_IF_ERROR(ReadNode(global, &type, &label));
+    batch.node_types[local] = static_cast<int32_t>(type);
+
+    std::vector<float> feat;
+    Status fs = ReadFeatures(global, &feat);
+    if (fs.ok()) {
+      XF_CHECK_EQ(static_cast<int64_t>(feat.size()), dim.value());
+      std::copy(feat.begin(), feat.end(),
+                batch.features.Row(static_cast<int64_t>(local)));
+    } else if (!fs.IsNotFound()) {
+      return fs;
+    }
+
+    XF_RETURN_IF_ERROR(ReadNeighbors(global, &neighbors, &etypes));
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      auto it = sub.local_of.find(neighbors[i]);
+      if (it == sub.local_of.end()) continue;
+      sub.src.push_back(it->second);
+      sub.dst.push_back(static_cast<int32_t>(local));
+      sub.etypes.push_back(static_cast<graph::EdgeType>(etypes[i]));
+      batch.edge_src.push_back(it->second);
+      batch.edge_dst.push_back(static_cast<int32_t>(local));
+      batch.edge_types.push_back(static_cast<int32_t>(etypes[i]));
+    }
+  }
+
+  for (int32_t seed : seeds) {
+    graph::NodeType type;
+    int8_t label;
+    XF_RETURN_IF_ERROR(ReadNode(seed, &type, &label));
+    batch.target_locals.push_back(sub.local_of.at(seed));
+    batch.target_labels.push_back(label == graph::kLabelFraud ? 1 : 0);
+  }
+  return batch;
+}
+
+}  // namespace xfraud::kv

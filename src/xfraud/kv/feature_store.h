@@ -1,0 +1,59 @@
+#ifndef XFRAUD_KV_FEATURE_STORE_H_
+#define XFRAUD_KV_FEATURE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/kv/kvstore.h"
+#include "xfraud/sample/sampler.h"
+
+namespace xfraud::kv {
+
+/// Serves graph data (node metadata, features, adjacency) out of a KvStore —
+/// the data-loading path of paper §3.3.3: the graph is ingested once, then
+/// every DDP worker's loader materializes its mini-batches by KV reads
+/// instead of holding the whole graph in memory.
+///
+/// Key schema:
+///   "m"          -> {num_nodes: i64, feature_dim: i64}
+///   "n<id>"      -> {type: u8, label: i8, has_features: u8}
+///   "f<id>"      -> float[feature_dim] (transaction nodes only)
+///   "a<id>"      -> (i32 neighbor, u8 edge_type)[in_degree]
+class FeatureStore {
+ public:
+  /// Wraps (not owning) a KvStore.
+  explicit FeatureStore(KvStore* store) : store_(store) {}
+
+  /// Writes the whole graph into the store.
+  Status Ingest(const graph::HeteroGraph& g);
+
+  /// Number of nodes recorded in the store's metadata.
+  Result<int64_t> NumNodes() const;
+  Result<int64_t> FeatureDim() const;
+
+  /// Reads one node's feature row (NotFound for entity nodes).
+  Status ReadFeatures(int32_t node, std::vector<float>* out) const;
+
+  /// Reads one node's in-neighbour list.
+  Status ReadNeighbors(int32_t node, std::vector<int32_t>* neighbors,
+                       std::vector<uint8_t>* edge_types) const;
+
+  /// Node metadata.
+  Status ReadNode(int32_t node, graph::NodeType* type, int8_t* label) const;
+
+  /// Materializes a model-ready batch for `seeds` by pure KV reads: BFS the
+  /// k-hop neighbourhood (`hops`, fan-out capped at `fanout`) through "a"
+  /// records and fill features from "f" records. This is the loader path
+  /// whose single- vs multi-threaded throughput Figures 12-13 compare.
+  Result<sample::MiniBatch> LoadBatch(const std::vector<int32_t>& seeds,
+                                      int hops, int fanout,
+                                      xfraud::Rng* rng) const;
+
+ private:
+  KvStore* store_;
+};
+
+}  // namespace xfraud::kv
+
+#endif  // XFRAUD_KV_FEATURE_STORE_H_

@@ -1,0 +1,41 @@
+#ifndef XFRAUD_KV_KVSTORE_H_
+#define XFRAUD_KV_KVSTORE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xfraud/common/status.h"
+
+namespace xfraud::kv {
+
+/// Key-value store interface backing the graph data loaders (paper §3.3.3 /
+/// Appendix C: all graph-related information — node features, adjacency —
+/// lives in a lightweight KV store so multiple loader threads can feed the
+/// GNN workers).
+///
+/// RocksDB-style contract: all operations return Status; Get on a missing
+/// key returns NotFound. Implementations must be safe for concurrent Get;
+/// Put/Delete are single-writer.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Status Get(std::string_view key, std::string* value) const = 0;
+  virtual Status Delete(std::string_view key) = 0;
+
+  /// Number of live keys.
+  virtual int64_t Count() const = 0;
+
+  /// All live keys with the given prefix (unsorted).
+  virtual std::vector<std::string> KeysWithPrefix(
+      std::string_view prefix) const = 0;
+};
+
+/// CRC-32 (IEEE) of a byte span — integrity check of the log records.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace xfraud::kv
+
+#endif  // XFRAUD_KV_KVSTORE_H_

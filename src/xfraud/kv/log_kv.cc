@@ -1,0 +1,237 @@
+#include "xfraud/kv/log_kv.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::kv {
+
+namespace {
+
+constexpr uint8_t kKindPut = 1;
+constexpr uint8_t kKindDelete = 2;
+constexpr size_t kHeaderSize = 4 + 1 + 4 + 4;  // crc + kind + klen + vlen
+
+void EncodeU32(char* out, uint32_t v) { std::memcpy(out, &v, 4); }
+uint32_t DecodeU32(const char* in) {
+  uint32_t v;
+  std::memcpy(&v, in, 4);
+  return v;
+}
+
+}  // namespace
+
+LogKvStore::LogKvStore(std::string path) : path_(std::move(path)) {}
+
+Result<std::unique_ptr<LogKvStore>> LogKvStore::Open(const std::string& path) {
+  std::unique_ptr<LogKvStore> store(new LogKvStore(path));
+  store->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (store->fd_ < 0) {
+    return Status::IoError("cannot open " + path);
+  }
+  struct stat st;
+  if (::fstat(store->fd_, &st) != 0) {
+    return Status::IoError("fstat failed on " + path);
+  }
+  store->file_size_ = st.st_size;
+  Status s = store->ReplayLog();
+  if (!s.ok()) return s;
+  return store;
+}
+
+LogKvStore::~LogKvStore() {
+  if (map_base_ != nullptr) {
+    ::munmap(const_cast<char*>(map_base_), map_size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogKvStore::RemapForRead() const {
+  if (map_size_ == file_size_) return Status::OK();
+  if (map_base_ != nullptr) {
+    ::munmap(const_cast<char*>(map_base_), map_size_);
+    map_base_ = nullptr;
+    map_size_ = 0;
+  }
+  if (file_size_ == 0) return Status::OK();
+  void* base =
+      ::mmap(nullptr, file_size_, PROT_READ, MAP_SHARED, fd_, 0);
+  if (base == MAP_FAILED) {
+    return Status::IoError("mmap failed on " + path_);
+  }
+  map_base_ = static_cast<const char*>(base);
+  map_size_ = file_size_;
+  return Status::OK();
+}
+
+Status LogKvStore::ReplayLog() {
+  std::unique_lock lock(mu_);
+  index_.clear();
+  XF_RETURN_IF_ERROR(RemapForRead());
+  int64_t offset = 0;
+  int64_t valid_end = 0;
+  while (offset + static_cast<int64_t>(kHeaderSize) <= file_size_) {
+    const char* rec = map_base_ + offset;
+    uint32_t crc = DecodeU32(rec);
+    uint8_t kind = static_cast<uint8_t>(rec[4]);
+    uint32_t klen = DecodeU32(rec + 5);
+    uint32_t vlen = DecodeU32(rec + 9);
+    int64_t total = static_cast<int64_t>(kHeaderSize) + klen + vlen;
+    if (offset + total > file_size_) break;  // truncated tail
+    uint32_t actual = Crc32(rec + 4, kHeaderSize - 4 + klen + vlen);
+    if (actual != crc) break;  // corrupt tail: stop replay (crash safety)
+    std::string key(rec + kHeaderSize, klen);
+    if (kind == kKindPut) {
+      index_[key] = IndexEntry{offset + static_cast<int64_t>(kHeaderSize) +
+                                   klen,
+                               vlen};
+    } else if (kind == kKindDelete) {
+      index_.erase(key);
+    } else {
+      break;  // unknown record kind: treat as corruption
+    }
+    offset += total;
+    valid_end = offset;
+  }
+  // Drop any corrupt/truncated tail so future appends start clean.
+  if (valid_end < file_size_) {
+    if (::ftruncate(fd_, valid_end) != 0) {
+      return Status::IoError("ftruncate failed on " + path_);
+    }
+    file_size_ = valid_end;
+    XF_RETURN_IF_ERROR(RemapForRead());
+  }
+  return Status::OK();
+}
+
+Status LogKvStore::AppendRecord(uint8_t kind, std::string_view key,
+                                std::string_view value) {
+  size_t total = kHeaderSize + key.size() + value.size();
+  std::string buf(total, '\0');
+  buf[4] = static_cast<char>(kind);
+  EncodeU32(buf.data() + 5, static_cast<uint32_t>(key.size()));
+  EncodeU32(buf.data() + 9, static_cast<uint32_t>(value.size()));
+  std::memcpy(buf.data() + kHeaderSize, key.data(), key.size());
+  std::memcpy(buf.data() + kHeaderSize + key.size(), value.data(),
+              value.size());
+  uint32_t crc = Crc32(buf.data() + 4, total - 4);
+  EncodeU32(buf.data(), crc);
+
+  ssize_t written = ::pwrite(fd_, buf.data(), total, file_size_);
+  if (written != static_cast<ssize_t>(total)) {
+    return Status::IoError("short write on " + path_);
+  }
+  file_size_ += static_cast<int64_t>(total);
+  return Status::OK();
+}
+
+Status LogKvStore::Put(std::string_view key, std::string_view value) {
+  std::unique_lock lock(mu_);
+  int64_t value_offset = file_size_ + static_cast<int64_t>(kHeaderSize) +
+                         static_cast<int64_t>(key.size());
+  XF_RETURN_IF_ERROR(AppendRecord(kKindPut, key, value));
+  index_[std::string(key)] =
+      IndexEntry{value_offset, static_cast<uint32_t>(value.size())};
+  XF_RETURN_IF_ERROR(RemapForRead());
+  return Status::OK();
+}
+
+Status LogKvStore::Get(std::string_view key, std::string* value) const {
+  std::shared_lock lock(mu_);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return Status::NotFound("key: " + std::string(key));
+  }
+  const IndexEntry& entry = it->second;
+  XF_CHECK_LE(entry.value_offset + entry.value_size, map_size_);
+  value->assign(map_base_ + entry.value_offset, entry.value_size);
+  return Status::OK();
+}
+
+Status LogKvStore::Delete(std::string_view key) {
+  std::unique_lock lock(mu_);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return Status::OK();  // idempotent
+  XF_RETURN_IF_ERROR(AppendRecord(kKindDelete, key, ""));
+  index_.erase(it);
+  XF_RETURN_IF_ERROR(RemapForRead());
+  return Status::OK();
+}
+
+int64_t LogKvStore::Count() const {
+  std::shared_lock lock(mu_);
+  return static_cast<int64_t>(index_.size());
+}
+
+std::vector<std::string> LogKvStore::KeysWithPrefix(
+    std::string_view prefix) const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, entry] : index_) {
+    if (key.size() >= prefix.size() &&
+        std::string_view(key).substr(0, prefix.size()) == prefix) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+Result<int64_t> LogKvStore::Compact() {
+  std::unique_lock lock(mu_);
+  std::string tmp_path = path_ + ".compact";
+  int tmp_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) return Status::IoError("cannot open " + tmp_path);
+
+  int64_t old_size = file_size_;
+  int64_t new_size = 0;
+  std::unordered_map<std::string, IndexEntry> new_index;
+  for (const auto& [key, entry] : index_) {
+    size_t total = kHeaderSize + key.size() + entry.value_size;
+    std::string buf(total, '\0');
+    buf[4] = static_cast<char>(kKindPut);
+    EncodeU32(buf.data() + 5, static_cast<uint32_t>(key.size()));
+    EncodeU32(buf.data() + 9, entry.value_size);
+    std::memcpy(buf.data() + kHeaderSize, key.data(), key.size());
+    std::memcpy(buf.data() + kHeaderSize + key.size(),
+                map_base_ + entry.value_offset, entry.value_size);
+    EncodeU32(buf.data(), Crc32(buf.data() + 4, total - 4));
+    if (::pwrite(tmp_fd, buf.data(), total, new_size) !=
+        static_cast<ssize_t>(total)) {
+      ::close(tmp_fd);
+      return Status::IoError("short write on " + tmp_path);
+    }
+    new_index[key] =
+        IndexEntry{new_size + static_cast<int64_t>(kHeaderSize) +
+                       static_cast<int64_t>(key.size()),
+                   entry.value_size};
+    new_size += static_cast<int64_t>(total);
+  }
+
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(tmp_fd);
+    return Status::IoError("rename failed for " + tmp_path);
+  }
+  if (map_base_ != nullptr) {
+    ::munmap(const_cast<char*>(map_base_), map_size_);
+    map_base_ = nullptr;
+    map_size_ = 0;
+  }
+  ::close(fd_);
+  fd_ = tmp_fd;
+  file_size_ = new_size;
+  index_ = std::move(new_index);
+  XF_RETURN_IF_ERROR(RemapForRead());
+  return old_size - new_size;
+}
+
+int64_t LogKvStore::FileSize() const {
+  std::shared_lock lock(mu_);
+  return file_size_;
+}
+
+}  // namespace xfraud::kv

@@ -1,0 +1,78 @@
+#ifndef XFRAUD_KV_LOG_KV_H_
+#define XFRAUD_KV_LOG_KV_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xfraud/kv/kvstore.h"
+
+namespace xfraud::kv {
+
+/// A persistent, log-structured KV store — the reproduction's LMDB stand-in
+/// (paper §3.3.3). Writes append CRC-protected records to a segment file;
+/// an in-memory index maps live keys to their latest record. Reads go
+/// through a read-only mmap of the segment, so — like LMDB — concurrent
+/// readers touch shared, immutable pages and scale with threads (the
+/// property Figure 13's multi-threaded loader exploits).
+///
+/// Record layout (little endian):
+///   u32 crc (over the rest) | u8 kind (1=put, 2=del) | u32 klen | u32 vlen
+///   | key bytes | value bytes
+///
+/// Open() replays the log and stops at the first corrupt/truncated record
+/// (crash-safe append semantics). Compact() rewrites live records only.
+class LogKvStore : public KvStore {
+ public:
+  /// Opens (creating if needed) the store backed by `path`.
+  static Result<std::unique_ptr<LogKvStore>> Open(const std::string& path);
+
+  ~LogKvStore() override;
+
+  LogKvStore(const LogKvStore&) = delete;
+  LogKvStore& operator=(const LogKvStore&) = delete;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  int64_t Count() const override;
+  std::vector<std::string> KeysWithPrefix(
+      std::string_view prefix) const override;
+
+  /// Rewrites the segment with live records only; returns bytes reclaimed.
+  Result<int64_t> Compact();
+
+  /// Current segment size in bytes (live + garbage).
+  int64_t FileSize() const;
+
+ private:
+  explicit LogKvStore(std::string path);
+
+  Status ReplayLog();
+  Status AppendRecord(uint8_t kind, std::string_view key,
+                      std::string_view value);
+  Status RemapForRead() const;
+
+  struct IndexEntry {
+    int64_t value_offset;  // offset of the value bytes in the file
+    uint32_t value_size;
+  };
+
+  std::string path_;
+  int fd_ = -1;
+  int64_t file_size_ = 0;
+
+  mutable std::shared_mutex mu_;  // index guard: shared Get, exclusive Put
+  std::unordered_map<std::string, IndexEntry> index_;
+
+  // Read-only mapping of the segment; remapped when the file grows.
+  mutable const char* map_base_ = nullptr;
+  mutable int64_t map_size_ = 0;
+};
+
+}  // namespace xfraud::kv
+
+#endif  // XFRAUD_KV_LOG_KV_H_

@@ -1,0 +1,73 @@
+#include "xfraud/kv/mem_kv.h"
+
+namespace xfraud::kv {
+
+namespace {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const Crc32Table table;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status MemKvStore::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[std::string(key)] = std::string(value);
+  return Status::OK();
+}
+
+Status MemKvStore::Get(std::string_view key, std::string* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) {
+    return Status::NotFound("key: " + std::string(key));
+  }
+  *value = it->second;
+  return Status::OK();
+}
+
+Status MemKvStore::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.erase(std::string(key));
+  return Status::OK();
+}
+
+int64_t MemKvStore::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(map_.size());
+}
+
+std::vector<std::string> MemKvStore::KeysWithPrefix(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, value] : map_) {
+    if (key.size() >= prefix.size() &&
+        std::string_view(key).substr(0, prefix.size()) == prefix) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace xfraud::kv

@@ -1,0 +1,35 @@
+#ifndef XFRAUD_KV_MEM_KV_H_
+#define XFRAUD_KV_MEM_KV_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xfraud/kv/kvstore.h"
+
+namespace xfraud::kv {
+
+/// In-memory KV store guarded by one global mutex — the "single threaded
+/// KVStore" of paper Figure 12. Readers serialize on the same lock as the
+/// writer, which is exactly the loader bottleneck the paper eliminated by
+/// moving to a multi-reader design (Figure 13 / ShardedKvStore here).
+class MemKvStore : public KvStore {
+ public:
+  MemKvStore() = default;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  int64_t Count() const override;
+  std::vector<std::string> KeysWithPrefix(
+      std::string_view prefix) const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace xfraud::kv
+
+#endif  // XFRAUD_KV_MEM_KV_H_

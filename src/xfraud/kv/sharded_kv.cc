@@ -1,0 +1,57 @@
+#include "xfraud/kv/sharded_kv.h"
+
+#include <functional>
+
+#include "xfraud/common/logging.h"
+#include "xfraud/kv/mem_kv.h"
+
+namespace xfraud::kv {
+
+ShardedKvStore::ShardedKvStore(std::vector<std::unique_ptr<KvStore>> shards)
+    : shards_(std::move(shards)) {
+  XF_CHECK(!shards_.empty());
+}
+
+std::unique_ptr<ShardedKvStore> ShardedKvStore::InMemory(int num_shards) {
+  XF_CHECK_GT(num_shards, 0);
+  std::vector<std::unique_ptr<KvStore>> shards;
+  shards.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards.push_back(std::make_unique<MemKvStore>());
+  }
+  return std::make_unique<ShardedKvStore>(std::move(shards));
+}
+
+size_t ShardedKvStore::ShardOf(std::string_view key) const {
+  return std::hash<std::string_view>{}(key) % shards_.size();
+}
+
+Status ShardedKvStore::Put(std::string_view key, std::string_view value) {
+  return shards_[ShardOf(key)]->Put(key, value);
+}
+
+Status ShardedKvStore::Get(std::string_view key, std::string* value) const {
+  return shards_[ShardOf(key)]->Get(key, value);
+}
+
+Status ShardedKvStore::Delete(std::string_view key) {
+  return shards_[ShardOf(key)]->Delete(key);
+}
+
+int64_t ShardedKvStore::Count() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->Count();
+  return total;
+}
+
+std::vector<std::string> ShardedKvStore::KeysWithPrefix(
+    std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    auto keys = shard->KeysWithPrefix(prefix);
+    out.insert(out.end(), keys.begin(), keys.end());
+  }
+  return out;
+}
+
+}  // namespace xfraud::kv

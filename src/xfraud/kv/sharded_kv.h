@@ -1,0 +1,40 @@
+#ifndef XFRAUD_KV_SHARDED_KV_H_
+#define XFRAUD_KV_SHARDED_KV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xfraud/kv/kvstore.h"
+
+namespace xfraud::kv {
+
+/// Hash-sharded wrapper: key space split across N inner stores so loader
+/// threads contend on 1/N of the locks — the "multi threaded KVStore" of
+/// paper Figure 13 that each DDP worker's data loader reads independently.
+class ShardedKvStore : public KvStore {
+ public:
+  /// Takes ownership of the shard stores. Pre: at least one shard.
+  explicit ShardedKvStore(std::vector<std::unique_ptr<KvStore>> shards);
+
+  /// Convenience: N in-memory shards.
+  static std::unique_ptr<ShardedKvStore> InMemory(int num_shards);
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  int64_t Count() const override;
+  std::vector<std::string> KeysWithPrefix(
+      std::string_view prefix) const override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  size_t ShardOf(std::string_view key) const;
+
+  std::vector<std::unique_ptr<KvStore>> shards_;
+};
+
+}  // namespace xfraud::kv
+
+#endif  // XFRAUD_KV_SHARDED_KV_H_

@@ -1,0 +1,270 @@
+#include "xfraud/la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::la {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  XF_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  XF_CHECK_EQ(cols_, v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* row = &data_[i * cols_];
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  XF_CHECK_EQ(rows_, other.rows_);
+  XF_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  XF_CHECK_EQ(rows_, other.rows_);
+  XF_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool SolveLinearSystem(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x) {
+  XF_CHECK_EQ(a.rows(), a.cols());
+  XF_CHECK_EQ(a.rows(), b.size());
+  size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<double> rhs = b;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = lu(r, col) / lu(col, col);
+      lu(r, col) = 0.0;
+      if (factor == 0.0) continue;
+      for (size_t c = col + 1; c < n; ++c) lu(r, c) -= factor * lu(col, c);
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  // Back substitution.
+  x->assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = rhs[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= lu(ri, c) * (*x)[c];
+    (*x)[ri] = acc / lu(ri, ri);
+  }
+  return true;
+}
+
+bool Invert(const Matrix& a, Matrix* inverse) {
+  XF_CHECK_EQ(a.rows(), a.cols());
+  size_t n = a.rows();
+  *inverse = Matrix(n, n);
+  for (size_t col = 0; col < n; ++col) {
+    std::vector<double> e(n, 0.0);
+    e[col] = 1.0;
+    std::vector<double> x;
+    if (!SolveLinearSystem(a, e, &x)) return false;
+    for (size_t r = 0; r < n; ++r) (*inverse)(r, col) = x[r];
+  }
+  return true;
+}
+
+void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
+                    Matrix* eigenvectors) {
+  XF_CHECK_EQ(a.rows(), a.cols());
+  size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::Identity(n);
+
+  // Cyclic Jacobi rotations.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    }
+    if (off < 1e-22) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(d(p, q)) < 1e-300) continue;
+        double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double dkp = d(k, p), dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double dpk = d(p, k), dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return d(i, i) < d(j, j); });
+  eigenvalues->assign(n, 0.0);
+  *eigenvectors = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    (*eigenvalues)[i] = d(order[i], order[i]);
+    for (size_t r = 0; r < n; ++r) (*eigenvectors)(r, i) = v(r, order[i]);
+  }
+}
+
+Matrix PseudoInverseSymmetric(const Matrix& a, double tol) {
+  std::vector<double> w;
+  Matrix v;
+  SymmetricEigen(a, &w, &v);
+  size_t n = a.rows();
+  double max_abs = 0.0;
+  for (double x : w) max_abs = std::max(max_abs, std::fabs(x));
+  double cutoff = tol * std::max(1.0, max_abs);
+  Matrix out(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    if (std::fabs(w[k]) <= cutoff) continue;
+    double inv = 1.0 / w[k];
+    for (size_t i = 0; i < n; ++i) {
+      double vik = v(i, k) * inv;
+      if (vik == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) out(i, j) += vik * v(j, k);
+    }
+  }
+  return out;
+}
+
+std::vector<double> PowerIteration(const Matrix& a, int max_iters,
+                                   double tol) {
+  size_t n = a.rows();
+  XF_CHECK_EQ(n, a.cols());
+  std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  for (int it = 0; it < max_iters; ++it) {
+    std::vector<double> w = a.MultiplyVector(v);
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return v;
+    for (double& x : w) x /= norm;
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) delta += std::fabs(w[i] - v[i]);
+    v = std::move(w);
+    if (delta < tol) break;
+  }
+  // Fix sign so that the dominant component is non-negative.
+  double s = 0.0;
+  for (double x : v) s += x;
+  if (s < 0) {
+    for (double& x : v) x = -x;
+  }
+  return v;
+}
+
+Matrix Expm(const Matrix& a) {
+  XF_CHECK_EQ(a.rows(), a.cols());
+  size_t n = a.rows();
+  // Scaling and squaring: exp(A) = exp(A/2^s)^(2^s).
+  double norm = a.MaxAbs() * static_cast<double>(n);
+  int s = 0;
+  while (norm > 0.5 && s < 40) {
+    norm /= 2.0;
+    ++s;
+  }
+  Matrix scaled = a.Scale(std::pow(2.0, -s));
+  // Taylor series on the scaled matrix (converges fast since norm <= 0.5).
+  Matrix result = Matrix::Identity(n);
+  Matrix term = Matrix::Identity(n);
+  for (int k = 1; k <= 24; ++k) {
+    term = term.Multiply(scaled).Scale(1.0 / k);
+    result = result.Add(term);
+    if (term.MaxAbs() < 1e-18) break;
+  }
+  for (int i = 0; i < s; ++i) result = result.Multiply(result);
+  return result;
+}
+
+}  // namespace xfraud::la

@@ -1,0 +1,86 @@
+#ifndef XFRAUD_LA_MATRIX_H_
+#define XFRAUD_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xfraud::la {
+
+/// Dense row-major matrix of doubles. This is the numerical workhorse for the
+/// explainer's centrality measures (Laplacian solves, matrix exponentials,
+/// eigenvectors) and for PIC graph partitioning. It is deliberately simple:
+/// communities in the explainer evaluation have ~40 nodes / ~80 edges
+/// (paper §5.1), so dense O(n^3) algorithms are the right tool.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix Transpose() const;
+
+  /// Matrix product; pre: cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; pre: v.size() == cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+  Matrix Scale(double s) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Max absolute entry (infinity norm of the vectorized matrix).
+  double MaxAbs() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// Returns false when A is numerically singular.
+bool SolveLinearSystem(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x);
+
+/// Inverts A via LU; returns false when singular.
+bool Invert(const Matrix& a, Matrix* inverse);
+
+/// Moore-Penrose pseudo-inverse of a symmetric matrix via eigendecomposition,
+/// used for the graph Laplacian in current-flow centralities (the Laplacian
+/// is singular: its nullspace is the all-ones vector per connected component).
+Matrix PseudoInverseSymmetric(const Matrix& a, double tol = 1e-10);
+
+/// Jacobi eigendecomposition of a symmetric matrix: A = V diag(w) V^T.
+/// Eigenvalues are returned in ascending order with matching columns of V.
+void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
+                    Matrix* eigenvectors);
+
+/// Dominant eigenvector by power iteration (normalized to unit 2-norm, made
+/// non-negative when possible). Used by eigenvector centrality.
+std::vector<double> PowerIteration(const Matrix& a, int max_iters = 1000,
+                                   double tol = 1e-10);
+
+/// Matrix exponential by scaling-and-squaring with a Taylor core. Used by
+/// subgraph centrality and communicability betweenness.
+Matrix Expm(const Matrix& a);
+
+}  // namespace xfraud::la
+
+#endif  // XFRAUD_LA_MATRIX_H_

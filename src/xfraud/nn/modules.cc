@@ -1,0 +1,98 @@
+#include "xfraud/nn/modules.h"
+
+#include <cmath>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::nn {
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p.var.value().size();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.var.ZeroGrad();
+}
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, xfraud::Rng* rng,
+               bool with_bias)
+    : with_bias_(with_bias) {
+  float bound = std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  weight_ = Var(Tensor::Uniform(in_dim, out_dim, bound, rng),
+                /*requires_grad=*/true);
+  if (with_bias_) {
+    bias_ = Var(Tensor(1, out_dim, 0.0f), /*requires_grad=*/true);
+  }
+}
+
+Var Linear::Forward(const Var& x) const {
+  Var y = MatMul(x, weight_);
+  if (with_bias_) y = AddRowBroadcast(y, bias_);
+  return y;
+}
+
+void Linear::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParameter>* out) const {
+  out->push_back({prefix + "weight", weight_});
+  if (with_bias_) out->push_back({prefix + "bias", bias_});
+}
+
+Embedding::Embedding(int64_t num_ids, int64_t dim, xfraud::Rng* rng,
+                     bool zero_init) {
+  Tensor table = zero_init
+                     ? Tensor(num_ids, dim, 0.0f)
+                     : Tensor::Gaussian(num_ids, dim, 0.02f, rng);
+  table_ = Var(std::move(table), /*requires_grad=*/true);
+}
+
+Var Embedding::Forward(const std::vector<int32_t>& ids) const {
+  return IndexRows(table_, ids);
+}
+
+void Embedding::CollectParameters(const std::string& prefix,
+                                  std::vector<NamedParameter>* out) const {
+  out->push_back({prefix + "table", table_});
+}
+
+LayerNormModule::LayerNormModule(int64_t dim) {
+  gamma_ = Var(Tensor(1, dim, 1.0f), /*requires_grad=*/true);
+  beta_ = Var(Tensor(1, dim, 0.0f), /*requires_grad=*/true);
+}
+
+Var LayerNormModule::Forward(const Var& x) const {
+  return LayerNorm(x, gamma_, beta_);
+}
+
+void LayerNormModule::CollectParameters(
+    const std::string& prefix, std::vector<NamedParameter>* out) const {
+  out->push_back({prefix + "gamma", gamma_});
+  out->push_back({prefix + "beta", beta_});
+}
+
+Mlp::Mlp(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, float dropout,
+         xfraud::Rng* rng)
+    : fc1_(in_dim, hidden_dim, rng),
+      ln1_(hidden_dim),
+      fc2_(hidden_dim, hidden_dim, rng),
+      ln2_(hidden_dim),
+      out_(hidden_dim, out_dim, rng),
+      dropout_(dropout) {}
+
+Var Mlp::Forward(const Var& x, bool training, xfraud::Rng* rng) const {
+  Var h = Relu(ln1_.Forward(Dropout(fc1_.Forward(x), dropout_, training, rng)));
+  h = Relu(ln2_.Forward(Dropout(fc2_.Forward(h), dropout_, training, rng)));
+  return out_.Forward(h);
+}
+
+void Mlp::CollectParameters(const std::string& prefix,
+                            std::vector<NamedParameter>* out) const {
+  fc1_.CollectParameters(prefix + "fc1.", out);
+  ln1_.CollectParameters(prefix + "ln1.", out);
+  fc2_.CollectParameters(prefix + "fc2.", out);
+  ln2_.CollectParameters(prefix + "ln2.", out);
+  out_.CollectParameters(prefix + "out.", out);
+}
+
+}  // namespace xfraud::nn

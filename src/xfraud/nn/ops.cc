@@ -1,0 +1,707 @@
+#include "xfraud/nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::nn {
+
+namespace {
+
+using internal::VarImpl;
+
+/// Builds the result node; attaches parents/backward only when needed.
+Var MakeResult(Tensor value, std::vector<Var> inputs,
+               std::function<void(VarImpl*)> backward_fn) {
+  auto impl = std::make_shared<VarImpl>();
+  impl->value = std::move(value);
+  bool needs_grad = false;
+  for (const auto& in : inputs) needs_grad = needs_grad || in.requires_grad();
+  impl->requires_grad = needs_grad;
+  if (needs_grad) {
+    impl->parents.reserve(inputs.size());
+    for (const auto& in : inputs) impl->parents.push_back(in.impl());
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Var::FromImpl(std::move(impl));
+}
+
+/// Elementwise unary op helper: forward fn and local derivative from (x, y).
+template <typename Fwd, typename Dydx>
+Var UnaryElementwise(const Var& a, Fwd fwd, Dydx dydx) {
+  Tensor out = Tensor::ZerosLike(a.value());
+  const float* x = a.value().data();
+  float* y = out.data();
+  int64_t n = out.size();
+  for (int64_t i = 0; i < n; ++i) y[i] = fwd(x[i]);
+  auto a_impl = a.impl();
+  return MakeResult(
+      std::move(out), {a},
+      [a_impl, dydx](VarImpl* self) {
+        if (!a_impl->requires_grad) return;
+        Tensor& ga = a_impl->EnsureGrad();
+        const float* x = a_impl->value.data();
+        const float* y = self->value.data();
+        const float* gy = self->grad.data();
+        float* gx = ga.data();
+        int64_t n = self->value.size();
+        for (int64_t i = 0; i < n; ++i) gx[i] += gy[i] * dydx(x[i], y[i]);
+      });
+}
+
+}  // namespace
+
+Var Constant(Tensor t) { return Var(std::move(t), /*requires_grad=*/false); }
+
+Var MatMul(const Var& a, const Var& b) {
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  XF_CHECK_EQ(av.cols(), bv.rows());
+  Tensor out(av.rows(), bv.cols());
+  // ikj loop order for cache-friendly access of B's rows.
+  for (int64_t i = 0; i < av.rows(); ++i) {
+    const float* arow = av.Row(i);
+    float* orow = out.Row(i);
+    for (int64_t k = 0; k < av.cols(); ++k) {
+      float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = bv.Row(k);
+      for (int64_t j = 0; j < bv.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  return MakeResult(
+      std::move(out), {a, b},
+      [a_impl, b_impl](VarImpl* self) {
+        const Tensor& g = self->grad;
+        const Tensor& av = a_impl->value;
+        const Tensor& bv = b_impl->value;
+        if (a_impl->requires_grad) {
+          // dA = dC * B^T.
+          Tensor& ga = a_impl->EnsureGrad();
+          for (int64_t i = 0; i < av.rows(); ++i) {
+            const float* grow = g.Row(i);
+            float* garow = ga.Row(i);
+            for (int64_t k = 0; k < av.cols(); ++k) {
+              const float* brow = bv.Row(k);
+              float acc = 0.0f;
+              for (int64_t j = 0; j < bv.cols(); ++j) acc += grow[j] * brow[j];
+              garow[k] += acc;
+            }
+          }
+        }
+        if (b_impl->requires_grad) {
+          // dB = A^T * dC.
+          Tensor& gb = b_impl->EnsureGrad();
+          for (int64_t i = 0; i < av.rows(); ++i) {
+            const float* arow = av.Row(i);
+            const float* grow = g.Row(i);
+            for (int64_t k = 0; k < av.cols(); ++k) {
+              float aik = arow[k];
+              if (aik == 0.0f) continue;
+              float* gbrow = gb.Row(k);
+              for (int64_t j = 0; j < bv.cols(); ++j) {
+                gbrow[j] += aik * grow[j];
+              }
+            }
+          }
+        }
+      });
+}
+
+Var Add(const Var& a, const Var& b) {
+  XF_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.AddInPlace(b.value());
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  return MakeResult(std::move(out), {a, b}, [a_impl, b_impl](VarImpl* self) {
+    if (a_impl->requires_grad) a_impl->EnsureGrad().AddInPlace(self->grad);
+    if (b_impl->requires_grad) b_impl->EnsureGrad().AddInPlace(self->grad);
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& bias) {
+  const Tensor& av = a.value();
+  const Tensor& bv = bias.value();
+  XF_CHECK_EQ(bv.rows(), 1);
+  XF_CHECK_EQ(bv.cols(), av.cols());
+  Tensor out = av;
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    float* row = out.Row(r);
+    const float* brow = bv.Row(0);
+    for (int64_t c = 0; c < av.cols(); ++c) row[c] += brow[c];
+  }
+  auto a_impl = a.impl();
+  auto b_impl = bias.impl();
+  return MakeResult(std::move(out), {a, bias}, [a_impl,
+                                                b_impl](VarImpl* self) {
+    if (a_impl->requires_grad) a_impl->EnsureGrad().AddInPlace(self->grad);
+    if (b_impl->requires_grad) {
+      Tensor& gb = b_impl->EnsureGrad();
+      const Tensor& g = self->grad;
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        const float* grow = g.Row(r);
+        float* gbrow = gb.Row(0);
+        for (int64_t c = 0; c < g.cols(); ++c) gbrow[c] += grow[c];
+      }
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  XF_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bv = b.value().data();
+  float* ov = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) ov[i] -= bv[i];
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  return MakeResult(std::move(out), {a, b}, [a_impl, b_impl](VarImpl* self) {
+    if (a_impl->requires_grad) a_impl->EnsureGrad().AddInPlace(self->grad);
+    if (b_impl->requires_grad) {
+      Tensor& gb = b_impl->EnsureGrad();
+      const float* g = self->grad.data();
+      float* gbp = gb.data();
+      for (int64_t i = 0; i < self->grad.size(); ++i) gbp[i] -= g[i];
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  XF_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bv = b.value().data();
+  float* ov = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) ov[i] *= bv[i];
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  return MakeResult(std::move(out), {a, b}, [a_impl, b_impl](VarImpl* self) {
+    const float* g = self->grad.data();
+    int64_t n = self->grad.size();
+    if (a_impl->requires_grad) {
+      float* ga = a_impl->EnsureGrad().data();
+      const float* bv = b_impl->value.data();
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * bv[i];
+    }
+    if (b_impl->requires_grad) {
+      float* gb = b_impl->EnsureGrad().data();
+      const float* av = a_impl->value.data();
+      for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * av[i];
+    }
+  });
+}
+
+Var Scale(const Var& a, float s) {
+  return UnaryElementwise(
+      a, [s](float x) { return s * x; },
+      [s](float, float) { return s; });
+}
+
+Var AddConst(const Var& a, float c) {
+  return UnaryElementwise(
+      a, [c](float x) { return x + c; },
+      [](float, float) { return 1.0f; });
+}
+
+Var Relu(const Var& a) {
+  return UnaryElementwise(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Var LeakyRelu(const Var& a, float alpha) {
+  return UnaryElementwise(
+      a, [alpha](float x) { return x >= 0.0f ? x : alpha * x; },
+      [alpha](float x, float) { return x >= 0.0f ? 1.0f : alpha; });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryElementwise(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryElementwise(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Var Log(const Var& a) {
+  return UnaryElementwise(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Var Dropout(const Var& a, float p, bool training, xfraud::Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  XF_CHECK_LT(p, 1.0f);
+  XF_CHECK(rng != nullptr);
+  float keep = 1.0f - p;
+  auto mask = std::make_shared<std::vector<float>>(a.value().size());
+  Tensor out = a.value();
+  float* ov = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    float m = rng->NextBernoulli(p) ? 0.0f : 1.0f / keep;
+    (*mask)[i] = m;
+    ov[i] *= m;
+  }
+  auto a_impl = a.impl();
+  return MakeResult(std::move(out), {a}, [a_impl, mask](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    float* ga = a_impl->EnsureGrad().data();
+    const float* g = self->grad.data();
+    for (int64_t i = 0; i < self->grad.size(); ++i) {
+      ga[i] += g[i] * (*mask)[i];
+    }
+  });
+}
+
+Var RowSoftmax(const Var& a) {
+  const Tensor& av = a.value();
+  Tensor out(av.rows(), av.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const float* x = av.Row(r);
+    float* y = out.Row(r);
+    float mx = x[0];
+    for (int64_t c = 1; c < av.cols(); ++c) mx = std::max(mx, x[c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < av.cols(); ++c) {
+      y[c] = std::exp(x[c] - mx);
+      denom += y[c];
+    }
+    for (int64_t c = 0; c < av.cols(); ++c) y[c] /= denom;
+  }
+  auto a_impl = a.impl();
+  return MakeResult(std::move(out), {a}, [a_impl](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    Tensor& ga = a_impl->EnsureGrad();
+    const Tensor& y = self->value;
+    const Tensor& g = self->grad;
+    for (int64_t r = 0; r < y.rows(); ++r) {
+      const float* yr = y.Row(r);
+      const float* gr = g.Row(r);
+      float dot = 0.0f;
+      for (int64_t c = 0; c < y.cols(); ++c) dot += yr[c] * gr[c];
+      float* gar = ga.Row(r);
+      for (int64_t c = 0; c < y.cols(); ++c) {
+        gar[c] += yr[c] * (gr[c] - dot);
+      }
+    }
+  });
+}
+
+Var CrossEntropy(const Var& logits, const std::vector<int>& labels,
+                 const std::vector<float>& class_weights) {
+  const Tensor& lv = logits.value();
+  XF_CHECK_EQ(static_cast<size_t>(lv.rows()), labels.size());
+  int64_t n = lv.rows();
+  int64_t c = lv.cols();
+  XF_CHECK_GT(n, 0);
+  if (!class_weights.empty()) {
+    XF_CHECK_EQ(static_cast<int64_t>(class_weights.size()), c);
+  }
+  // Softmax probabilities are cached for the backward pass.
+  auto probs = std::make_shared<Tensor>(n, c);
+  double total_weight = 0.0;
+  double loss = 0.0;
+  auto weights = std::make_shared<std::vector<float>>(n, 1.0f);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* x = lv.Row(r);
+    float* p = probs->Row(r);
+    float mx = x[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, x[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      p[j] = std::exp(x[j] - mx);
+      denom += p[j];
+    }
+    for (int64_t j = 0; j < c; ++j) p[j] /= denom;
+    int label = labels[r];
+    XF_CHECK_GE(label, 0);
+    XF_CHECK_LT(label, c);
+    float w = class_weights.empty() ? 1.0f : class_weights[label];
+    (*weights)[r] = w;
+    total_weight += w;
+    loss -= w * std::log(std::max(p[label], 1e-12f));
+  }
+  loss /= total_weight;
+  Tensor out(1, 1, static_cast<float>(loss));
+  auto l_impl = logits.impl();
+  auto labels_copy = std::make_shared<std::vector<int>>(labels);
+  float inv_total = static_cast<float>(1.0 / total_weight);
+  return MakeResult(
+      std::move(out), {logits},
+      [l_impl, probs, labels_copy, weights, inv_total](VarImpl* self) {
+        if (!l_impl->requires_grad) return;
+        float gy = self->grad.At(0, 0);
+        Tensor& gl = l_impl->EnsureGrad();
+        int64_t n = probs->rows();
+        int64_t c = probs->cols();
+        for (int64_t r = 0; r < n; ++r) {
+          const float* p = probs->Row(r);
+          float* g = gl.Row(r);
+          float w = (*weights)[r] * inv_total * gy;
+          for (int64_t j = 0; j < c; ++j) g[j] += w * p[j];
+          g[(*labels_copy)[r]] -= w;
+        }
+      });
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  XF_CHECK_EQ(av.rows(), bv.rows());
+  Tensor out(av.rows(), av.cols() + bv.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    float* orow = out.Row(r);
+    std::copy(av.Row(r), av.Row(r) + av.cols(), orow);
+    std::copy(bv.Row(r), bv.Row(r) + bv.cols(), orow + av.cols());
+  }
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  int64_t ac = av.cols();
+  int64_t bc = bv.cols();
+  return MakeResult(std::move(out), {a, b},
+                    [a_impl, b_impl, ac, bc](VarImpl* self) {
+                      const Tensor& g = self->grad;
+                      if (a_impl->requires_grad) {
+                        Tensor& ga = a_impl->EnsureGrad();
+                        for (int64_t r = 0; r < g.rows(); ++r) {
+                          const float* grow = g.Row(r);
+                          float* garow = ga.Row(r);
+                          for (int64_t c = 0; c < ac; ++c) {
+                            garow[c] += grow[c];
+                          }
+                        }
+                      }
+                      if (b_impl->requires_grad) {
+                        Tensor& gb = b_impl->EnsureGrad();
+                        for (int64_t r = 0; r < g.rows(); ++r) {
+                          const float* grow = g.Row(r);
+                          float* gbrow = gb.Row(r);
+                          for (int64_t c = 0; c < bc; ++c) {
+                            gbrow[c] += grow[ac + c];
+                          }
+                        }
+                      }
+                    });
+}
+
+Var SliceCols(const Var& a, int64_t start, int64_t len) {
+  const Tensor& av = a.value();
+  XF_CHECK_GE(start, 0);
+  XF_CHECK_LE(start + len, av.cols());
+  Tensor out(av.rows(), len);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    std::copy(av.Row(r) + start, av.Row(r) + start + len, out.Row(r));
+  }
+  auto a_impl = a.impl();
+  return MakeResult(std::move(out), {a}, [a_impl, start, len](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    Tensor& ga = a_impl->EnsureGrad();
+    const Tensor& g = self->grad;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      const float* grow = g.Row(r);
+      float* garow = ga.Row(r) + start;
+      for (int64_t c = 0; c < len; ++c) garow[c] += grow[c];
+    }
+  });
+}
+
+Var IndexRows(const Var& a, const std::vector<int32_t>& indices) {
+  const Tensor& av = a.value();
+  Tensor out(static_cast<int64_t>(indices.size()), av.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int32_t src = indices[i];
+    XF_CHECK_GE(src, 0);
+    XF_CHECK_LT(src, av.rows());
+    std::copy(av.Row(src), av.Row(src) + av.cols(),
+              out.Row(static_cast<int64_t>(i)));
+  }
+  auto a_impl = a.impl();
+  auto idx = std::make_shared<std::vector<int32_t>>(indices);
+  return MakeResult(std::move(out), {a}, [a_impl, idx](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    Tensor& ga = a_impl->EnsureGrad();
+    const Tensor& g = self->grad;
+    for (size_t i = 0; i < idx->size(); ++i) {
+      const float* grow = g.Row(static_cast<int64_t>(i));
+      float* garow = ga.Row((*idx)[i]);
+      for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
+    }
+  });
+}
+
+Var ScatterAddRows(const Var& a, const std::vector<int32_t>& index,
+                   int64_t num_rows) {
+  const Tensor& av = a.value();
+  XF_CHECK_EQ(static_cast<size_t>(av.rows()), index.size());
+  Tensor out(num_rows, av.cols());
+  for (int64_t e = 0; e < av.rows(); ++e) {
+    int32_t dst = index[e];
+    XF_CHECK_GE(dst, 0);
+    XF_CHECK_LT(dst, num_rows);
+    const float* arow = av.Row(e);
+    float* orow = out.Row(dst);
+    for (int64_t c = 0; c < av.cols(); ++c) orow[c] += arow[c];
+  }
+  auto a_impl = a.impl();
+  auto idx = std::make_shared<std::vector<int32_t>>(index);
+  return MakeResult(std::move(out), {a}, [a_impl, idx](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    Tensor& ga = a_impl->EnsureGrad();
+    const Tensor& g = self->grad;
+    for (size_t e = 0; e < idx->size(); ++e) {
+      const float* grow = g.Row((*idx)[e]);
+      float* garow = ga.Row(static_cast<int64_t>(e));
+      for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
+    }
+  });
+}
+
+Var SegmentSoftmax(const Var& a, const std::vector<int32_t>& segments,
+                   int64_t num_segments) {
+  const Tensor& av = a.value();
+  XF_CHECK_EQ(static_cast<size_t>(av.rows()), segments.size());
+  int64_t cols = av.cols();
+  Tensor out(av.rows(), cols);
+  // Numerically stable segment softmax: subtract per-(segment, col) max.
+  Tensor seg_max(num_segments, cols, -std::numeric_limits<float>::infinity());
+  for (int64_t e = 0; e < av.rows(); ++e) {
+    int32_t s = segments[e];
+    XF_CHECK_GE(s, 0);
+    XF_CHECK_LT(s, num_segments);
+    for (int64_t c = 0; c < cols; ++c) {
+      seg_max.At(s, c) = std::max(seg_max.At(s, c), av.At(e, c));
+    }
+  }
+  Tensor seg_sum(num_segments, cols);
+  for (int64_t e = 0; e < av.rows(); ++e) {
+    int32_t s = segments[e];
+    for (int64_t c = 0; c < cols; ++c) {
+      float v = std::exp(av.At(e, c) - seg_max.At(s, c));
+      out.At(e, c) = v;
+      seg_sum.At(s, c) += v;
+    }
+  }
+  for (int64_t e = 0; e < av.rows(); ++e) {
+    int32_t s = segments[e];
+    for (int64_t c = 0; c < cols; ++c) {
+      out.At(e, c) /= seg_sum.At(s, c);
+    }
+  }
+  auto a_impl = a.impl();
+  auto seg = std::make_shared<std::vector<int32_t>>(segments);
+  return MakeResult(
+      std::move(out), {a}, [a_impl, seg, num_segments](VarImpl* self) {
+        if (!a_impl->requires_grad) return;
+        const Tensor& y = self->value;
+        const Tensor& g = self->grad;
+        int64_t cols = y.cols();
+        // dot[s,c] = sum_e in s y*g.
+        Tensor dot(num_segments, cols);
+        for (int64_t e = 0; e < y.rows(); ++e) {
+          int32_t s = (*seg)[e];
+          for (int64_t c = 0; c < cols; ++c) {
+            dot.At(s, c) += y.At(e, c) * g.At(e, c);
+          }
+        }
+        Tensor& ga = a_impl->EnsureGrad();
+        for (int64_t e = 0; e < y.rows(); ++e) {
+          int32_t s = (*seg)[e];
+          for (int64_t c = 0; c < cols; ++c) {
+            ga.At(e, c) += y.At(e, c) * (g.At(e, c) - dot.At(s, c));
+          }
+        }
+      });
+}
+
+Var MulColBroadcast(const Var& a, const Var& col) {
+  const Tensor& av = a.value();
+  const Tensor& cv = col.value();
+  XF_CHECK_EQ(av.rows(), cv.rows());
+  XF_CHECK_EQ(cv.cols(), 1);
+  Tensor out = av;
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    float w = cv.At(r, 0);
+    float* row = out.Row(r);
+    for (int64_t c = 0; c < av.cols(); ++c) row[c] *= w;
+  }
+  auto a_impl = a.impl();
+  auto c_impl = col.impl();
+  return MakeResult(std::move(out), {a, col}, [a_impl, c_impl](VarImpl* self) {
+    const Tensor& g = self->grad;
+    if (a_impl->requires_grad) {
+      Tensor& ga = a_impl->EnsureGrad();
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        float w = c_impl->value.At(r, 0);
+        const float* grow = g.Row(r);
+        float* garow = ga.Row(r);
+        for (int64_t c = 0; c < g.cols(); ++c) garow[c] += w * grow[c];
+      }
+    }
+    if (c_impl->requires_grad) {
+      Tensor& gc = c_impl->EnsureGrad();
+      const Tensor& av = a_impl->value;
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        const float* grow = g.Row(r);
+        const float* arow = av.Row(r);
+        float acc = 0.0f;
+        for (int64_t c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
+        gc.At(r, 0) += acc;
+      }
+    }
+  });
+}
+
+Var Sum(const Var& a) {
+  Tensor out(1, 1, static_cast<float>(a.value().Sum()));
+  auto a_impl = a.impl();
+  return MakeResult(std::move(out), {a}, [a_impl](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    float gy = self->grad.At(0, 0);
+    Tensor& ga = a_impl->EnsureGrad();
+    float* g = ga.data();
+    for (int64_t i = 0; i < ga.size(); ++i) g[i] += gy;
+  });
+}
+
+Var Transpose(const Var& a) {
+  const Tensor& av = a.value();
+  Tensor out(av.cols(), av.rows());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    for (int64_t c = 0; c < av.cols(); ++c) out.At(c, r) = av.At(r, c);
+  }
+  auto a_impl = a.impl();
+  return MakeResult(std::move(out), {a}, [a_impl](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    Tensor& ga = a_impl->EnsureGrad();
+    const Tensor& g = self->grad;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t c = 0; c < g.cols(); ++c) ga.At(c, r) += g.At(r, c);
+    }
+  });
+}
+
+Var RowSum(const Var& a) {
+  const Tensor& av = a.value();
+  Tensor out(av.rows(), 1);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const float* row = av.Row(r);
+    float acc = 0.0f;
+    for (int64_t c = 0; c < av.cols(); ++c) acc += row[c];
+    out.At(r, 0) = acc;
+  }
+  auto a_impl = a.impl();
+  return MakeResult(std::move(out), {a}, [a_impl](VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    Tensor& ga = a_impl->EnsureGrad();
+    const Tensor& g = self->grad;
+    for (int64_t r = 0; r < ga.rows(); ++r) {
+      float gr = g.At(r, 0);
+      float* garow = ga.Row(r);
+      for (int64_t c = 0; c < ga.cols(); ++c) garow[c] += gr;
+    }
+  });
+}
+
+Var Mean(const Var& a) {
+  int64_t n = a.value().size();
+  XF_CHECK_GT(n, 0);
+  return Scale(Sum(a), 1.0f / static_cast<float>(n));
+}
+
+Var LayerNorm(const Var& a, const Var& gamma, const Var& beta, float eps) {
+  const Tensor& av = a.value();
+  int64_t d = av.cols();
+  XF_CHECK_EQ(gamma.value().rows(), 1);
+  XF_CHECK_EQ(gamma.value().cols(), d);
+  XF_CHECK_EQ(beta.value().rows(), 1);
+  XF_CHECK_EQ(beta.value().cols(), d);
+
+  auto xhat = std::make_shared<Tensor>(av.rows(), d);
+  auto inv_std = std::make_shared<std::vector<float>>(av.rows());
+  Tensor out(av.rows(), d);
+  const float* gm = gamma.value().Row(0);
+  const float* bt = beta.value().Row(0);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const float* x = av.Row(r);
+    double mean = 0.0;
+    for (int64_t c = 0; c < d; ++c) mean += x[c];
+    mean /= d;
+    double var = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      double dv = x[c] - mean;
+      var += dv * dv;
+    }
+    var /= d;
+    float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    (*inv_std)[r] = istd;
+    float* xh = xhat->Row(r);
+    float* y = out.Row(r);
+    for (int64_t c = 0; c < d; ++c) {
+      xh[c] = (x[c] - static_cast<float>(mean)) * istd;
+      y[c] = xh[c] * gm[c] + bt[c];
+    }
+  }
+  auto a_impl = a.impl();
+  auto g_impl = gamma.impl();
+  auto b_impl = beta.impl();
+  return MakeResult(
+      std::move(out), {a, gamma, beta},
+      [a_impl, g_impl, b_impl, xhat, inv_std](VarImpl* self) {
+        const Tensor& g = self->grad;
+        int64_t d = g.cols();
+        const float* gm = g_impl->value.Row(0);
+        if (g_impl->requires_grad) {
+          Tensor& gg = g_impl->EnsureGrad();
+          float* ggr = gg.Row(0);
+          for (int64_t r = 0; r < g.rows(); ++r) {
+            const float* grow = g.Row(r);
+            const float* xh = xhat->Row(r);
+            for (int64_t c = 0; c < d; ++c) ggr[c] += grow[c] * xh[c];
+          }
+        }
+        if (b_impl->requires_grad) {
+          Tensor& gb = b_impl->EnsureGrad();
+          float* gbr = gb.Row(0);
+          for (int64_t r = 0; r < g.rows(); ++r) {
+            const float* grow = g.Row(r);
+            for (int64_t c = 0; c < d; ++c) gbr[c] += grow[c];
+          }
+        }
+        if (a_impl->requires_grad) {
+          Tensor& ga = a_impl->EnsureGrad();
+          for (int64_t r = 0; r < g.rows(); ++r) {
+            const float* grow = g.Row(r);
+            const float* xh = xhat->Row(r);
+            float istd = (*inv_std)[r];
+            // dxhat = dy * gamma; dx via the standard layer-norm backward.
+            double sum_dxhat = 0.0;
+            double sum_dxhat_xhat = 0.0;
+            for (int64_t c = 0; c < d; ++c) {
+              float dxh = grow[c] * gm[c];
+              sum_dxhat += dxh;
+              sum_dxhat_xhat += dxh * xh[c];
+            }
+            float* garow = ga.Row(r);
+            float inv_d = 1.0f / static_cast<float>(d);
+            for (int64_t c = 0; c < d; ++c) {
+              float dxh = grow[c] * gm[c];
+              garow[c] += istd * (dxh -
+                                  static_cast<float>(sum_dxhat) * inv_d -
+                                  xh[c] *
+                                      static_cast<float>(sum_dxhat_xhat) *
+                                      inv_d);
+            }
+          }
+        }
+      });
+}
+
+}  // namespace xfraud::nn

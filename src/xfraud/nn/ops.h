@@ -1,0 +1,110 @@
+#ifndef XFRAUD_NN_OPS_H_
+#define XFRAUD_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/nn/variable.h"
+
+namespace xfraud::nn {
+
+// Differentiable ops. Every function returns a fresh Var wired into the tape;
+// when no input requires gradients the backward closure is omitted so pure
+// inference runs tape-free. All gradients are verified against central finite
+// differences in tests/nn_grad_test.cc.
+
+/// C = A * B. Shapes: [n,k] x [k,m] -> [n,m].
+Var MatMul(const Var& a, const Var& b);
+
+/// Elementwise A + B (same shape).
+Var Add(const Var& a, const Var& b);
+
+/// Adds the [1,d] row `bias` to every row of A [n,d].
+Var AddRowBroadcast(const Var& a, const Var& bias);
+
+/// Elementwise A - B (same shape).
+Var Sub(const Var& a, const Var& b);
+
+/// Elementwise A ⊙ B (same shape).
+Var Mul(const Var& a, const Var& b);
+
+/// s * A for a compile-time constant s (no gradient w.r.t. s).
+Var Scale(const Var& a, float s);
+
+/// A + c elementwise for constant c.
+Var AddConst(const Var& a, float c);
+
+/// max(A, 0).
+Var Relu(const Var& a);
+
+/// x >= 0 ? x : alpha*x (GAT's activation).
+Var LeakyRelu(const Var& a, float alpha);
+
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+
+/// Natural log; inputs must be positive (compose with AddConst for eps).
+Var Log(const Var& a);
+
+/// Inverted dropout: zeroes entries w.p. p and rescales survivors by 1/(1-p).
+/// Identity when !training or p == 0.
+Var Dropout(const Var& a, float p, bool training, xfraud::Rng* rng);
+
+/// Softmax across each row independently.
+Var RowSoftmax(const Var& a);
+
+/// Mean cross entropy between logits [n,c] and integer labels (one per row).
+/// `class_weights` (optional, size c) rescales each example's loss by the
+/// weight of its true class and normalizes by the total weight.
+Var CrossEntropy(const Var& logits, const std::vector<int>& labels,
+                 const std::vector<float>& class_weights = {});
+
+/// [n,a] ++ [n,b] -> [n,a+b] along columns.
+Var ConcatCols(const Var& a, const Var& b);
+
+/// Columns [start, start+len) of A.
+Var SliceCols(const Var& a, int64_t start, int64_t len);
+
+/// Gathers rows: out[i] = a[indices[i]]. Backward scatter-adds.
+Var IndexRows(const Var& a, const std::vector<int32_t>& indices);
+
+/// out[index[e]] += a[e] for every row e of A; out has `num_rows` rows.
+/// This is the GNN message aggregation primitive.
+Var ScatterAddRows(const Var& a, const std::vector<int32_t>& index,
+                   int64_t num_rows);
+
+/// Column-wise softmax within segments: for each column h and each segment s,
+/// out[e,h] = exp(a[e,h]) / sum_{e': seg[e']==s} exp(a[e',h]).
+/// This is the per-target-node attention normalization of paper eq. 9.
+/// Rows whose segment is empty of competitors normalize to 1.
+Var SegmentSoftmax(const Var& a, const std::vector<int32_t>& segments,
+                   int64_t num_segments);
+
+/// Multiplies each row i of A [n,d] by col[i,0] of a [n,1] column. Used for
+/// applying per-edge attention/mask weights to message blocks.
+Var MulColBroadcast(const Var& a, const Var& col);
+
+/// Sum of all entries -> [1,1].
+Var Sum(const Var& a);
+
+/// Per-row sum: [n,d] -> [n,1]. Used for row-wise dot products
+/// (RowSum(Mul(a, b))), e.g. the attention scores of paper eq. 8.
+Var RowSum(const Var& a);
+
+/// Mean of all entries -> [1,1].
+Var Mean(const Var& a);
+
+/// Layer normalization across each row with learnable gain/bias [1,d].
+Var LayerNorm(const Var& a, const Var& gamma, const Var& beta,
+              float eps = 1e-5f);
+
+/// Matrix transpose [n,d] -> [d,n].
+Var Transpose(const Var& a);
+
+/// A wrapper marking a tensor as a constant input (no gradient).
+Var Constant(Tensor t);
+
+}  // namespace xfraud::nn
+
+#endif  // XFRAUD_NN_OPS_H_

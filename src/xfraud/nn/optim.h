@@ -1,0 +1,50 @@
+#ifndef XFRAUD_NN_OPTIM_H_
+#define XFRAUD_NN_OPTIM_H_
+
+#include <vector>
+
+#include "xfraud/nn/modules.h"
+
+namespace xfraud::nn {
+
+/// Hyperparameters for AdamW. The paper trains all models with adamw and
+/// gradient clipping (clip = 0.25, Appendix C).
+struct AdamWOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+};
+
+/// Decoupled-weight-decay Adam (Loshchilov & Hutter). Holds first/second
+/// moment state per parameter; Step() consumes the gradients accumulated by
+/// the last Backward().
+class AdamW {
+ public:
+  AdamW(std::vector<NamedParameter> params, AdamWOptions options);
+
+  /// Applies one update using the currently accumulated gradients.
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  const std::vector<NamedParameter>& params() const { return params_; }
+  AdamWOptions& options() { return options_; }
+
+ private:
+  std::vector<NamedParameter> params_;
+  AdamWOptions options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace xfraud::nn
+
+#endif  // XFRAUD_NN_OPTIM_H_

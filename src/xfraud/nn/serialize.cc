@@ -1,0 +1,95 @@
+#include "xfraud/nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace xfraud::nn {
+
+namespace {
+constexpr char kMagic[4] = {'X', 'F', 'C', 'K'};
+}  // namespace
+
+Status SaveParameters(const std::vector<NamedParameter>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, 4);
+  uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    uint32_t name_len = static_cast<uint32_t>(p.name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p.name.data(), name_len);
+    int64_t rows = p.var.value().rows();
+    int64_t cols = p.var.value().cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.var.value().data()),
+              static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path,
+                      std::vector<NamedParameter>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad checkpoint magic: " + path);
+  }
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::unordered_map<std::string, Tensor> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > (1u << 20)) {
+      return Status::Corruption("bad name length in " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    int64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in || rows < 0 || cols < 0) {
+      return Status::Corruption("bad shape in " + path);
+    }
+    Tensor t(rows, cols);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(rows * cols * sizeof(float)));
+    if (!in) return Status::Corruption("truncated payload in " + path);
+    loaded.emplace(std::move(name), std::move(t));
+  }
+  for (auto& p : *params) {
+    auto it = loaded.find(p.name);
+    if (it == loaded.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + p.name);
+    }
+    if (!it->second.SameShape(p.var.value())) {
+      return Status::InvalidArgument("shape mismatch for " + p.name);
+    }
+    p.var.mutable_value() = it->second;
+  }
+  return Status::OK();
+}
+
+Status CopyParameters(const std::vector<NamedParameter>& src,
+                      std::vector<NamedParameter>* dst) {
+  if (src.size() != dst->size()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (!src[i].var.value().SameShape((*dst)[i].var.value())) {
+      return Status::InvalidArgument("shape mismatch at " + src[i].name);
+    }
+    (*dst)[i].var.mutable_value() = src[i].var.value();
+  }
+  return Status::OK();
+}
+
+}  // namespace xfraud::nn

@@ -1,0 +1,30 @@
+#ifndef XFRAUD_NN_SERIALIZE_H_
+#define XFRAUD_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "xfraud/common/status.h"
+#include "xfraud/nn/modules.h"
+
+namespace xfraud::nn {
+
+/// Writes named parameters to a simple binary checkpoint:
+///   magic "XFCK", u32 count, then per entry
+///   {u32 name_len, name bytes, i64 rows, i64 cols, float payload}.
+Status SaveParameters(const std::vector<NamedParameter>& params,
+                      const std::string& path);
+
+/// Loads a checkpoint into `params`, matching entries by name. Every
+/// parameter must be present with identical shape.
+Status LoadParameters(const std::string& path,
+                      std::vector<NamedParameter>* params);
+
+/// Copies parameter values from `src` into `dst`, matching by position.
+/// Shapes must agree. Used to replicate models across DDP workers.
+Status CopyParameters(const std::vector<NamedParameter>& src,
+                      std::vector<NamedParameter>* dst);
+
+}  // namespace xfraud::nn
+
+#endif  // XFRAUD_NN_SERIALIZE_H_

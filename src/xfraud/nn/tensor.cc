@@ -1,0 +1,71 @@
+#include "xfraud/nn/tensor.h"
+
+#include <cmath>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::nn {
+
+Tensor::Tensor(int64_t rows, int64_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {
+  XF_CHECK_GE(rows, 0);
+  XF_CHECK_GE(cols, 0);
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  XF_CHECK_EQ(static_cast<size_t>(rows * cols), data_.size());
+}
+
+Tensor Tensor::ZerosLike(const Tensor& like) {
+  return Tensor(like.rows(), like.cols(), 0.0f);
+}
+
+Tensor Tensor::Uniform(int64_t rows, int64_t cols, float bound,
+                       xfraud::Rng* rng) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->NextUniform(-bound, bound));
+  }
+  return t;
+}
+
+Tensor Tensor::Gaussian(int64_t rows, int64_t cols, float stddev,
+                        xfraud::Rng* rng) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->NextGaussian() * stddev);
+  }
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  XF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+double Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+std::string Tensor::ShapeString() const {
+  return "Tensor[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+}  // namespace xfraud::nn

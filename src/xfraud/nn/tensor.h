@@ -1,0 +1,86 @@
+#ifndef XFRAUD_NN_TENSOR_H_
+#define XFRAUD_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xfraud/common/rng.h"
+
+namespace xfraud::nn {
+
+/// Dense row-major 2-D float tensor — the value type of the autograd engine.
+///
+/// Everything a GNN needs here is naturally a matrix: node feature blocks
+/// [N, D], per-edge message blocks [E, D], attention score blocks [E, H],
+/// scalars as [1, 1]. Restricting to two dimensions keeps the engine small
+/// and auditable while covering the full xFraud model (paper eqs. 2-11).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a rows x cols tensor filled with `fill`.
+  Tensor(int64_t rows, int64_t cols, float fill = 0.0f);
+
+  /// Creates a tensor wrapping the given data (size must be rows*cols).
+  Tensor(int64_t rows, int64_t cols, std::vector<float> data);
+
+  /// All-zeros tensor with the same shape as `like`.
+  static Tensor ZerosLike(const Tensor& like);
+
+  /// Entries drawn i.i.d. from U(-bound, bound).
+  static Tensor Uniform(int64_t rows, int64_t cols, float bound,
+                        xfraud::Rng* rng);
+
+  /// Entries drawn i.i.d. from N(0, stddev^2).
+  static Tensor Gaussian(int64_t rows, int64_t cols, float stddev,
+                         xfraud::Rng* rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  float* Row(int64_t r) { return data_.data() + r * cols_; }
+  const float* Row(int64_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  const std::vector<float>& vec() const { return data_; }
+  std::vector<float>& vec() { return data_; }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// Accumulates `other` into this tensor; shapes must match.
+  void AddInPlace(const Tensor& other);
+
+  /// Multiplies every entry by `s`.
+  void ScaleInPlace(float s);
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// L2 norm of all entries.
+  double Norm() const;
+
+  /// True when shapes and all entries match exactly.
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Compact debug string, e.g. "Tensor[3x4]".
+  std::string ShapeString() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace xfraud::nn
+
+#endif  // XFRAUD_NN_TENSOR_H_

@@ -1,0 +1,183 @@
+#include "xfraud/sample/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::sample {
+
+using graph::HeteroGraph;
+using graph::Subgraph;
+
+MiniBatch MakeBatch(const HeteroGraph& g, Subgraph sub,
+                    const std::vector<int32_t>& seed_globals) {
+  MiniBatch batch;
+  batch.features = nn::Tensor(sub.num_nodes(), g.feature_dim());
+  batch.node_types.resize(sub.num_nodes());
+  for (int64_t local = 0; local < sub.num_nodes(); ++local) {
+    int32_t global = sub.nodes[local];
+    batch.node_types[local] = static_cast<int32_t>(g.node_type(global));
+    if (g.HasFeatures(global)) {
+      const float* src = g.Features(global);
+      std::copy(src, src + g.feature_dim(), batch.features.Row(local));
+    }
+  }
+  batch.edge_src = sub.src;
+  batch.edge_dst = sub.dst;
+  batch.edge_types.resize(sub.etypes.size());
+  for (size_t e = 0; e < sub.etypes.size(); ++e) {
+    batch.edge_types[e] = static_cast<int32_t>(sub.etypes[e]);
+  }
+  for (int32_t seed : seed_globals) {
+    auto it = sub.local_of.find(seed);
+    XF_CHECK(it != sub.local_of.end()) << "seed not in subgraph";
+    int8_t label = g.label(seed);
+    XF_CHECK_NE(label, graph::kLabelUnknown);
+    batch.target_locals.push_back(it->second);
+    batch.target_labels.push_back(label);
+  }
+  batch.sub = std::move(sub);
+  return batch;
+}
+
+MiniBatch Sampler::SampleBatch(const HeteroGraph& g,
+                               const std::vector<int32_t>& seeds,
+                               xfraud::Rng* rng) const {
+  return MakeBatch(g, Sample(g, seeds, rng), seeds);
+}
+
+namespace {
+
+int32_t AddNode(Subgraph* sub, int32_t global) {
+  auto [it, inserted] =
+      sub->local_of.emplace(global, static_cast<int32_t>(sub->nodes.size()));
+  if (inserted) sub->nodes.push_back(global);
+  return it->second;
+}
+
+void InduceEdges(const HeteroGraph& g, Subgraph* sub) {
+  for (size_t local = 0; local < sub->nodes.size(); ++local) {
+    int32_t v = sub->nodes[local];
+    for (int64_t e = g.InDegreeBegin(v); e < g.InDegreeEnd(v); ++e) {
+      int32_t u = g.neighbors()[e];
+      auto it = sub->local_of.find(u);
+      if (it == sub->local_of.end()) continue;
+      sub->src.push_back(it->second);
+      sub->dst.push_back(static_cast<int32_t>(local));
+      sub->etypes.push_back(g.edge_types()[e]);
+    }
+  }
+}
+
+}  // namespace
+
+Subgraph SageSampler::Sample(const HeteroGraph& g,
+                             const std::vector<int32_t>& seeds,
+                             xfraud::Rng* rng) const {
+  Subgraph sub;
+  std::vector<int32_t> frontier;
+  for (int32_t seed : seeds) {
+    if (sub.local_of.count(seed) == 0) {
+      AddNode(&sub, seed);
+      frontier.push_back(seed);
+    }
+  }
+  if (!seeds.empty()) sub.seed_local = sub.local_of.at(seeds.front());
+
+  for (int hop = 0; hop < hops_ && !frontier.empty(); ++hop) {
+    std::vector<int32_t> next;
+    for (int32_t v : frontier) {
+      int64_t begin = g.InDegreeBegin(v);
+      int64_t degree = g.InDegree(v);
+      if (degree <= fanout_) {
+        for (int64_t e = begin; e < begin + degree; ++e) {
+          int32_t u = g.neighbors()[e];
+          if (sub.local_of.count(u) == 0) {
+            AddNode(&sub, u);
+            next.push_back(u);
+          }
+        }
+      } else {
+        std::vector<int64_t> slots(degree);
+        for (int64_t i = 0; i < degree; ++i) slots[i] = begin + i;
+        for (int i = 0; i < fanout_; ++i) {
+          int64_t j = i + static_cast<int64_t>(rng->NextBounded(degree - i));
+          std::swap(slots[i], slots[j]);
+          int32_t u = g.neighbors()[slots[i]];
+          if (sub.local_of.count(u) == 0) {
+            AddNode(&sub, u);
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  InduceEdges(g, &sub);
+  return sub;
+}
+
+Subgraph HgSampler::Sample(const HeteroGraph& g,
+                           const std::vector<int32_t>& seeds,
+                           xfraud::Rng* rng) const {
+  Subgraph sub;
+  for (int32_t seed : seeds) AddNode(&sub, seed);
+  if (!seeds.empty()) sub.seed_local = sub.local_of.at(seeds.front());
+
+  // Budget: per node type, candidate -> accumulated normalized degree.
+  // (HGT Alg. 1: each sampled node adds 1/|N(v)| to each un-sampled
+  // neighbour's budget so high-coverage candidates are preferred while the
+  // sampled-subgraph variance stays low.)
+  std::vector<std::unordered_map<int32_t, double>> budget(
+      graph::kNumNodeTypes);
+
+  auto add_to_budget = [&](int32_t v) {
+    int64_t degree = g.InDegree(v);
+    if (degree == 0) return;
+    double contribution = 1.0 / static_cast<double>(degree);
+    for (int64_t e = g.InDegreeBegin(v); e < g.InDegreeEnd(v); ++e) {
+      int32_t u = g.neighbors()[e];
+      if (sub.local_of.count(u) != 0) continue;
+      budget[static_cast<int>(g.node_type(u))][u] += contribution;
+    }
+  };
+  for (int32_t seed : seeds) add_to_budget(seed);
+
+  int width = width_per_seed_
+                  ? width_ * std::max<int>(1, static_cast<int>(seeds.size()))
+                  : width_;
+  for (int step = 0; step < depth_; ++step) {
+    // Sample `width` nodes from EVERY type with prob ∝ budget^2 (HGT
+    // Alg. 2), then move them into the subgraph and refresh budgets. The
+    // per-type passes over the candidate maps are the cost Figure 10 sees.
+    for (int type = 0; type < graph::kNumNodeTypes; ++type) {
+      auto& candidates = budget[type];
+      for (int pick = 0; pick < width && !candidates.empty(); ++pick) {
+        // Normalized squared-budget sampling.
+        double total = 0.0;
+        for (const auto& [node, score] : candidates) total += score * score;
+        if (total <= 0.0) break;
+        double u = rng->NextDouble() * total;
+        int32_t chosen = -1;
+        double acc = 0.0;
+        for (const auto& [node, score] : candidates) {
+          acc += score * score;
+          if (u < acc) {
+            chosen = node;
+            break;
+          }
+        }
+        if (chosen < 0) chosen = candidates.begin()->first;
+        candidates.erase(chosen);
+        AddNode(&sub, chosen);
+        add_to_budget(chosen);
+      }
+    }
+  }
+  InduceEdges(g, &sub);
+  return sub;
+}
+
+}  // namespace xfraud::sample

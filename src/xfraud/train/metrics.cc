@@ -1,0 +1,189 @@
+#include "xfraud/train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "xfraud/common/logging.h"
+
+namespace xfraud::train {
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  XF_CHECK_EQ(scores.size(), labels.size());
+  size_t n = scores.size();
+  int64_t n_pos = 0;
+  for (int l : labels) n_pos += l;
+  int64_t n_neg = static_cast<int64_t>(n) - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // Midranks: sort by score, assign average rank to ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) rank_sum_pos += rank[k];
+  }
+  double u = rank_sum_pos - static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  XF_CHECK_EQ(scores.size(), labels.size());
+  int64_t n_pos = 0;
+  for (int l : labels) n_pos += l;
+  if (n_pos == 0) return 0.0;
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  double ap = 0.0;
+  int64_t tp = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (labels[order[k]] == 1) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(k + 1);
+    }
+  }
+  return ap / static_cast<double>(n_pos);
+}
+
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<int>& labels, double threshold) {
+  XF_CHECK_EQ(scores.size(), labels.size());
+  XF_CHECK(!scores.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    int pred = scores[i] >= threshold ? 1 : 0;
+    correct += pred == labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+ThresholdMetrics MetricsAtThreshold(const std::vector<double>& scores,
+                                    const std::vector<int>& labels,
+                                    double threshold) {
+  XF_CHECK_EQ(scores.size(), labels.size());
+  ThresholdMetrics m;
+  m.threshold = threshold;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    bool pred = scores[i] >= threshold;
+    if (pred) m.any_predicted_positive = true;
+    if (pred && labels[i] == 1) ++m.tp;
+    if (pred && labels[i] == 0) ++m.fp;
+    if (!pred && labels[i] == 0) ++m.tn;
+    if (!pred && labels[i] == 1) ++m.fn;
+  }
+  int64_t pos = m.tp + m.fn;
+  int64_t neg = m.fp + m.tn;
+  m.tpr = pos > 0 ? static_cast<double>(m.tp) / pos : 0.0;
+  m.fnr = pos > 0 ? static_cast<double>(m.fn) / pos : 0.0;
+  m.tnr = neg > 0 ? static_cast<double>(m.tn) / neg : 0.0;
+  m.fpr = neg > 0 ? static_cast<double>(m.fp) / neg : 0.0;
+  m.recall = m.tpr;
+  m.precision =
+      (m.tp + m.fp) > 0 ? static_cast<double>(m.tp) / (m.tp + m.fp) : 0.0;
+  return m;
+}
+
+std::vector<CurvePoint> RocCurve(const std::vector<double>& scores,
+                                 const std::vector<int>& labels) {
+  XF_CHECK_EQ(scores.size(), labels.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  int64_t n_pos = 0;
+  for (int l : labels) n_pos += l;
+  int64_t n_neg = static_cast<int64_t>(labels.size()) - n_pos;
+
+  std::vector<CurvePoint> curve;
+  curve.push_back({0.0, 0.0, 1.0});
+  int64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    double s = scores[order[i]];
+    // Consume the whole tie group before emitting a point.
+    while (i < order.size() && scores[order[i]] == s) {
+      if (labels[order[i]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    curve.push_back({n_neg > 0 ? static_cast<double>(fp) / n_neg : 0.0,
+                     n_pos > 0 ? static_cast<double>(tp) / n_pos : 0.0, s});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> PrCurve(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  XF_CHECK_EQ(scores.size(), labels.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  int64_t n_pos = 0;
+  for (int l : labels) n_pos += l;
+
+  std::vector<CurvePoint> curve;
+  int64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    double s = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == s) {
+      if (labels[order[i]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    double recall = n_pos > 0 ? static_cast<double>(tp) / n_pos : 0.0;
+    double precision =
+        (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 1.0;
+    curve.push_back({recall, precision, s});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> ThinCurve(const std::vector<CurvePoint>& curve,
+                                  size_t max_points) {
+  if (curve.size() <= max_points || max_points < 2) return curve;
+  std::vector<CurvePoint> out;
+  out.reserve(max_points);
+  double step = static_cast<double>(curve.size() - 1) /
+                static_cast<double>(max_points - 1);
+  for (size_t k = 0; k < max_points; ++k) {
+    out.push_back(curve[static_cast<size_t>(std::lround(k * step))]);
+  }
+  return out;
+}
+
+double BackProjectPrecision(double sampled_precision,
+                            double benign_keep_fraction) {
+  XF_CHECK_GT(benign_keep_fraction, 0.0);
+  if (sampled_precision <= 0.0) return 0.0;
+  // On the sampled set: precision = TP / (TP + FP). In the original stream
+  // each kept benign stands for 1/keep of them, so FP scales by 1/keep.
+  double tp = sampled_precision;
+  double fp = (1.0 - sampled_precision) / benign_keep_fraction;
+  return tp / (tp + fp);
+}
+
+}  // namespace xfraud::train

@@ -1,0 +1,75 @@
+#ifndef XFRAUD_TRAIN_METRICS_H_
+#define XFRAUD_TRAIN_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xfraud::train {
+
+/// Binary-classification metrics used across the paper's evaluation
+/// (Tables 3, 7, 14-19; Figures 8, 9, 15). Scores are fraud probabilities,
+/// labels are 0 (benign) / 1 (fraud).
+
+/// Area under the ROC curve via the Mann-Whitney U statistic with midrank
+/// tie handling. Returns 0.5 when either class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Average precision (area under the PR curve, step interpolation).
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// Fraction of correct predictions at `threshold`.
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<int>& labels, double threshold = 0.5);
+
+/// Confusion-matrix rates at one score threshold (prediction = score >= t).
+struct ThresholdMetrics {
+  double threshold = 0.0;
+  int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+  double tpr = 0.0;  // recall
+  double tnr = 0.0;
+  double fpr = 0.0;
+  double fnr = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  /// True when at least one score reaches the threshold (Tables 15-19 print
+  /// "-" otherwise).
+  bool any_predicted_positive = false;
+};
+
+ThresholdMetrics MetricsAtThreshold(const std::vector<double>& scores,
+                                    const std::vector<int>& labels,
+                                    double threshold);
+
+/// One point of an ROC or PR curve.
+struct CurvePoint {
+  double x = 0.0;  // FPR (ROC) or recall (PR)
+  double y = 0.0;  // TPR (ROC) or precision (PR)
+  double threshold = 0.0;
+};
+
+/// Full ROC curve (one point per distinct score, plus the endpoints),
+/// ordered by increasing FPR.
+std::vector<CurvePoint> RocCurve(const std::vector<double>& scores,
+                                 const std::vector<int>& labels);
+
+/// Full PR curve ordered by increasing recall.
+std::vector<CurvePoint> PrCurve(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+/// Downsamples a curve to ~`max_points` evenly spaced points for printing.
+std::vector<CurvePoint> ThinCurve(const std::vector<CurvePoint>& curve,
+                                  size_t max_points);
+
+/// Appendix H.4: projects a precision measured on the *downsampled* label
+/// set (all frauds kept, `benign_keep_fraction` of benign kept) back to the
+/// pre-sampling stream, where every surviving false positive stands for
+/// 1/keep_fraction benign transactions.
+double BackProjectPrecision(double sampled_precision,
+                            double benign_keep_fraction);
+
+}  // namespace xfraud::train
+
+#endif  // XFRAUD_TRAIN_METRICS_H_

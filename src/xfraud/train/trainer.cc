@@ -1,0 +1,132 @@
+#include "xfraud/train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xfraud/common/logging.h"
+#include "xfraud/common/timer.h"
+
+namespace xfraud::train {
+
+std::vector<double> FraudProbabilities(const nn::Var& logits) {
+  nn::Var probs = nn::RowSoftmax(logits);
+  std::vector<double> out(probs.rows());
+  for (int64_t r = 0; r < probs.rows(); ++r) {
+    out[r] = probs.value().At(r, 1);
+  }
+  return out;
+}
+
+Trainer::Trainer(core::GnnModel* model, const sample::Sampler* sampler,
+                 TrainOptions options)
+    : model_(model),
+      sampler_(sampler),
+      options_(options),
+      optimizer_(model->Parameters(),
+                 nn::AdamWOptions{.lr = options.lr,
+                                  .weight_decay = options.weight_decay}),
+      rng_(options.seed * 0x9E3779B9ULL + 0x1234567ULL) {}
+
+double Trainer::TrainStep(const sample::MiniBatch& batch) {
+  core::ForwardOptions fwd;
+  fwd.training = true;
+  fwd.rng = &rng_;
+  nn::Var logits = model_->Forward(batch, fwd);
+  nn::Var loss =
+      nn::CrossEntropy(logits, batch.target_labels, options_.class_weights);
+  optimizer_.ZeroGrad();
+  loss.Backward();
+  optimizer_.ClipGradNorm(options_.clip);
+  optimizer_.Step();
+  return loss.item();
+}
+
+TrainResult Trainer::Train(const data::SimDataset& ds) {
+  TrainResult result;
+  std::vector<int32_t> train_nodes = ds.train_nodes;
+  int stale = 0;
+  double total_seconds = 0.0;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    WallTimer timer;
+    rng_.Shuffle(&train_nodes);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t begin = 0; begin < train_nodes.size();
+         begin += options_.batch_size) {
+      size_t end = std::min(begin + options_.batch_size, train_nodes.size());
+      std::vector<int32_t> seeds(train_nodes.begin() + begin,
+                                 train_nodes.begin() + end);
+      sample::MiniBatch batch = sampler_->SampleBatch(ds.graph, seeds, &rng_);
+      loss_sum += TrainStep(batch);
+      ++batches;
+    }
+    double seconds = timer.ElapsedSeconds();
+    total_seconds += seconds;
+
+    EvalResult val = Evaluate(ds.graph, ds.val_nodes);
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = batches > 0 ? loss_sum / batches : 0.0;
+    stats.val_auc = val.auc;
+    stats.seconds = seconds;
+    result.history.push_back(stats);
+    if (options_.verbose) {
+      XF_LOG(Info) << model_->name() << " epoch " << epoch << " loss "
+                   << stats.train_loss << " val_auc " << val.auc << " ("
+                   << seconds << "s)";
+    }
+
+    if (val.auc > result.best_val_auc) {
+      result.best_val_auc = val.auc;
+      result.best_epoch = epoch;
+      stale = 0;
+    } else if (++stale >= options_.patience) {
+      break;
+    }
+  }
+  if (!result.history.empty()) {
+    result.mean_epoch_seconds =
+        total_seconds / static_cast<double>(result.history.size());
+  }
+  return result;
+}
+
+EvalResult Trainer::Evaluate(const graph::HeteroGraph& g,
+                             const std::vector<int32_t>& nodes,
+                             int batch_size) {
+  EvalResult result;
+  std::vector<double> batch_secs;
+  core::ForwardOptions fwd;  // inference: no dropout, no tape
+  for (size_t begin = 0; begin < nodes.size(); begin += batch_size) {
+    size_t end = std::min(begin + static_cast<size_t>(batch_size),
+                          nodes.size());
+    std::vector<int32_t> seeds(nodes.begin() + begin, nodes.begin() + end);
+    WallTimer timer;
+    sample::MiniBatch batch = sampler_->SampleBatch(g, seeds, &rng_);
+    nn::Var logits = model_->Forward(batch, fwd);
+    batch_secs.push_back(timer.ElapsedSeconds());
+    std::vector<double> probs = FraudProbabilities(logits);
+    result.scores.insert(result.scores.end(), probs.begin(), probs.end());
+    result.labels.insert(result.labels.end(), batch.target_labels.begin(),
+                         batch.target_labels.end());
+  }
+  if (!result.scores.empty()) {
+    result.auc = RocAuc(result.scores, result.labels);
+    result.ap = AveragePrecision(result.scores, result.labels);
+    result.accuracy = Accuracy(result.scores, result.labels);
+  }
+  if (!batch_secs.empty()) {
+    double mean = 0.0;
+    for (double s : batch_secs) mean += s;
+    mean /= batch_secs.size();
+    double var = 0.0;
+    for (double s : batch_secs) var += (s - mean) * (s - mean);
+    var /= batch_secs.size();
+    result.secs_per_batch_mean = mean;
+    result.secs_per_batch_std = std::sqrt(var);
+  }
+  return result;
+}
+
+}  // namespace xfraud::train

@@ -1,0 +1,92 @@
+#ifndef XFRAUD_TRAIN_TRAINER_H_
+#define XFRAUD_TRAIN_TRAINER_H_
+
+#include <vector>
+
+#include "xfraud/core/gnn_model.h"
+#include "xfraud/data/generator.h"
+#include "xfraud/nn/optim.h"
+#include "xfraud/sample/sampler.h"
+#include "xfraud/train/metrics.h"
+
+namespace xfraud::train {
+
+/// Training hyperparameters. The paper's protocol (Appendix C): adamw,
+/// clip=0.25, max_epochs=128, patience=32 — scaled down for CPU benches.
+struct TrainOptions {
+  int max_epochs = 30;
+  int patience = 10;          // early stop on val AUC
+  int batch_size = 128;       // seed transactions per mini-batch
+  float lr = 1e-3f;
+  float weight_decay = 0.01f;
+  float clip = 0.25f;
+  /// Optional class weights {w_benign, w_fraud} for the imbalanced CE loss.
+  std::vector<float> class_weights;
+  uint64_t seed = 0;
+  bool verbose = false;
+};
+
+/// Model scores on an evaluation split.
+struct EvalResult {
+  std::vector<double> scores;  // fraud probability per node
+  std::vector<int> labels;
+  double auc = 0.0;
+  double ap = 0.0;
+  double accuracy = 0.0;
+  /// Mean / stddev wall-clock seconds per evaluation batch (Table 3's
+  /// "inference time (s/batch)").
+  double secs_per_batch_mean = 0.0;
+  double secs_per_batch_std = 0.0;
+};
+
+/// Per-epoch training trace (Figure 14's convergence curves).
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_auc = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double best_val_auc = 0.0;
+  int best_epoch = -1;
+  double mean_epoch_seconds = 0.0;
+};
+
+/// Mini-batch trainer for any GnnModel: per epoch, shuffles the training
+/// seeds, draws neighbourhoods with `sampler`, and optimizes the cross
+/// entropy of the risk score (paper eq. 11) with AdamW + gradient clipping.
+class Trainer {
+ public:
+  Trainer(core::GnnModel* model, const sample::Sampler* sampler,
+          TrainOptions options);
+
+  /// Trains on ds.train_nodes with early stopping on ds.val_nodes.
+  TrainResult Train(const data::SimDataset& ds);
+
+  /// Scores `nodes`, reporting metrics and per-batch inference timings.
+  EvalResult Evaluate(const graph::HeteroGraph& g,
+                      const std::vector<int32_t>& nodes, int batch_size = 640);
+
+  /// One gradient step on an explicit batch; returns the loss. Exposed for
+  /// the distributed trainer, which owns its own step loop.
+  double TrainStep(const sample::MiniBatch& batch);
+
+  nn::AdamW& optimizer() { return optimizer_; }
+  core::GnnModel* model() { return model_; }
+
+ private:
+  core::GnnModel* model_;
+  const sample::Sampler* sampler_;
+  TrainOptions options_;
+  nn::AdamW optimizer_;
+  xfraud::Rng rng_;
+};
+
+/// Fraud probabilities (softmax of the logits' fraud column).
+std::vector<double> FraudProbabilities(const nn::Var& logits);
+
+}  // namespace xfraud::train
+
+#endif  // XFRAUD_TRAIN_TRAINER_H_

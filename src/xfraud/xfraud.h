@@ -1,0 +1,61 @@
+#ifndef XFRAUD_XFRAUD_H_
+#define XFRAUD_XFRAUD_H_
+
+/// Umbrella header: the public API of the xFraud reproduction.
+///
+/// Layering (bottom-up):
+///   common  -> Status, Rng, ThreadPool, timing, table printing
+///   la      -> dense linear algebra (solves, eigen, expm) for the explainer
+///   nn      -> tensors, tape autograd, modules, AdamW (the DL substrate)
+///   graph   -> heterogeneous transaction graph, builder, subgraphs
+///   data    -> synthetic eBay-like workload, splits, annotator simulation
+///   kv      -> log-structured / sharded KV feature store (data loading)
+///   sample  -> GraphSAGE-style and HGSampling neighbourhood samplers
+///   core    -> the xFraud detector (self-attentive heterogeneous GNN)
+///   baselines -> GAT and GEM comparison models
+///   train   -> trainer, metrics (AUC/AP/curves/threshold tables)
+///   explain -> GNNExplainer, 13 centrality measures, hybrid explainer
+///   dist    -> PIC partitioning + DistributedDataParallel simulation
+
+#include "xfraud/baselines/gat.h"
+#include "xfraud/baselines/gem.h"
+#include "xfraud/common/logging.h"
+#include "xfraud/common/rng.h"
+#include "xfraud/common/status.h"
+#include "xfraud/common/table_printer.h"
+#include "xfraud/common/thread_pool.h"
+#include "xfraud/common/timer.h"
+#include "xfraud/core/detector.h"
+#include "xfraud/core/gnn_model.h"
+#include "xfraud/core/hetero_conv.h"
+#include "xfraud/data/annotation.h"
+#include "xfraud/data/generator.h"
+#include "xfraud/data/log_io.h"
+#include "xfraud/data/prefilter.h"
+#include "xfraud/dist/distributed.h"
+#include "xfraud/dist/partition.h"
+#include "xfraud/explain/centrality.h"
+#include "xfraud/explain/evaluation.h"
+#include "xfraud/explain/feature_importance.h"
+#include "xfraud/explain/gnn_explainer.h"
+#include "xfraud/explain/hit_rate.h"
+#include "xfraud/explain/hybrid.h"
+#include "xfraud/explain/visualize.h"
+#include "xfraud/graph/graph_builder.h"
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/graph/serialize.h"
+#include "xfraud/graph/subgraph.h"
+#include "xfraud/kv/feature_store.h"
+#include "xfraud/kv/log_kv.h"
+#include "xfraud/kv/mem_kv.h"
+#include "xfraud/kv/sharded_kv.h"
+#include "xfraud/nn/modules.h"
+#include "xfraud/nn/ops.h"
+#include "xfraud/nn/optim.h"
+#include "xfraud/nn/serialize.h"
+#include "xfraud/sample/sampler.h"
+#include "xfraud/train/incremental.h"
+#include "xfraud/train/metrics.h"
+#include "xfraud/train/trainer.h"
+
+#endif  // XFRAUD_XFRAUD_H_

@@ -1,0 +1,228 @@
+// Centrality measures verified against closed-form values on canonical
+// graphs (paths, stars, cycles, complete graphs) and cross-checked against
+// each other where theory says they must agree.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/explain/centrality.h"
+
+namespace xfraud::explain {
+namespace {
+
+SimpleGraph Path(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return SimpleGraph::FromEdges(n, std::move(edges));
+}
+
+SimpleGraph Star(int leaves) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return SimpleGraph::FromEdges(leaves + 1, std::move(edges));
+}
+
+SimpleGraph Cycle(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return SimpleGraph::FromEdges(n, std::move(edges));
+}
+
+SimpleGraph Complete(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return SimpleGraph::FromEdges(n, std::move(edges));
+}
+
+TEST(DegreeTest, StarGraph) {
+  auto c = DegreeCentrality(Star(4));
+  EXPECT_DOUBLE_EQ(c[0], 1.0);          // center: 4/(5-1)
+  EXPECT_DOUBLE_EQ(c[1], 0.25);         // leaf: 1/4
+}
+
+TEST(ClosenessTest, PathGraph) {
+  // Path 0-1-2: closeness(1) = 2/(1+1) = 1; closeness(0) = 2/(1+2) = 2/3.
+  auto c = ClosenessCentrality(Path(3));
+  EXPECT_NEAR(c[1], 1.0, 1e-12);
+  EXPECT_NEAR(c[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c[2], 2.0 / 3.0, 1e-12);
+}
+
+TEST(ClosenessTest, CompleteGraphAllOne) {
+  auto c = ClosenessCentrality(Complete(5));
+  for (double x : c) EXPECT_NEAR(x, 1.0, 1e-12);
+}
+
+TEST(HarmonicTest, PathGraph) {
+  // Path 0-1-2: harmonic(0) = 1/1 + 1/2 = 1.5, harmonic(1) = 2.
+  auto c = HarmonicCentrality(Path(3));
+  EXPECT_NEAR(c[0], 1.5, 1e-12);
+  EXPECT_NEAR(c[1], 2.0, 1e-12);
+}
+
+TEST(BetweennessTest, PathGraph) {
+  // Path of 5: betweenness (normalized by (n-1)(n-2)/2=6) of middle node 2:
+  // pairs through it: (0,3),(0,4),(1,3),(1,4) => 4/6.
+  auto c = BetweennessCentrality(Path(5));
+  EXPECT_NEAR(c[2], 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c[0], 0.0, 1e-12);
+  EXPECT_NEAR(c[1], 3.0 / 6.0, 1e-12);
+}
+
+TEST(BetweennessTest, StarCenterIsOne) {
+  auto c = BetweennessCentrality(Star(5));
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  for (int i = 1; i <= 5; ++i) EXPECT_NEAR(c[i], 0.0, 1e-12);
+}
+
+TEST(BetweennessTest, CycleIsUniform) {
+  auto c = BetweennessCentrality(Cycle(6));
+  for (int i = 1; i < 6; ++i) EXPECT_NEAR(c[i], c[0], 1e-12);
+}
+
+TEST(LoadTest, EqualsBetweennessOnTreeLikeGraphs) {
+  // On graphs where all shortest paths are unique (trees), load equals
+  // betweenness exactly.
+  for (auto g : {Path(6), Star(5)}) {
+    auto load = LoadCentrality(g);
+    auto betw = BetweennessCentrality(g);
+    for (int v = 0; v < g.n; ++v) EXPECT_NEAR(load[v], betw[v], 1e-12);
+  }
+}
+
+TEST(EigenvectorTest, StarCenterDominates) {
+  auto c = EigenvectorCentrality(Star(4));
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_GT(c[0], c[i]);
+    EXPECT_NEAR(c[i], c[1], 1e-8);
+  }
+}
+
+TEST(EigenvectorTest, CompleteGraphUniform) {
+  auto c = EigenvectorCentrality(Complete(4));
+  for (int i = 1; i < 4; ++i) EXPECT_NEAR(c[i], c[0], 1e-8);
+  // Unit norm.
+  double norm = 0.0;
+  for (double x : c) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-8);
+}
+
+TEST(SubgraphCentralityTest, SingleEdge) {
+  // For K2, diag(expm(A)) = cosh(1).
+  auto c = SubgraphCentrality(Path(2));
+  EXPECT_NEAR(c[0], std::cosh(1.0), 1e-9);
+  EXPECT_NEAR(c[1], std::cosh(1.0), 1e-9);
+}
+
+TEST(SubgraphCentralityTest, StarCenterLargest) {
+  auto c = SubgraphCentrality(Star(4));
+  for (int i = 1; i <= 4; ++i) EXPECT_GT(c[0], c[i]);
+}
+
+TEST(CommunicabilityBetweennessTest, StarCenterNearOne) {
+  // Removing the star's center destroys all communicability between leaves.
+  auto c = CommunicabilityBetweenness(Star(4));
+  EXPECT_GT(c[0], 0.9);
+  for (int i = 1; i <= 4; ++i) EXPECT_LT(c[i], c[0]);
+}
+
+TEST(CurrentFlowBetweennessTest, PathMatchesBetweenness) {
+  // On a path all current flows along the single route, so current-flow
+  // betweenness equals shortest-path betweenness.
+  auto cf = CurrentFlowBetweenness(Path(5));
+  auto sp = BetweennessCentrality(Path(5));
+  for (int v = 0; v < 5; ++v) EXPECT_NEAR(cf[v], sp[v], 1e-8);
+}
+
+TEST(CurrentFlowBetweennessTest, CycleUniform) {
+  auto cf = CurrentFlowBetweenness(Cycle(5));
+  for (int v = 1; v < 5; ++v) EXPECT_NEAR(cf[v], cf[0], 1e-8);
+}
+
+TEST(CurrentFlowClosenessTest, CompleteUniformAndOrdered) {
+  auto cc = CurrentFlowCloseness(Complete(4));
+  for (int v = 1; v < 4; ++v) EXPECT_NEAR(cc[v], cc[0], 1e-8);
+  // Path: middle node has higher current-flow closeness than the ends.
+  auto path_cc = CurrentFlowCloseness(Path(5));
+  EXPECT_GT(path_cc[2], path_cc[0]);
+}
+
+TEST(ApproxCurrentFlowTest, ConvergesToExact) {
+  SimpleGraph g = Cycle(7);
+  Rng rng(3);
+  auto exact = CurrentFlowBetweenness(g);
+  auto approx = ApproxCurrentFlowBetweenness(g, &rng, 4000);
+  for (int v = 0; v < g.n; ++v) EXPECT_NEAR(approx[v], exact[v], 0.05);
+}
+
+TEST(EdgeBetweennessTest, PathGraph) {
+  // Path 0-1-2-3 normalized by n(n-1)/2=6: edge (1,2) carries pairs
+  // (0,2),(0,3),(1,2),(1,3) => 4/6.
+  auto c = EdgeBetweenness(Path(4));
+  EXPECT_NEAR(c[1], 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c[0], 3.0 / 6.0, 1e-12);  // (0,1),(0,2),(0,3)
+}
+
+TEST(EdgeBetweennessTest, StarUniform) {
+  auto c = EdgeBetweenness(Star(4));
+  for (size_t e = 1; e < c.size(); ++e) EXPECT_NEAR(c[e], c[0], 1e-12);
+}
+
+TEST(EdgeLoadTest, PathCarriesAllPairs) {
+  // Unnormalized edge load on path of 3: edge (0,1) carries packets
+  // 0->1, 0->2, 1->0, 2->0 = 4.
+  auto c = EdgeLoad(Path(3));
+  EXPECT_NEAR(c[0], 4.0, 1e-12);
+  EXPECT_NEAR(c[1], 4.0, 1e-12);
+}
+
+TEST(MeasureSuiteTest, AllThirteenProduceEdgeWeights) {
+  // A small community-like graph: star + chain mix.
+  std::vector<graph::UndirectedEdge> edges;
+  auto add = [&edges](int u, int v) {
+    graph::UndirectedEdge e;
+    e.u = u;
+    e.v = v;
+    edges.push_back(e);
+  };
+  add(0, 1); add(0, 2); add(0, 3); add(3, 4); add(4, 5); add(1, 2);
+  Rng rng(5);
+  for (int m = 0; m < kNumCentralityMeasures; ++m) {
+    auto weights = EdgeWeightsByCentrality(
+        edges, 6, static_cast<CentralityMeasure>(m), &rng);
+    ASSERT_EQ(weights.size(), edges.size())
+        << CentralityMeasureName(static_cast<CentralityMeasure>(m));
+    bool any_nonzero = false;
+    for (double w : weights) {
+      EXPECT_TRUE(std::isfinite(w));
+      any_nonzero = any_nonzero || w != 0.0;
+    }
+    EXPECT_TRUE(any_nonzero)
+        << CentralityMeasureName(static_cast<CentralityMeasure>(m));
+  }
+}
+
+TEST(MeasureSuiteTest, NamesAreUniqueAndMatchPaperTable1) {
+  std::set<std::string> names;
+  for (int m = 0; m < kNumCentralityMeasures; ++m) {
+    names.insert(CentralityMeasureName(static_cast<CentralityMeasure>(m)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumCentralityMeasures));
+  EXPECT_TRUE(names.count("edge betweenness"));
+  EXPECT_TRUE(names.count("approximate current flow betweenness"));
+  EXPECT_TRUE(names.count("subgraph"));
+}
+
+TEST(SimpleGraphTest, FromEdgesBuildsAdjacency) {
+  SimpleGraph g = Path(3);
+  ASSERT_EQ(g.adj.size(), 3u);
+  EXPECT_EQ(g.adj[1].size(), 2u);
+  EXPECT_EQ(g.adj[0].size(), 1u);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace xfraud::explain

@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/data/annotation.h"
+#include "xfraud/data/generator.h"
+#include "xfraud/graph/subgraph.h"
+
+namespace xfraud::data {
+namespace {
+
+using graph::NodeType;
+
+TEST(GeneratorTest, ProducesRecordsWithLabels) {
+  GeneratorConfig config = TransactionGenerator::SimSmall();
+  config.num_buyers = 200;
+  config.num_fraud_rings = 5;
+  config.num_stolen_cards = 10;
+  TransactionGenerator gen(config);
+  auto records = gen.GenerateRecords();
+  EXPECT_GT(records.size(), 200u);
+  int fraud = 0, benign = 0;
+  for (const auto& r : records) {
+    EXPECT_FALSE(r.txn_id.empty());
+    EXPECT_EQ(r.features.size(), static_cast<size_t>(config.feature_dim));
+    fraud += r.label == graph::kLabelFraud;
+    benign += r.label == graph::kLabelBenign;
+  }
+  EXPECT_GT(fraud, 0);
+  EXPECT_GT(benign, fraud);
+}
+
+TEST(GeneratorTest, FraudRateInPaperBallpark) {
+  // The paper's sampled datasets sit at 3.5-4.5% fraud (Table 2).
+  SimDataset ds =
+      TransactionGenerator::Make(TransactionGenerator::SimSmall(), "small");
+  double rate = ds.graph.FraudRate();
+  EXPECT_GT(rate, 0.015);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorConfig config = TransactionGenerator::SimSmall();
+  config.num_buyers = 100;
+  TransactionGenerator a(config), b(config);
+  auto ra = a.GenerateRecords();
+  auto rb = b.GenerateRecords();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].txn_id, rb[i].txn_id);
+    EXPECT_EQ(ra[i].label, rb[i].label);
+    EXPECT_EQ(ra[i].payment_token, rb[i].payment_token);
+  }
+}
+
+TEST(GeneratorTest, GuestCheckoutsExist) {
+  GeneratorConfig config = TransactionGenerator::SimSmall();
+  config.num_buyers = 500;
+  TransactionGenerator gen(config);
+  auto records = gen.GenerateRecords();
+  int guests = 0;
+  for (const auto& r : records) guests += r.buyer_id.empty();
+  EXPECT_GT(guests, 0);
+}
+
+TEST(GeneratorTest, StolenCardsLinkFraudToBenignTokens) {
+  // Some payment token must carry both fraud and benign transactions —
+  // the card-stolen pattern motivating transaction-level detection.
+  GeneratorConfig config = TransactionGenerator::SimSmall();
+  config.num_buyers = 300;
+  config.num_stolen_cards = 30;
+  TransactionGenerator gen(config);
+  auto records = gen.GenerateRecords();
+  std::set<std::string> fraud_tokens, benign_tokens;
+  for (const auto& r : records) {
+    (r.label == graph::kLabelFraud ? fraud_tokens : benign_tokens)
+        .insert(r.payment_token);
+  }
+  std::vector<std::string> mixed;
+  std::set_intersection(fraud_tokens.begin(), fraud_tokens.end(),
+                        benign_tokens.begin(), benign_tokens.end(),
+                        std::back_inserter(mixed));
+  EXPECT_FALSE(mixed.empty());
+}
+
+TEST(GeneratorTest, SparsityMatchesPaperRegime) {
+  // Paper graphs have 1.49-3.36 undirected edges per node; ours should be
+  // in the same sparse regime (well below e.g. OAG's 11.17).
+  SimDataset ds =
+      TransactionGenerator::Make(TransactionGenerator::SimSmall(), "small");
+  double undirected_per_node = ds.graph.AvgDegree() / 2.0;
+  EXPECT_GT(undirected_per_node, 0.8);
+  EXPECT_LT(undirected_per_node, 5.0);
+}
+
+TEST(GeneratorTest, NodeTypeMixDominatedByTransactions) {
+  SimDataset ds =
+      TransactionGenerator::Make(TransactionGenerator::SimSmall(), "small");
+  auto counts = ds.graph.NodeTypeCounts();
+  int64_t txn = counts[static_cast<int>(NodeType::kTxn)];
+  // Transactions are the plurality type (Table 6: 42-77%).
+  for (int t = 1; t < graph::kNumNodeTypes; ++t) {
+    EXPECT_GT(txn, counts[t]);
+  }
+  EXPECT_GT(static_cast<double>(txn) / ds.graph.num_nodes(), 0.35);
+}
+
+TEST(GeneratorTest, SplitsArePartition) {
+  SimDataset ds =
+      TransactionGenerator::Make(TransactionGenerator::SimSmall(), "small");
+  std::set<int32_t> all;
+  for (auto v : ds.train_nodes) all.insert(v);
+  for (auto v : ds.val_nodes) all.insert(v);
+  for (auto v : ds.test_nodes) all.insert(v);
+  EXPECT_EQ(all.size(), ds.train_nodes.size() + ds.val_nodes.size() +
+                            ds.test_nodes.size());
+  EXPECT_EQ(all.size(), ds.graph.LabeledTransactions().size());
+  EXPECT_GT(ds.train_nodes.size(), ds.test_nodes.size());
+  EXPECT_GT(ds.test_nodes.size(), ds.val_nodes.size());
+}
+
+class AnnotationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config = TransactionGenerator::SimSmall();
+    config.num_buyers = 400;
+    ds_ = TransactionGenerator::Make(config, "small");
+    // Find a fraud seed with a non-trivial community.
+    for (int32_t v : ds_.graph.LabeledTransactions()) {
+      if (ds_.graph.label(v) == graph::kLabelFraud) {
+        community_ = graph::Community(ds_.graph, v, 60);
+        if (community_.num_nodes() >= 8) break;
+      }
+    }
+    ASSERT_GE(community_.num_nodes(), 8);
+  }
+
+  SimDataset ds_;
+  graph::Subgraph community_;
+};
+
+TEST_F(AnnotationTest, FiveAnnotatorsScoreEveryNode) {
+  AnnotationSimulator sim({});
+  auto annotations = sim.Annotate(ds_.graph, community_);
+  ASSERT_EQ(annotations.size(), 5u);
+  for (const auto& row : annotations) {
+    ASSERT_EQ(row.size(), static_cast<size_t>(community_.num_nodes()));
+    for (int v : row) {
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, 2);
+    }
+  }
+}
+
+TEST_F(AnnotationTest, HumanKappaBeatsRandomKappa) {
+  // Appendix E: human IAA ~0.53, random IAA ~0. We assert the ordering and
+  // a sane band rather than exact values.
+  AnnotationSimulator sim({});
+  double human = 0.0, random = 0.0;
+  int communities = 0;
+  for (int32_t v : ds_.graph.LabeledTransactions()) {
+    auto c = graph::Community(ds_.graph, v, 60);
+    if (c.num_nodes() < 10) continue;
+    human += MeanPairwiseKappa(sim.Annotate(ds_.graph, c));
+    random += MeanPairwiseKappa(sim.AnnotateRandom(c.num_nodes()));
+    if (++communities >= 15) break;
+  }
+  ASSERT_GT(communities, 5);
+  human /= communities;
+  random /= communities;
+  EXPECT_GT(human, 0.25);
+  EXPECT_LT(human, 0.85);
+  EXPECT_NEAR(random, 0.0, 0.15);
+  EXPECT_GT(human, random + 0.2);
+}
+
+TEST_F(AnnotationTest, NodeImportanceIsMeanOfAnnotators) {
+  std::vector<std::vector<int>> annotations = {{0, 2, 1}, {2, 2, 1}};
+  auto imp = AnnotationSimulator::NodeImportance(annotations);
+  EXPECT_DOUBLE_EQ(imp[0], 1.0);
+  EXPECT_DOUBLE_EQ(imp[1], 2.0);
+  EXPECT_DOUBLE_EQ(imp[2], 1.0);
+}
+
+TEST_F(AnnotationTest, EdgeAggregations) {
+  std::vector<double> node_imp = {2.0, 0.0, 1.0};
+  std::vector<graph::UndirectedEdge> edges(2);
+  edges[0].u = 0; edges[0].v = 1;
+  edges[1].u = 1; edges[1].v = 2;
+  auto avg = EdgeImportanceFromNodes(node_imp, edges, EdgeAggregation::kAvg);
+  auto sum = EdgeImportanceFromNodes(node_imp, edges, EdgeAggregation::kSum);
+  auto mn = EdgeImportanceFromNodes(node_imp, edges, EdgeAggregation::kMin);
+  EXPECT_DOUBLE_EQ(avg[0], 1.0);
+  EXPECT_DOUBLE_EQ(sum[0], 2.0);
+  EXPECT_DOUBLE_EQ(mn[0], 0.0);
+  EXPECT_DOUBLE_EQ(avg[1], 0.5);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  EXPECT_DOUBLE_EQ(mn[1], 0.0);
+}
+
+TEST(KappaTest, PerfectAgreementIsOne) {
+  std::vector<int> a = {0, 1, 2, 1, 0, 2};
+  EXPECT_DOUBLE_EQ(CohensKappa(a, a), 1.0);
+}
+
+TEST(KappaTest, IndependentAnnotationsNearZero) {
+  Rng rng(5);
+  std::vector<int> a(5000), b(5000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.NextBounded(3));
+    b[i] = static_cast<int>(rng.NextBounded(3));
+  }
+  EXPECT_NEAR(CohensKappa(a, b), 0.0, 0.05);
+}
+
+TEST(KappaTest, SystematicDisagreementIsNegative) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {1, 1, 2, 2, 0, 0};
+  EXPECT_LT(CohensKappa(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace xfraud::data

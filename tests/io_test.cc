@@ -1,0 +1,178 @@
+// Round-trip and corruption tests of the two persistence formats: the
+// TSV transaction log and the binary graph snapshot.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/data/generator.h"
+#include "xfraud/data/log_io.h"
+#include "xfraud/graph/serialize.h"
+
+namespace xfraud {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class LogIoTest : public ::testing::Test {
+ protected:
+  static std::vector<graph::TransactionRecord> SampleRecords() {
+    data::GeneratorConfig config = data::TransactionGenerator::SimSmall();
+    config.num_buyers = 120;
+    config.num_fraud_rings = 3;
+    config.num_stolen_cards = 5;
+    config.num_periods = 3;
+    data::TransactionGenerator gen(config);
+    return gen.GenerateRecords();
+  }
+};
+
+TEST_F(LogIoTest, RoundTripPreservesEverything) {
+  auto records = SampleRecords();
+  std::string path = TempPath("log_roundtrip.tsv");
+  ASSERT_TRUE(data::WriteTransactionLog(records, path).ok());
+  auto loaded = data::ReadTransactionLog(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& a = records[i];
+    const auto& b = loaded.value()[i];
+    EXPECT_EQ(a.txn_id, b.txn_id);
+    EXPECT_EQ(a.buyer_id, b.buyer_id);
+    EXPECT_EQ(a.email, b.email);
+    EXPECT_EQ(a.payment_token, b.payment_token);
+    EXPECT_EQ(a.shipping_address, b.shipping_address);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.period, b.period);
+    ASSERT_EQ(a.features.size(), b.features.size());
+    for (size_t f = 0; f < a.features.size(); ++f) {
+      EXPECT_NEAR(a.features[f], b.features[f], 1e-4);
+    }
+  }
+}
+
+TEST_F(LogIoTest, RoundTripBuildsIdenticalGraph) {
+  auto records = SampleRecords();
+  std::string path = TempPath("log_graph.tsv");
+  ASSERT_TRUE(data::WriteTransactionLog(records, path).ok());
+  auto loaded = data::ReadTransactionLog(path);
+  ASSERT_TRUE(loaded.ok());
+  graph::GraphBuilder a, b;
+  for (const auto& r : records) ASSERT_TRUE(a.AddTransaction(r).ok());
+  for (const auto& r : loaded.value()) {
+    ASSERT_TRUE(b.AddTransaction(r).ok());
+  }
+  graph::HeteroGraph ga = a.Build(), gb = b.Build();
+  EXPECT_EQ(ga.num_nodes(), gb.num_nodes());
+  EXPECT_EQ(ga.num_edges(), gb.num_edges());
+  EXPECT_EQ(ga.NodeTypeCounts(), gb.NodeTypeCounts());
+}
+
+TEST_F(LogIoTest, MissingHeaderIsRejected) {
+  std::string path = TempPath("log_noheader.tsv");
+  std::ofstream(path) << "not a header\n";
+  auto loaded = data::ReadTransactionLog(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(LogIoTest, MalformedLineReportsLineNumber) {
+  auto records = SampleRecords();
+  records.resize(2);
+  std::string path = TempPath("log_badline.tsv");
+  ASSERT_TRUE(data::WriteTransactionLog(records, path).ok());
+  std::ofstream(path, std::ios::app) << "only\tthree\tfields\n";
+  auto loaded = data::ReadTransactionLog(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 4"), std::string::npos);
+}
+
+TEST_F(LogIoTest, BadLabelIsRejected) {
+  std::string path = TempPath("log_badlabel.tsv");
+  auto records = SampleRecords();
+  records.resize(1);
+  ASSERT_TRUE(data::WriteTransactionLog(records, path).ok());
+  std::ofstream(path, std::ios::app)
+      << "tX\tb\te\tp\ta\tmaybe\t0\t1.0,2.0\n";
+  auto loaded = data::ReadTransactionLog(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad label"), std::string::npos);
+}
+
+class GraphSerializeTest : public ::testing::Test {
+ protected:
+  static graph::HeteroGraph SampleGraph() {
+    data::GeneratorConfig config = data::TransactionGenerator::SimSmall();
+    config.num_buyers = 150;
+    config.num_fraud_rings = 4;
+    config.num_stolen_cards = 6;
+    return data::TransactionGenerator::Make(config, "ser").graph;
+  }
+};
+
+TEST_F(GraphSerializeTest, RoundTrip) {
+  graph::HeteroGraph g = SampleGraph();
+  std::string path = TempPath("graph_roundtrip.xfgr");
+  ASSERT_TRUE(graph::SaveGraph(g, path).ok());
+  auto loaded = graph::LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  const graph::HeteroGraph& h = loaded.value();
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.feature_dim(), g.feature_dim());
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(h.node_type(v), g.node_type(v));
+    EXPECT_EQ(h.label(v), g.label(v));
+    EXPECT_EQ(h.InDegree(v), g.InDegree(v));
+    ASSERT_EQ(h.HasFeatures(v), g.HasFeatures(v));
+    if (g.HasFeatures(v)) {
+      for (int64_t c = 0; c < g.feature_dim(); ++c) {
+        EXPECT_EQ(h.Features(v)[c], g.Features(v)[c]);
+      }
+    }
+  }
+  EXPECT_EQ(h.neighbors(), g.neighbors());
+}
+
+TEST_F(GraphSerializeTest, DetectsBitFlip) {
+  graph::HeteroGraph g = SampleGraph();
+  std::string path = TempPath("graph_corrupt.xfgr");
+  ASSERT_TRUE(graph::SaveGraph(g, path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200, std::ios::beg);
+    char byte;
+    f.seekg(200, std::ios::beg);
+    f.get(byte);
+    f.seekp(200, std::ios::beg);
+    f.put(static_cast<char>(byte ^ 0x40));
+  }
+  auto loaded = graph::LoadGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(GraphSerializeTest, DetectsTruncation) {
+  graph::HeteroGraph g = SampleGraph();
+  std::string path = TempPath("graph_trunc.xfgr");
+  ASSERT_TRUE(graph::SaveGraph(g, path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  auto loaded = graph::LoadGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(GraphSerializeTest, RejectsWrongMagic) {
+  std::string path = TempPath("graph_magic.xfgr");
+  std::ofstream(path, std::ios::binary) << "JUNKJUNKJUNK";
+  auto loaded = graph::LoadGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace xfraud

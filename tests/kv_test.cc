@@ -1,0 +1,288 @@
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/common/thread_pool.h"
+#include "xfraud/data/generator.h"
+#include "xfraud/kv/feature_store.h"
+#include "xfraud/kv/log_kv.h"
+#include "xfraud/kv/mem_kv.h"
+#include "xfraud/kv/sharded_kv.h"
+
+namespace xfraud::kv {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+template <typename MakeStore>
+void RunBasicKvContract(MakeStore make) {
+  auto store = make();
+  std::string value;
+  EXPECT_TRUE(store->Get("missing", &value).IsNotFound());
+  ASSERT_TRUE(store->Put("a", "1").ok());
+  ASSERT_TRUE(store->Put("b", "2").ok());
+  ASSERT_TRUE(store->Get("a", &value).ok());
+  EXPECT_EQ(value, "1");
+  // Overwrite.
+  ASSERT_TRUE(store->Put("a", "updated").ok());
+  ASSERT_TRUE(store->Get("a", &value).ok());
+  EXPECT_EQ(value, "updated");
+  EXPECT_EQ(store->Count(), 2);
+  // Delete.
+  ASSERT_TRUE(store->Delete("a").ok());
+  EXPECT_TRUE(store->Get("a", &value).IsNotFound());
+  EXPECT_EQ(store->Count(), 1);
+  // Prefix scan.
+  ASSERT_TRUE(store->Put("pfx1", "x").ok());
+  ASSERT_TRUE(store->Put("pfx2", "y").ok());
+  auto keys = store->KeysWithPrefix("pfx");
+  EXPECT_EQ(keys.size(), 2u);
+  // Empty values round-trip.
+  ASSERT_TRUE(store->Put("empty", "").ok());
+  ASSERT_TRUE(store->Get("empty", &value).ok());
+  EXPECT_EQ(value, "");
+  // Binary-safe values.
+  std::string binary("\x00\x01\xFF\x00zz", 6);
+  ASSERT_TRUE(store->Put("bin", binary).ok());
+  ASSERT_TRUE(store->Get("bin", &value).ok());
+  EXPECT_EQ(value, binary);
+}
+
+TEST(MemKvTest, BasicContract) {
+  RunBasicKvContract([] { return std::make_unique<MemKvStore>(); });
+}
+
+TEST(ShardedKvTest, BasicContract) {
+  RunBasicKvContract([] { return ShardedKvStore::InMemory(4); });
+}
+
+TEST(LogKvTest, BasicContract) {
+  std::string path = TempPath("log_basic.kv");
+  std::remove(path.c_str());
+  RunBasicKvContract([&] {
+    auto r = LogKvStore::Open(path);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  });
+}
+
+TEST(LogKvTest, PersistsAcrossReopen) {
+  std::string path = TempPath("log_reopen.kv");
+  std::remove(path.c_str());
+  {
+    auto store = std::move(LogKvStore::Open(path).value());
+    ASSERT_TRUE(store->Put("k1", "v1").ok());
+    ASSERT_TRUE(store->Put("k2", "v2").ok());
+    ASSERT_TRUE(store->Delete("k1").ok());
+    ASSERT_TRUE(store->Put("k2", "v2b").ok());
+  }
+  auto store = std::move(LogKvStore::Open(path).value());
+  std::string value;
+  EXPECT_TRUE(store->Get("k1", &value).IsNotFound());
+  ASSERT_TRUE(store->Get("k2", &value).ok());
+  EXPECT_EQ(value, "v2b");
+  EXPECT_EQ(store->Count(), 1);
+}
+
+TEST(LogKvTest, SurvivesTruncatedTail) {
+  std::string path = TempPath("log_trunc.kv");
+  std::remove(path.c_str());
+  {
+    auto store = std::move(LogKvStore::Open(path).value());
+    ASSERT_TRUE(store->Put("good", "value").ok());
+    ASSERT_TRUE(store->Put("partial", "this record will be cut").ok());
+  }
+  // Simulate a crash mid-append: cut the last 7 bytes.
+  {
+    std::filesystem::path p(path);
+    auto size = std::filesystem::file_size(p);
+    std::filesystem::resize_file(p, size - 7);
+  }
+  auto store = std::move(LogKvStore::Open(path).value());
+  std::string value;
+  ASSERT_TRUE(store->Get("good", &value).ok());
+  EXPECT_EQ(value, "value");
+  EXPECT_TRUE(store->Get("partial", &value).IsNotFound());
+  // The store stays writable after recovery.
+  ASSERT_TRUE(store->Put("after", "crash").ok());
+  ASSERT_TRUE(store->Get("after", &value).ok());
+  EXPECT_EQ(value, "crash");
+}
+
+TEST(LogKvTest, DetectsCorruptPayload) {
+  std::string path = TempPath("log_corrupt.kv");
+  std::remove(path.c_str());
+  {
+    auto store = std::move(LogKvStore::Open(path).value());
+    ASSERT_TRUE(store->Put("k", "AAAAAAAA").ok());
+  }
+  // Flip a payload byte: CRC must reject the record.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-2, std::ios::end);
+    f.put('X');
+  }
+  auto store = std::move(LogKvStore::Open(path).value());
+  std::string value;
+  EXPECT_TRUE(store->Get("k", &value).IsNotFound());
+}
+
+TEST(LogKvTest, CompactReclaimsSpace) {
+  std::string path = TempPath("log_compact.kv");
+  std::remove(path.c_str());
+  auto store = std::move(LogKvStore::Open(path).value());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->Put("key", "version" + std::to_string(i)).ok());
+  }
+  int64_t before = store->FileSize();
+  auto reclaimed = store->Compact();
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_GT(reclaimed.value(), 0);
+  EXPECT_LT(store->FileSize(), before);
+  std::string value;
+  ASSERT_TRUE(store->Get("key", &value).ok());
+  EXPECT_EQ(value, "version49");
+  // Still writable and persistent post-compact.
+  ASSERT_TRUE(store->Put("key2", "x").ok());
+  ASSERT_TRUE(store->Get("key2", &value).ok());
+}
+
+TEST(LogKvTest, ConcurrentReaders) {
+  std::string path = TempPath("log_concurrent.kv");
+  std::remove(path.c_str());
+  auto store = std::move(LogKvStore::Open(path).value());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store
+                    ->Put("key" + std::to_string(i),
+                          "value" + std::to_string(i))
+                    .ok());
+  }
+  std::atomic<int> errors{0};
+  ThreadPool pool(4);
+  pool.ParallelFor(2000, [&](size_t i) {
+    std::string value;
+    int k = static_cast<int>(i % 200);
+    Status s = store->Get("key" + std::to_string(k), &value);
+    if (!s.ok() || value != "value" + std::to_string(k)) {
+      errors.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(ShardedKvTest, SpreadsKeysAcrossShards) {
+  std::vector<std::unique_ptr<KvStore>> shards;
+  std::vector<MemKvStore*> raw;
+  for (int i = 0; i < 4; ++i) {
+    auto s = std::make_unique<MemKvStore>();
+    raw.push_back(s.get());
+    shards.push_back(std::move(s));
+  }
+  ShardedKvStore store(std::move(shards));
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store.Put("key" + std::to_string(i), "v").ok());
+  }
+  // Every shard holds a nontrivial portion.
+  for (auto* s : raw) {
+    EXPECT_GT(s->Count(), 40);
+  }
+  EXPECT_EQ(store.Count(), 400);
+}
+
+class FeatureStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorConfig config = data::TransactionGenerator::SimSmall();
+    config.num_buyers = 200;
+    config.num_fraud_rings = 6;
+    config.num_stolen_cards = 10;
+    ds_ = data::TransactionGenerator::Make(config, "kv-test");
+    store_ = ShardedKvStore::InMemory(4);
+    feature_store_ = std::make_unique<FeatureStore>(store_.get());
+    ASSERT_TRUE(feature_store_->Ingest(ds_.graph).ok());
+  }
+
+  data::SimDataset ds_;
+  std::unique_ptr<ShardedKvStore> store_;
+  std::unique_ptr<FeatureStore> feature_store_;
+};
+
+TEST_F(FeatureStoreTest, MetadataRoundTrip) {
+  auto n = feature_store_->NumNodes();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), ds_.graph.num_nodes());
+  auto dim = feature_store_->FeatureDim();
+  ASSERT_TRUE(dim.ok());
+  EXPECT_EQ(dim.value(), ds_.graph.feature_dim());
+}
+
+TEST_F(FeatureStoreTest, FeaturesMatchGraph) {
+  for (int32_t v : ds_.graph.LabeledTransactions()) {
+    std::vector<float> feat;
+    ASSERT_TRUE(feature_store_->ReadFeatures(v, &feat).ok());
+    ASSERT_EQ(static_cast<int64_t>(feat.size()), ds_.graph.feature_dim());
+    const float* expected = ds_.graph.Features(v);
+    for (size_t i = 0; i < feat.size(); ++i) {
+      EXPECT_EQ(feat[i], expected[i]);
+    }
+    if (v > 100) break;  // spot-check a handful
+  }
+}
+
+TEST_F(FeatureStoreTest, EntityNodesHaveNoFeatures) {
+  auto buyers = ds_.graph.NodesOfType(graph::NodeType::kBuyer);
+  ASSERT_FALSE(buyers.empty());
+  std::vector<float> feat;
+  EXPECT_TRUE(feature_store_->ReadFeatures(buyers[0], &feat).IsNotFound());
+}
+
+TEST_F(FeatureStoreTest, AdjacencyMatchesGraph) {
+  int32_t v = ds_.graph.LabeledTransactions()[0];
+  std::vector<int32_t> neighbors;
+  std::vector<uint8_t> etypes;
+  ASSERT_TRUE(feature_store_->ReadNeighbors(v, &neighbors, &etypes).ok());
+  ASSERT_EQ(static_cast<int64_t>(neighbors.size()), ds_.graph.InDegree(v));
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    EXPECT_EQ(neighbors[i],
+              ds_.graph.neighbors()[ds_.graph.InDegreeBegin(v) + i]);
+    EXPECT_EQ(etypes[i],
+              static_cast<uint8_t>(
+                  ds_.graph.edge_types()[ds_.graph.InDegreeBegin(v) + i]));
+  }
+}
+
+TEST_F(FeatureStoreTest, LoadBatchMatchesDirectSampling) {
+  std::vector<int32_t> seeds(ds_.train_nodes.begin(),
+                             ds_.train_nodes.begin() + 8);
+  Rng rng(3);
+  auto batch = feature_store_->LoadBatch(seeds, /*hops=*/2, /*fanout=*/-1,
+                                         &rng);
+  ASSERT_TRUE(batch.ok());
+  const auto& b = batch.value();
+  EXPECT_EQ(b.target_locals.size(), seeds.size());
+  // Same node set as the graph-native sampler with unlimited fanout.
+  sample::SageSampler sampler(2, 1 << 30);
+  Rng rng2(3);
+  auto direct = sampler.SampleBatch(ds_.graph, seeds, &rng2);
+  EXPECT_EQ(b.num_nodes(), direct.num_nodes());
+  EXPECT_EQ(b.num_edges(), direct.num_edges());
+  // Labels agree.
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(b.target_labels[i], direct.target_labels[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xfraud::kv

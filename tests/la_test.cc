@@ -1,0 +1,264 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/la/matrix.h"
+
+namespace xfraud::la {
+namespace {
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, IdentityMultiplyIsNoop) {
+  Matrix a(3, 3);
+  double v = 1.0;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  }
+  Matrix out = a.Multiply(Matrix::Identity(3));
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(out(r, c), a(r, c));
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(2, 4);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 4; ++c) a(r, c) = r * 10.0 + c;
+  }
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 4u);
+  EXPECT_EQ(t.cols(), 2u);
+  Matrix back = t.Transpose();
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(back(r, c), a(r, c));
+  }
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  std::vector<double> v = {5, 6};
+  auto out = a.MultiplyVector(v);
+  EXPECT_DOUBLE_EQ(out[0], 17);
+  EXPECT_DOUBLE_EQ(out[1], 39);
+}
+
+TEST(SolveTest, SolvesWellConditionedSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 5;
+  std::vector<double> x_true = {1.0, -2.0, 0.5};
+  std::vector<double> b = a.MultiplyVector(x_true);
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, &x));
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(SolveTest, DetectsSingularMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;  // Rank 1.
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 1.0}, &x));
+}
+
+TEST(SolveTest, SolveNeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, {3.0, 7.0}, &x));
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(InvertTest, InverseTimesOriginalIsIdentity) {
+  Matrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 1;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 2;
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 0;
+  Matrix inv;
+  ASSERT_TRUE(Invert(a, &inv));
+  Matrix prod = a.Multiply(inv);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3; a(1, 1) = 1; a(2, 2) = 2;
+  std::vector<double> w;
+  Matrix v;
+  SymmetricEigen(a, &w, &v);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_NEAR(w[0], 1.0, 1e-10);
+  EXPECT_NEAR(w[1], 2.0, 1e-10);
+  EXPECT_NEAR(w[2], 3.0, 1e-10);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Matrix a(4, 4);
+  // Symmetric random-ish matrix.
+  double vals[4][4] = {{4, 1, 0.5, 0},
+                       {1, 3, 1, 0.2},
+                       {0.5, 1, 5, 0.7},
+                       {0, 0.2, 0.7, 2}};
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) a(r, c) = vals[r][c];
+  }
+  std::vector<double> w;
+  Matrix v;
+  SymmetricEigen(a, &w, &v);
+  // A == V diag(w) V^T.
+  Matrix recon(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < 4; ++k) acc += v(i, k) * w[k] * v(j, k);
+      recon(i, j) = acc;
+    }
+  }
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_NEAR(recon(r, c), a(r, c), 1e-8);
+  }
+}
+
+TEST(EigenTest, EigenvectorsAreOrthonormal) {
+  Matrix a(3, 3);
+  double vals[3][3] = {{2, 1, 0}, {1, 2, 1}, {0, 1, 2}};
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = vals[r][c];
+  }
+  std::vector<double> w;
+  Matrix v;
+  SymmetricEigen(a, &w, &v);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < 3; ++k) dot += v(k, i) * v(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(PseudoInverseTest, PathGraphLaplacian) {
+  // Laplacian of the path graph 0-1-2; singular with nullspace = ones.
+  Matrix lap(3, 3);
+  lap(0, 0) = 1; lap(0, 1) = -1;
+  lap(1, 0) = -1; lap(1, 1) = 2; lap(1, 2) = -1;
+  lap(2, 1) = -1; lap(2, 2) = 1;
+  Matrix pinv = PseudoInverseSymmetric(lap);
+  // L * L+ * L == L (Moore-Penrose identity).
+  Matrix test = lap.Multiply(pinv).Multiply(lap);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(test(r, c), lap(r, c), 1e-8);
+  }
+}
+
+TEST(PowerIterationTest, FindsDominantEigenvector) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 0;
+  a(1, 0) = 0; a(1, 1) = 1;
+  auto v = PowerIteration(a);
+  EXPECT_NEAR(std::fabs(v[0]), 1.0, 1e-6);
+  EXPECT_NEAR(v[1], 0.0, 1e-6);
+}
+
+TEST(PowerIterationTest, CycleGraphUniform) {
+  // Adjacency of a 4-cycle: dominant eigenvector is uniform.
+  Matrix a(4, 4);
+  int edges[4][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  for (auto& e : edges) {
+    a(e[0], e[1]) = 1;
+    a(e[1], e[0]) = 1;
+  }
+  auto v = PowerIteration(a, 5000, 1e-12);
+  for (int i = 1; i < 4; ++i) EXPECT_NEAR(v[i], v[0], 1e-5);
+}
+
+TEST(ExpmTest, ZeroMatrixGivesIdentity) {
+  Matrix z(3, 3);
+  Matrix e = Expm(z);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(e(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(ExpmTest, DiagonalMatrix) {
+  Matrix d(2, 2);
+  d(0, 0) = 1.0;
+  d(1, 1) = -2.0;
+  Matrix e = Expm(d);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-10);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-10);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-12);
+}
+
+TEST(ExpmTest, MatchesEigendecompositionForSymmetric) {
+  Matrix a(3, 3);
+  double vals[3][3] = {{0, 1, 0}, {1, 0, 1}, {0, 1, 0}};
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = vals[r][c];
+  }
+  Matrix e = Expm(a);
+  std::vector<double> w;
+  Matrix v;
+  SymmetricEigen(a, &w, &v);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < 3; ++k) {
+        acc += v(i, k) * std::exp(w[k]) * v(j, k);
+      }
+      EXPECT_NEAR(e(i, j), acc, 1e-8);
+    }
+  }
+}
+
+TEST(MatrixTest, NormsAndScale) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+  Matrix b = a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(b(0, 1), 8.0);
+  Matrix c = b.Subtract(a);
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  Matrix d = c.Add(a);
+  EXPECT_DOUBLE_EQ(d(0, 1), 8.0);
+}
+
+}  // namespace
+}  // namespace xfraud::la

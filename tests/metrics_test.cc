@@ -1,0 +1,171 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/train/metrics.h"
+
+namespace xfraud::train {
+namespace {
+
+TEST(RocAucTest, PerfectRankerIsOne) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocAucTest, AntiRankerIsZero) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocAucTest, AllTiedIsHalf) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(RocAucTest, InvariantToMonotoneTransform) {
+  Rng rng(3);
+  std::vector<double> scores(200);
+  std::vector<int> labels(200);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.NextBernoulli(0.3);
+    scores[i] = rng.NextDouble() + 0.3 * labels[i];
+  }
+  double base = RocAuc(scores, labels);
+  std::vector<double> transformed(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    transformed[i] = std::exp(3.0 * scores[i]);  // strictly monotone
+  }
+  EXPECT_NEAR(RocAuc(transformed, labels), base, 1e-12);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(4);
+  std::vector<double> scores(5000);
+  std::vector<int> labels(5000);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.NextDouble();
+    labels[i] = rng.NextBernoulli(0.2);
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocAucTest, MatchesTrapezoidIntegrationOfRocCurve) {
+  Rng rng(5);
+  std::vector<double> scores(300);
+  std::vector<int> labels(300);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.NextBernoulli(0.4);
+    scores[i] = rng.NextGaussian() + labels[i];
+  }
+  double auc = RocAuc(scores, labels);
+  auto curve = RocCurve(scores, labels);
+  double integral = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    integral += (curve[i].x - curve[i - 1].x) * 0.5 *
+                (curve[i].y + curve[i - 1].y);
+  }
+  EXPECT_NEAR(integral, auc, 1e-9);
+}
+
+TEST(AveragePrecisionTest, PerfectRankerIsOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AveragePrecisionTest, KnownValue) {
+  // Ranking: pos, neg, pos => AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(AveragePrecision({0.9, 0.5, 0.4}, {1, 0, 1}), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.1}, {0, 0}), 0.0);
+}
+
+TEST(AccuracyTest, ThresholdBehaviour) {
+  std::vector<double> scores = {0.9, 0.4, 0.6, 0.1};
+  std::vector<int> labels = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(scores, labels, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy(scores, labels, 0.95), 0.5);  // all predicted 0
+}
+
+TEST(ThresholdMetricsTest, CountsAndRates) {
+  std::vector<double> scores = {0.9, 0.8, 0.3, 0.2, 0.7};
+  std::vector<int> labels = {1, 0, 1, 0, 1};
+  ThresholdMetrics m = MetricsAtThreshold(scores, labels, 0.5);
+  EXPECT_EQ(m.tp, 2);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_EQ(m.tn, 1);
+  EXPECT_NEAR(m.tpr, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.fpr, 0.5, 1e-12);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(m.any_predicted_positive);
+  // Identities FNR = 1 - TPR, FPR = 1 - TNR (Appendix H.1).
+  EXPECT_NEAR(m.fnr, 1.0 - m.tpr, 1e-12);
+  EXPECT_NEAR(m.fpr, 1.0 - m.tnr, 1e-12);
+}
+
+TEST(ThresholdMetricsTest, NoPositivePredictions) {
+  ThresholdMetrics m = MetricsAtThreshold({0.1, 0.2}, {1, 0}, 0.9);
+  EXPECT_FALSE(m.any_predicted_positive);
+  EXPECT_EQ(m.tp, 0);
+  EXPECT_EQ(m.fp, 0);
+}
+
+TEST(CurveTest, RocCurveEndpoints) {
+  auto curve = RocCurve({0.9, 0.8, 0.3}, {1, 0, 1});
+  EXPECT_DOUBLE_EQ(curve.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().y, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().x, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().y, 1.0);
+  // Monotone nondecreasing in both axes.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].x, curve[i - 1].x);
+    EXPECT_GE(curve[i].y, curve[i - 1].y);
+  }
+}
+
+TEST(CurveTest, PrCurveRecallMonotone) {
+  Rng rng(6);
+  std::vector<double> scores(100);
+  std::vector<int> labels(100);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.NextDouble();
+    labels[i] = rng.NextBernoulli(0.3);
+  }
+  auto curve = PrCurve(scores, labels);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].x, curve[i - 1].x);
+  }
+  EXPECT_NEAR(curve.back().x, 1.0, 1e-12);
+}
+
+TEST(CurveTest, ThinCurvePreservesEndpoints) {
+  auto curve = RocCurve({0.9, 0.8, 0.7, 0.6, 0.5, 0.4}, {1, 0, 1, 0, 1, 0});
+  auto thin = ThinCurve(curve, 3);
+  ASSERT_EQ(thin.size(), 3u);
+  EXPECT_DOUBLE_EQ(thin.front().x, curve.front().x);
+  EXPECT_DOUBLE_EQ(thin.back().x, curve.back().x);
+}
+
+TEST(BackProjectTest, PaperAppendixHNumbers) {
+  // Appendix H.4: 0.98 precision on the 1%-benign-sampled set ≈ 0.32 on the
+  // pre-sampling stream; 0.95 ≈ 0.16.
+  EXPECT_NEAR(BackProjectPrecision(0.98, 0.01), 0.329, 0.01);
+  EXPECT_NEAR(BackProjectPrecision(0.95, 0.01), 0.160, 0.01);
+}
+
+TEST(BackProjectTest, NoDownsamplingIsIdentity) {
+  EXPECT_NEAR(BackProjectPrecision(0.7, 1.0), 0.7, 1e-12);
+}
+
+}  // namespace
+}  // namespace xfraud::train

@@ -1,0 +1,314 @@
+// Property tests: every differentiable op's analytic gradient is compared
+// against central finite differences on random inputs.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/nn/ops.h"
+
+namespace xfraud::nn {
+namespace {
+
+// Builds a scalar loss from `inputs` and checks d(loss)/d(input) for every
+// input against central differences.
+void CheckGradients(std::vector<Var>& inputs,
+                    const std::function<Var(std::vector<Var>&)>& fn,
+                    float eps = 1e-3f, float tol = 2e-2f) {
+  Var loss = fn(inputs);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  for (auto& in : inputs) in.ZeroGrad();
+  loss.Backward();
+
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    Var& in = inputs[vi];
+    if (!in.requires_grad()) continue;
+    Tensor analytic = in.grad();
+    for (int64_t i = 0; i < in.value().size(); ++i) {
+      float orig = in.mutable_value().vec()[i];
+      in.mutable_value().vec()[i] = orig + eps;
+      float up = fn(inputs).item();
+      in.mutable_value().vec()[i] = orig - eps;
+      float down = fn(inputs).item();
+      in.mutable_value().vec()[i] = orig;
+      float numeric = (up - down) / (2.0f * eps);
+      float got = analytic.vec()[i];
+      float scale = std::max({1.0f, std::fabs(numeric), std::fabs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "input " << vi << " element " << i;
+    }
+  }
+}
+
+Tensor RandomTensor(int64_t r, int64_t c, Rng* rng, float scale = 1.0f) {
+  return Tensor::Uniform(r, c, scale, rng);
+}
+
+TEST(GradCheck, MatMul) {
+  Rng rng(1);
+  std::vector<Var> in = {Var(RandomTensor(3, 4, &rng), true),
+                         Var(RandomTensor(4, 2, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Tanh(MatMul(v[0], v[1])));
+  });
+}
+
+TEST(GradCheck, AddSubMul) {
+  Rng rng(2);
+  std::vector<Var> in = {Var(RandomTensor(3, 3, &rng), true),
+                         Var(RandomTensor(3, 3, &rng), true),
+                         Var(RandomTensor(3, 3, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Mul(Add(v[0], v[1]), Sub(v[0], v[2])));
+  });
+}
+
+TEST(GradCheck, AddRowBroadcast) {
+  Rng rng(3);
+  std::vector<Var> in = {Var(RandomTensor(4, 3, &rng), true),
+                         Var(RandomTensor(1, 3, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Tanh(AddRowBroadcast(v[0], v[1])));
+  });
+}
+
+TEST(GradCheck, ScaleAndAddConst) {
+  Rng rng(4);
+  std::vector<Var> in = {Var(RandomTensor(2, 5, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(AddConst(Scale(v[0], -1.7f), 0.3f));
+  });
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Rng rng(5);
+  // Shift values away from 0 so finite differences are valid.
+  Tensor t = RandomTensor(3, 4, &rng);
+  for (auto& x : t.vec()) x += (x >= 0 ? 0.5f : -0.5f);
+  std::vector<Var> in = {Var(std::move(t), true)};
+  CheckGradients(in, [](std::vector<Var>& v) { return Sum(Relu(v[0])); });
+}
+
+TEST(GradCheck, LeakyRelu) {
+  Rng rng(6);
+  Tensor t = RandomTensor(3, 4, &rng);
+  for (auto& x : t.vec()) x += (x >= 0 ? 0.5f : -0.5f);
+  std::vector<Var> in = {Var(std::move(t), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(LeakyRelu(v[0], 0.2f));
+  });
+}
+
+TEST(GradCheck, TanhSigmoidLog) {
+  Rng rng(7);
+  Tensor t = RandomTensor(3, 3, &rng);
+  std::vector<Var> in = {Var(std::move(t), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Log(AddConst(Sigmoid(Tanh(v[0])), 0.5f)));
+  });
+}
+
+TEST(GradCheck, RowSoftmax) {
+  Rng rng(8);
+  std::vector<Var> in = {Var(RandomTensor(4, 5, &rng, 2.0f), true),
+                         Var(RandomTensor(4, 5, &rng), false)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Mul(RowSoftmax(v[0]), v[1]));
+  });
+}
+
+TEST(GradCheck, CrossEntropy) {
+  Rng rng(9);
+  std::vector<Var> in = {Var(RandomTensor(6, 3, &rng, 2.0f), true)};
+  std::vector<int> labels = {0, 2, 1, 1, 0, 2};
+  CheckGradients(in, [&labels](std::vector<Var>& v) {
+    return CrossEntropy(v[0], labels);
+  });
+}
+
+TEST(GradCheck, CrossEntropyWithClassWeights) {
+  Rng rng(10);
+  std::vector<Var> in = {Var(RandomTensor(5, 2, &rng, 2.0f), true)};
+  std::vector<int> labels = {0, 1, 1, 0, 1};
+  std::vector<float> weights = {1.0f, 4.0f};
+  CheckGradients(in, [&](std::vector<Var>& v) {
+    return CrossEntropy(v[0], labels, weights);
+  });
+}
+
+TEST(GradCheck, ConcatAndSlice) {
+  Rng rng(11);
+  std::vector<Var> in = {Var(RandomTensor(3, 2, &rng), true),
+                         Var(RandomTensor(3, 4, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    Var cat = ConcatCols(v[0], v[1]);
+    return Sum(Tanh(SliceCols(cat, 1, 4)));
+  });
+}
+
+TEST(GradCheck, IndexRows) {
+  Rng rng(12);
+  std::vector<Var> in = {Var(RandomTensor(5, 3, &rng), true)};
+  std::vector<int32_t> idx = {4, 0, 0, 2, 3, 1, 4};
+  CheckGradients(in, [&idx](std::vector<Var>& v) {
+    return Sum(Tanh(IndexRows(v[0], idx)));
+  });
+}
+
+TEST(GradCheck, ScatterAddRows) {
+  Rng rng(13);
+  std::vector<Var> in = {Var(RandomTensor(6, 3, &rng), true)};
+  std::vector<int32_t> idx = {0, 1, 1, 2, 0, 3};
+  CheckGradients(in, [&idx](std::vector<Var>& v) {
+    return Sum(Tanh(ScatterAddRows(v[0], idx, 4)));
+  });
+}
+
+TEST(GradCheck, SegmentSoftmax) {
+  Rng rng(14);
+  std::vector<Var> in = {Var(RandomTensor(7, 2, &rng, 2.0f), true),
+                         Var(RandomTensor(7, 2, &rng), false)};
+  std::vector<int32_t> seg = {0, 0, 1, 1, 1, 2, 0};
+  CheckGradients(in, [&seg](std::vector<Var>& v) {
+    return Sum(Mul(SegmentSoftmax(v[0], seg, 3), v[1]));
+  });
+}
+
+TEST(GradCheck, MulColBroadcast) {
+  Rng rng(15);
+  std::vector<Var> in = {Var(RandomTensor(4, 3, &rng), true),
+                         Var(RandomTensor(4, 1, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Tanh(MulColBroadcast(v[0], v[1])));
+  });
+}
+
+TEST(GradCheck, MeanOp) {
+  Rng rng(16);
+  std::vector<Var> in = {Var(RandomTensor(3, 4, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) { return Mean(Tanh(v[0])); });
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(17);
+  std::vector<Var> in = {Var(RandomTensor(4, 6, &rng, 2.0f), true),
+                         Var(RandomTensor(1, 6, &rng), true),
+                         Var(RandomTensor(1, 6, &rng), true)};
+  CheckGradients(
+      in,
+      [](std::vector<Var>& v) {
+        return Sum(Tanh(LayerNorm(v[0], v[1], v[2])));
+      },
+      /*eps=*/1e-2f, /*tol=*/4e-2f);
+}
+
+TEST(GradCheck, CompositePipelineLikeGnnLayer) {
+  // A miniature message-passing layer: gather -> score -> segment softmax ->
+  // weight -> scatter -> nonlinearity, exercising op composition end to end.
+  Rng rng(18);
+  std::vector<Var> in = {Var(RandomTensor(4, 3, &rng), true),   // node states
+                         Var(RandomTensor(3, 1, &rng), true)};  // score vector
+  std::vector<int32_t> src = {0, 1, 2, 3, 1};
+  std::vector<int32_t> dst = {1, 0, 1, 2, 2};
+  CheckGradients(in, [&](std::vector<Var>& v) {
+    Var msgs = IndexRows(v[0], src);
+    Var scores = MatMul(msgs, v[1]);
+    Var att = SegmentSoftmax(scores, dst, 4);
+    Var weighted = MulColBroadcast(msgs, att);
+    Var agg = ScatterAddRows(weighted, dst, 4);
+    return Sum(Tanh(agg));
+  });
+}
+
+TEST(OpsTest, DropoutInferenceIsIdentity) {
+  Rng rng(19);
+  Var x(RandomTensor(3, 3, &rng), true);
+  Var y = Dropout(x, 0.5f, /*training=*/false, &rng);
+  for (int64_t i = 0; i < x.value().size(); ++i) {
+    EXPECT_EQ(y.value().vec()[i], x.value().vec()[i]);
+  }
+}
+
+TEST(OpsTest, DropoutTrainingScalesSurvivors) {
+  Rng rng(20);
+  Tensor t(1, 10000, 1.0f);
+  Var x(std::move(t), false);
+  Var y = Dropout(x, 0.25f, /*training=*/true, &rng);
+  int zeros = 0;
+  for (int64_t i = 0; i < y.value().size(); ++i) {
+    float v = y.value().vec()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5);
+    }
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.25, 0.02);
+}
+
+TEST(OpsTest, DropoutGradientMatchesMask) {
+  Rng rng(21);
+  Var x(Tensor(2, 4, 1.0f), true);
+  Var y = Dropout(x, 0.5f, /*training=*/true, &rng);
+  Var loss = Sum(y);
+  loss.Backward();
+  // Gradient equals the dropout mask (0 or 1/keep).
+  for (int64_t i = 0; i < x.value().size(); ++i) {
+    float g = x.grad().vec()[i];
+    float v = y.value().vec()[i];
+    EXPECT_FLOAT_EQ(g, v);  // since input was all ones.
+  }
+}
+
+TEST(OpsTest, RowSoftmaxRowsSumToOne) {
+  Rng rng(22);
+  Var x(RandomTensor(5, 7, &rng, 3.0f), false);
+  Var y = RowSoftmax(x);
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < y.cols(); ++c) s += y.value().At(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, SegmentSoftmaxSegmentsSumToOne) {
+  Rng rng(23);
+  Var x(RandomTensor(9, 3, &rng, 3.0f), false);
+  std::vector<int32_t> seg = {0, 1, 0, 2, 1, 0, 2, 2, 1};
+  Var y = SegmentSoftmax(x, seg, 3);
+  for (int64_t c = 0; c < 3; ++c) {
+    double sums[3] = {0, 0, 0};
+    for (int64_t e = 0; e < 9; ++e) sums[seg[e]] += y.value().At(e, c);
+    for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, SegmentSoftmaxSingletonSegmentIsOne) {
+  Var x(Tensor(1, 1, -123.0f), false);
+  Var y = SegmentSoftmax(x, {0}, 1);
+  EXPECT_NEAR(y.value().At(0, 0), 1.0f, 1e-6);
+}
+
+TEST(OpsTest, InferenceBuildsNoTape) {
+  Rng rng(24);
+  Var a(RandomTensor(3, 3, &rng), /*requires_grad=*/false);
+  Var b(RandomTensor(3, 3, &rng), /*requires_grad=*/false);
+  Var c = MatMul(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.impl()->parents.empty());
+}
+
+TEST(OpsTest, GradAccumulatesAcrossUses) {
+  // f(x) = sum(x) + sum(x) => grad is 2 everywhere.
+  Var x(Tensor(2, 2, 1.0f), true);
+  Var loss = Add(Sum(x), Sum(x));
+  loss.Backward();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad().vec()[i], 2.0f);
+}
+
+}  // namespace
+}  // namespace xfraud::nn

@@ -1,0 +1,130 @@
+// Integration test of the §5.1 community-study harness: the pipeline that
+// the explainer benches (Tables 1/4/8-12, Figure 7) are built on.
+
+#include <gtest/gtest.h>
+
+#include "xfraud/explain/evaluation.h"
+#include "xfraud/explain/hit_rate.h"
+
+namespace xfraud::explain {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StudyOptions options;
+    options.detector_epochs = 6;     // keep the suite fast
+    options.all_measures = false;    // skip the two expm-based measures
+    study_ = new CommunityStudy(options);
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+  }
+  static CommunityStudy* study_;
+};
+
+CommunityStudy* StudyTest::study_ = nullptr;
+
+TEST_F(StudyTest, BuildsFortyOneCommunitiesWithPaperLabelMix) {
+  EXPECT_EQ(study_->communities().size(), 41u);
+  int fraud = 0, benign = 0;
+  for (const auto& c : study_->communities()) {
+    (c.seed_label == 1 ? fraud : benign) += 1;
+  }
+  EXPECT_EQ(fraud, 18);
+  EXPECT_EQ(benign, 23);
+}
+
+TEST_F(StudyTest, DetectorIsTrained) {
+  EXPECT_GT(study_->test_auc(), 0.75);
+}
+
+TEST_F(StudyTest, RecordsAreInternallyConsistent) {
+  for (const auto& c : study_->communities()) {
+    size_t edges = c.undirected.size();
+    ASSERT_GE(edges, 10u);
+    EXPECT_EQ(c.human_edges.size(), edges);
+    EXPECT_EQ(c.explainer_edges.size(), edges);
+    EXPECT_EQ(c.node_importance.size(),
+              static_cast<size_t>(c.sub.num_nodes()));
+    EXPECT_EQ(c.annotations.size(), 5u);
+    // Human scores are in [0,2]; explainer weights in (0,1).
+    for (double h : c.human_edges) {
+      EXPECT_GE(h, 0.0);
+      EXPECT_LE(h, 2.0);
+    }
+    for (double w : c.explainer_edges) {
+      EXPECT_GT(w, 0.0);
+      EXPECT_LT(w, 1.0);
+    }
+  }
+}
+
+TEST_F(StudyTest, WeightsExposeChosenMeasure) {
+  auto weights = study_->Weights(CentralityMeasure::kEdgeBetweenness);
+  ASSERT_EQ(weights.size(), study_->communities().size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(weights[i].centrality,
+              study_->communities()[i].centrality_edges[static_cast<int>(
+                  CentralityMeasure::kEdgeBetweenness)]);
+  }
+}
+
+TEST_F(StudyTest, TrainTestSplitIs21_20) {
+  auto all = study_->Weights(CentralityMeasure::kDegree);
+  std::vector<CommunityWeights> train, test;
+  CommunityStudy::SplitTrainTest(all, &train, &test);
+  EXPECT_EQ(train.size(), 21u);
+  EXPECT_EQ(test.size(), all.size() - 21);
+}
+
+TEST_F(StudyTest, InformedMeasuresBeatRandom) {
+  // The §5.1 headline: both centrality and GNNExplainer agree with the
+  // (simulated) annotators clearly better than random edge weights.
+  Rng rng(5);
+  auto weights = study_->Weights(CentralityMeasure::kEdgeBetweenness);
+  double centrality = 0.0, explainer = 0.0, random = 0.0;
+  for (const auto& c : weights) {
+    centrality += TopkHitRate(c.human, c.centrality, 10, &rng, 50);
+    explainer += TopkHitRate(c.human, c.explainer, 10, &rng, 50);
+    random += RandomHitRate(c.human, 10, &rng, 5, 50);
+  }
+  centrality /= weights.size();
+  explainer /= weights.size();
+  random /= weights.size();
+  EXPECT_GT(centrality, random + 0.04);
+  EXPECT_GT(explainer, random + 0.01);
+}
+
+TEST_F(StudyTest, HybridAtLeastMatchesComponentsOnTrain) {
+  Rng rng(6);
+  auto all = study_->Weights(CentralityMeasure::kEdgeBetweenness);
+  std::vector<CommunityWeights> train, test;
+  CommunityStudy::SplitTrainTest(all, &train, &test);
+  HybridExplainer grid = HybridExplainer::FitGrid(train, 10, &rng);
+  double hybrid = grid.MeanHitRate(train, 10, &rng);
+  double centrality = 0.0, explainer = 0.0;
+  for (const auto& c : train) {
+    centrality += TopkHitRate(c.human, c.centrality, 10, &rng, 50);
+    explainer += TopkHitRate(c.human, c.explainer, 10, &rng, 50);
+  }
+  centrality /= train.size();
+  explainer /= train.size();
+  // Allow small metric noise (tie-breaking draws).
+  EXPECT_GE(hybrid + 0.03, std::max(centrality, explainer));
+}
+
+TEST_F(StudyTest, AnnotatorAgreementInPaperBand) {
+  double kappa = 0.0;
+  for (const auto& c : study_->communities()) {
+    kappa += data::MeanPairwiseKappa(c.annotations);
+  }
+  kappa /= study_->communities().size();
+  // Paper: 0.532 average, range 0.314-0.773.
+  EXPECT_GT(kappa, 0.35);
+  EXPECT_LT(kappa, 0.8);
+}
+
+}  // namespace
+}  // namespace xfraud::explain

@@ -1,0 +1,109 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/nn/tensor.h"
+#include "xfraud/nn/variable.h"
+
+namespace xfraud::nn {
+namespace {
+
+TEST(TensorTest, ConstructionAndFill) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.At(1, 2), 1.5f);
+  t.Fill(-2.0f);
+  EXPECT_EQ(t.At(0, 0), -2.0f);
+}
+
+TEST(TensorTest, FromDataVector) {
+  Tensor t(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.At(0, 1), 2.0f);
+  EXPECT_EQ(t.At(1, 0), 3.0f);
+}
+
+TEST(TensorTest, RowPointersAreRowMajor) {
+  Tensor t(3, 4);
+  t.At(2, 1) = 7.0f;
+  EXPECT_EQ(t.Row(2)[1], 7.0f);
+  EXPECT_EQ(t.data()[2 * 4 + 1], 7.0f);
+}
+
+TEST(TensorTest, ZerosLikeMatchesShape) {
+  Tensor t(5, 2, 3.0f);
+  Tensor z = Tensor::ZerosLike(t);
+  EXPECT_TRUE(z.SameShape(t));
+  EXPECT_EQ(z.Sum(), 0.0);
+}
+
+TEST(TensorTest, AddAndScaleInPlace) {
+  Tensor a(2, 2, 1.0f);
+  Tensor b(2, 2, 2.0f);
+  a.AddInPlace(b);
+  EXPECT_EQ(a.At(0, 0), 3.0f);
+  a.ScaleInPlace(0.5f);
+  EXPECT_EQ(a.At(1, 1), 1.5f);
+}
+
+TEST(TensorTest, SumAndNorm) {
+  Tensor t(1, 2, {3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(t.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(t.Norm(), 5.0);
+}
+
+TEST(TensorTest, UniformRespectsBound) {
+  Rng rng(1);
+  Tensor t = Tensor::Uniform(50, 50, 0.25f, &rng);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.vec()[i], -0.25f);
+    EXPECT_LE(t.vec()[i], 0.25f);
+  }
+}
+
+TEST(TensorTest, GaussianHasRequestedSpread) {
+  Rng rng(2);
+  Tensor t = Tensor::Gaussian(100, 100, 2.0f, &rng);
+  double mean = t.Sum() / t.size();
+  double var = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    var += (t.vec()[i] - mean) * (t.vec()[i] - mean);
+  }
+  var /= t.size();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor(3, 4).ShapeString(), "Tensor[3x4]");
+}
+
+TEST(VariableTest, CopySharesStorage) {
+  Var a(Tensor(1, 1, 5.0f), true);
+  Var b = a;  // aliases the same node
+  b.mutable_value().At(0, 0) = 9.0f;
+  EXPECT_EQ(a.value().At(0, 0), 9.0f);
+}
+
+TEST(VariableTest, ItemRequiresScalarShape) {
+  Var s(Tensor(1, 1, 3.5f), false);
+  EXPECT_FLOAT_EQ(s.item(), 3.5f);
+}
+
+TEST(VariableTest, ZeroGradResetsAccumulation) {
+  Var x(Tensor(1, 1, 2.0f), true);
+  // grad buffer allocated on demand.
+  x.grad().Fill(7.0f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad().At(0, 0), 0.0f);
+}
+
+TEST(VariableTest, DefaultConstructedIsUndefined) {
+  Var v;
+  EXPECT_FALSE(v.defined());
+}
+
+}  // namespace
+}  // namespace xfraud::nn

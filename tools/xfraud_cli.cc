@@ -1,0 +1,284 @@
+// xfraud_cli — command-line front end of the library, covering the
+// operational loop a deployment needs without writing C++:
+//
+//   xfraud_cli generate --out log.tsv [--scale small|large|xlarge]
+//       synthesize a transaction log (TSV, see data/log_io.h)
+//   xfraud_cli train --log log.tsv --model detector.ckpt [--epochs N]
+//       build the graph, train detector+, save a checkpoint
+//   xfraud_cli score --log log.tsv --model detector.ckpt [--top N]
+//       score every labeled transaction, print metrics + the riskiest N
+//   xfraud_cli explain --log log.tsv --model detector.ckpt --txn <id>
+//       run the hybrid explainer on one transaction's community and render
+//       it (the paper's Fig. 11 workflow)
+//
+// Exit code 0 on success, 1 on usage/runtime errors.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xfraud/xfraud.h"
+
+namespace xfraud::cli {
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+int Usage() {
+  std::cerr <<
+      "usage: xfraud_cli <command> [flags]\n"
+      "  generate --out <log.tsv> [--scale small|large|xlarge] [--seed N]\n"
+      "  train    --log <log.tsv> --model <ckpt> [--epochs N] [--hidden N]\n"
+      "  score    --log <log.tsv> --model <ckpt> [--top N]\n"
+      "  explain  --log <log.tsv> --model <ckpt> --txn <txn_id>\n";
+  return 1;
+}
+
+Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+      return Status::InvalidArgument("bad flag: " + arg);
+    }
+    flags.values[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+core::DetectorConfig ConfigFor(const graph::HeteroGraph& g,
+                               const Flags& flags) {
+  core::DetectorConfig dc;
+  dc.feature_dim = g.feature_dim();
+  dc.hidden_dim = flags.GetInt("hidden", 32);
+  dc.num_heads = 4;
+  dc.num_layers = flags.GetInt("layers", 2);
+  return dc;
+}
+
+/// Loads the log, builds the dataset, reports basic stats.
+Result<data::SimDataset> LoadDataset(const Flags& flags) {
+  std::string path = flags.Get("log");
+  if (path.empty()) return Status::InvalidArgument("--log is required");
+  auto records = data::ReadTransactionLog(path);
+  if (!records.ok()) return records.status();
+  data::SimDataset ds = data::TransactionGenerator::BuildDataset(
+      records.value(), path, 0.7, 0.1, flags.GetInt("seed", 7));
+  std::cout << "loaded " << records.value().size() << " transactions -> "
+            << ds.graph.num_nodes() << " nodes, " << ds.graph.num_edges() / 2
+            << " undirected edges, "
+            << TablePrinter::Num(ds.graph.FraudRate() * 100, 2)
+            << "% fraud\n";
+  return ds;
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::cerr << "generate: --out is required\n";
+    return 1;
+  }
+  std::string scale = flags.Get("scale", "small");
+  data::GeneratorConfig config =
+      scale == "xlarge" ? data::TransactionGenerator::SimXLarge()
+      : scale == "large" ? data::TransactionGenerator::SimLarge()
+                         : data::TransactionGenerator::SimSmall();
+  if (flags.Has("seed")) config.seed = flags.GetInt("seed", 42);
+  data::TransactionGenerator generator(config);
+  auto records = generator.GenerateRecords();
+  Status s = data::WriteTransactionLog(records, out);
+  if (!s.ok()) {
+    std::cerr << "generate: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << records.size() << " transactions to " << out
+            << "\n";
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  auto ds = LoadDataset(flags);
+  if (!ds.ok()) {
+    std::cerr << "train: " << ds.status().ToString() << "\n";
+    return 1;
+  }
+  std::string model_path = flags.Get("model");
+  if (model_path.empty()) {
+    std::cerr << "train: --model is required\n";
+    return 1;
+  }
+  Rng rng(flags.GetInt("seed", 7));
+  core::XFraudDetector detector(ConfigFor(ds.value().graph, flags), &rng);
+  sample::SageSampler sampler(2, 12);
+  train::TrainOptions opts;
+  opts.max_epochs = flags.GetInt("epochs", 12);
+  opts.patience = opts.max_epochs;
+  opts.class_weights = {1.0f, 4.0f};
+  opts.lr = 2e-3f;
+  opts.verbose = true;
+  train::Trainer trainer(&detector, &sampler, opts);
+  auto result = trainer.Train(ds.value());
+  auto test = trainer.Evaluate(ds.value().graph, ds.value().test_nodes);
+  std::cout << "best val AUC " << TablePrinter::Num(result.best_val_auc, 4)
+            << ", test AUC " << TablePrinter::Num(test.auc, 4) << ", AP "
+            << TablePrinter::Num(test.ap, 4) << "\n";
+  Status s = nn::SaveParameters(detector.Parameters(), model_path);
+  if (!s.ok()) {
+    std::cerr << "train: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "saved checkpoint to " << model_path << "\n";
+  return 0;
+}
+
+Result<std::unique_ptr<core::XFraudDetector>> LoadDetector(
+    const graph::HeteroGraph& g, const Flags& flags) {
+  std::string model_path = flags.Get("model");
+  if (model_path.empty()) return Status::InvalidArgument("--model required");
+  Rng rng(flags.GetInt("seed", 7));
+  auto detector =
+      std::make_unique<core::XFraudDetector>(ConfigFor(g, flags), &rng);
+  auto params = detector->Parameters();
+  XF_RETURN_IF_ERROR(nn::LoadParameters(model_path, &params));
+  return detector;
+}
+
+int CmdScore(const Flags& flags) {
+  auto ds = LoadDataset(flags);
+  if (!ds.ok()) {
+    std::cerr << "score: " << ds.status().ToString() << "\n";
+    return 1;
+  }
+  auto detector = LoadDetector(ds.value().graph, flags);
+  if (!detector.ok()) {
+    std::cerr << "score: " << detector.status().ToString() << "\n";
+    return 1;
+  }
+  sample::SageSampler sampler(2, 12);
+  train::Trainer scorer(detector.value().get(), &sampler,
+                        train::TrainOptions{});
+  auto labeled = ds.value().graph.LabeledTransactions();
+  auto eval = scorer.Evaluate(ds.value().graph, labeled);
+  std::cout << "scored " << labeled.size() << " transactions: AUC "
+            << TablePrinter::Num(eval.auc, 4) << ", AP "
+            << TablePrinter::Num(eval.ap, 4) << "\n";
+
+  int top = flags.GetInt("top", 10);
+  std::vector<size_t> order(eval.scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return eval.scores[a] > eval.scores[b];
+  });
+  TablePrinter table({"node", "risk score", "label"});
+  for (int i = 0; i < top && i < static_cast<int>(order.size()); ++i) {
+    size_t idx = order[i];
+    table.AddRow({std::to_string(labeled[idx]),
+                  TablePrinter::Num(eval.scores[idx], 4),
+                  eval.labels[idx] == 1 ? "fraud" : "benign"});
+  }
+  std::cout << "top " << top << " riskiest transactions:\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdExplain(const Flags& flags) {
+  std::string txn_id = flags.Get("txn");
+  if (txn_id.empty()) {
+    std::cerr << "explain: --txn is required\n";
+    return 1;
+  }
+  std::string path = flags.Get("log");
+  auto records = data::ReadTransactionLog(path);
+  if (!records.ok()) {
+    std::cerr << "explain: " << records.status().ToString() << "\n";
+    return 1;
+  }
+  graph::GraphBuilder builder;
+  for (const auto& r : records.value()) {
+    Status s = builder.AddTransaction(r);
+    if (!s.ok()) {
+      std::cerr << "explain: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  graph::HeteroGraph g = builder.Build();
+  int32_t seed = builder.TxnNode(txn_id);
+  if (seed < 0) {
+    std::cerr << "explain: unknown transaction id " << txn_id << "\n";
+    return 1;
+  }
+  auto detector = LoadDetector(g, flags);
+  if (!detector.ok()) {
+    std::cerr << "explain: " << detector.status().ToString() << "\n";
+    return 1;
+  }
+
+  Rng rng(11);
+  graph::Subgraph community = graph::KHopSubgraph(g, seed, 3, 10, &rng);
+  sample::MiniBatch batch = sample::MakeBatch(g, community, {seed});
+  double risk = train::FraudProbabilities(
+      detector.value()->Forward(batch, core::ForwardOptions{}))[0];
+  std::cout << "transaction " << txn_id << ": risk score "
+            << TablePrinter::Num(risk, 4) << "\n";
+
+  explain::GnnExplainer explainer(detector.value().get(),
+                                  explain::GnnExplainerOptions{});
+  explain::Explanation explanation = explainer.Explain(batch);
+  auto undirected = graph::UndirectedEdges(community);
+  auto centrality = explain::EdgeWeightsByCentrality(
+      undirected, community.num_nodes(),
+      explain::CentralityMeasure::kEdgeBetweenness, &rng);
+
+  // Even blend of the task-agnostic and task-aware weights (§3.4.2); train
+  // the coefficients with bench_table4_hybrid for a fitted combination.
+  std::vector<double> hybrid(undirected.size());
+  auto normalize = [](std::vector<double> w) {
+    double lo = *std::min_element(w.begin(), w.end());
+    double hi = *std::max_element(w.begin(), w.end());
+    for (auto& x : w) x = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+    return w;
+  };
+  auto wc = normalize(centrality);
+  auto we = normalize(explanation.undirected_edge_weights);
+  for (size_t e = 0; e < hybrid.size(); ++e) {
+    hybrid[e] = 0.5 * wc[e] + 0.5 * we[e];
+  }
+  std::cout << explain::RenderCommunity(g, community, hybrid, 20);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  SetMinLogLevel(LogLevel::kWarning);
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::cerr << flags.status().ToString() << "\n";
+    return Usage();
+  }
+  if (command == "generate") return CmdGenerate(flags.value());
+  if (command == "train") return CmdTrain(flags.value());
+  if (command == "score") return CmdScore(flags.value());
+  if (command == "explain") return CmdExplain(flags.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace xfraud::cli
+
+int main(int argc, char** argv) { return xfraud::cli::Main(argc, argv); }
