@@ -25,6 +25,15 @@ inline bool FastMode() {
   return env != nullptr && std::string(env) == "1";
 }
 
+/// XFRAUD_SAMPLE_WORKERS overrides the benches' BatchLoader worker count
+/// (default 0 = serial, keeping the timed sections free of thread
+/// contention on the single-core reproduction host; results are
+/// bit-identical at any setting).
+inline int SampleWorkersFromEnv(int fallback = 0) {
+  const char* env = std::getenv("XFRAUD_SAMPLE_WORKERS");
+  return env != nullptr ? std::atoi(env) : fallback;
+}
+
 inline core::DetectorConfig DetectorConfigFor(const graph::HeteroGraph& g) {
   core::DetectorConfig c;
   c.feature_dim = g.feature_dim();
@@ -68,6 +77,7 @@ inline train::TrainOptions BenchTrainOptions(uint64_t seed, int epochs) {
   opts.clip = 0.25f;
   opts.class_weights = {1.0f, 4.0f};
   opts.seed = seed;
+  opts.num_sample_workers = SampleWorkersFromEnv();
   return opts;
 }
 

@@ -221,9 +221,7 @@ bench_cmake/CMakeFiles/bench_incremental.dir/bench_incremental.cc.o: \
  /root/repo/src/xfraud/baselines/gem.h \
  /root/repo/src/xfraud/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/xfraud/common/status.h \
- /root/repo/src/xfraud/common/table_printer.h \
- /root/repo/src/xfraud/common/thread_pool.h \
+ /root/repo/src/xfraud/common/mpmc_queue.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
@@ -233,9 +231,12 @@ bench_cmake/CMakeFiles/bench_incremental.dir/bench_incremental.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/optional \
+ /root/repo/src/xfraud/common/status.h \
+ /root/repo/src/xfraud/common/table_printer.h \
+ /root/repo/src/xfraud/common/thread_pool.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/xfraud/common/timer.h /usr/include/c++/12/chrono \
  /root/repo/src/xfraud/core/detector.h \
@@ -247,6 +248,9 @@ bench_cmake/CMakeFiles/bench_incremental.dir/bench_incremental.cc.o: \
  /root/repo/src/xfraud/data/prefilter.h \
  /root/repo/src/xfraud/dist/distributed.h \
  /root/repo/src/xfraud/train/trainer.h /root/repo/src/xfraud/nn/optim.h \
+ /root/repo/src/xfraud/sample/batch_loader.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/xfraud/train/metrics.h \
  /root/repo/src/xfraud/dist/partition.h \
  /root/repo/src/xfraud/explain/centrality.h \

@@ -46,6 +46,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/xfraud/nn/serialize.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/serialize.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/serialize.cc.o.d"
   "/root/repo/src/xfraud/nn/tensor.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/tensor.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/tensor.cc.o.d"
   "/root/repo/src/xfraud/nn/variable.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/variable.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/variable.cc.o.d"
+  "/root/repo/src/xfraud/sample/batch_loader.cc" "src/CMakeFiles/xfraud.dir/xfraud/sample/batch_loader.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/sample/batch_loader.cc.o.d"
   "/root/repo/src/xfraud/sample/sampler.cc" "src/CMakeFiles/xfraud.dir/xfraud/sample/sampler.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/sample/sampler.cc.o.d"
   "/root/repo/src/xfraud/train/incremental.cc" "src/CMakeFiles/xfraud.dir/xfraud/train/incremental.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/train/incremental.cc.o.d"
   "/root/repo/src/xfraud/train/metrics.cc" "src/CMakeFiles/xfraud.dir/xfraud/train/metrics.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/train/metrics.cc.o.d"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/batch_loader_test.cc" "tests/CMakeFiles/xfraud_tests.dir/batch_loader_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/batch_loader_test.cc.o.d"
   "/root/repo/tests/centrality_test.cc" "tests/CMakeFiles/xfraud_tests.dir/centrality_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/centrality_test.cc.o.d"
   "/root/repo/tests/common_test.cc" "tests/CMakeFiles/xfraud_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/common_test.cc.o.d"
   "/root/repo/tests/data_test.cc" "tests/CMakeFiles/xfraud_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/data_test.cc.o.d"

@@ -307,4 +307,16 @@ tests/CMakeFiles/xfraud_tests.dir/incremental_test.cc.o: \
  /root/repo/src/xfraud/graph/subgraph.h \
  /root/repo/src/xfraud/core/hetero_conv.h \
  /root/repo/src/xfraud/train/trainer.h /root/repo/src/xfraud/nn/optim.h \
- /root/repo/src/xfraud/train/metrics.h
+ /root/repo/src/xfraud/sample/batch_loader.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/xfraud/common/mpmc_queue.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/xfraud/train/metrics.h

@@ -1,0 +1,113 @@
+#ifndef XFRAUD_COMMON_MPMC_QUEUE_H_
+#define XFRAUD_COMMON_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace xfraud {
+
+/// Bounded multi-producer / multi-consumer FIFO channel. Producers block in
+/// Push while the queue is full; consumers block in Pop while it is empty.
+/// Close() releases every blocked party: pending Push calls fail, and Pop
+/// keeps draining buffered items before reporting end-of-stream, so a
+/// producer can Close() after its last Push without losing items.
+///
+/// This is the backpressure primitive of the sample::BatchLoader pipeline
+/// (prefetching sampler workers feeding a training consumer); see
+/// DESIGN.md "Batch pipeline architecture".
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` items (at least 1).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available, then enqueues `item`. Returns false
+  /// (dropping the item) if the queue is closed before space opens up.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues without blocking; false when full or closed.
+  bool TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available and dequeues it. Returns nullopt
+  /// once the queue is closed AND drained (the end-of-stream signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Dequeues without blocking; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks the stream finished and wakes every blocked producer/consumer.
+  /// Idempotent; buffered items remain poppable.
+  void Close() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_MPMC_QUEUE_H_

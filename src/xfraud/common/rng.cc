@@ -96,4 +96,13 @@ size_t Rng::NextCategorical(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(NextUint64()); }
 
+uint64_t Rng::StreamSeed(uint64_t root, uint64_t stream) {
+  // Two SplitMix64 rounds over root, then fold the stream index in and mix
+  // again — adjacent (root, stream) pairs land in unrelated states.
+  uint64_t s = root;
+  (void)SplitMix64(&s);
+  uint64_t mixed = SplitMix64(&s) ^ (stream * 0x9E3779B97F4A7C15ULL);
+  return SplitMix64(&mixed);
+}
+
 }  // namespace xfraud

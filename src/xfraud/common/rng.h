@@ -55,6 +55,15 @@ class Rng {
   /// Splits off an independent child generator (for per-thread streams).
   Rng Split();
 
+  /// Derives the seed of an independent sub-stream from a root seed and a
+  /// stream index, by mixing both through SplitMix64. Unlike Split(), this
+  /// is stateless: stream k of a root is the same no matter how many other
+  /// streams were derived before it, which is what makes the pipelined
+  /// BatchLoader bit-reproducible across worker counts (batch i always
+  /// samples from StreamSeed(epoch_seed, i), regardless of which worker
+  /// thread claims it).
+  static uint64_t StreamSeed(uint64_t root, uint64_t stream);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

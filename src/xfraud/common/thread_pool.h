@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,7 +28,9 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing. If any task
+  /// threw since the last Wait, rethrows the first captured exception here
+  /// (the pool itself survives and stays usable).
   void Wait();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
@@ -45,6 +48,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_exception_;
 };
 
 /// Reusable barrier synchronizing a fixed number of participants. Used to

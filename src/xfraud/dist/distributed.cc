@@ -8,10 +8,20 @@
 #include "xfraud/dist/partition.h"
 #include "xfraud/graph/subgraph.h"
 #include "xfraud/nn/optim.h"
+#include "xfraud/sample/batch_loader.h"
 
 namespace xfraud::dist {
 
 using train::FraudProbabilities;
+
+namespace {
+
+// Stream tags of the simulation's independent sampling roots (per-worker
+// training streams and the replica-0 evaluation stream).
+constexpr uint64_t kDistSampleTag = 0x44495354ULL;  // "DIST"
+constexpr uint64_t kDistEvalTag = 0x4456414CULL;    // "DVAL"
+
+}  // namespace
 
 DistributedTrainer::DistributedTrainer(std::vector<core::GnnModel*> replicas,
                                        const sample::Sampler* sampler,
@@ -55,7 +65,9 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
     std::unique_ptr<nn::AdamW> optimizer;
     xfraud::Rng rng{0};
     size_t cursor = 0;
+    std::unique_ptr<sample::BatchLoader> loader;  // this epoch's pipeline
     double compute_seconds = 0.0;  // this epoch
+    double sample_seconds = 0.0;   // this epoch
     double loss_sum = 0.0;
     int64_t steps = 0;
   };
@@ -90,22 +102,31 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
       (max_train + options_.train.batch_size - 1) /
       options_.train.batch_size);
 
-  // Validation via replica 0 on the full graph.
+  // Loader knobs shared by every sampling pipeline of the simulation.
+  const sample::LoaderOptions loader_opts{
+      .num_workers = options_.train.num_sample_workers,
+      .prefetch_depth = options_.train.prefetch_depth};
+  const bool pipelined = loader_opts.num_workers > 0;
+
+  // Validation via replica 0 on the full graph, through its own loader on
+  // a dedicated eval stream.
   sample::SageSampler eval_sampler(2, 12);
+  const uint64_t eval_stream =
+      xfraud::Rng::StreamSeed(options_.train.seed, kDistEvalTag);
   auto evaluate = [&](const std::vector<int32_t>& nodes) {
     train::EvalResult eval;
     core::ForwardOptions fwd;
-    xfraud::Rng eval_rng(7);
-    for (size_t begin = 0; begin < nodes.size(); begin += 640) {
-      size_t end = std::min(begin + 640, nodes.size());
-      std::vector<int32_t> seeds(nodes.begin() + begin, nodes.begin() + end);
-      sample::MiniBatch batch =
-          eval_sampler.SampleBatch(ds.graph, seeds, &eval_rng);
-      nn::Var logits = replicas_[0]->Forward(batch, fwd);
+    sample::BatchLoader loader(
+        &ds.graph, &eval_sampler,
+        sample::BatchLoader::MakeSeedBatches(nodes, 640), eval_stream,
+        loader_opts);
+    while (auto loaded = loader.Next()) {
+      nn::Var logits = replicas_[0]->Forward(loaded->batch, fwd);
       auto probs = FraudProbabilities(logits);
       eval.scores.insert(eval.scores.end(), probs.begin(), probs.end());
-      eval.labels.insert(eval.labels.end(), batch.target_labels.begin(),
-                         batch.target_labels.end());
+      eval.labels.insert(eval.labels.end(),
+                         loaded->batch.target_labels.begin(),
+                         loaded->batch.target_labels.end());
     }
     eval.auc = train::RocAuc(eval.scores, eval.labels);
     return eval;
@@ -118,22 +139,22 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
   int stale = 0;
   for (int epoch = 0; epoch < options_.train.max_epochs; ++epoch) {
     WallTimer epoch_timer;
-    for (auto& w : workers) {
-      w.compute_seconds = 0.0;
-      w.loss_sum = 0.0;
-      w.steps = 0;
-    }
-    for (int64_t step = 0; step < steps_per_epoch; ++step) {
-      // Phase 1: every worker computes gradients on its own partition.
-      // (Run serially on this single-core host; each worker's compute time
-      // is measured individually to model the concurrent cluster.)
-      for (int w = 0; w < kappa; ++w) {
-        Worker& worker = workers[w];
-        if (worker.local_train.empty()) {
-          for (auto& p : params[w]) p.var.ZeroGrad();
-          continue;
-        }
-        WallTimer t;
+    for (int w = 0; w < kappa; ++w) {
+      Worker& worker = workers[w];
+      worker.compute_seconds = 0.0;
+      worker.sample_seconds = 0.0;
+      worker.loss_sum = 0.0;
+      worker.steps = 0;
+      // Plan the worker's epoch up front (cursor walk with reshuffle on
+      // wrap, dedup of seeds that wrapped within a batch) and hand the plan
+      // to a BatchLoader so sampler threads can prefetch ahead of the
+      // gradient steps. The plan only draws shuffles from worker.rng;
+      // sampling itself runs on per-batch streams.
+      worker.loader = nullptr;
+      if (worker.local_train.empty()) continue;
+      std::vector<std::vector<int32_t>> plan;
+      plan.reserve(steps_per_epoch);
+      for (int64_t step = 0; step < steps_per_epoch; ++step) {
         std::vector<int32_t> seeds;
         for (int b = 0; b < options_.train.batch_size; ++b) {
           if (worker.cursor >= worker.local_train.size()) {
@@ -142,16 +163,37 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
           }
           seeds.push_back(worker.local_train[worker.cursor++]);
         }
-        // Dedup seeds that wrapped around within one batch.
         std::sort(seeds.begin(), seeds.end());
         seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
-        sample::MiniBatch batch =
-            sampler_->SampleBatch(worker.graph, seeds, &worker.rng);
+        plan.push_back(std::move(seeds));
+      }
+      worker.loader = std::make_unique<sample::BatchLoader>(
+          &worker.graph, sampler_, std::move(plan),
+          xfraud::Rng::StreamSeed(
+              xfraud::Rng::StreamSeed(options_.train.seed, kDistSampleTag),
+              static_cast<uint64_t>(epoch) * kappa + w),
+          loader_opts);
+    }
+    for (int64_t step = 0; step < steps_per_epoch; ++step) {
+      // Phase 1: every worker computes gradients on its own partition.
+      // (Run serially on this single-core host; each worker's sampling and
+      // compute times are measured individually to model the concurrent
+      // cluster.)
+      for (int w = 0; w < kappa; ++w) {
+        Worker& worker = workers[w];
+        if (worker.loader == nullptr) {
+          for (auto& p : params[w]) p.var.ZeroGrad();
+          continue;
+        }
+        auto loaded = worker.loader->Next();
+        XF_CHECK(loaded.has_value());
+        worker.sample_seconds += loaded->sample_seconds;
+        WallTimer t;
         core::ForwardOptions fwd;
         fwd.training = true;
         fwd.rng = &worker.rng;
-        nn::Var logits = replicas_[w]->Forward(batch, fwd);
-        nn::Var loss = nn::CrossEntropy(logits, batch.target_labels,
+        nn::Var logits = replicas_[w]->Forward(loaded->batch, fwd);
+        nn::Var loss = nn::CrossEntropy(logits, loaded->batch.target_labels,
                                         options_.train.class_weights);
         worker.optimizer->ZeroGrad();
         loss.Backward();
@@ -183,12 +225,22 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
 
     double wall = epoch_timer.ElapsedSeconds();
     double slowest = 0.0;
+    double slowest_sample = 0.0;
+    double slowest_compute = 0.0;
     double loss_sum = 0.0;
     int64_t loss_steps = 0;
-    for (const auto& w : workers) {
-      slowest = std::max(slowest, w.compute_seconds);
+    for (auto& w : workers) {
+      // A pipelined worker overlaps sampling with compute, so its epoch
+      // costs the larger of the two; the serial path pays the sum.
+      double worker_epoch =
+          pipelined ? std::max(w.compute_seconds, w.sample_seconds)
+                    : w.compute_seconds + w.sample_seconds;
+      slowest = std::max(slowest, worker_epoch);
+      slowest_sample = std::max(slowest_sample, w.sample_seconds);
+      slowest_compute = std::max(slowest_compute, w.compute_seconds);
       loss_sum += w.loss_sum;
       loss_steps += w.steps;
+      w.loader = nullptr;  // epoch plan exhausted; release sampler threads
     }
 
     train::EvalResult val = evaluate(ds.val_nodes);
@@ -197,6 +249,8 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
     stats.train_loss = loss_steps > 0 ? loss_sum / loss_steps : 0.0;
     stats.val_auc = val.auc;
     stats.wall_seconds = wall;
+    stats.max_worker_sample_seconds = slowest_sample;
+    stats.max_worker_compute_seconds = slowest_compute;
     stats.simulated_cluster_seconds =
         slowest + options_.sync_overhead_seconds * steps_per_epoch;
     result.history.push_back(stats);

@@ -15,6 +15,10 @@ namespace xfraud::dist {
 struct DistributedOptions {
   int num_workers = 8;    // kappa
   int num_clusters = 128;  // PIC subgraphs before grouping
+  /// Shared training protocol. train.num_sample_workers /
+  /// train.prefetch_depth configure each replica's BatchLoader pipeline
+  /// (every replica prefetches batches from its partition with that many
+  /// sampler threads).
   train::TrainOptions train;
   /// Modeled per-step all-reduce latency added to the simulated cluster
   /// epoch time (gradient exchange is not free on a real cluster).
@@ -28,12 +32,20 @@ struct DistributedEpoch {
   double val_auc = 0.0;
   /// Measured wall-clock of this epoch (all workers ran on this machine).
   double wall_seconds = 0.0;
+  /// Slowest worker's neighbourhood-sampling cost this epoch (measured in
+  /// the BatchLoader, wherever it ran).
+  double max_worker_sample_seconds = 0.0;
+  /// Slowest worker's gradient-compute (forward+backward) cost this epoch.
+  double max_worker_compute_seconds = 0.0;
   /// Simulated cluster wall-clock: max over workers of their measured
-  /// compute plus the modeled sync cost — what a kappa-machine cluster
-  /// would take, since workers compute concurrently there. (This host has
-  /// one core, so thread wall-clock would not show the paper's speedup; the
-  /// per-worker compute is measured for real, only the overlap is modeled.
-  /// See DESIGN.md §1.)
+  /// epoch cost plus the modeled sync cost — what a kappa-machine cluster
+  /// would take, since workers compute concurrently there. A worker's
+  /// epoch cost is sample+compute on the serial path, and
+  /// max(sample, compute) when sampler workers pipeline batches ahead of
+  /// the gradient step (train.num_sample_workers > 0), since sampling then
+  /// overlaps compute. (This host has one core, so thread wall-clock would
+  /// not show the paper's speedup; the per-worker costs are measured for
+  /// real, only the overlap is modeled. See DESIGN.md §1.)
   double simulated_cluster_seconds = 0.0;
 };
 

@@ -1,0 +1,96 @@
+#include "xfraud/sample/batch_loader.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "xfraud/common/timer.h"
+
+namespace xfraud::sample {
+
+BatchLoader::BatchLoader(const graph::HeteroGraph* graph,
+                         const Sampler* sampler,
+                         std::vector<std::vector<int32_t>> seed_batches,
+                         uint64_t stream_seed, LoaderOptions options)
+    : graph_(graph),
+      sampler_(sampler),
+      seed_batches_(std::move(seed_batches)),
+      stream_seed_(stream_seed),
+      options_(options),
+      ready_(static_cast<size_t>(std::max(1, options.prefetch_depth))) {
+  if (options_.num_workers > 0 && !seed_batches_.empty()) {
+    int workers = std::min<int>(options_.num_workers,
+                                static_cast<int>(seed_batches_.size()));
+    workers_.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+BatchLoader::~BatchLoader() {
+  // Stop claims, then release any worker blocked on backpressure.
+  claim_.store(num_batches());
+  ready_.Close();
+  for (auto& t : workers_) t.join();
+}
+
+LoadedBatch BatchLoader::SampleOne(int64_t index) const {
+  WallTimer timer;
+  Rng rng(Rng::StreamSeed(stream_seed_, static_cast<uint64_t>(index)));
+  LoadedBatch out;
+  out.index = index;
+  out.batch = sampler_->SampleBatch(*graph_, seed_batches_[index], &rng);
+  out.sample_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void BatchLoader::WorkerLoop() {
+  const int64_t n = num_batches();
+  for (;;) {
+    int64_t index = claim_.fetch_add(1);
+    if (index >= n) return;
+    if (!ready_.Push(SampleOne(index))) return;  // closed: consumer is done
+  }
+}
+
+std::optional<LoadedBatch> BatchLoader::Next() {
+  if (next_index_ >= num_batches()) return std::nullopt;
+  if (workers_.empty()) {
+    LoadedBatch out = SampleOne(next_index_++);
+    total_sample_seconds_ += out.sample_seconds;
+    return out;
+  }
+  // Workers race on the claim counter, so batches may arrive out of order;
+  // park early arrivals until their turn. The reorder buffer only grows
+  // while the expected batch is still being sampled, so it stays near the
+  // queue bound when batch costs are comparable.
+  for (;;) {
+    auto it = reorder_.find(next_index_);
+    if (it != reorder_.end()) {
+      LoadedBatch out = std::move(it->second);
+      reorder_.erase(it);
+      ++next_index_;
+      total_sample_seconds_ += out.sample_seconds;
+      return out;
+    }
+    std::optional<LoadedBatch> item = ready_.Pop();
+    if (!item.has_value()) return std::nullopt;  // closed mid-stream
+    reorder_.emplace(item->index, std::move(*item));
+  }
+}
+
+std::vector<std::vector<int32_t>> BatchLoader::MakeSeedBatches(
+    const std::vector<int32_t>& nodes, int batch_size) {
+  std::vector<std::vector<int32_t>> batches;
+  if (batch_size <= 0) batch_size = 1;
+  batches.reserve((nodes.size() + batch_size - 1) / batch_size);
+  for (size_t begin = 0; begin < nodes.size();
+       begin += static_cast<size_t>(batch_size)) {
+    size_t end = std::min(begin + static_cast<size_t>(batch_size),
+                          nodes.size());
+    batches.emplace_back(nodes.begin() + begin, nodes.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace xfraud::sample

@@ -17,7 +17,10 @@ namespace xfraud::train {
 ///                  (the daily/weekly model-update loop the paper proposes);
 ///   - cumulative:  retrain from scratch on all history (upper bound).
 struct IncrementalOptions {
-  TrainOptions train;           // protocol for the initial fit
+  /// Protocol for the initial fit. Also carries the BatchLoader pipeline
+  /// knobs (num_sample_workers, prefetch_depth), which every fit,
+  /// fine-tune, and scoring pass in the protocol inherits.
+  TrainOptions train;
   int finetune_epochs = 3;      // per-period incremental update
   core::DetectorConfig detector;
   uint64_t seed = 77;

@@ -8,6 +8,32 @@
 
 namespace xfraud::train {
 
+namespace {
+
+// Stream tags separating the trainer's independent RNG roots. Sampling and
+// evaluation each get their own root split off the user seed, so drawing
+// from one can never advance another.
+constexpr uint64_t kSampleStreamTag = 0x5A4D504C45ULL;  // "SMPLE"
+constexpr uint64_t kEvalStreamTag = 0x4556414CULL;      // "EVAL"
+
+struct BatchTiming {
+  double mean = 0.0;
+  double std_dev = 0.0;
+};
+
+BatchTiming Summarize(const std::vector<double>& secs) {
+  BatchTiming out;
+  if (secs.empty()) return out;
+  for (double s : secs) out.mean += s;
+  out.mean /= secs.size();
+  double var = 0.0;
+  for (double s : secs) var += (s - out.mean) * (s - out.mean);
+  out.std_dev = std::sqrt(var / secs.size());
+  return out;
+}
+
+}  // namespace
+
 std::vector<double> FraudProbabilities(const nn::Var& logits) {
   nn::Var probs = nn::RowSoftmax(logits);
   std::vector<double> out(probs.rows());
@@ -25,7 +51,9 @@ Trainer::Trainer(core::GnnModel* model, const sample::Sampler* sampler,
       optimizer_(model->Parameters(),
                  nn::AdamWOptions{.lr = options.lr,
                                   .weight_decay = options.weight_decay}),
-      rng_(options.seed * 0x9E3779B9ULL + 0x1234567ULL) {}
+      rng_(options.seed * 0x9E3779B9ULL + 0x1234567ULL),
+      sample_root_(Rng::StreamSeed(options.seed, kSampleStreamTag)),
+      eval_root_(Rng::StreamSeed(options.seed, kEvalStreamTag)) {}
 
 double Trainer::TrainStep(const sample::MiniBatch& batch) {
   core::ForwardOptions fwd;
@@ -46,23 +74,32 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
   std::vector<int32_t> train_nodes = ds.train_nodes;
   int stale = 0;
   double total_seconds = 0.0;
+  double total_sample = 0.0;
+  double total_compute = 0.0;
+  sample::LoaderOptions loader_opts{.num_workers = options_.num_sample_workers,
+                                    .prefetch_depth = options_.prefetch_depth};
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
     WallTimer timer;
     rng_.Shuffle(&train_nodes);
     double loss_sum = 0.0;
     int64_t batches = 0;
-    for (size_t begin = 0; begin < train_nodes.size();
-         begin += options_.batch_size) {
-      size_t end = std::min(begin + options_.batch_size, train_nodes.size());
-      std::vector<int32_t> seeds(train_nodes.begin() + begin,
-                                 train_nodes.begin() + end);
-      sample::MiniBatch batch = sampler_->SampleBatch(ds.graph, seeds, &rng_);
-      loss_sum += TrainStep(batch);
+    double compute_seconds = 0.0;
+    sample::BatchLoader loader(
+        &ds.graph, sampler_,
+        sample::BatchLoader::MakeSeedBatches(train_nodes, options_.batch_size),
+        Rng::StreamSeed(sample_root_, static_cast<uint64_t>(epoch)),
+        loader_opts);
+    while (auto loaded = loader.Next()) {
+      WallTimer step_timer;
+      loss_sum += TrainStep(loaded->batch);
+      compute_seconds += step_timer.ElapsedSeconds();
       ++batches;
     }
     double seconds = timer.ElapsedSeconds();
     total_seconds += seconds;
+    total_sample += loader.total_sample_seconds();
+    total_compute += compute_seconds;
 
     EvalResult val = Evaluate(ds.graph, ds.val_nodes);
     EpochStats stats;
@@ -70,6 +107,8 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
     stats.train_loss = batches > 0 ? loss_sum / batches : 0.0;
     stats.val_auc = val.auc;
     stats.seconds = seconds;
+    stats.sample_seconds = loader.total_sample_seconds();
+    stats.compute_seconds = compute_seconds;
     result.history.push_back(stats);
     if (options_.verbose) {
       XF_LOG(Info) << model_->name() << " epoch " << epoch << " loss "
@@ -86,8 +125,10 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
     }
   }
   if (!result.history.empty()) {
-    result.mean_epoch_seconds =
-        total_seconds / static_cast<double>(result.history.size());
+    double n = static_cast<double>(result.history.size());
+    result.mean_epoch_seconds = total_seconds / n;
+    result.mean_epoch_sample_seconds = total_sample / n;
+    result.mean_epoch_compute_seconds = total_compute / n;
   }
   return result;
 }
@@ -96,16 +137,20 @@ EvalResult Trainer::Evaluate(const graph::HeteroGraph& g,
                              const std::vector<int32_t>& nodes,
                              int batch_size) {
   EvalResult result;
-  std::vector<double> batch_secs;
+  std::vector<double> forward_secs;
+  std::vector<double> sample_secs;
   core::ForwardOptions fwd;  // inference: no dropout, no tape
-  for (size_t begin = 0; begin < nodes.size(); begin += batch_size) {
-    size_t end = std::min(begin + static_cast<size_t>(batch_size),
-                          nodes.size());
-    std::vector<int32_t> seeds(nodes.begin() + begin, nodes.begin() + end);
+  sample::BatchLoader loader(
+      &g, sampler_, sample::BatchLoader::MakeSeedBatches(nodes, batch_size),
+      eval_root_,
+      sample::LoaderOptions{.num_workers = options_.num_sample_workers,
+                            .prefetch_depth = options_.prefetch_depth});
+  while (auto loaded = loader.Next()) {
+    const sample::MiniBatch& batch = loaded->batch;
     WallTimer timer;
-    sample::MiniBatch batch = sampler_->SampleBatch(g, seeds, &rng_);
     nn::Var logits = model_->Forward(batch, fwd);
-    batch_secs.push_back(timer.ElapsedSeconds());
+    forward_secs.push_back(timer.ElapsedSeconds());
+    sample_secs.push_back(loaded->sample_seconds);
     std::vector<double> probs = FraudProbabilities(logits);
     result.scores.insert(result.scores.end(), probs.begin(), probs.end());
     result.labels.insert(result.labels.end(), batch.target_labels.begin(),
@@ -116,16 +161,12 @@ EvalResult Trainer::Evaluate(const graph::HeteroGraph& g,
     result.ap = AveragePrecision(result.scores, result.labels);
     result.accuracy = Accuracy(result.scores, result.labels);
   }
-  if (!batch_secs.empty()) {
-    double mean = 0.0;
-    for (double s : batch_secs) mean += s;
-    mean /= batch_secs.size();
-    double var = 0.0;
-    for (double s : batch_secs) var += (s - mean) * (s - mean);
-    var /= batch_secs.size();
-    result.secs_per_batch_mean = mean;
-    result.secs_per_batch_std = std::sqrt(var);
-  }
+  BatchTiming forward = Summarize(forward_secs);
+  result.secs_per_batch_mean = forward.mean;
+  result.secs_per_batch_std = forward.std_dev;
+  BatchTiming sampling = Summarize(sample_secs);
+  result.sample_secs_per_batch_mean = sampling.mean;
+  result.sample_secs_per_batch_std = sampling.std_dev;
   return result;
 }
 

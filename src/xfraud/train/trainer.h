@@ -6,6 +6,7 @@
 #include "xfraud/core/gnn_model.h"
 #include "xfraud/data/generator.h"
 #include "xfraud/nn/optim.h"
+#include "xfraud/sample/batch_loader.h"
 #include "xfraud/sample/sampler.h"
 #include "xfraud/train/metrics.h"
 
@@ -24,6 +25,13 @@ struct TrainOptions {
   std::vector<float> class_weights;
   uint64_t seed = 0;
   bool verbose = false;
+  /// Sampler worker threads prefetching mini-batches ahead of the gradient
+  /// step (0 = sample inline). Any value yields bit-identical training:
+  /// batch contents depend only on (seed, epoch, batch index).
+  int num_sample_workers = 0;
+  /// How many ready batches the sampler workers may buffer (backpressure
+  /// bound of the pipeline queue).
+  int prefetch_depth = 4;
 };
 
 /// Model scores on an evaluation split.
@@ -33,10 +41,15 @@ struct EvalResult {
   double auc = 0.0;
   double ap = 0.0;
   double accuracy = 0.0;
-  /// Mean / stddev wall-clock seconds per evaluation batch (Table 3's
-  /// "inference time (s/batch)").
+  /// Mean / stddev wall-clock seconds of the model forward per evaluation
+  /// batch (Table 3's "inference time (s/batch)"). Neighbourhood sampling
+  /// is reported separately below — lumping it in here overstated
+  /// inference cost by whatever the sampler happened to cost.
   double secs_per_batch_mean = 0.0;
   double secs_per_batch_std = 0.0;
+  /// Mean / stddev wall-clock seconds of neighbourhood sampling per batch.
+  double sample_secs_per_batch_mean = 0.0;
+  double sample_secs_per_batch_std = 0.0;
 };
 
 /// Per-epoch training trace (Figure 14's convergence curves).
@@ -44,7 +57,9 @@ struct EpochStats {
   int epoch = 0;
   double train_loss = 0.0;
   double val_auc = 0.0;
-  double seconds = 0.0;
+  double seconds = 0.0;          // measured wall-clock of the epoch
+  double sample_seconds = 0.0;   // sampling cost, summed where it ran
+  double compute_seconds = 0.0;  // forward+backward+step cost
 };
 
 struct TrainResult {
@@ -52,11 +67,17 @@ struct TrainResult {
   double best_val_auc = 0.0;
   int best_epoch = -1;
   double mean_epoch_seconds = 0.0;
+  /// Mean per-epoch sampling / gradient-compute cost (components of
+  /// mean_epoch_seconds; with sampler workers they overlap).
+  double mean_epoch_sample_seconds = 0.0;
+  double mean_epoch_compute_seconds = 0.0;
 };
 
 /// Mini-batch trainer for any GnnModel: per epoch, shuffles the training
-/// seeds, draws neighbourhoods with `sampler`, and optimizes the cross
-/// entropy of the risk score (paper eq. 11) with AdamW + gradient clipping.
+/// seeds, draws neighbourhoods through a sample::BatchLoader pipeline
+/// (num_sample_workers prefetching threads; 0 = inline), and optimizes the
+/// cross entropy of the risk score (paper eq. 11) with AdamW + gradient
+/// clipping.
 class Trainer {
  public:
   Trainer(core::GnnModel* model, const sample::Sampler* sampler,
@@ -65,7 +86,10 @@ class Trainer {
   /// Trains on ds.train_nodes with early stopping on ds.val_nodes.
   TrainResult Train(const data::SimDataset& ds);
 
-  /// Scores `nodes`, reporting metrics and per-batch inference timings.
+  /// Scores `nodes`, reporting metrics and per-batch sampling/inference
+  /// timings. Sampling draws from an RNG stream forked off the seed, never
+  /// from the training stream, so how often you evaluate cannot change the
+  /// training trajectory, and repeated calls are identical.
   EvalResult Evaluate(const graph::HeteroGraph& g,
                       const std::vector<int32_t>& nodes, int batch_size = 640);
 
@@ -81,7 +105,12 @@ class Trainer {
   const sample::Sampler* sampler_;
   TrainOptions options_;
   nn::AdamW optimizer_;
+  /// Training stream: epoch shuffles and dropout. Sampling uses per-batch
+  /// streams split off `sample_root_` (see BatchLoader), and evaluation
+  /// uses `eval_root_`, so the three never perturb each other.
   xfraud::Rng rng_;
+  uint64_t sample_root_;
+  uint64_t eval_root_;
 };
 
 /// Fraud probabilities (softmax of the logits' fraud column).

@@ -10,7 +10,8 @@
 ///   graph   -> heterogeneous transaction graph, builder, subgraphs
 ///   data    -> synthetic eBay-like workload, splits, annotator simulation
 ///   kv      -> log-structured / sharded KV feature store (data loading)
-///   sample  -> GraphSAGE-style and HGSampling neighbourhood samplers
+///   sample  -> GraphSAGE-style and HGSampling neighbourhood samplers,
+///              pipelined prefetching BatchLoader
 ///   core    -> the xFraud detector (self-attentive heterogeneous GNN)
 ///   baselines -> GAT and GEM comparison models
 ///   train   -> trainer, metrics (AUC/AP/curves/threshold tables)
@@ -20,6 +21,7 @@
 #include "xfraud/baselines/gat.h"
 #include "xfraud/baselines/gem.h"
 #include "xfraud/common/logging.h"
+#include "xfraud/common/mpmc_queue.h"
 #include "xfraud/common/rng.h"
 #include "xfraud/common/status.h"
 #include "xfraud/common/table_printer.h"
@@ -53,6 +55,7 @@
 #include "xfraud/nn/ops.h"
 #include "xfraud/nn/optim.h"
 #include "xfraud/nn/serialize.h"
+#include "xfraud/sample/batch_loader.h"
 #include "xfraud/sample/sampler.h"
 #include "xfraud/train/incremental.h"
 #include "xfraud/train/metrics.h"

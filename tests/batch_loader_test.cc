@@ -1,0 +1,201 @@
+#include "xfraud/sample/batch_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "xfraud/core/detector.h"
+#include "xfraud/data/generator.h"
+#include "xfraud/train/trainer.h"
+
+namespace xfraud::sample {
+namespace {
+
+class BatchLoaderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig config = data::TransactionGenerator::SimSmall();
+    config.num_buyers = 250;
+    config.num_fraud_rings = 6;
+    config.num_stolen_cards = 10;
+    ds_ = new data::SimDataset(
+        data::TransactionGenerator::Make(config, "loader"));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+
+  static core::XFraudDetector MakeModel(uint64_t seed) {
+    Rng rng(seed);
+    core::DetectorConfig dc;
+    dc.feature_dim = ds_->graph.feature_dim();
+    dc.hidden_dim = 16;
+    dc.num_heads = 2;
+    dc.num_layers = 2;
+    return core::XFraudDetector(dc, &rng);
+  }
+
+  /// Drains a loader built over the train split with the given worker
+  /// count; every configuration must yield this exact sequence.
+  static std::vector<LoadedBatch> Drain(int num_workers, int prefetch = 4) {
+    BatchLoader loader(
+        &ds_->graph, &sampler_,
+        BatchLoader::MakeSeedBatches(ds_->train_nodes, 64), /*stream_seed=*/42,
+        LoaderOptions{.num_workers = num_workers,
+                      .prefetch_depth = prefetch});
+    std::vector<LoadedBatch> out;
+    while (auto b = loader.Next()) out.push_back(std::move(*b));
+    return out;
+  }
+
+  static void ExpectSameBatches(const std::vector<LoadedBatch>& a,
+                                const std::vector<LoadedBatch>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_EQ(a[i].batch.sub.nodes, b[i].batch.sub.nodes);
+      EXPECT_EQ(a[i].batch.edge_src, b[i].batch.edge_src);
+      EXPECT_EQ(a[i].batch.edge_dst, b[i].batch.edge_dst);
+      EXPECT_EQ(a[i].batch.edge_types, b[i].batch.edge_types);
+      EXPECT_EQ(a[i].batch.target_locals, b[i].batch.target_locals);
+      EXPECT_EQ(a[i].batch.target_labels, b[i].batch.target_labels);
+    }
+  }
+
+  static data::SimDataset* ds_;
+  static SageSampler sampler_;
+};
+
+data::SimDataset* BatchLoaderTest::ds_ = nullptr;
+SageSampler BatchLoaderTest::sampler_(2, 8);
+
+TEST_F(BatchLoaderTest, MakeSeedBatchesPartitionsInOrder) {
+  std::vector<int32_t> nodes = {1, 2, 3, 4, 5, 6, 7};
+  auto batches = BatchLoader::MakeSeedBatches(nodes, 3);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0], (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(batches[1], (std::vector<int32_t>{4, 5, 6}));
+  EXPECT_EQ(batches[2], (std::vector<int32_t>{7}));
+  EXPECT_TRUE(BatchLoader::MakeSeedBatches({}, 3).empty());
+}
+
+TEST_F(BatchLoaderTest, SerialModeCoversAllBatches) {
+  auto batches = Drain(0);
+  auto expected = BatchLoader::MakeSeedBatches(ds_->train_nodes, 64);
+  ASSERT_EQ(batches.size(), expected.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(batches[i].index, static_cast<int64_t>(i));
+    EXPECT_GE(batches[i].sample_seconds, 0.0);
+    // Every requested seed is a classification target of its batch.
+    EXPECT_EQ(batches[i].batch.target_labels.size(), expected[i].size());
+  }
+}
+
+TEST_F(BatchLoaderTest, WorkerCountDoesNotChangeTheStream) {
+  auto serial = Drain(0);
+  ExpectSameBatches(serial, Drain(1));
+  ExpectSameBatches(serial, Drain(3));
+  // A tight queue forces backpressure; the sequence must not change.
+  ExpectSameBatches(serial, Drain(3, /*prefetch=*/1));
+}
+
+TEST_F(BatchLoaderTest, EarlyConsumerExitReleasesWorkers) {
+  // Destroy the loader with most batches unconsumed and workers likely
+  // blocked on a full queue; the destructor must not deadlock.
+  BatchLoader loader(&ds_->graph, &sampler_,
+                     BatchLoader::MakeSeedBatches(ds_->train_nodes, 32),
+                     /*stream_seed=*/7,
+                     LoaderOptions{.num_workers = 2, .prefetch_depth = 1});
+  auto first = loader.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->index, 0);
+}
+
+TEST_F(BatchLoaderTest, PipelinedTrainingReproducesSerialBitForBit) {
+  train::TrainOptions opts;
+  opts.max_epochs = 3;
+  opts.patience = 3;
+  opts.batch_size = 128;
+  opts.seed = 11;
+
+  auto serial_model = MakeModel(11);
+  train::Trainer serial(&serial_model, &sampler_, opts);
+  auto serial_result = serial.Train(*ds_);
+
+  opts.num_sample_workers = 3;
+  opts.prefetch_depth = 2;
+  auto piped_model = MakeModel(11);
+  train::Trainer piped(&piped_model, &sampler_, opts);
+  auto piped_result = piped.Train(*ds_);
+
+  ASSERT_EQ(serial_result.history.size(), piped_result.history.size());
+  for (size_t e = 0; e < serial_result.history.size(); ++e) {
+    EXPECT_EQ(serial_result.history[e].train_loss,
+              piped_result.history[e].train_loss);
+    EXPECT_EQ(serial_result.history[e].val_auc,
+              piped_result.history[e].val_auc);
+  }
+  EXPECT_EQ(serial_result.best_val_auc, piped_result.best_val_auc);
+  EXPECT_EQ(serial_result.best_epoch, piped_result.best_epoch);
+}
+
+TEST_F(BatchLoaderTest, EvaluateDoesNotPerturbTraining) {
+  train::TrainOptions opts;
+  opts.max_epochs = 2;
+  opts.patience = 2;
+  opts.seed = 13;
+
+  auto plain_model = MakeModel(13);
+  train::Trainer plain(&plain_model, &sampler_, opts);
+  auto plain_result = plain.Train(*ds_);
+
+  // Evaluating first (or any number of times) must not shift the training
+  // batch order: evaluation samples from its own forked RNG stream.
+  auto evaluated_model = MakeModel(13);
+  train::Trainer evaluated(&evaluated_model, &sampler_, opts);
+  evaluated.Evaluate(ds_->graph, ds_->test_nodes);
+  evaluated.Evaluate(ds_->graph, ds_->val_nodes, 32);
+  auto evaluated_result = evaluated.Train(*ds_);
+
+  ASSERT_EQ(plain_result.history.size(), evaluated_result.history.size());
+  for (size_t e = 0; e < plain_result.history.size(); ++e) {
+    EXPECT_EQ(plain_result.history[e].train_loss,
+              evaluated_result.history[e].train_loss);
+    EXPECT_EQ(plain_result.history[e].val_auc,
+              evaluated_result.history[e].val_auc);
+  }
+}
+
+TEST_F(BatchLoaderTest, EvaluateIsRepeatable) {
+  auto model = MakeModel(17);
+  train::Trainer trainer(&model, &sampler_, train::TrainOptions{});
+  auto first = trainer.Evaluate(ds_->graph, ds_->test_nodes, 64);
+  auto second = trainer.Evaluate(ds_->graph, ds_->test_nodes, 64);
+  EXPECT_EQ(first.scores, second.scores);
+  EXPECT_EQ(first.auc, second.auc);
+}
+
+TEST_F(BatchLoaderTest, EvaluateSeparatesSamplingFromInference) {
+  auto model = MakeModel(19);
+  train::Trainer trainer(&model, &sampler_, train::TrainOptions{});
+  auto eval = trainer.Evaluate(ds_->graph, ds_->test_nodes, 64);
+  EXPECT_GT(eval.secs_per_batch_mean, 0.0);
+  EXPECT_GT(eval.sample_secs_per_batch_mean, 0.0);
+}
+
+TEST_F(BatchLoaderTest, TrainHistoryRecordsPipelineCosts) {
+  train::TrainOptions opts;
+  opts.max_epochs = 1;
+  opts.patience = 1;
+  opts.num_sample_workers = 2;
+  auto model = MakeModel(23);
+  train::Trainer trainer(&model, &sampler_, opts);
+  auto result = trainer.Train(*ds_);
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_GT(result.history[0].sample_seconds, 0.0);
+  EXPECT_GT(result.history[0].compute_seconds, 0.0);
+  EXPECT_GT(result.mean_epoch_sample_seconds, 0.0);
+  EXPECT_GT(result.mean_epoch_compute_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace xfraud::sample

@@ -2,10 +2,13 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "xfraud/common/mpmc_queue.h"
 #include "xfraud/common/rng.h"
 #include "xfraud/common/status.h"
 #include "xfraud/common/table_printer.h"
@@ -132,6 +135,159 @@ TEST(RngTest, SplitIsIndependent) {
   Rng child = parent.Split();
   // Child stream differs from the continued parent stream.
   EXPECT_NE(parent.NextUint64(), child.NextUint64());
+}
+
+TEST(RngTest, StreamSeedIsAStatelessPureFunction) {
+  // Same (root, stream) -> same seed, no matter what was derived before.
+  EXPECT_EQ(Rng::StreamSeed(5, 3), Rng::StreamSeed(5, 3));
+  // Distinct streams and distinct roots land elsewhere.
+  EXPECT_NE(Rng::StreamSeed(5, 3), Rng::StreamSeed(5, 4));
+  EXPECT_NE(Rng::StreamSeed(5, 3), Rng::StreamSeed(6, 3));
+  // Adjacent streams yield unrelated generators, not shifted copies.
+  Rng a(Rng::StreamSeed(5, 0));
+  Rng b(Rng::StreamSeed(5, 1));
+  a.NextUint64();  // advance a by one: streams must still not collide
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryVariantsRespectBounds) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_EQ(*q.TryPop(), 2);
+  EXPECT_EQ(*q.TryPop(), 3);
+  EXPECT_FALSE(q.TryPop().has_value());  // empty
+}
+
+TEST(BoundedQueueTest, PopDrainsBufferedItemsAfterClose) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // closed: new items rejected
+  EXPECT_EQ(*q.Pop(), 1);   // ...but buffered ones still drain
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());  // end of stream
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedConsumers) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (q.Pop().has_value()) {
+      }
+      finished.fetch_add(1);
+    });
+  }
+  q.Close();  // all three are (or will be) blocked on an empty queue
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedProducers) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(0));  // fill to capacity
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] { rejected.store(!q.Push(1)); });
+  // The producer is blocked on the full queue; Close must wake it and make
+  // the pending Push fail rather than deadlock.
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+  EXPECT_EQ(*q.Pop(), 0);
+}
+
+TEST(BoundedQueueTest, MpmcStressDeliversEveryItemOnce) {
+  // 4 producers x 500 tagged items through a tight queue into 3 consumers;
+  // every item must arrive exactly once. Run under -fsanitize=thread to
+  // check the synchronization (see README "Sanitizers").
+  const int kProducers = 4;
+  const int kConsumers = 3;
+  const int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> producers_left{kProducers};
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+      if (producers_left.fetch_sub(1) == 1) q.Close();
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = q.Pop()) seen[*item].fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(BoundedQueueTest, ThreadPoolProducersFeedThreadPoolConsumers) {
+  // The BatchLoader topology in miniature: pool workers produce through
+  // the bounded queue under backpressure while a consumer drains in order
+  // of arrival.
+  const int kItems = 256;
+  BoundedQueue<int> q(4);
+  ThreadPool pool(3);
+  std::atomic<int> next{0};
+  for (int t = 0; t < 3; ++t) {
+    pool.Submit([&] {
+      for (;;) {
+        int i = next.fetch_add(1);
+        if (i >= kItems) return;
+        if (!q.Push(i)) return;
+      }
+    });
+  }
+  std::set<int> received;
+  for (int i = 0; i < kItems; ++i) {
+    auto item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    received.insert(*item);
+  }
+  pool.Wait();
+  q.Close();
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_EQ(received.size(), static_cast<size_t>(kItems));
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskExceptionAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 10);  // sibling tasks still ran
+  // The exception is consumed and the pool remains usable.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
 }
 
 TEST(ThreadPoolTest, RunsAllTasks) {
