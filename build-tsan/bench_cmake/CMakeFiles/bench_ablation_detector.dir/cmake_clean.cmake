@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_detector"
+  "../bench/bench_ablation_detector.pdb"
+  "CMakeFiles/bench_ablation_detector.dir/bench_ablation_detector.cc.o"
+  "CMakeFiles/bench_ablation_detector.dir/bench_ablation_detector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

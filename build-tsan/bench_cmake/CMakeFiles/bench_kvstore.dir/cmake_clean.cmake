@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kvstore"
+  "../bench/bench_kvstore.pdb"
+  "CMakeFiles/bench_kvstore.dir/bench_kvstore.cc.o"
+  "CMakeFiles/bench_kvstore.dir/bench_kvstore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

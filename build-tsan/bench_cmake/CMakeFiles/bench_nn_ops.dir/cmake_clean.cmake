@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nn_ops"
+  "../bench/bench_nn_ops.pdb"
+  "CMakeFiles/bench_nn_ops.dir/bench_nn_ops.cc.o"
+  "CMakeFiles/bench_nn_ops.dir/bench_nn_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

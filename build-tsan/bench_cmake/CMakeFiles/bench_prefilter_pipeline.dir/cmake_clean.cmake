@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prefilter_pipeline"
+  "../bench/bench_prefilter_pipeline.pdb"
+  "CMakeFiles/bench_prefilter_pipeline.dir/bench_prefilter_pipeline.cc.o"
+  "CMakeFiles/bench_prefilter_pipeline.dir/bench_prefilter_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefilter_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

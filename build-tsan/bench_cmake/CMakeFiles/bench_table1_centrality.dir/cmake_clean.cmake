@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_centrality"
+  "../bench/bench_table1_centrality.pdb"
+  "CMakeFiles/bench_table1_centrality.dir/bench_table1_centrality.cc.o"
+  "CMakeFiles/bench_table1_centrality.dir/bench_table1_centrality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

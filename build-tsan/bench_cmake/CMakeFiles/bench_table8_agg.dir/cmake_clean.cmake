@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_agg"
+  "../bench/bench_table8_agg.pdb"
+  "CMakeFiles/bench_table8_agg.dir/bench_table8_agg.cc.o"
+  "CMakeFiles/bench_table8_agg.dir/bench_table8_agg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

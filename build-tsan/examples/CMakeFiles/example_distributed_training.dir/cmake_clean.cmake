@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_training.dir/distributed_training.cpp.o"
+  "CMakeFiles/example_distributed_training.dir/distributed_training.cpp.o.d"
+  "example_distributed_training"
+  "example_distributed_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fraud_ring_investigation.dir/fraud_ring_investigation.cpp.o"
+  "CMakeFiles/example_fraud_ring_investigation.dir/fraud_ring_investigation.cpp.o.d"
+  "example_fraud_ring_investigation"
+  "example_fraud_ring_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fraud_ring_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incremental_retraining.dir/incremental_retraining.cpp.o"
+  "CMakeFiles/example_incremental_retraining.dir/incremental_retraining.cpp.o.d"
+  "example_incremental_retraining"
+  "example_incremental_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incremental_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

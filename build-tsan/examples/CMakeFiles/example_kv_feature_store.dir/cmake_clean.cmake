@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kv_feature_store.dir/kv_feature_store.cpp.o"
+  "CMakeFiles/example_kv_feature_store.dir/kv_feature_store.cpp.o.d"
+  "example_kv_feature_store"
+  "example_kv_feature_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kv_feature_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xfraud/baselines/gat.cc" "src/CMakeFiles/xfraud.dir/xfraud/baselines/gat.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/baselines/gat.cc.o.d"
+  "/root/repo/src/xfraud/baselines/gem.cc" "src/CMakeFiles/xfraud.dir/xfraud/baselines/gem.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/baselines/gem.cc.o.d"
+  "/root/repo/src/xfraud/common/logging.cc" "src/CMakeFiles/xfraud.dir/xfraud/common/logging.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/common/logging.cc.o.d"
+  "/root/repo/src/xfraud/common/rng.cc" "src/CMakeFiles/xfraud.dir/xfraud/common/rng.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/common/rng.cc.o.d"
+  "/root/repo/src/xfraud/common/status.cc" "src/CMakeFiles/xfraud.dir/xfraud/common/status.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/common/status.cc.o.d"
+  "/root/repo/src/xfraud/common/table_printer.cc" "src/CMakeFiles/xfraud.dir/xfraud/common/table_printer.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/common/table_printer.cc.o.d"
+  "/root/repo/src/xfraud/common/thread_pool.cc" "src/CMakeFiles/xfraud.dir/xfraud/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/common/thread_pool.cc.o.d"
+  "/root/repo/src/xfraud/core/detector.cc" "src/CMakeFiles/xfraud.dir/xfraud/core/detector.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/core/detector.cc.o.d"
+  "/root/repo/src/xfraud/core/gnn_model.cc" "src/CMakeFiles/xfraud.dir/xfraud/core/gnn_model.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/core/gnn_model.cc.o.d"
+  "/root/repo/src/xfraud/core/hetero_conv.cc" "src/CMakeFiles/xfraud.dir/xfraud/core/hetero_conv.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/core/hetero_conv.cc.o.d"
+  "/root/repo/src/xfraud/data/annotation.cc" "src/CMakeFiles/xfraud.dir/xfraud/data/annotation.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/data/annotation.cc.o.d"
+  "/root/repo/src/xfraud/data/generator.cc" "src/CMakeFiles/xfraud.dir/xfraud/data/generator.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/data/generator.cc.o.d"
+  "/root/repo/src/xfraud/data/log_io.cc" "src/CMakeFiles/xfraud.dir/xfraud/data/log_io.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/data/log_io.cc.o.d"
+  "/root/repo/src/xfraud/data/prefilter.cc" "src/CMakeFiles/xfraud.dir/xfraud/data/prefilter.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/data/prefilter.cc.o.d"
+  "/root/repo/src/xfraud/dist/distributed.cc" "src/CMakeFiles/xfraud.dir/xfraud/dist/distributed.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/dist/distributed.cc.o.d"
+  "/root/repo/src/xfraud/dist/partition.cc" "src/CMakeFiles/xfraud.dir/xfraud/dist/partition.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/dist/partition.cc.o.d"
+  "/root/repo/src/xfraud/explain/centrality.cc" "src/CMakeFiles/xfraud.dir/xfraud/explain/centrality.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/explain/centrality.cc.o.d"
+  "/root/repo/src/xfraud/explain/evaluation.cc" "src/CMakeFiles/xfraud.dir/xfraud/explain/evaluation.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/explain/evaluation.cc.o.d"
+  "/root/repo/src/xfraud/explain/feature_importance.cc" "src/CMakeFiles/xfraud.dir/xfraud/explain/feature_importance.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/explain/feature_importance.cc.o.d"
+  "/root/repo/src/xfraud/explain/gnn_explainer.cc" "src/CMakeFiles/xfraud.dir/xfraud/explain/gnn_explainer.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/explain/gnn_explainer.cc.o.d"
+  "/root/repo/src/xfraud/explain/hit_rate.cc" "src/CMakeFiles/xfraud.dir/xfraud/explain/hit_rate.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/explain/hit_rate.cc.o.d"
+  "/root/repo/src/xfraud/explain/hybrid.cc" "src/CMakeFiles/xfraud.dir/xfraud/explain/hybrid.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/explain/hybrid.cc.o.d"
+  "/root/repo/src/xfraud/explain/visualize.cc" "src/CMakeFiles/xfraud.dir/xfraud/explain/visualize.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/explain/visualize.cc.o.d"
+  "/root/repo/src/xfraud/graph/graph_builder.cc" "src/CMakeFiles/xfraud.dir/xfraud/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/graph/graph_builder.cc.o.d"
+  "/root/repo/src/xfraud/graph/hetero_graph.cc" "src/CMakeFiles/xfraud.dir/xfraud/graph/hetero_graph.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/graph/hetero_graph.cc.o.d"
+  "/root/repo/src/xfraud/graph/serialize.cc" "src/CMakeFiles/xfraud.dir/xfraud/graph/serialize.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/graph/serialize.cc.o.d"
+  "/root/repo/src/xfraud/graph/subgraph.cc" "src/CMakeFiles/xfraud.dir/xfraud/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/graph/subgraph.cc.o.d"
+  "/root/repo/src/xfraud/kv/feature_store.cc" "src/CMakeFiles/xfraud.dir/xfraud/kv/feature_store.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/kv/feature_store.cc.o.d"
+  "/root/repo/src/xfraud/kv/log_kv.cc" "src/CMakeFiles/xfraud.dir/xfraud/kv/log_kv.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/kv/log_kv.cc.o.d"
+  "/root/repo/src/xfraud/kv/mem_kv.cc" "src/CMakeFiles/xfraud.dir/xfraud/kv/mem_kv.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/kv/mem_kv.cc.o.d"
+  "/root/repo/src/xfraud/kv/sharded_kv.cc" "src/CMakeFiles/xfraud.dir/xfraud/kv/sharded_kv.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/kv/sharded_kv.cc.o.d"
+  "/root/repo/src/xfraud/la/matrix.cc" "src/CMakeFiles/xfraud.dir/xfraud/la/matrix.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/la/matrix.cc.o.d"
+  "/root/repo/src/xfraud/nn/modules.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/modules.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/modules.cc.o.d"
+  "/root/repo/src/xfraud/nn/ops.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/ops.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/ops.cc.o.d"
+  "/root/repo/src/xfraud/nn/optim.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/optim.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/optim.cc.o.d"
+  "/root/repo/src/xfraud/nn/serialize.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/serialize.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/serialize.cc.o.d"
+  "/root/repo/src/xfraud/nn/tensor.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/tensor.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/tensor.cc.o.d"
+  "/root/repo/src/xfraud/nn/variable.cc" "src/CMakeFiles/xfraud.dir/xfraud/nn/variable.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/nn/variable.cc.o.d"
+  "/root/repo/src/xfraud/sample/batch_loader.cc" "src/CMakeFiles/xfraud.dir/xfraud/sample/batch_loader.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/sample/batch_loader.cc.o.d"
+  "/root/repo/src/xfraud/sample/sampler.cc" "src/CMakeFiles/xfraud.dir/xfraud/sample/sampler.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/sample/sampler.cc.o.d"
+  "/root/repo/src/xfraud/train/incremental.cc" "src/CMakeFiles/xfraud.dir/xfraud/train/incremental.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/train/incremental.cc.o.d"
+  "/root/repo/src/xfraud/train/metrics.cc" "src/CMakeFiles/xfraud.dir/xfraud/train/metrics.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/train/metrics.cc.o.d"
+  "/root/repo/src/xfraud/train/trainer.cc" "src/CMakeFiles/xfraud.dir/xfraud/train/trainer.cc.o" "gcc" "src/CMakeFiles/xfraud.dir/xfraud/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for xfraud.
+# This may be replaced when dependencies are built.

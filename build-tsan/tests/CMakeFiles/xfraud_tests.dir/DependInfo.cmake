@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/batch_loader_test.cc" "tests/CMakeFiles/xfraud_tests.dir/batch_loader_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/batch_loader_test.cc.o.d"
+  "/root/repo/tests/centrality_test.cc" "tests/CMakeFiles/xfraud_tests.dir/centrality_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/centrality_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/xfraud_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/xfraud_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/dist_test.cc" "tests/CMakeFiles/xfraud_tests.dir/dist_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/dist_test.cc.o.d"
+  "/root/repo/tests/explainer_test.cc" "tests/CMakeFiles/xfraud_tests.dir/explainer_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/explainer_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/xfraud_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/hetero_conv_test.cc" "tests/CMakeFiles/xfraud_tests.dir/hetero_conv_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/hetero_conv_test.cc.o.d"
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/xfraud_tests.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/incremental_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/xfraud_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/kv_test.cc" "tests/CMakeFiles/xfraud_tests.dir/kv_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/kv_test.cc.o.d"
+  "/root/repo/tests/la_test.cc" "tests/CMakeFiles/xfraud_tests.dir/la_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/la_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/xfraud_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/xfraud_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/nn_grad_test.cc" "tests/CMakeFiles/xfraud_tests.dir/nn_grad_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/nn_grad_test.cc.o.d"
+  "/root/repo/tests/nn_module_test.cc" "tests/CMakeFiles/xfraud_tests.dir/nn_module_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/nn_module_test.cc.o.d"
+  "/root/repo/tests/prefilter_test.cc" "tests/CMakeFiles/xfraud_tests.dir/prefilter_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/prefilter_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xfraud_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sampler_test.cc" "tests/CMakeFiles/xfraud_tests.dir/sampler_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/sampler_test.cc.o.d"
+  "/root/repo/tests/study_test.cc" "tests/CMakeFiles/xfraud_tests.dir/study_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/study_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/xfraud_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/xfraud_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/xfraud_tests.dir/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/xfraud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

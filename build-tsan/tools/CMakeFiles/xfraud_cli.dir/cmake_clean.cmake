@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfraud_cli.dir/xfraud_cli.cc.o"
+  "CMakeFiles/xfraud_cli.dir/xfraud_cli.cc.o.d"
+  "xfraud_cli"
+  "xfraud_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfraud_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
