@@ -86,6 +86,38 @@ inline void PrintHeader(const std::string& title, const std::string& paper) {
             << "reproduces: " << paper << "\n\n";
 }
 
+/// Applies the XFRAUD_OBS env knob (0 disables all metric recording — the
+/// baseline of the instrumentation-overhead comparison) and XFRAUD_TRACE=1
+/// (prints ScopedSpan lines to stderr). Call at the top of a bench main.
+inline void InitObsFromEnv() {
+  const char* env = std::getenv("XFRAUD_OBS");
+  if (env != nullptr && std::string(env) == "0") obs::SetEnabled(false);
+  const char* trace = std::getenv("XFRAUD_TRACE");
+  if (trace != nullptr && std::string(trace) == "1") {
+    obs::SetTraceLogging(true);
+  }
+}
+
+/// Prints the global registry as a table, and — when XFRAUD_METRICS_OUT is
+/// set — writes the JSON snapshot there so BENCH_*.json entries can carry
+/// the per-phase breakdown alongside the headline timings. Call at the end
+/// of a bench's Run(); no-op when obs is disabled.
+inline void EmitObsSnapshot() {
+  if (!obs::IsEnabled()) return;
+  std::cout << "\n-- observability registry snapshot (p50/p95/p99 are "
+               "log-bucket estimates; see DESIGN.md §8) --\n";
+  obs::Registry::Global().PrintTable(std::cout);
+  const char* out = std::getenv("XFRAUD_METRICS_OUT");
+  if (out != nullptr && *out != '\0') {
+    Status s = obs::Registry::Global().WriteJsonFile(out);
+    if (s.ok()) {
+      std::cout << "wrote metrics snapshot to " << out << "\n";
+    } else {
+      std::cout << "metrics snapshot failed: " << s.ToString() << "\n";
+    }
+  }
+}
+
 }  // namespace xfraud::bench
 
 #endif  // XFRAUD_BENCH_BENCH_COMMON_H_

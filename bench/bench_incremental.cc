@@ -60,6 +60,8 @@ void Run() {
 
 int main() {
   xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::InitObsFromEnv();
   xfraud::bench::Run();
+  xfraud::bench::EmitObsSnapshot();
   return 0;
 }

@@ -364,6 +364,7 @@ void Run() {
   PrintCurves(runs);
   PrintThresholdTables(runs);
   PipelineAblation(fast ? 2 : 3);
+  EmitObsSnapshot();
 }
 
 }  // namespace
@@ -371,6 +372,7 @@ void Run() {
 
 int main() {
   xfraud::SetMinLogLevel(xfraud::LogLevel::kWarning);
+  xfraud::bench::InitObsFromEnv();
   xfraud::bench::Run();
   return 0;
 }

@@ -8,6 +8,8 @@
 #include "xfraud/dist/partition.h"
 #include "xfraud/graph/subgraph.h"
 #include "xfraud/nn/optim.h"
+#include "xfraud/obs/registry.h"
+#include "xfraud/obs/trace.h"
 #include "xfraud/sample/batch_loader.h"
 
 namespace xfraud::dist {
@@ -136,8 +138,25 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
   std::vector<std::vector<nn::NamedParameter>> params(kappa);
   for (int w = 0; w < kappa; ++w) params[w] = replicas_[w]->Parameters();
 
+  // Simulated comms accounting: a ring all-reduce over kappa workers moves
+  // 2*(kappa-1) gradient-buffer copies across the cluster per round (the
+  // reduce-scatter plus the all-gather). Measured as modeled volume — this
+  // host runs the replicas serially, but byte counts are what a real
+  // cluster's NICs would carry.
+  auto& obs_registry = obs::Registry::Global();
+  obs::Counter* allreduce_rounds = obs_registry.counter("dist/allreduce_rounds");
+  obs::Counter* allreduce_bytes = obs_registry.counter("dist/allreduce_bytes");
+  obs::Histogram* round_bytes = obs_registry.histogram("dist/round_bytes");
+  obs_registry.gauge("dist/workers")->Set(static_cast<double>(kappa));
+  int64_t param_floats = 0;
+  for (const auto& p : params0) param_floats += p.var.value().size();
+  const int64_t ring_bytes_per_round =
+      2 * static_cast<int64_t>(kappa - 1) * param_floats *
+      static_cast<int64_t>(sizeof(float));
+
   int stale = 0;
   for (int epoch = 0; epoch < options_.train.max_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("dist/epoch");
     WallTimer epoch_timer;
     for (int w = 0; w < kappa; ++w) {
       Worker& worker = workers[w];
@@ -204,6 +223,9 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
 
       // Phase 2: DDP all-reduce — average gradients across replicas and
       // write the mean back into every replica's gradient buffers.
+      allreduce_rounds->Increment();
+      allreduce_bytes->Add(ring_bytes_per_round);
+      round_bytes->Record(static_cast<double>(ring_bytes_per_round));
       for (size_t p = 0; p < params0.size(); ++p) {
         nn::Tensor& acc = params[0][p].var.grad();
         for (int w = 1; w < kappa; ++w) {

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "xfraud/common/logging.h"
+#include "xfraud/kv/kv_metrics.h"
 
 namespace xfraud::kv {
 
@@ -131,6 +132,7 @@ Status LogKvStore::AppendRecord(uint8_t kind, std::string_view key,
 }
 
 Status LogKvStore::Put(std::string_view key, std::string_view value) {
+  const KvMetrics& metrics = KvMetrics::Get();
   std::unique_lock lock(mu_);
   int64_t value_offset = file_size_ + static_cast<int64_t>(kHeaderSize) +
                          static_cast<int64_t>(key.size());
@@ -138,18 +140,25 @@ Status LogKvStore::Put(std::string_view key, std::string_view value) {
   index_[std::string(key)] =
       IndexEntry{value_offset, static_cast<uint32_t>(value.size())};
   XF_RETURN_IF_ERROR(RemapForRead());
+  metrics.put_ops->Increment();
+  metrics.bytes_written->Add(
+      static_cast<int64_t>(kHeaderSize + key.size() + value.size()));
   return Status::OK();
 }
 
 Status LogKvStore::Get(std::string_view key, std::string* value) const {
+  const KvMetrics& metrics = KvMetrics::Get();
   std::shared_lock lock(mu_);
   auto it = index_.find(std::string(key));
   if (it == index_.end()) {
+    metrics.get_misses->Increment();
     return Status::NotFound("key: " + std::string(key));
   }
   const IndexEntry& entry = it->second;
   XF_CHECK_LE(entry.value_offset + entry.value_size, map_size_);
   value->assign(map_base_ + entry.value_offset, entry.value_size);
+  metrics.get_hits->Increment();
+  metrics.bytes_read->Add(static_cast<int64_t>(entry.value_size));
   return Status::OK();
 }
 

@@ -1,5 +1,7 @@
 #include "xfraud/kv/mem_kv.h"
 
+#include "xfraud/kv/kv_metrics.h"
+
 namespace xfraud::kv {
 
 namespace {
@@ -31,18 +33,25 @@ uint32_t Crc32(const void* data, size_t size) {
 }
 
 Status MemKvStore::Put(std::string_view key, std::string_view value) {
+  const KvMetrics& metrics = KvMetrics::Get();
   std::lock_guard<std::mutex> lock(mu_);
   map_[std::string(key)] = std::string(value);
+  metrics.put_ops->Increment();
+  metrics.bytes_written->Add(static_cast<int64_t>(key.size() + value.size()));
   return Status::OK();
 }
 
 Status MemKvStore::Get(std::string_view key, std::string* value) const {
+  const KvMetrics& metrics = KvMetrics::Get();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(std::string(key));
   if (it == map_.end()) {
+    metrics.get_misses->Increment();
     return Status::NotFound("key: " + std::string(key));
   }
   *value = it->second;
+  metrics.get_hits->Increment();
+  metrics.bytes_read->Add(static_cast<int64_t>(value->size()));
   return Status::OK();
 }
 

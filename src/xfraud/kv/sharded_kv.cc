@@ -1,15 +1,26 @@
 #include "xfraud/kv/sharded_kv.h"
 
 #include <functional>
+#include <string>
 
 #include "xfraud/common/logging.h"
+#include "xfraud/common/timer.h"
 #include "xfraud/kv/mem_kv.h"
+#include "xfraud/obs/registry.h"
 
 namespace xfraud::kv {
 
 ShardedKvStore::ShardedKvStore(std::vector<std::unique_ptr<KvStore>> shards)
     : shards_(std::move(shards)) {
   XF_CHECK(!shards_.empty());
+  auto& registry = obs::Registry::Global();
+  shard_get_s_.reserve(shards_.size());
+  shard_put_s_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::string prefix = "kv/shard" + std::to_string(i);
+    shard_get_s_.push_back(registry.histogram(prefix + "/get_s"));
+    shard_put_s_.push_back(registry.histogram(prefix + "/put_s"));
+  }
 }
 
 std::unique_ptr<ShardedKvStore> ShardedKvStore::InMemory(int num_shards) {
@@ -27,11 +38,21 @@ size_t ShardedKvStore::ShardOf(std::string_view key) const {
 }
 
 Status ShardedKvStore::Put(std::string_view key, std::string_view value) {
-  return shards_[ShardOf(key)]->Put(key, value);
+  size_t shard = ShardOf(key);
+  if (!obs::IsEnabled()) return shards_[shard]->Put(key, value);
+  WallTimer timer;
+  Status s = shards_[shard]->Put(key, value);
+  shard_put_s_[shard]->Record(timer.ElapsedSeconds());
+  return s;
 }
 
 Status ShardedKvStore::Get(std::string_view key, std::string* value) const {
-  return shards_[ShardOf(key)]->Get(key, value);
+  size_t shard = ShardOf(key);
+  if (!obs::IsEnabled()) return shards_[shard]->Get(key, value);
+  WallTimer timer;
+  Status s = shards_[shard]->Get(key, value);
+  shard_get_s_[shard]->Record(timer.ElapsedSeconds());
+  return s;
 }
 
 Status ShardedKvStore::Delete(std::string_view key) {

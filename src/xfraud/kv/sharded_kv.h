@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "xfraud/kv/kvstore.h"
+#include "xfraud/obs/metrics.h"
 
 namespace xfraud::kv {
 
@@ -33,6 +34,11 @@ class ShardedKvStore : public KvStore {
   size_t ShardOf(std::string_view key) const;
 
   std::vector<std::unique_ptr<KvStore>> shards_;
+  // Per-shard op-latency histograms ("kv/shard<i>/get_s", ".../put_s") in
+  // the global registry: a hot shard (skewed hash or a slow backend) shows
+  // up as one shard's p99 detaching from the others'.
+  std::vector<obs::Histogram*> shard_get_s_;
+  std::vector<obs::Histogram*> shard_put_s_;
 };
 
 }  // namespace xfraud::kv

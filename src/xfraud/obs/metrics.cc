@@ -1,0 +1,93 @@
+#include "xfraud/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfraud::obs {
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+int Histogram::BucketOf(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negatives, NaN -> lowest bucket
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  return std::clamp(exp + kBias, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int b) {
+  return std::ldexp(1.0, b - kBias - 1);
+}
+
+void Histogram::Record(double value) {
+  if (!IsEnabled()) return;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) {
+    // First sample seeds both extrema; racing first samples are folded in
+    // by the CAS loops below.
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+    zero = 0.0;
+    max_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  int64_t counts[kNumBuckets];
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  snap.count = total;
+  if (total == 0) return snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.mean = snap.sum / static_cast<double>(total);
+
+  auto percentile = [&](double q) {
+    // Rank of the q-quantile in the merged bucket counts, then linear
+    // interpolation between the bucket's bounds.
+    double rank = q * static_cast<double>(total - 1);
+    int64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      if (rank < static_cast<double>(seen + counts[b])) {
+        double frac = (rank - static_cast<double>(seen)) /
+                      static_cast<double>(counts[b]);
+        double lo = BucketLowerBound(b);
+        double hi = BucketLowerBound(b + 1);
+        return std::clamp(lo + frac * (hi - lo), snap.min, snap.max);
+      }
+      seen += counts[b];
+    }
+    return snap.max;
+  };
+  snap.p50 = percentile(0.50);
+  snap.p95 = percentile(0.95);
+  snap.p99 = percentile(0.99);
+  return snap;
+}
+
+}  // namespace xfraud::obs

@@ -1,0 +1,110 @@
+#ifndef XFRAUD_OBS_METRICS_H_
+#define XFRAUD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xfraud::obs {
+
+/// Global observability kill switch. Metric writes are no-ops while
+/// disabled (one relaxed atomic load per call site), so instrumentation can
+/// stay compiled into the hot paths at negligible cost. Defaults to
+/// enabled; benches honour XFRAUD_OBS=0 (see bench_common.h) and the CLI
+/// always records when --metrics-out / --trace is given.
+void SetEnabled(bool enabled);
+
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+inline bool IsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing event count (batches produced, cache hits,
+/// bytes moved). Safe for concurrent writers.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    if (IsEnabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, worker count). Safe for
+/// concurrent writers; readers see some recent write.
+class Gauge {
+ public:
+  void Set(double value) {
+    if (IsEnabled()) value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    if (IsEnabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time summary of a Histogram. count/sum/min/max/mean are exact;
+/// the percentiles are estimated by linear interpolation inside the
+/// power-of-two bucket that holds the rank (error bounded by the bucket
+/// width, i.e. at most 2x), then clamped to [min, max].
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Log-bucketed distribution of positive values (latency seconds, frontier
+/// sizes, record bytes). Buckets are powers of two spanning 2^-48 .. 2^48,
+/// which covers sub-nanosecond latencies through terabyte counts; values at
+/// or below zero land in the lowest bucket. Every member is a relaxed
+/// atomic, so concurrent Record calls never lose counts (a snapshot taken
+/// mid-write may be transiently inconsistent between count and sum, which
+/// is fine for monitoring output).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 96;
+  static constexpr int kBias = 48;  // bucket b covers [2^(b-49), 2^(b-48))
+
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+  /// Bucket index of `value` (exposed for tests).
+  static int BucketOf(double value);
+  /// Inclusive lower bound of bucket `b`.
+  static double BucketLowerBound(int b);
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Running extrema via CAS loops (atomic<double> has no fetch_min).
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace xfraud::obs
+
+#endif  // XFRAUD_OBS_METRICS_H_

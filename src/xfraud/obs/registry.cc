@@ -1,0 +1,149 @@
+#include "xfraud/obs/registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "xfraud/common/table_printer.h"
+
+namespace xfraud::obs {
+
+namespace {
+
+template <typename Map>
+auto* FindOrCreate(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    using Metric = typename Map::mapped_type::element_type;
+    it = map.emplace(std::string(name), std::make_unique<Metric>()).first;
+  }
+  return it->second.get();
+}
+
+// Compact numeric formatting for JSON: integers stay integral, everything
+// else gets enough digits to round-trip doubles of metric magnitude.
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Metric names are ASCII "subsystem/metric" strings, but escape the JSON
+// specials anyway so the snapshot is always parseable.
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  return FindOrCreate(mu_, counters_, name);
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  return FindOrCreate(mu_, gauges_, name);
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  return FindOrCreate(mu_, histograms_, name);
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void Registry::PrintTable(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TablePrinter table({"metric", "kind", "count", "value/mean", "p50", "p95",
+                      "p99", "max"});
+  for (const auto& [name, c] : counters_) {
+    table.AddRow({name, "counter", "-", std::to_string(c->value()), "-", "-",
+                  "-", "-"});
+  }
+  for (const auto& [name, g] : gauges_) {
+    table.AddRow({name, "gauge", "-", TablePrinter::Num(g->value(), 4), "-",
+                  "-", "-", "-"});
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s = h->Snapshot();
+    table.AddRow({name, "histogram", std::to_string(s.count),
+                  TablePrinter::Num(s.mean, 6), TablePrinter::Num(s.p50, 6),
+                  TablePrinter::Num(s.p95, 6), TablePrinter::Num(s.p99, 6),
+                  TablePrinter::Num(s.max, 6)});
+  }
+  table.Print(os);
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    " << JsonStr(name) << ": "
+       << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    " << JsonStr(name) << ": "
+       << JsonNum(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s = h->Snapshot();
+    os << (first ? "" : ",") << "\n    " << JsonStr(name) << ": {"
+       << "\"count\": " << s.count << ", \"sum\": " << JsonNum(s.sum)
+       << ", \"min\": " << JsonNum(s.min) << ", \"max\": " << JsonNum(s.max)
+       << ", \"mean\": " << JsonNum(s.mean) << ", \"p50\": " << JsonNum(s.p50)
+       << ", \"p95\": " << JsonNum(s.p95) << ", \"p99\": " << JsonNum(s.p99)
+       << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+Status Registry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << ToJson();
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace xfraud::obs

@@ -1,0 +1,69 @@
+#ifndef XFRAUD_OBS_REGISTRY_H_
+#define XFRAUD_OBS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "xfraud/common/status.h"
+#include "xfraud/obs/metrics.h"
+
+namespace xfraud::obs {
+
+/// Named-metric directory: one flat namespace of Counters, Gauges, and
+/// Histograms ("subsystem/metric" by convention, e.g. "loader/queue_depth").
+/// Lookup creates the metric on first use and returns a pointer that stays
+/// valid for the registry's lifetime — call sites cache it (typically in a
+/// function-local static against Global()) so the steady-state cost of a
+/// metric write is one relaxed atomic op, no map lookup.
+///
+/// Reset() zeroes values but never destroys metric objects, so cached
+/// pointers survive between bench iterations and tests.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation point writes
+  /// to. Never destroyed (leaked on purpose) so metric writes from static
+  /// destructors can't touch a dead object.
+  static Registry& Global();
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Zeroes every metric, keeping all objects (and cached pointers) alive.
+  void Reset();
+
+  /// Aligned table of every metric (common::TablePrinter layout): counters
+  /// and gauges as single-value rows, histograms with count/mean/p50/p95/
+  /// p99/max columns.
+  void PrintTable(std::ostream& os) const;
+
+  /// JSON snapshot (schema documented in DESIGN.md §8):
+  ///   {"counters": {name: int, ...},
+  ///    "gauges":   {name: double, ...},
+  ///    "histograms": {name: {"count":..,"sum":..,"min":..,"max":..,
+  ///                          "mean":..,"p50":..,"p95":..,"p99":..}, ...}}
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (overwriting).
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps snapshot output sorted and node-based, so pointers into
+  // the mapped unique_ptrs are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace xfraud::obs
+
+#endif  // XFRAUD_OBS_REGISTRY_H_

@@ -1,0 +1,43 @@
+#include "xfraud/obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace xfraud::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_logging{false};
+thread_local int t_span_depth = 0;
+
+}  // namespace
+
+void SetTraceLogging(bool enabled) {
+  g_trace_logging.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceLoggingEnabled() {
+  return g_trace_logging.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name),
+      hist_(IsEnabled()
+                ? Registry::Global().histogram(std::string("span/") + name)
+                : nullptr),
+      depth_(t_span_depth++) {}
+
+ScopedSpan::~ScopedSpan() {
+  --t_span_depth;
+  if (hist_ == nullptr) return;
+  double seconds = timer_.ElapsedSeconds();
+  hist_->Record(seconds);
+  if (TraceLoggingEnabled()) {
+    // One fprintf keeps concurrent spans line-atomic on POSIX stderr.
+    std::fprintf(stderr, "[trace] %*s%s took %.3fms\n", depth_ * 2, "", name_,
+                 seconds * 1e3);
+  }
+}
+
+}  // namespace xfraud::obs

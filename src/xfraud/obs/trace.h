@@ -1,0 +1,45 @@
+#ifndef XFRAUD_OBS_TRACE_H_
+#define XFRAUD_OBS_TRACE_H_
+
+#include "xfraud/common/timer.h"
+#include "xfraud/obs/registry.h"
+
+namespace xfraud::obs {
+
+/// When true, every ScopedSpan prints an indented "[trace] name took Xms"
+/// line to stderr on exit (nesting shown by indentation, per thread).
+/// Span durations are always recorded into the "span/<name>" histogram of
+/// the global registry regardless of this switch (subject to IsEnabled()).
+void SetTraceLogging(bool enabled);
+bool TraceLoggingEnabled();
+
+/// RAII trace scope: measures the wall time between construction and
+/// destruction, records it into Registry::Global().histogram("span/<name>"),
+/// and (with trace logging on) prints the span on exit. `name` must be a
+/// string literal or otherwise outlive the span.
+///
+///   {
+///     obs::ScopedSpan span("trainer/epoch");
+///     ...  // work
+///   }  // records + optionally prints here
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Seconds since construction (for callers that also want the value).
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  const char* name_;
+  Histogram* hist_;  // nullptr when obs was disabled at entry
+  int depth_ = 0;
+  WallTimer timer_;
+};
+
+}  // namespace xfraud::obs
+
+#endif  // XFRAUD_OBS_TRACE_H_

@@ -4,8 +4,35 @@
 #include <utility>
 
 #include "xfraud/common/timer.h"
+#include "xfraud/obs/registry.h"
 
 namespace xfraud::sample {
+
+namespace {
+
+// Cached global-registry handles for the pipeline's flow metrics. Queue
+// depth is sampled at each hand-off; stall/wait histograms separate "the
+// producers outran the consumer" (backpressure) from "the consumer starved"
+// (undersized worker pool) — the two failure modes of a prefetch pipeline.
+struct LoaderMetrics {
+  obs::Histogram* queue_depth;
+  obs::Histogram* producer_stall_s;
+  obs::Histogram* consumer_wait_s;
+  obs::Counter* batches;
+
+  static const LoaderMetrics& Get() {
+    static const LoaderMetrics m = [] {
+      auto& r = obs::Registry::Global();
+      return LoaderMetrics{r.histogram("loader/queue_depth"),
+                           r.histogram("loader/producer_stall_s"),
+                           r.histogram("loader/consumer_wait_s"),
+                           r.counter("loader/batches")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 BatchLoader::BatchLoader(const graph::HeteroGraph* graph,
                          const Sampler* sampler,
@@ -45,25 +72,42 @@ LoadedBatch BatchLoader::SampleOne(int64_t index) const {
 }
 
 void BatchLoader::WorkerLoop() {
+  const LoaderMetrics& metrics = LoaderMetrics::Get();
   const int64_t n = num_batches();
   for (;;) {
     int64_t index = claim_.fetch_add(1);
     if (index >= n) return;
-    if (!ready_.Push(SampleOne(index))) return;  // closed: consumer is done
+    LoadedBatch batch = SampleOne(index);
+    if (obs::IsEnabled()) {
+      metrics.queue_depth->Record(static_cast<double>(ready_.size()));
+      WallTimer stall;
+      if (!ready_.Push(std::move(batch))) return;  // closed: consumer done
+      metrics.producer_stall_s->Record(stall.ElapsedSeconds());
+    } else if (!ready_.Push(std::move(batch))) {
+      return;  // closed: consumer is done
+    }
   }
 }
 
 std::optional<LoadedBatch> BatchLoader::Next() {
+  const LoaderMetrics& metrics = LoaderMetrics::Get();
   if (next_index_ >= num_batches()) return std::nullopt;
   if (workers_.empty()) {
     LoadedBatch out = SampleOne(next_index_++);
     total_sample_seconds_ += out.sample_seconds;
+    // Serial path: the consumer waits the whole inline sampling time and
+    // there is never anything buffered ahead — record both so the loader
+    // histograms stay comparable across worker counts.
+    metrics.consumer_wait_s->Record(out.sample_seconds);
+    metrics.queue_depth->Record(0.0);
+    metrics.batches->Increment();
     return out;
   }
   // Workers race on the claim counter, so batches may arrive out of order;
   // park early arrivals until their turn. The reorder buffer only grows
   // while the expected batch is still being sampled, so it stays near the
   // queue bound when batch costs are comparable.
+  WallTimer wait;
   for (;;) {
     auto it = reorder_.find(next_index_);
     if (it != reorder_.end()) {
@@ -71,6 +115,8 @@ std::optional<LoadedBatch> BatchLoader::Next() {
       reorder_.erase(it);
       ++next_index_;
       total_sample_seconds_ += out.sample_seconds;
+      metrics.consumer_wait_s->Record(wait.ElapsedSeconds());
+      metrics.batches->Increment();
       return out;
     }
     std::optional<LoadedBatch> item = ready_.Pop();

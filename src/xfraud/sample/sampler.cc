@@ -5,11 +5,48 @@
 #include <unordered_map>
 
 #include "xfraud/common/logging.h"
+#include "xfraud/common/timer.h"
+#include "xfraud/obs/registry.h"
 
 namespace xfraud::sample {
 
 using graph::HeteroGraph;
 using graph::Subgraph;
+
+namespace {
+
+// Cached global-registry handles: sampler metrics are written once per
+// Sample call (locals accumulated first), so the cost stays a handful of
+// relaxed atomic ops per mini-batch.
+struct SamplerMetrics {
+  obs::Histogram* frontier_nodes;
+  obs::Histogram* subgraph_nodes;
+  obs::Histogram* subgraph_edges;
+  obs::Histogram* sample_s;
+  obs::Counter* fanout_truncations;
+  obs::Counter* batches;
+
+  static const SamplerMetrics& Get() {
+    static const SamplerMetrics m = [] {
+      auto& r = obs::Registry::Global();
+      return SamplerMetrics{r.histogram("sampler/frontier_nodes"),
+                            r.histogram("sampler/subgraph_nodes"),
+                            r.histogram("sampler/subgraph_edges"),
+                            r.histogram("sampler/sample_s"),
+                            r.counter("sampler/fanout_truncations"),
+                            r.counter("sampler/batches")};
+    }();
+    return m;
+  }
+};
+
+void RecordSubgraph(const Subgraph& sub) {
+  const SamplerMetrics& m = SamplerMetrics::Get();
+  m.subgraph_nodes->Record(static_cast<double>(sub.nodes.size()));
+  m.subgraph_edges->Record(static_cast<double>(sub.src.size()));
+}
+
+}  // namespace
 
 MiniBatch MakeBatch(const HeteroGraph& g, Subgraph sub,
                     const std::vector<int32_t>& seed_globals) {
@@ -45,7 +82,12 @@ MiniBatch MakeBatch(const HeteroGraph& g, Subgraph sub,
 MiniBatch Sampler::SampleBatch(const HeteroGraph& g,
                                const std::vector<int32_t>& seeds,
                                xfraud::Rng* rng) const {
-  return MakeBatch(g, Sample(g, seeds, rng), seeds);
+  WallTimer timer;
+  MiniBatch batch = MakeBatch(g, Sample(g, seeds, rng), seeds);
+  const SamplerMetrics& m = SamplerMetrics::Get();
+  m.sample_s->Record(timer.ElapsedSeconds());
+  m.batches->Increment();
+  return batch;
 }
 
 namespace {
@@ -86,7 +128,10 @@ Subgraph SageSampler::Sample(const HeteroGraph& g,
   }
   if (!seeds.empty()) sub.seed_local = sub.local_of.at(seeds.front());
 
+  int64_t truncations = 0;
   for (int hop = 0; hop < hops_ && !frontier.empty(); ++hop) {
+    SamplerMetrics::Get().frontier_nodes->Record(
+        static_cast<double>(frontier.size()));
     std::vector<int32_t> next;
     for (int32_t v : frontier) {
       int64_t begin = g.InDegreeBegin(v);
@@ -100,6 +145,7 @@ Subgraph SageSampler::Sample(const HeteroGraph& g,
           }
         }
       } else {
+        ++truncations;
         std::vector<int64_t> slots(degree);
         for (int64_t i = 0; i < degree; ++i) slots[i] = begin + i;
         for (int i = 0; i < fanout_; ++i) {
@@ -116,6 +162,10 @@ Subgraph SageSampler::Sample(const HeteroGraph& g,
     frontier = std::move(next);
   }
   InduceEdges(g, &sub);
+  if (truncations > 0) {
+    SamplerMetrics::Get().fanout_truncations->Add(truncations);
+  }
+  RecordSubgraph(sub);
   return sub;
 }
 
@@ -177,6 +227,7 @@ Subgraph HgSampler::Sample(const HeteroGraph& g,
     }
   }
   InduceEdges(g, &sub);
+  RecordSubgraph(sub);
   return sub;
 }
 

@@ -50,12 +50,31 @@ double AveragePrecision(const std::vector<double>& scores,
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  // Sum of ΔR * P over distinct-score thresholds: each tie group is one
+  // block whose precision is evaluated at the block's end. A per-sample sum
+  // would make AP depend on std::sort's (unspecified) order within a tie
+  // group; processing whole blocks makes the value a pure function of the
+  // (score, label) multiset. For all-distinct scores this reduces exactly
+  // to the familiar per-positive precision sum.
   double ap = 0.0;
-  int64_t tp = 0;
-  for (size_t k = 0; k < order.size(); ++k) {
-    if (labels[order[k]] == 1) {
-      ++tp;
-      ap += static_cast<double>(tp) / static_cast<double>(k + 1);
+  int64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    double s = scores[order[i]];
+    int64_t tie_pos = 0, tie_neg = 0;
+    while (i < order.size() && scores[order[i]] == s) {
+      if (labels[order[i]] == 1) {
+        ++tie_pos;
+      } else {
+        ++tie_neg;
+      }
+      ++i;
+    }
+    tp += tie_pos;
+    fp += tie_neg;
+    if (tie_pos > 0) {
+      double precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+      ap += precision * static_cast<double>(tie_pos);
     }
   }
   return ap / static_cast<double>(n_pos);
@@ -64,7 +83,7 @@ double AveragePrecision(const std::vector<double>& scores,
 double Accuracy(const std::vector<double>& scores,
                 const std::vector<int>& labels, double threshold) {
   XF_CHECK_EQ(scores.size(), labels.size());
-  XF_CHECK(!scores.empty());
+  if (scores.empty()) return 0.0;  // empty split: degrade, don't crash
   int64_t correct = 0;
   for (size_t i = 0; i < scores.size(); ++i) {
     int pred = scores[i] >= threshold ? 1 : 0;
@@ -116,7 +135,9 @@ std::vector<CurvePoint> RocCurve(const std::vector<double>& scores,
   size_t i = 0;
   while (i < order.size()) {
     double s = scores[order[i]];
-    // Consume the whole tie group before emitting a point.
+    // Consume the whole tie group before emitting a point, so the curve is
+    // independent of the sort's order within ties (same block discipline as
+    // AveragePrecision above).
     while (i < order.size() && scores[order[i]] == s) {
       if (labels[order[i]] == 1) {
         ++tp;

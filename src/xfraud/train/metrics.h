@@ -16,11 +16,15 @@ namespace xfraud::train {
 double RocAuc(const std::vector<double>& scores,
               const std::vector<int>& labels);
 
-/// Average precision (area under the PR curve, step interpolation).
+/// Average precision (area under the PR curve, step interpolation). Tied
+/// scores are processed as one block with the block-end precision, so the
+/// value is a pure function of the (score, label) multiset — identical for
+/// any permutation of the inputs.
 double AveragePrecision(const std::vector<double>& scores,
                         const std::vector<int>& labels);
 
-/// Fraction of correct predictions at `threshold`.
+/// Fraction of correct predictions at `threshold`. Returns 0.0 on empty
+/// input (an empty evaluation split degrades gracefully).
 double Accuracy(const std::vector<double>& scores,
                 const std::vector<int>& labels, double threshold = 0.5);
 
@@ -39,6 +43,8 @@ struct ThresholdMetrics {
   bool any_predicted_positive = false;
 };
 
+/// On empty input returns the zero-initialized struct (counts 0, rates 0.0,
+/// any_predicted_positive false) rather than crashing.
 ThresholdMetrics MetricsAtThreshold(const std::vector<double>& scores,
                                     const std::vector<int>& labels,
                                     double threshold);

@@ -5,10 +5,45 @@
 
 #include "xfraud/common/logging.h"
 #include "xfraud/common/timer.h"
+#include "xfraud/obs/registry.h"
+#include "xfraud/obs/trace.h"
 
 namespace xfraud::train {
 
 namespace {
+
+// Cached global-registry handles for the per-phase epoch breakdown the
+// paper's Sec. 5 efficiency story needs: where a gradient step's time goes
+// (sample is recorded by the loader/sampler; forward/backward/optim here).
+struct TrainerMetrics {
+  obs::Histogram* forward_s;
+  obs::Histogram* backward_s;
+  obs::Histogram* optim_s;
+  obs::Histogram* eval_forward_s;
+  obs::Histogram* eval_sample_s;
+  obs::Histogram* epoch_sample_s;
+  obs::Histogram* epoch_compute_s;
+  obs::Counter* epochs;
+  obs::Counter* steps;
+  obs::Gauge* last_val_auc;
+
+  static const TrainerMetrics& Get() {
+    static const TrainerMetrics m = [] {
+      auto& r = obs::Registry::Global();
+      return TrainerMetrics{r.histogram("trainer/forward_s"),
+                            r.histogram("trainer/backward_s"),
+                            r.histogram("trainer/optim_s"),
+                            r.histogram("trainer/eval_forward_s"),
+                            r.histogram("trainer/eval_sample_s"),
+                            r.histogram("trainer/epoch_sample_s"),
+                            r.histogram("trainer/epoch_compute_s"),
+                            r.counter("trainer/epochs"),
+                            r.counter("trainer/steps"),
+                            r.gauge("trainer/last_val_auc")};
+    }();
+    return m;
+  }
+};
 
 // Stream tags separating the trainer's independent RNG roots. Sampling and
 // evaluation each get their own root split off the user seed, so drawing
@@ -56,16 +91,29 @@ Trainer::Trainer(core::GnnModel* model, const sample::Sampler* sampler,
       eval_root_(Rng::StreamSeed(options.seed, kEvalStreamTag)) {}
 
 double Trainer::TrainStep(const sample::MiniBatch& batch) {
+  const TrainerMetrics& metrics = TrainerMetrics::Get();
+  const bool timed = obs::IsEnabled();
   core::ForwardOptions fwd;
   fwd.training = true;
   fwd.rng = &rng_;
+  WallTimer phase;
   nn::Var logits = model_->Forward(batch, fwd);
   nn::Var loss =
       nn::CrossEntropy(logits, batch.target_labels, options_.class_weights);
+  if (timed) {
+    metrics.forward_s->Record(phase.ElapsedSeconds());
+    phase.Restart();
+  }
   optimizer_.ZeroGrad();
   loss.Backward();
+  if (timed) {
+    metrics.backward_s->Record(phase.ElapsedSeconds());
+    phase.Restart();
+  }
   optimizer_.ClipGradNorm(options_.clip);
   optimizer_.Step();
+  if (timed) metrics.optim_s->Record(phase.ElapsedSeconds());
+  metrics.steps->Increment();
   return loss.item();
 }
 
@@ -79,7 +127,9 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
   sample::LoaderOptions loader_opts{.num_workers = options_.num_sample_workers,
                                     .prefetch_depth = options_.prefetch_depth};
 
+  if (options_.trace) obs::SetTraceLogging(true);
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("trainer/epoch");
     WallTimer timer;
     rng_.Shuffle(&train_nodes);
     double loss_sum = 0.0;
@@ -100,8 +150,13 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
     total_seconds += seconds;
     total_sample += loader.total_sample_seconds();
     total_compute += compute_seconds;
+    TrainerMetrics::Get().epochs->Increment();
+    TrainerMetrics::Get().epoch_sample_s->Record(
+        loader.total_sample_seconds());
+    TrainerMetrics::Get().epoch_compute_s->Record(compute_seconds);
 
     EvalResult val = Evaluate(ds.graph, ds.val_nodes);
+    TrainerMetrics::Get().last_val_auc->Set(val.auc);
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = batches > 0 ? loss_sum / batches : 0.0;
@@ -136,6 +191,8 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
 EvalResult Trainer::Evaluate(const graph::HeteroGraph& g,
                              const std::vector<int32_t>& nodes,
                              int batch_size) {
+  obs::ScopedSpan eval_span("trainer/evaluate");
+  const TrainerMetrics& metrics = TrainerMetrics::Get();
   EvalResult result;
   std::vector<double> forward_secs;
   std::vector<double> sample_secs;
@@ -151,6 +208,8 @@ EvalResult Trainer::Evaluate(const graph::HeteroGraph& g,
     nn::Var logits = model_->Forward(batch, fwd);
     forward_secs.push_back(timer.ElapsedSeconds());
     sample_secs.push_back(loaded->sample_seconds);
+    metrics.eval_forward_s->Record(forward_secs.back());
+    metrics.eval_sample_s->Record(loaded->sample_seconds);
     std::vector<double> probs = FraudProbabilities(logits);
     result.scores.insert(result.scores.end(), probs.begin(), probs.end());
     result.labels.insert(result.labels.end(), batch.target_labels.begin(),

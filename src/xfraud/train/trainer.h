@@ -32,6 +32,11 @@ struct TrainOptions {
   /// How many ready batches the sampler workers may buffer (backpressure
   /// bound of the pipeline queue).
   int prefetch_depth = 4;
+  /// Observability: print obs::ScopedSpan trace lines (per epoch and per
+  /// evaluation) to stderr. Phase timings (sample/forward/backward/optim)
+  /// always accumulate in obs::Registry::Global() histograms unless the
+  /// whole subsystem is switched off with obs::SetEnabled(false).
+  bool trace = false;
 };
 
 /// Model scores on an evaluation split.

@@ -5,6 +5,8 @@
 ///
 /// Layering (bottom-up):
 ///   common  -> Status, Rng, ThreadPool, timing, table printing
+///   obs     -> counters/gauges/histograms, scoped traces, registry
+///              snapshots (threaded through every layer below)
 ///   la      -> dense linear algebra (solves, eigen, expm) for the explainer
 ///   nn      -> tensors, tape autograd, modules, AdamW (the DL substrate)
 ///   graph   -> heterogeneous transaction graph, builder, subgraphs
@@ -55,6 +57,9 @@
 #include "xfraud/nn/ops.h"
 #include "xfraud/nn/optim.h"
 #include "xfraud/nn/serialize.h"
+#include "xfraud/obs/metrics.h"
+#include "xfraud/obs/registry.h"
+#include "xfraud/obs/trace.h"
 #include "xfraud/sample/batch_loader.h"
 #include "xfraud/sample/sampler.h"
 #include "xfraud/train/incremental.h"

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <numeric>
 
 #include <gtest/gtest.h>
 
@@ -89,6 +90,76 @@ TEST(AveragePrecisionTest, NoPositivesIsZero) {
   EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.1}, {0, 0}), 0.0);
 }
 
+TEST(AveragePrecisionTest, TieGroupKnownValue) {
+  // One tie block {0.5: pos, neg}: precision at block end is 1/2 and the
+  // block holds the only positive, so AP = 1/2 regardless of input order.
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5, 0.5}, {1, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5, 0.5}, {0, 1}), 0.5);
+}
+
+TEST(AveragePrecisionTest, InvariantUnderPermutationOfTiedScores) {
+  // Heavily tied scores (only 4 distinct values over 60 samples). AP must be
+  // a pure function of the (score, label) multiset: every permutation of the
+  // inputs — which permutes std::sort's placement within tie groups — must
+  // give bit-identical AP.
+  Rng rng(11);
+  std::vector<double> scores(60);
+  std::vector<int> labels(60);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = 0.25 * static_cast<double>(rng.NextBounded(4));
+    labels[i] = rng.NextBernoulli(0.4);
+  }
+  const double base = AveragePrecision(scores, labels);
+  std::vector<size_t> perm(scores.size());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.Shuffle(&perm);
+    std::vector<double> s(scores.size());
+    std::vector<int> l(labels.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      s[i] = scores[perm[i]];
+      l[i] = labels[perm[i]];
+    }
+    EXPECT_DOUBLE_EQ(AveragePrecision(s, l), base) << "trial " << trial;
+  }
+}
+
+TEST(AveragePrecisionTest, AllPositivesIsOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.2, 0.9, 0.5}, {1, 1, 1}), 1.0);
+}
+
+TEST(AveragePrecisionTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, {}), 0.0);
+}
+
+TEST(CurveTest, RocCurveInvariantUnderPermutationOfTiedScores) {
+  Rng rng(12);
+  std::vector<double> scores(50);
+  std::vector<int> labels(50);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = 0.5 * static_cast<double>(rng.NextBounded(3));
+    labels[i] = rng.NextBernoulli(0.5);
+  }
+  const auto base = RocCurve(scores, labels);
+  std::vector<size_t> perm(scores.size());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.Shuffle(&perm);
+    std::vector<double> s(scores.size());
+    std::vector<int> l(labels.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      s[i] = scores[perm[i]];
+      l[i] = labels[perm[i]];
+    }
+    const auto curve = RocCurve(s, l);
+    ASSERT_EQ(curve.size(), base.size());
+    for (size_t i = 0; i < curve.size(); ++i) {
+      EXPECT_DOUBLE_EQ(curve[i].x, base[i].x);
+      EXPECT_DOUBLE_EQ(curve[i].y, base[i].y);
+    }
+  }
+}
+
 TEST(AccuracyTest, ThresholdBehaviour) {
   std::vector<double> scores = {0.9, 0.4, 0.6, 0.1};
   std::vector<int> labels = {1, 0, 0, 1};
@@ -111,6 +182,38 @@ TEST(ThresholdMetricsTest, CountsAndRates) {
   // Identities FNR = 1 - TPR, FPR = 1 - TNR (Appendix H.1).
   EXPECT_NEAR(m.fnr, 1.0 - m.tpr, 1e-12);
   EXPECT_NEAR(m.fpr, 1.0 - m.tnr, 1e-12);
+}
+
+TEST(EmptyInputTest, MetricsDegradeInsteadOfCrashing) {
+  // An empty eval split (e.g. a degenerate temporal fold) must not abort the
+  // run: every metric returns its neutral value.
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(RocAuc({}, {}), 0.5);
+  ThresholdMetrics m = MetricsAtThreshold({}, {}, 0.5);
+  EXPECT_EQ(m.tp, 0);
+  EXPECT_EQ(m.fp, 0);
+  EXPECT_EQ(m.fn, 0);
+  EXPECT_EQ(m.tn, 0);
+  EXPECT_DOUBLE_EQ(m.tpr, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_FALSE(m.any_predicted_positive);
+  auto roc = RocCurve({}, {});
+  ASSERT_EQ(roc.size(), 1u);  // just the (0,0) origin
+  EXPECT_DOUBLE_EQ(roc.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(roc.front().y, 0.0);
+  EXPECT_TRUE(PrCurve({}, {}).empty());
+}
+
+TEST(EmptyInputTest, SingleClassInputs) {
+  // All-positive / all-negative labels are common in tiny fraud slices.
+  EXPECT_DOUBLE_EQ(Accuracy({0.9, 0.8}, {1, 1}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0.9, 0.8}, {0, 0}, 0.5), 0.0);
+  ThresholdMetrics m = MetricsAtThreshold({0.9, 0.8}, {1, 1}, 0.5);
+  EXPECT_DOUBLE_EQ(m.tpr, 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.0);  // no negatives: rate defined as 0
+  ThresholdMetrics n = MetricsAtThreshold({0.9, 0.8}, {0, 0}, 0.5);
+  EXPECT_DOUBLE_EQ(n.fpr, 1.0);
+  EXPECT_DOUBLE_EQ(n.tpr, 0.0);
 }
 
 TEST(ThresholdMetricsTest, NoPositivePredictions) {

@@ -1,0 +1,233 @@
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/obs/metrics.h"
+#include "xfraud/obs/registry.h"
+#include "xfraud/obs/trace.h"
+
+namespace xfraud::obs {
+namespace {
+
+// The registry is process-global; tests share it with any instrumentation
+// that ran before them. Each test uses its own metric names and resets the
+// specific objects it touches, so ordering doesn't matter.
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, ExactMoments) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(4.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.mean, 7.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, PercentilesOrderedAndClamped) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i) * 1e-3);
+  HistogramSnapshot s = h.Snapshot();
+  // Percentiles are bucket estimates but must respect ordering and the exact
+  // extrema (Snapshot clamps to [min, max]).
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  // Log buckets are at most 2x wide, so the p50 estimate of a uniform
+  // 0.001..1.0 sample cannot stray past one bucket from 0.5.
+  EXPECT_GT(s.p50, 0.25);
+  EXPECT_LT(s.p50, 1.0);
+}
+
+TEST(HistogramTest, RepeatedValueCollapsesPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(0.125);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.min, 0.125);
+  EXPECT_DOUBLE_EQ(s.max, 0.125);
+  // min == max pins every clamped percentile to the value exactly.
+  EXPECT_DOUBLE_EQ(s.p50, 0.125);
+  EXPECT_DOUBLE_EQ(s.p99, 0.125);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket b covers [2^(b-49), 2^(b-48)); 1.0 = 2^0 opens bucket 49's
+  // predecessor boundary, i.e. lands where its lower bound is exactly 1.0.
+  int b_one = Histogram::BucketOf(1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(b_one), 1.0);
+  EXPECT_EQ(Histogram::BucketOf(1.5), b_one);
+  EXPECT_EQ(Histogram::BucketOf(2.0), b_one + 1);
+  EXPECT_EQ(Histogram::BucketOf(0.5), b_one - 1);
+  // Non-positive and NaN inputs land in the lowest bucket, never crash.
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0);
+  EXPECT_EQ(Histogram::BucketOf(-3.0), 0);
+  EXPECT_EQ(Histogram::BucketOf(std::nan("")), 0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h;
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(RegistryTest, SameNameSamePointer) {
+  Registry& reg = Registry::Global();
+  Counter* a = reg.counter("obs_test/same_name");
+  Counter* b = reg.counter("obs_test/same_name");
+  EXPECT_EQ(a, b);
+  Histogram* ha = reg.histogram("obs_test/same_hist");
+  Histogram* hb = reg.histogram("obs_test/same_hist");
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsPointers) {
+  Registry& reg = Registry::Global();
+  Counter* c = reg.counter("obs_test/reset_me");
+  Histogram* h = reg.histogram("obs_test/reset_me_hist");
+  c->Add(7);
+  h->Record(1.0);
+  reg.Reset();
+  // Cached pointers stay valid — the contract hot paths rely on.
+  EXPECT_EQ(c, reg.counter("obs_test/reset_me"));
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1);
+}
+
+TEST(RegistryTest, DisabledWritesAreNoOps) {
+  Registry& reg = Registry::Global();
+  Counter* c = reg.counter("obs_test/disabled");
+  Histogram* h = reg.histogram("obs_test/disabled_hist");
+  c->Reset();
+  h->Reset();
+  SetEnabled(false);
+  c->Add(5);
+  h->Record(1.0);
+  SetEnabled(true);
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  c->Add(5);
+  EXPECT_EQ(c->value(), 5);
+}
+
+TEST(RegistryTest, ToJsonContainsAllSections) {
+  Registry& reg = Registry::Global();
+  reg.counter("obs_test/json_counter")->Add(3);
+  reg.gauge("obs_test/json_gauge")->Set(2.5);
+  reg.histogram("obs_test/json_hist")->Record(0.5);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ScopedSpanTest, RecordsIntoSpanHistogram) {
+  Registry& reg = Registry::Global();
+  Histogram* h = reg.histogram("span/obs_test_span");
+  h->Reset();
+  {
+    ScopedSpan span("obs_test_span");
+    EXPECT_GE(span.ElapsedSeconds(), 0.0);
+  }
+  EXPECT_EQ(h->count(), 1);
+  HistogramSnapshot s = h->Snapshot();
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(ScopedSpanTest, DisabledSpanRecordsNothing) {
+  Registry& reg = Registry::Global();
+  Histogram* h = reg.histogram("span/obs_test_disabled_span");
+  h->Reset();
+  SetEnabled(false);
+  { ScopedSpan span("obs_test_disabled_span"); }
+  SetEnabled(true);
+  EXPECT_EQ(h->count(), 0);
+}
+
+// Same shape as BoundedQueueTest.MpmcStressDeliversEveryItemOnce in
+// common_test.cc: hammer shared metrics from many threads and check the
+// final tallies are exact — relaxed atomics must still not lose updates.
+TEST(ConcurrencyTest, ParallelWritersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 10000;
+  Registry& reg = Registry::Global();
+  Counter* c = reg.counter("obs_test/stress_counter");
+  Histogram* h = reg.histogram("obs_test/stress_hist");
+  c->Reset();
+  h->Reset();
+
+  std::atomic<int> start{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {}  // rough start barrier
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(c->value(), int64_t{kThreads} * kOpsPerThread);
+  HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, int64_t{kThreads} * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kThreads));
+  // Sum of t+1 for t in [0, kThreads), each kOpsPerThread times.
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += (t + 1) * kOpsPerThread;
+  EXPECT_DOUBLE_EQ(s.sum, expected_sum);
+}
+
+TEST(ConcurrencyTest, ParallelRegistryLookupsAgree) {
+  constexpr int kThreads = 8;
+  Registry& reg = Registry::Global();
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { seen[t] = reg.counter("obs_test/lookup_race"); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+}  // namespace
+}  // namespace xfraud::obs

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Fails if any build-tree artifact is tracked by git. Guards against the
+# class of mistake that once left 764 build/ objects in the index: a tracked
+# build tree bloats clones and makes every rebuild show up as a dirty diff.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tracked=$(git ls-files | grep -E '^build' || true)
+if [[ -n "${tracked}" ]]; then
+  echo "error: build artifacts are tracked by git:" >&2
+  echo "${tracked}" | head -20 >&2
+  count=$(echo "${tracked}" | wc -l)
+  echo "(${count} files total; run: git rm -r --cached build*/)" >&2
+  exit 1
+fi
+echo "ok: no build artifacts tracked"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entrypoint: hygiene guards, then configure + build + test.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== hygiene =="
+tools/check_no_build_artifacts.sh
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== test =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== ci ok =="

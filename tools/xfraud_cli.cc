@@ -52,7 +52,12 @@ int Usage() {
       "--sample-workers enables the pipelined batch loader: N sampler\n"
       "threads prefetch mini-batches ahead of the model (0 = inline\n"
       "sampling; results are bit-identical either way). --prefetch bounds\n"
-      "how many ready batches they may buffer (default 4).\n";
+      "how many ready batches they may buffer (default 4).\n"
+      "\n"
+      "observability (train/score): --metrics-out=<path>.json writes the\n"
+      "obs::Registry snapshot (counters + p50/p95/p99 histograms of the\n"
+      "sampler, loader, trainer, and KV paths; schema in DESIGN.md §8);\n"
+      "--trace prints RAII span timings to stderr as they close.\n";
   return 1;
 }
 
@@ -60,10 +65,18 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+    if (arg.rfind("--", 0) != 0) {
       return Status::InvalidArgument("bad flag: " + arg);
     }
-    flags.values[arg.substr(2)] = argv[++i];
+    // Accept --key=value, --key value, and bare boolean --key (stored "1").
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags.values[arg.substr(2)] = argv[++i];
+    } else {
+      flags.values[arg.substr(2)] = "1";
+    }
   }
   return flags;
 }
@@ -76,6 +89,49 @@ core::DetectorConfig ConfigFor(const graph::HeteroGraph& g,
   dc.num_heads = 4;
   dc.num_layers = flags.GetInt("layers", 2);
   return dc;
+}
+
+/// Exercises the KV feature-store path so a --metrics-out snapshot covers
+/// it even though train/score serve batches from the in-memory graph:
+/// ingests the graph into a sharded in-memory store and loads a few
+/// batches back through pure KV reads, populating the kv/* counters and
+/// per-shard latency histograms.
+void ProbeKvPath(const data::SimDataset& ds) {
+  obs::ScopedSpan span("cli/kv_probe");
+  auto store = kv::ShardedKvStore::InMemory(4);
+  kv::FeatureStore feature_store(store.get());
+  Status s = feature_store.Ingest(ds.graph);
+  if (!s.ok()) {
+    std::cerr << "kv probe: " << s.ToString() << "\n";
+    return;
+  }
+  Rng rng(23);
+  auto seeds = ds.graph.LabeledTransactions();
+  size_t limit = std::min<size_t>(seeds.size(), 512);
+  for (size_t begin = 0; begin < limit; begin += 128) {
+    std::vector<int32_t> batch(
+        seeds.begin() + begin,
+        seeds.begin() + std::min(begin + 128, limit));
+    auto loaded = feature_store.LoadBatch(batch, /*hops=*/2, /*fanout=*/12,
+                                          &rng);
+    if (!loaded.ok()) {
+      std::cerr << "kv probe: " << loaded.status().ToString() << "\n";
+      return;
+    }
+  }
+}
+
+/// Writes the global registry snapshot when --metrics-out is set.
+int WriteMetricsSnapshot(const Flags& flags) {
+  std::string path = flags.Get("metrics-out");
+  if (path.empty()) return 0;
+  Status s = obs::Registry::Global().WriteJsonFile(path);
+  if (!s.ok()) {
+    std::cerr << "metrics-out: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote metrics snapshot to " << path << "\n";
+  return 0;
 }
 
 /// Loads the log, builds the dataset, reports basic stats.
@@ -140,6 +196,7 @@ int CmdTrain(const Flags& flags) {
   opts.verbose = true;
   opts.num_sample_workers = flags.GetInt("sample-workers", 0);
   opts.prefetch_depth = flags.GetInt("prefetch", 4);
+  opts.trace = flags.Has("trace");
   train::Trainer trainer(&detector, &sampler, opts);
   auto result = trainer.Train(ds.value());
   auto test = trainer.Evaluate(ds.value().graph, ds.value().test_nodes);
@@ -152,7 +209,8 @@ int CmdTrain(const Flags& flags) {
     return 1;
   }
   std::cout << "saved checkpoint to " << model_path << "\n";
-  return 0;
+  if (flags.Has("metrics-out")) ProbeKvPath(ds.value());
+  return WriteMetricsSnapshot(flags);
 }
 
 Result<std::unique_ptr<core::XFraudDetector>> LoadDetector(
@@ -182,6 +240,7 @@ int CmdScore(const Flags& flags) {
   train::TrainOptions score_opts;
   score_opts.num_sample_workers = flags.GetInt("sample-workers", 0);
   score_opts.prefetch_depth = flags.GetInt("prefetch", 4);
+  score_opts.trace = flags.Has("trace");
   train::Trainer scorer(detector.value().get(), &sampler, score_opts);
   auto labeled = ds.value().graph.LabeledTransactions();
   auto eval = scorer.Evaluate(ds.value().graph, labeled);
@@ -208,7 +267,8 @@ int CmdScore(const Flags& flags) {
   }
   std::cout << "top " << top << " riskiest transactions:\n";
   table.Print(std::cout);
-  return 0;
+  if (flags.Has("metrics-out")) ProbeKvPath(ds.value());
+  return WriteMetricsSnapshot(flags);
 }
 
 int CmdExplain(const Flags& flags) {
@@ -286,6 +346,7 @@ int Main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return Usage();
   }
+  if (flags.value().Has("trace")) obs::SetTraceLogging(true);
   if (command == "generate") return CmdGenerate(flags.value());
   if (command == "train") return CmdTrain(flags.value());
   if (command == "score") return CmdScore(flags.value());
