@@ -97,13 +97,11 @@ void Run() {
     add_rows("", -1);
     add_rows("_c0", 0);
     add_rows("_c1", 1);
-    std::cout << "\nTable " << (agg == EdgeAggregation::kAvg
-                                    ? "8/9 analogue (aggregation: avg)"
-                                    : (agg == EdgeAggregation::kMin
-                                           ? "10 analogue (aggregation: min)"
-                                           : "11 analogue (aggregation: "
-                                             "sum)"))
-              << ":\n";
+    std::cout << "\nTable "
+              << (agg == EdgeAggregation::kAvg
+                      ? "8/9"
+                      : (agg == EdgeAggregation::kMin ? "10" : "11"))
+              << " analogue (aggregation: " << AggName(agg) << "):\n";
     table.Print(std::cout);
   }
   std::cout << "(paper shape: GNNExplainer well above random at every k and "

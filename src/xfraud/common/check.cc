@@ -1,0 +1,25 @@
+#include "xfraud/common/check.h"
+
+#include <cstring>
+
+namespace xfraud::internal {
+
+namespace {
+
+const char* Basename(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash != nullptr ? slash + 1 : file;
+}
+
+}  // namespace
+
+CheckMessage::CheckMessage(const char* file, int line, const char* condition) {
+  stream_ << "[" << Basename(file) << ":" << line
+          << "] Check failed: " << condition << " ";
+}
+
+void CheckFailThrower::operator&(const CheckMessage& m) const {
+  throw CheckError(m.str());
+}
+
+}  // namespace xfraud::internal

@@ -51,17 +51,5 @@ LogMessage::~LogMessage() {
   }
 }
 
-FatalLogMessage::FatalLogMessage(const char* file, int line,
-                                 const char* condition) {
-  stream_ << "[FATAL " << Basename(file) << ":" << line << "] Check failed: "
-          << condition << " ";
-}
-
-FatalLogMessage::~FatalLogMessage() {
-  stream_ << "\n";
-  std::cerr << stream_.str();
-  std::abort();
-}
-
 }  // namespace internal
 }  // namespace xfraud

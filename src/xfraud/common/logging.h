@@ -6,6 +6,11 @@
 #include <sstream>
 #include <string>
 
+// The XF_CHECK / XF_DCHECK contract macros historically lived here; they now
+// come from check.h, re-exported so every call site that includes logging.h
+// keeps compiling.
+#include "xfraud/common/check.h"
+
 namespace xfraud {
 
 /// Severity levels for the lightweight logger.
@@ -35,21 +40,6 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-/// Like LogMessage but aborts the process on destruction. Used by XF_CHECK.
-class FatalLogMessage {
- public:
-  FatalLogMessage(const char* file, int line, const char* condition);
-  [[noreturn]] ~FatalLogMessage();
-
-  FatalLogMessage(const FatalLogMessage&) = delete;
-  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
-
-  std::ostream& stream() { return stream_; }
-
- private:
-  std::ostringstream stream_;
-};
-
 }  // namespace internal
 }  // namespace xfraud
 
@@ -57,20 +47,5 @@ class FatalLogMessage {
   ::xfraud::internal::LogMessage(::xfraud::LogLevel::k##level,         \
                                  __FILE__, __LINE__)                   \
       .stream()
-
-/// Aborts with a message when `condition` is false. Internal invariants only;
-/// recoverable failures return Status instead.
-#define XF_CHECK(condition)                                            \
-  if (condition) {                                                     \
-  } else                                                               \
-    ::xfraud::internal::FatalLogMessage(__FILE__, __LINE__, #condition) \
-        .stream()
-
-#define XF_CHECK_EQ(a, b) XF_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
-#define XF_CHECK_NE(a, b) XF_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
-#define XF_CHECK_LT(a, b) XF_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
-#define XF_CHECK_LE(a, b) XF_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
-#define XF_CHECK_GT(a, b) XF_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
-#define XF_CHECK_GE(a, b) XF_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
 
 #endif  // XFRAUD_COMMON_LOGGING_H_

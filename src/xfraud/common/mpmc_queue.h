@@ -8,6 +8,8 @@
 #include <optional>
 #include <utility>
 
+#include "xfraud/common/check.h"
+
 namespace xfraud {
 
 /// Bounded multi-producer / multi-consumer FIFO channel. Producers block in
@@ -36,6 +38,7 @@ class BoundedQueue {
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
+    XF_DCHECK_LT(items_.size(), capacity_);
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
@@ -58,6 +61,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
+    XF_DCHECK_LE(items_.size(), capacity_);
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
     lock.unlock();

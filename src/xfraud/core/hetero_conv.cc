@@ -43,6 +43,8 @@ Var HeteroConvLayer::Forward(const Var& node_input,
   int64_t num_nodes = node_input.rows();
   XF_CHECK_EQ(node_input.cols(), dim_);
   XF_CHECK_EQ(edge_src.size(), edge_dst.size());
+  XF_CHECK_EQ(edge_src.size(), edge_types.size());
+  XF_CHECK_EQ(static_cast<int64_t>(node_types.size()), num_nodes);
 
   if (edge_src.empty()) {
     // Isolated batch: no messages; normalization + activation only.
@@ -54,6 +56,9 @@ Var HeteroConvLayer::Forward(const Var& node_input,
   std::vector<int32_t> src_types(edge_src.size());
   std::vector<int32_t> dst_types(edge_src.size());
   for (size_t e = 0; e < edge_src.size(); ++e) {
+    XF_DCHECK_BOUNDS(edge_src[e], num_nodes);
+    XF_DCHECK_BOUNDS(edge_dst[e], num_nodes);
+    XF_DCHECK_BOUNDS(edge_types[e], graph::kNumEdgeTypes);
     src_types[e] = node_types[edge_src[e]];
     dst_types[e] = node_types[edge_dst[e]];
   }

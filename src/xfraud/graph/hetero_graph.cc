@@ -94,6 +94,23 @@ HeteroGraph::HeteroGraph(std::vector<NodeType> node_types,
   XF_CHECK_EQ(neighbors_.size(), edge_types_.size());
   XF_CHECK_EQ(feature_row_.size(), node_types_.size());
   XF_CHECK_EQ(labels_.size(), node_types_.size());
+  // CSR contract: offsets bracket the edge array and are monotone, every
+  // neighbour id is a valid node, every feature row points into the feature
+  // block. A violation here is how a corrupt deserialized graph would
+  // otherwise surface as silent out-of-bounds reads deep in the sampler.
+  XF_CHECK_EQ(offsets_.front(), 0);
+  XF_CHECK_EQ(offsets_.back(), static_cast<int64_t>(neighbors_.size()));
+  for (size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    XF_CHECK_LE(offsets_[v], offsets_[v + 1]) << "offsets not monotone at " << v;
+  }
+  for (size_t e = 0; e < neighbors_.size(); ++e) {
+    XF_DCHECK_BOUNDS(neighbors_[e], num_nodes()) << "edge " << e;
+  }
+  for (size_t v = 0; v < feature_row_.size(); ++v) {
+    if (feature_row_[v] >= 0) {
+      XF_CHECK_LT(feature_row_[v], txn_features_.rows()) << "node " << v;
+    }
+  }
 }
 
 std::vector<int32_t> HeteroGraph::LabeledTransactions() const {

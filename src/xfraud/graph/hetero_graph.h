@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "xfraud/common/check.h"
 #include "xfraud/nn/tensor.h"
 
 namespace xfraud::graph {
@@ -72,13 +73,25 @@ class HeteroGraph {
   /// Number of directed edges (2x the number of linkages).
   int64_t num_edges() const { return static_cast<int64_t>(neighbors_.size()); }
 
-  NodeType node_type(int32_t v) const { return node_types_[v]; }
+  NodeType node_type(int32_t v) const {
+    XF_DCHECK_BOUNDS(v, num_nodes());
+    return node_types_[v];
+  }
   const std::vector<NodeType>& node_types() const { return node_types_; }
 
   /// In-neighbour range of v: indices into neighbors()/edge_types().
-  int64_t InDegreeBegin(int32_t v) const { return offsets_[v]; }
-  int64_t InDegreeEnd(int32_t v) const { return offsets_[v + 1]; }
-  int64_t InDegree(int32_t v) const { return offsets_[v + 1] - offsets_[v]; }
+  int64_t InDegreeBegin(int32_t v) const {
+    XF_DCHECK_BOUNDS(v, num_nodes());
+    return offsets_[v];
+  }
+  int64_t InDegreeEnd(int32_t v) const {
+    XF_DCHECK_BOUNDS(v, num_nodes());
+    return offsets_[v + 1];
+  }
+  int64_t InDegree(int32_t v) const {
+    XF_DCHECK_BOUNDS(v, num_nodes());
+    return offsets_[v + 1] - offsets_[v];
+  }
 
   const std::vector<int32_t>& neighbors() const { return neighbors_; }
   const std::vector<EdgeType>& edge_types() const { return edge_types_; }
@@ -87,15 +100,22 @@ class HeteroGraph {
   int64_t feature_dim() const { return txn_features_.cols(); }
 
   /// True when v is a transaction with a feature row.
-  bool HasFeatures(int32_t v) const { return feature_row_[v] >= 0; }
+  bool HasFeatures(int32_t v) const {
+    XF_DCHECK_BOUNDS(v, num_nodes());
+    return feature_row_[v] >= 0;
+  }
 
   /// Feature row pointer for a transaction node v (pre: HasFeatures(v)).
   const float* Features(int32_t v) const {
+    XF_DCHECK(HasFeatures(v)) << "node " << v << " has no feature row";
     return txn_features_.Row(feature_row_[v]);
   }
 
   /// Label of node v (kLabelUnknown for entities and unlabeled txns).
-  int8_t label(int32_t v) const { return labels_[v]; }
+  int8_t label(int32_t v) const {
+    XF_DCHECK_BOUNDS(v, num_nodes());
+    return labels_[v];
+  }
   const std::vector<int8_t>& labels() const { return labels_; }
 
   /// All transaction node ids with a known label.

@@ -106,6 +106,10 @@ Status FeatureStore::ReadNeighbors(int32_t node,
   for (size_t i = 0; i < count; ++i) {
     ReadPod(raw, &offset, &(*neighbors)[i]);
     ReadPod(raw, &offset, &(*edge_types)[i]);
+    if ((*edge_types)[i] >= graph::kNumEdgeTypes) {
+      return Status::Corruption("bad edge type byte " +
+                                std::to_string((*edge_types)[i]));
+    }
   }
   return Status::OK();
 }
@@ -119,6 +123,10 @@ Status FeatureStore::ReadNode(int32_t node, graph::NodeType* type,
   if (!ReadPod(raw, &offset, &type_byte) || !ReadPod(raw, &offset, label) ||
       !ReadPod(raw, &offset, &has_features)) {
     return Status::Corruption("bad node record");
+  }
+  if (type_byte >= graph::kNumNodeTypes) {
+    return Status::Corruption("bad node type byte " +
+                              std::to_string(type_byte));
   }
   *type = static_cast<graph::NodeType>(type_byte);
   return Status::OK();

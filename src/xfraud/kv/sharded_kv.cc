@@ -34,7 +34,9 @@ std::unique_ptr<ShardedKvStore> ShardedKvStore::InMemory(int num_shards) {
 }
 
 size_t ShardedKvStore::ShardOf(std::string_view key) const {
-  return std::hash<std::string_view>{}(key) % shards_.size();
+  size_t shard = std::hash<std::string_view>{}(key) % shards_.size();
+  XF_DCHECK_BOUNDS(shard, shards_.size());
+  return shard;
 }
 
 Status ShardedKvStore::Put(std::string_view key, std::string_view value) {

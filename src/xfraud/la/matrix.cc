@@ -52,16 +52,14 @@ std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
 }
 
 Matrix Matrix::Add(const Matrix& other) const {
-  XF_CHECK_EQ(rows_, other.rows_);
-  XF_CHECK_EQ(cols_, other.cols_);
+  XF_CHECK_SHAPE(*this, other);
   Matrix out = *this;
   for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
   return out;
 }
 
 Matrix Matrix::Subtract(const Matrix& other) const {
-  XF_CHECK_EQ(rows_, other.rows_);
-  XF_CHECK_EQ(cols_, other.cols_);
+  XF_CHECK_SHAPE(*this, other);
   Matrix out = *this;
   for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
   return out;
@@ -198,6 +196,7 @@ void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
 }
 
 Matrix PseudoInverseSymmetric(const Matrix& a, double tol) {
+  XF_CHECK_EQ(a.rows(), a.cols());
   std::vector<double> w;
   Matrix v;
   SymmetricEigen(a, &w, &v);

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "xfraud/common/check.h"
+
 namespace xfraud::la {
 
 /// Dense row-major matrix of doubles. This is the numerical workhorse for the
@@ -24,8 +26,16 @@ class Matrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
-  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) {
+    XF_DCHECK_BOUNDS(r, rows_);
+    XF_DCHECK_BOUNDS(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    XF_DCHECK_BOUNDS(r, rows_);
+    XF_DCHECK_BOUNDS(c, cols_);
+    return data_[r * cols_ + c];
+  }
 
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }

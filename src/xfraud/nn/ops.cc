@@ -42,12 +42,12 @@ Var UnaryElementwise(const Var& a, Fwd fwd, Dydx dydx) {
       [a_impl, dydx](VarImpl* self) {
         if (!a_impl->requires_grad) return;
         Tensor& ga = a_impl->EnsureGrad();
-        const float* x = a_impl->value.data();
-        const float* y = self->value.data();
+        const float* xv = a_impl->value.data();
+        const float* yv = self->value.data();
         const float* gy = self->grad.data();
         float* gx = ga.data();
-        int64_t n = self->value.size();
-        for (int64_t i = 0; i < n; ++i) gx[i] += gy[i] * dydx(x[i], y[i]);
+        int64_t count = self->value.size();
+        for (int64_t i = 0; i < count; ++i) gx[i] += gy[i] * dydx(xv[i], yv[i]);
       });
 }
 
@@ -77,18 +77,18 @@ Var MatMul(const Var& a, const Var& b) {
       std::move(out), {a, b},
       [a_impl, b_impl](VarImpl* self) {
         const Tensor& g = self->grad;
-        const Tensor& av = a_impl->value;
-        const Tensor& bv = b_impl->value;
+        const Tensor& amat = a_impl->value;
+        const Tensor& bmat = b_impl->value;
         if (a_impl->requires_grad) {
           // dA = dC * B^T.
           Tensor& ga = a_impl->EnsureGrad();
-          for (int64_t i = 0; i < av.rows(); ++i) {
+          for (int64_t i = 0; i < amat.rows(); ++i) {
             const float* grow = g.Row(i);
             float* garow = ga.Row(i);
-            for (int64_t k = 0; k < av.cols(); ++k) {
-              const float* brow = bv.Row(k);
+            for (int64_t k = 0; k < amat.cols(); ++k) {
+              const float* brow = bmat.Row(k);
               float acc = 0.0f;
-              for (int64_t j = 0; j < bv.cols(); ++j) acc += grow[j] * brow[j];
+              for (int64_t j = 0; j < bmat.cols(); ++j) acc += grow[j] * brow[j];
               garow[k] += acc;
             }
           }
@@ -96,14 +96,14 @@ Var MatMul(const Var& a, const Var& b) {
         if (b_impl->requires_grad) {
           // dB = A^T * dC.
           Tensor& gb = b_impl->EnsureGrad();
-          for (int64_t i = 0; i < av.rows(); ++i) {
-            const float* arow = av.Row(i);
+          for (int64_t i = 0; i < amat.rows(); ++i) {
+            const float* arow = amat.Row(i);
             const float* grow = g.Row(i);
-            for (int64_t k = 0; k < av.cols(); ++k) {
+            for (int64_t k = 0; k < amat.cols(); ++k) {
               float aik = arow[k];
               if (aik == 0.0f) continue;
               float* gbrow = gb.Row(k);
-              for (int64_t j = 0; j < bv.cols(); ++j) {
+              for (int64_t j = 0; j < bmat.cols(); ++j) {
                 gbrow[j] += aik * grow[j];
               }
             }
@@ -113,7 +113,7 @@ Var MatMul(const Var& a, const Var& b) {
 }
 
 Var Add(const Var& a, const Var& b) {
-  XF_CHECK(a.value().SameShape(b.value()));
+  XF_CHECK_SHAPE(a.value(), b.value());
   Tensor out = a.value();
   out.AddInPlace(b.value());
   auto a_impl = a.impl();
@@ -153,7 +153,7 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
 }
 
 Var Sub(const Var& a, const Var& b) {
-  XF_CHECK(a.value().SameShape(b.value()));
+  XF_CHECK_SHAPE(a.value(), b.value());
   Tensor out = a.value();
   const float* bv = b.value().data();
   float* ov = out.data();
@@ -172,7 +172,7 @@ Var Sub(const Var& a, const Var& b) {
 }
 
 Var Mul(const Var& a, const Var& b) {
-  XF_CHECK(a.value().SameShape(b.value()));
+  XF_CHECK_SHAPE(a.value(), b.value());
   Tensor out = a.value();
   const float* bv = b.value().data();
   float* ov = out.data();
@@ -184,13 +184,13 @@ Var Mul(const Var& a, const Var& b) {
     int64_t n = self->grad.size();
     if (a_impl->requires_grad) {
       float* ga = a_impl->EnsureGrad().data();
-      const float* bv = b_impl->value.data();
-      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * bv[i];
+      const float* bvals = b_impl->value.data();
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * bvals[i];
     }
     if (b_impl->requires_grad) {
       float* gb = b_impl->EnsureGrad().data();
-      const float* av = a_impl->value.data();
-      for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * av[i];
+      const float* avals = a_impl->value.data();
+      for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * avals[i];
     }
   });
 }
@@ -340,13 +340,13 @@ Var CrossEntropy(const Var& logits, const std::vector<int>& labels,
         if (!l_impl->requires_grad) return;
         float gy = self->grad.At(0, 0);
         Tensor& gl = l_impl->EnsureGrad();
-        int64_t n = probs->rows();
-        int64_t c = probs->cols();
-        for (int64_t r = 0; r < n; ++r) {
+        int64_t nrows = probs->rows();
+        int64_t ncols = probs->cols();
+        for (int64_t r = 0; r < nrows; ++r) {
           const float* p = probs->Row(r);
           float* g = gl.Row(r);
           float w = (*weights)[r] * inv_total * gy;
-          for (int64_t j = 0; j < c; ++j) g[j] += w * p[j];
+          for (int64_t j = 0; j < ncols; ++j) g[j] += w * p[j];
           g[(*labels_copy)[r]] -= w;
         }
       });
@@ -502,19 +502,19 @@ Var SegmentSoftmax(const Var& a, const std::vector<int32_t>& segments,
         if (!a_impl->requires_grad) return;
         const Tensor& y = self->value;
         const Tensor& g = self->grad;
-        int64_t cols = y.cols();
+        int64_t width = y.cols();
         // dot[s,c] = sum_e in s y*g.
-        Tensor dot(num_segments, cols);
+        Tensor dot(num_segments, width);
         for (int64_t e = 0; e < y.rows(); ++e) {
           int32_t s = (*seg)[e];
-          for (int64_t c = 0; c < cols; ++c) {
+          for (int64_t c = 0; c < width; ++c) {
             dot.At(s, c) += y.At(e, c) * g.At(e, c);
           }
         }
         Tensor& ga = a_impl->EnsureGrad();
         for (int64_t e = 0; e < y.rows(); ++e) {
           int32_t s = (*seg)[e];
-          for (int64_t c = 0; c < cols; ++c) {
+          for (int64_t c = 0; c < width; ++c) {
             ga.At(e, c) += y.At(e, c) * (g.At(e, c) - dot.At(s, c));
           }
         }
@@ -547,10 +547,10 @@ Var MulColBroadcast(const Var& a, const Var& col) {
     }
     if (c_impl->requires_grad) {
       Tensor& gc = c_impl->EnsureGrad();
-      const Tensor& av = a_impl->value;
+      const Tensor& amat = a_impl->value;
       for (int64_t r = 0; r < g.rows(); ++r) {
         const float* grow = g.Row(r);
-        const float* arow = av.Row(r);
+        const float* arow = amat.Row(r);
         float acc = 0.0f;
         for (int64_t c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
         gc.At(r, 0) += acc;
@@ -656,15 +656,15 @@ Var LayerNorm(const Var& a, const Var& gamma, const Var& beta, float eps) {
       std::move(out), {a, gamma, beta},
       [a_impl, g_impl, b_impl, xhat, inv_std](VarImpl* self) {
         const Tensor& g = self->grad;
-        int64_t d = g.cols();
-        const float* gm = g_impl->value.Row(0);
+        int64_t dim = g.cols();
+        const float* gmr = g_impl->value.Row(0);
         if (g_impl->requires_grad) {
           Tensor& gg = g_impl->EnsureGrad();
           float* ggr = gg.Row(0);
           for (int64_t r = 0; r < g.rows(); ++r) {
             const float* grow = g.Row(r);
             const float* xh = xhat->Row(r);
-            for (int64_t c = 0; c < d; ++c) ggr[c] += grow[c] * xh[c];
+            for (int64_t c = 0; c < dim; ++c) ggr[c] += grow[c] * xh[c];
           }
         }
         if (b_impl->requires_grad) {
@@ -672,7 +672,7 @@ Var LayerNorm(const Var& a, const Var& gamma, const Var& beta, float eps) {
           float* gbr = gb.Row(0);
           for (int64_t r = 0; r < g.rows(); ++r) {
             const float* grow = g.Row(r);
-            for (int64_t c = 0; c < d; ++c) gbr[c] += grow[c];
+            for (int64_t c = 0; c < dim; ++c) gbr[c] += grow[c];
           }
         }
         if (a_impl->requires_grad) {
@@ -684,15 +684,15 @@ Var LayerNorm(const Var& a, const Var& gamma, const Var& beta, float eps) {
             // dxhat = dy * gamma; dx via the standard layer-norm backward.
             double sum_dxhat = 0.0;
             double sum_dxhat_xhat = 0.0;
-            for (int64_t c = 0; c < d; ++c) {
-              float dxh = grow[c] * gm[c];
+            for (int64_t c = 0; c < dim; ++c) {
+              float dxh = grow[c] * gmr[c];
               sum_dxhat += dxh;
               sum_dxhat_xhat += dxh * xh[c];
             }
             float* garow = ga.Row(r);
-            float inv_d = 1.0f / static_cast<float>(d);
-            for (int64_t c = 0; c < d; ++c) {
-              float dxh = grow[c] * gm[c];
+            float inv_d = 1.0f / static_cast<float>(dim);
+            for (int64_t c = 0; c < dim; ++c) {
+              float dxh = grow[c] * gmr[c];
               garow[c] += istd * (dxh -
                                   static_cast<float>(sum_dxhat) * inv_d -
                                   xh[c] *

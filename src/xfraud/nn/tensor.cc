@@ -44,7 +44,7 @@ void Tensor::Fill(float value) {
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
-  XF_CHECK(SameShape(other));
+  XF_CHECK_SHAPE(*this, other);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 

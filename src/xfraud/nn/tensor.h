@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "xfraud/common/check.h"
 #include "xfraud/common/rng.h"
 
 namespace xfraud::nn {
@@ -41,11 +42,25 @@ class Tensor {
   int64_t size() const { return rows_ * cols_; }
   bool empty() const { return size() == 0; }
 
-  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
-  float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+  float& At(int64_t r, int64_t c) {
+    XF_DCHECK_BOUNDS(r, rows_);
+    XF_DCHECK_BOUNDS(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(int64_t r, int64_t c) const {
+    XF_DCHECK_BOUNDS(r, rows_);
+    XF_DCHECK_BOUNDS(c, cols_);
+    return data_[r * cols_ + c];
+  }
 
-  float* Row(int64_t r) { return data_.data() + r * cols_; }
-  const float* Row(int64_t r) const { return data_.data() + r * cols_; }
+  float* Row(int64_t r) {
+    XF_DCHECK_BOUNDS(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(int64_t r) const {
+    XF_DCHECK_BOUNDS(r, rows_);
+    return data_.data() + r * cols_;
+  }
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }

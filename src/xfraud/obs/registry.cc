@@ -59,6 +59,8 @@ std::string JsonStr(const std::string& s) {
 }  // namespace
 
 Registry& Registry::Global() {
+  // Intentionally leaked so metrics survive static destruction order.
+  // xfraud-lint: allow(no-naked-new)
   static Registry* global = new Registry();
   return *global;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "xfraud/common/check.h"
 #include "xfraud/common/timer.h"
 #include "xfraud/obs/registry.h"
 
@@ -44,6 +45,8 @@ BatchLoader::BatchLoader(const graph::HeteroGraph* graph,
       stream_seed_(stream_seed),
       options_(options),
       ready_(static_cast<size_t>(std::max(1, options.prefetch_depth))) {
+  XF_CHECK(graph_ != nullptr);
+  XF_CHECK(sampler_ != nullptr);
   if (options_.num_workers > 0 && !seed_batches_.empty()) {
     int workers = std::min<int>(options_.num_workers,
                                 static_cast<int>(seed_batches_.size()));
@@ -62,6 +65,7 @@ BatchLoader::~BatchLoader() {
 }
 
 LoadedBatch BatchLoader::SampleOne(int64_t index) const {
+  XF_DCHECK_BOUNDS(index, num_batches());
   WallTimer timer;
   Rng rng(Rng::StreamSeed(stream_seed_, static_cast<uint64_t>(index)));
   LoadedBatch out;
@@ -112,6 +116,7 @@ std::optional<LoadedBatch> BatchLoader::Next() {
     auto it = reorder_.find(next_index_);
     if (it != reorder_.end()) {
       LoadedBatch out = std::move(it->second);
+      XF_DCHECK_EQ(out.index, next_index_);
       reorder_.erase(it);
       ++next_index_;
       total_sample_seconds_ += out.sample_seconds;

@@ -50,11 +50,18 @@ void RecordSubgraph(const Subgraph& sub) {
 
 MiniBatch MakeBatch(const HeteroGraph& g, Subgraph sub,
                     const std::vector<int32_t>& seed_globals) {
+  // Subgraph contract: parallel edge arrays agree and the local-id map
+  // matches the node list. A sampler that violates these would materialize
+  // a batch with silently misaligned messages rather than crash here.
+  XF_CHECK_EQ(sub.src.size(), sub.dst.size());
+  XF_CHECK_EQ(sub.src.size(), sub.etypes.size());
+  XF_CHECK_EQ(sub.nodes.size(), sub.local_of.size());
   MiniBatch batch;
   batch.features = nn::Tensor(sub.num_nodes(), g.feature_dim());
   batch.node_types.resize(sub.num_nodes());
   for (int64_t local = 0; local < sub.num_nodes(); ++local) {
     int32_t global = sub.nodes[local];
+    XF_DCHECK_BOUNDS(global, g.num_nodes());
     batch.node_types[local] = static_cast<int32_t>(g.node_type(global));
     if (g.HasFeatures(global)) {
       const float* src = g.Features(global);
@@ -111,6 +118,8 @@ void InduceEdges(const HeteroGraph& g, Subgraph* sub) {
       sub->etypes.push_back(g.edge_types()[e]);
     }
   }
+  XF_DCHECK_EQ(sub->src.size(), sub->dst.size());
+  XF_DCHECK_EQ(sub->src.size(), sub->etypes.size());
 }
 
 }  // namespace
@@ -118,6 +127,9 @@ void InduceEdges(const HeteroGraph& g, Subgraph* sub) {
 Subgraph SageSampler::Sample(const HeteroGraph& g,
                              const std::vector<int32_t>& seeds,
                              xfraud::Rng* rng) const {
+  XF_CHECK(rng != nullptr);
+  XF_CHECK_GE(hops_, 0);
+  XF_CHECK_GT(fanout_, 0);
   Subgraph sub;
   std::vector<int32_t> frontier;
   for (int32_t seed : seeds) {
@@ -165,6 +177,7 @@ Subgraph SageSampler::Sample(const HeteroGraph& g,
   if (truncations > 0) {
     SamplerMetrics::Get().fanout_truncations->Add(truncations);
   }
+  XF_DCHECK_EQ(sub.nodes.size(), sub.local_of.size());
   RecordSubgraph(sub);
   return sub;
 }
@@ -172,6 +185,9 @@ Subgraph SageSampler::Sample(const HeteroGraph& g,
 Subgraph HgSampler::Sample(const HeteroGraph& g,
                            const std::vector<int32_t>& seeds,
                            xfraud::Rng* rng) const {
+  XF_CHECK(rng != nullptr);
+  XF_CHECK_GE(depth_, 0);
+  XF_CHECK_GT(width_, 0);
   Subgraph sub;
   for (int32_t seed : seeds) AddNode(&sub, seed);
   if (!seeds.empty()) sub.seed_local = sub.local_of.at(seeds.front());

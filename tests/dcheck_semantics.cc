@@ -1,0 +1,74 @@
+// Build-mode semantics of XF_DCHECK*. This source is compiled twice by
+// tests/CMakeLists.txt:
+//
+//   xfraud_dcheck_on_test   with -UNDEBUG  — D-variants behave like XF_CHECK*
+//   xfraud_dcheck_off_test  with -DNDEBUG  — D-variants must not evaluate
+//                                            their arguments at all
+//
+// The #ifdef below selects the matching expectations, so each binary proves
+// its own mode; ctest runs both.
+
+#include <gtest/gtest.h>
+
+#include "xfraud/common/check.h"
+
+namespace xfraud {
+namespace {
+
+int g_evaluations = 0;
+
+bool BumpAndFail() {
+  ++g_evaluations;
+  return false;
+}
+
+[[maybe_unused]] int BumpAndReturn(int v) {
+  ++g_evaluations;
+  return v;
+}
+
+#ifdef NDEBUG
+
+TEST(DcheckSemantics, ReleaseVariantsDoNotEvaluateArguments) {
+  g_evaluations = 0;
+  XF_DCHECK(BumpAndFail()) << "must never run";
+  XF_DCHECK_EQ(BumpAndReturn(1), BumpAndReturn(2));
+  XF_DCHECK_NE(BumpAndReturn(1), BumpAndReturn(1));
+  XF_DCHECK_LT(BumpAndReturn(2), BumpAndReturn(1));
+  XF_DCHECK_LE(BumpAndReturn(2), BumpAndReturn(1));
+  XF_DCHECK_GT(BumpAndReturn(1), BumpAndReturn(2));
+  XF_DCHECK_GE(BumpAndReturn(1), BumpAndReturn(2));
+  XF_DCHECK_BOUNDS(BumpAndReturn(99), BumpAndReturn(3));
+  EXPECT_EQ(g_evaluations, 0)
+      << "XF_DCHECK evaluated its arguments under NDEBUG";
+}
+
+TEST(DcheckSemantics, ReleaseVariantsNeverThrow) {
+  EXPECT_NO_THROW({ XF_DCHECK(false) << "off"; });
+  EXPECT_NO_THROW({ XF_DCHECK_BOUNDS(10, 3); });
+}
+
+#else  // !NDEBUG
+
+TEST(DcheckSemantics, DebugVariantsEvaluateAndThrow) {
+  g_evaluations = 0;
+  EXPECT_THROW({ XF_DCHECK(BumpAndFail()) << "active"; }, CheckError);
+  EXPECT_EQ(g_evaluations, 1);
+  EXPECT_THROW({ XF_DCHECK_EQ(1, 2); }, CheckError);
+  EXPECT_THROW({ XF_DCHECK_BOUNDS(10, 3); }, CheckError);
+}
+
+TEST(DcheckSemantics, DebugVariantsPassSilently) {
+  XF_DCHECK(true);
+  XF_DCHECK_EQ(2, 2);
+  XF_DCHECK_BOUNDS(2, 3);
+}
+
+#endif  // NDEBUG
+
+TEST(DcheckSemantics, HardCheckAlwaysActiveInBothModes) {
+  EXPECT_THROW({ XF_CHECK(false) << "always on"; }, CheckError);
+}
+
+}  // namespace
+}  // namespace xfraud

@@ -1,0 +1,9 @@
+// Fixture: fires no-catch-all (handler neither rethrows nor converts).
+void Swallow(void (*f)()) {
+  try {
+    f();
+  } catch (...) {
+    int swallowed = 1;
+    (void)swallowed;
+  }
+}

@@ -1,0 +1,3 @@
+// Fixture: fires header-guard (no #pragma once, no #ifndef/#define pair).
+
+inline int Unguarded() { return 1; }

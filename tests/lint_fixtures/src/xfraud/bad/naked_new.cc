@@ -1,0 +1,11 @@
+// Fixture: fires no-naked-new (never compiled, only linted).
+int* LeakyAlloc() {
+  int* p = new int[8];
+  return p;
+}
+
+void* CAlloc() {
+  void* p = malloc(64);
+  free(p);
+  return p;
+}

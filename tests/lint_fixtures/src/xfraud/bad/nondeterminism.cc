@@ -1,0 +1,12 @@
+// Fixture: fires nondeterminism on four distinct lines.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Draw() {
+  srand(42);
+  int a = rand();
+  long b = time(nullptr);
+  std::random_device rd;
+  return a + static_cast<int>(b) + static_cast<int>(rd());
+}

@@ -1,0 +1,8 @@
+// Fixture: fires no-raw-io.
+#include <cstdio>
+#include <iostream>
+
+void Noisy(int n) {
+  std::cout << "value " << n << "\n";
+  printf("value %d\n", n);
+}

@@ -1,0 +1,4 @@
+// Fixture: fires todo-issue.
+// TODO: make this configurable
+// FIXME handle the empty case
+int Stub() { return 0; }

@@ -1,0 +1,11 @@
+#ifndef LINT_FIXTURE_USING_NAMESPACE_H_
+#define LINT_FIXTURE_USING_NAMESPACE_H_
+
+// Fixture: fires no-using-namespace.
+#include <string>
+
+using namespace std;
+
+inline string Greeting() { return "hi"; }
+
+#endif  // LINT_FIXTURE_USING_NAMESPACE_H_

@@ -1,0 +1,17 @@
+// Fixture: passes every rule.
+// TODO(#7): tracked work items are fine.
+#include <memory>
+
+struct Widget {
+  int renewal = 0;  // 'renewal' must not trip the 'new' word match
+};
+
+std::unique_ptr<Widget> MakeWidget() { return std::make_unique<Widget>(); }
+
+void Relay(void (*f)()) {
+  try {
+    f();
+  } catch (...) {
+    throw;  // rethrow is allowed
+  }
+}

@@ -1,0 +1,11 @@
+#ifndef LINT_FIXTURE_CLEAN_H_
+#define LINT_FIXTURE_CLEAN_H_
+
+// Fixture: passes every rule. Mentions of new/rand()/printf( in comments
+// and "new X" or "time(" inside string literals must NOT fire.
+
+#include <string>
+
+inline std::string Motto() { return "brand new time(less) printf(y) rand()"; }
+
+#endif  // LINT_FIXTURE_CLEAN_H_

@@ -1,0 +1,16 @@
+// Fixture: every violation here is silenced by an allow() directive.
+#include <cstdlib>
+
+int* Intentional() {
+  // xfraud-lint: allow(no-naked-new)
+  return new int(5);
+}
+
+int SeededElsewhere() {
+  int r = rand();  // xfraud-lint: allow(nondeterminism)
+  return r;
+}
+
+// xfraud-lint: allow(todo-issue)
+// TODO: suppressed marker without an issue number
+int Stub() { return 0; }

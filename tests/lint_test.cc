@@ -1,0 +1,260 @@
+// Tests for the xfraud_lint rule engine (tools/lint_core.*): every rule
+// firing and passing on in-memory snippets, the allow() escape hatch, and a
+// walk over the deliberately-broken fixture tree in tests/lint_fixtures/.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.h"
+
+namespace xfraud::lint {
+namespace {
+
+constexpr char kLibPath[] = "src/xfraud/fake/module.cc";
+constexpr char kLibHeader[] = "src/xfraud/fake/module.h";
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(LintNondeterminism, FiresOnRandSrandTimeRandomDevice) {
+  auto f = LintContent(kLibPath,
+                       "int x = rand();\n"
+                       "void s() { srand(7); }\n"
+                       "long t = time(nullptr);\n"
+                       "std::random_device rd;\n");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[1].line, 2);
+  EXPECT_EQ(f[2].line, 3);
+  EXPECT_EQ(f[3].line, 4);
+  for (const auto& finding : f) EXPECT_EQ(finding.rule, "nondeterminism");
+}
+
+TEST(LintNondeterminism, ExemptInRngModule) {
+  auto f = LintContent("src/xfraud/common/rng.cc", "std::random_device rd;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintNondeterminism, IgnoresWordsContainingTokens) {
+  auto f = LintContent(kLibPath,
+                       "int q = operand(1);\n"
+                       "double runtime(int x);\n"
+                       "int brand_new = strand(2);\n");
+  EXPECT_TRUE(f.empty()) << f[0].rule;
+}
+
+TEST(LintNakedNew, FiresInLibraryCode) {
+  auto f = LintContent(kLibPath, "int* p = new int(3);\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "no-naked-new");
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(LintNakedNew, FiresOnMallocFamily) {
+  auto f = LintContent(kLibPath, "void* p = malloc(8); free(p);\n");
+  ASSERT_EQ(f.size(), 1u);  // one finding per line
+  EXPECT_EQ(f[0].rule, "no-naked-new");
+}
+
+TEST(LintNakedNew, SilentOutsideLibrary) {
+  auto f = LintContent("bench/bench_thing.cc", "int* p = new int(3);\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintNakedNew, SilentInCommentsAndStrings) {
+  auto f = LintContent(kLibPath,
+                       "// a new beginning\n"
+                       "const char* s = \"new shiny\";\n"
+                       "/* new in block comment */\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintRawIo, FiresOnCoutAndPrintf) {
+  auto f = LintContent(kLibPath,
+                       "void p() { std::cout << 1; }\n"
+                       "void q() { printf(\"x\"); }\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "no-raw-io");
+  EXPECT_EQ(f[1].rule, "no-raw-io");
+}
+
+TEST(LintRawIo, SnprintfIsFine) {
+  auto f = LintContent(kLibPath, "int n = snprintf(buf, 8, \"x\");\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintRawIo, ExemptInObsAndLogging) {
+  EXPECT_TRUE(LintContent("src/xfraud/obs/trace.cc",
+                          "fprintf(stderr, \"x\");\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("src/xfraud/common/logging.cc",
+                          "std::cout << 1;\n")
+                  .empty());
+}
+
+TEST(LintHeaderGuard, FiresOnUnguardedHeader) {
+  auto f = LintContent(kLibHeader, "inline int f() { return 1; }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "header-guard");
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(LintHeaderGuard, AcceptsIfndefGuardAndPragmaOnce) {
+  EXPECT_TRUE(LintContent(kLibHeader,
+                          "#ifndef A_H_\n#define A_H_\n#endif\n")
+                  .empty());
+  EXPECT_TRUE(LintContent(kLibHeader, "#pragma once\nint x;\n").empty());
+}
+
+TEST(LintHeaderGuard, NotAppliedToSourceFiles) {
+  EXPECT_TRUE(LintContent(kLibPath, "int f() { return 1; }\n").empty());
+}
+
+TEST(LintUsingNamespace, FiresInHeaderOnly) {
+  auto f = LintContent(kLibHeader,
+                       "#pragma once\nusing namespace std;\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "no-using-namespace");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_TRUE(LintContent(kLibPath, "using namespace std;\n").empty());
+}
+
+TEST(LintCatchAll, FiresOnSwallowedException) {
+  auto f = LintContent(kLibPath,
+                       "void f() {\n"
+                       "  try { g(); } catch (...) {\n"
+                       "    int ignored = 0;\n"
+                       "  }\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "no-catch-all");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintCatchAll, RethrowCaptureAndConvertAreFine) {
+  EXPECT_TRUE(LintContent(kLibPath,
+                          "void f() { try { g(); } catch (...) { throw; } }\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent(kLibPath,
+                  "void f() { try { g(); } catch (...) {\n"
+                  "  eptr = std::current_exception(); } }\n")
+          .empty());
+  EXPECT_TRUE(
+      LintContent(kLibPath,
+                  "Status f() { try { g(); } catch (...) {\n"
+                  "  return Status::Internal(\"boom\"); } return OK(); }\n")
+          .empty());
+}
+
+TEST(LintCatchAll, TypedCatchIsFine) {
+  EXPECT_TRUE(
+      LintContent(kLibPath,
+                  "void f() { try { g(); } catch (const E& e) { log(e); } }\n")
+          .empty());
+}
+
+TEST(LintTodoIssue, FiresWithoutIssueRef) {
+  auto f = LintContent(kLibPath,
+                       "// TODO: someday\n"
+                       "// FIXME soon\n"
+                       "// TODO(#123): tracked, fine\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "todo-issue");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[1].line, 2);
+}
+
+TEST(LintAllow, SuppressesOnSameAndPreviousLine) {
+  EXPECT_TRUE(
+      LintContent(kLibPath,
+                  "int* p = new int(1);  // xfraud-lint: allow(no-naked-new)\n")
+          .empty());
+  EXPECT_TRUE(LintContent(kLibPath,
+                          "// xfraud-lint: allow(no-naked-new)\n"
+                          "int* p = new int(1);\n")
+                  .empty());
+}
+
+TEST(LintAllow, OnlySuppressesTheNamedRule) {
+  auto f = LintContent(
+      kLibPath, "int* p = new int(rand());  // xfraud-lint: allow(no-naked-new)\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "nondeterminism");
+}
+
+TEST(LintAllow, SupportsMultipleRules) {
+  EXPECT_TRUE(
+      LintContent(
+          kLibPath,
+          "// xfraud-lint: allow(no-naked-new, nondeterminism)\n"
+          "int* p = new int(rand());\n")
+          .empty());
+}
+
+TEST(LintJson, EscapesAndFormats) {
+  std::vector<Finding> findings = {{"a\"b.cc", 3, "rule-x", "msg \\ done"}};
+  std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"a\\\"b.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("msg \\\\ done"), std::string::npos);
+  EXPECT_EQ(FindingsToJson({}), "[]\n");
+}
+
+#ifdef XFRAUD_LINT_FIXTURE_DIR
+TEST(LintFixtures, BadTreeFiresEveryRuleGoodTreeClean) {
+  std::vector<Finding> findings;
+  std::string error;
+  ASSERT_TRUE(LintPaths({XFRAUD_LINT_FIXTURE_DIR}, &findings, &error))
+      << error;
+
+  std::vector<std::string> fired = Rules(findings);
+  for (const std::string& rule : RuleIds()) {
+    EXPECT_TRUE(std::find(fired.begin(), fired.end(), rule) != fired.end())
+        << "fixture tree never fired rule " << rule;
+  }
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.file.find("good"), std::string::npos)
+        << f.file << ":" << f.line << " " << f.rule
+        << " fired in a good/ fixture";
+  }
+  // Spot-check file:line anchoring.
+  bool saw_guard = false;
+  for (const auto& f : findings) {
+    if (f.rule == "header-guard") {
+      saw_guard = true;
+      EXPECT_NE(f.file.find("missing_guard.h"), std::string::npos);
+      EXPECT_EQ(f.line, 1);
+    }
+    if (f.rule == "no-catch-all") {
+      EXPECT_NE(f.file.find("catch_all.cc"), std::string::npos);
+      EXPECT_EQ(f.line, 5);
+    }
+  }
+  EXPECT_TRUE(saw_guard);
+}
+
+TEST(LintFixtures, NondeterminismFixtureLinesAreExact) {
+  std::vector<Finding> findings;
+  std::string error;
+  ASSERT_TRUE(LintPaths({std::string(XFRAUD_LINT_FIXTURE_DIR) +
+                         "/src/xfraud/bad/nondeterminism.cc"},
+                        &findings, &error))
+      << error;
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 7);   // srand
+  EXPECT_EQ(findings[1].line, 8);   // rand
+  EXPECT_EQ(findings[2].line, 9);   // time
+  EXPECT_EQ(findings[3].line, 10);  // random_device
+}
+#endif  // XFRAUD_LINT_FIXTURE_DIR
+
+}  // namespace
+}  // namespace xfraud::lint

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -83,7 +84,7 @@ TEST_P(KvContractTest, ManyKeysAllRetrievable) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, KvContractTest,
                          ::testing::Values("mem", "sharded", "log"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 // ------------------------------------------------------------------- models
 
@@ -209,7 +210,7 @@ TEST_P(ModelContractTest, SameSeedSameOutputs) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ModelContractTest,
                          ::testing::Values("detector", "gat", "gem"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 // -------------------------------------------------------------- centralities
 
@@ -289,7 +290,7 @@ std::vector<CentralityCase> AllCentralityCases() {
   for (int m = 0; m < explain::kNumCentralityMeasures; ++m) {
     // The approximate measure is sampling-based: determinism holds for a
     // fixed Rng (covered), symmetry only in expectation — skip it there.
-    for (const std::string& family : {"path", "star", "cycle", "barbell"}) {
+    for (std::string_view family : {"path", "star", "cycle", "barbell"}) {
       if (m == static_cast<int>(
                    explain::CentralityMeasure::kApproxCurrentFlowBetweenness) &&
           family != "barbell") {
@@ -304,12 +305,12 @@ std::vector<CentralityCase> AllCentralityCases() {
 INSTANTIATE_TEST_SUITE_P(
     AllMeasuresAndFamilies, CentralityPropertyTest,
     ::testing::ValuesIn(AllCentralityCases()),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name =
           std::string(explain::CentralityMeasureName(
               static_cast<explain::CentralityMeasure>(
-                  std::get<0>(info.param)))) +
-          "_" + std::get<1>(info.param);
+                  std::get<0>(param_info.param)))) +
+          "_" + std::get<1>(param_info.param);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

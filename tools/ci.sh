@@ -1,17 +1,69 @@
 #!/usr/bin/env bash
-# CI entrypoint: hygiene guards, then configure + build + test.
+# CI entrypoint. Modes:
 #
-# Usage: tools/ci.sh [build-dir]   (default: build)
+#   tools/ci.sh                      # plain: hygiene + configure + build + test
+#   tools/ci.sh --mode=plain
+#   tools/ci.sh --mode=lint          # hygiene + xfraud_lint + clang-tidy (no ctest)
+#   tools/ci.sh --mode=ubsan         # build + test with XFRAUD_SANITIZE=undefined
+#   tools/ci.sh --mode=tsan          # build + test with XFRAUD_SANITIZE=thread
+#   tools/ci.sh --mode=asan          # build + test with XFRAUD_SANITIZE=address
+#
+# An optional positional argument overrides the build directory (default:
+# build for plain/lint, build-<mode> for sanitizer modes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+MODE="plain"
+BUILD_DIR=""
+for arg in "$@"; do
+  case "${arg}" in
+    --mode=*) MODE="${arg#--mode=}" ;;
+    --help|-h)
+      sed -n '2,12p' "$0"
+      exit 0
+      ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+
+SANITIZE=""
+case "${MODE}" in
+  plain|lint) ;;
+  ubsan) SANITIZE="undefined" ;;
+  tsan) SANITIZE="thread" ;;
+  asan) SANITIZE="address" ;;
+  *)
+    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan)" >&2
+    exit 2
+    ;;
+esac
+if [[ -z "${BUILD_DIR}" ]]; then
+  if [[ -n "${SANITIZE}" ]]; then BUILD_DIR="build-${MODE}"; else BUILD_DIR="build"; fi
+fi
 
 echo "== hygiene =="
 tools/check_no_build_artifacts.sh
 
-echo "== configure =="
-cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+if [[ "${MODE}" == "lint" ]]; then
+  echo "== configure (for xfraud_lint + compile db) =="
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+  echo "== build xfraud_lint =="
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target xfraud_lint
+  echo "== xfraud_lint =="
+  "${BUILD_DIR}/tools/xfraud_lint"
+  echo "== clang-tidy =="
+  tools/run_clang_tidy.sh "${BUILD_DIR}"
+  echo "== lint ok =="
+  exit 0
+fi
+
+echo "== configure (${MODE}) =="
+CONFIG_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if [[ -n "${SANITIZE}" ]]; then
+  CONFIG_ARGS+=("-DXFRAUD_SANITIZE=${SANITIZE}")
+fi
+cmake -B "${BUILD_DIR}" -S . "${CONFIG_ARGS[@]}"
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
@@ -19,4 +71,4 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 echo "== test =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
-echo "== ci ok =="
+echo "== ci ok (${MODE}) =="

@@ -1,0 +1,521 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace xfraud::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Splits source into (code, comments): both same length as the input with
+/// the other half (plus string/char literal contents) blanked to spaces, so
+/// byte offsets and line numbers stay aligned with the original file.
+struct SplitSource {
+  std::string code;      // comments + literal contents blanked
+  std::string comments;  // everything except comment text blanked
+};
+
+SplitSource Split(const std::string& src) {
+  SplitSource out;
+  out.code.assign(src.size(), ' ');
+  out.comments.assign(src.size(), ' ');
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;
+  for (size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+      if (state == State::kLine) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlock;
+          ++i;
+          break;
+        }
+        if (c == 'R' && next == '"' &&
+            (i == 0 || !IsWordChar(src[i - 1]))) {
+          size_t open = src.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_delim = ")" + src.substr(i + 2, open - (i + 2)) + "\"";
+            out.code[i] = 'R';
+            state = State::kRaw;
+            i = open;  // literal contents blanked from here on
+            break;
+          }
+        }
+        if (c == '"') {
+          state = State::kString;
+          out.code[i] = '"';
+          break;
+        }
+        if (c == '\'' && (i == 0 || !IsWordChar(src[i - 1]))) {
+          state = State::kChar;
+          out.code[i] = '\'';
+          break;
+        }
+        out.code[i] = c;
+        break;
+      case State::kLine:
+        out.comments[i] = c;
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          ++i;
+          state = State::kCode;
+        } else {
+          out.comments[i] = c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          out.code[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type begin = 0;
+  while (begin <= text.size()) {
+    std::string::size_type end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(begin));
+      break;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+/// True when `line` contains `word` as a whole identifier; if
+/// `requires_call`, the next non-space character must be '('.
+bool HasWord(const std::string& line, const std::string& word,
+             bool requires_call) {
+  std::string::size_type pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    bool start_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    std::string::size_type end = pos + word.size();
+    bool end_ok = end >= line.size() || !IsWordChar(line[end]);
+    if (start_ok && end_ok) {
+      if (!requires_call) return true;
+      while (end < line.size() && line[end] == ' ') ++end;
+      if (end < line.size() && line[end] == '(') return true;
+    }
+    pos += word.size();
+  }
+  return false;
+}
+
+struct FileScope {
+  bool is_header = false;
+  bool in_library = false;   // under src/xfraud — library-only rules
+  bool rng_exempt = false;   // the one sanctioned randomness source
+  bool io_exempt = false;    // sanctioned output sinks
+};
+
+FileScope ClassifyPath(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  FileScope scope;
+  scope.is_header = p.size() >= 2 && (p.ends_with(".h") || p.ends_with(".hpp"));
+  scope.in_library = p.find("src/xfraud") != std::string::npos;
+  scope.rng_exempt = p.find("common/rng") != std::string::npos;
+  scope.io_exempt = p.find("common/logging") != std::string::npos ||
+                    p.find("common/table_printer") != std::string::npos ||
+                    p.find("/obs/") != std::string::npos;
+  return scope;
+}
+
+/// Parses `xfraud-lint: allow(rule-a, rule-b)` directives out of comment
+/// lines. allowed[line] holds the rules suppressed on that line AND the
+/// line below (0-based lines).
+std::vector<std::vector<std::string>> ParseAllows(
+    const std::vector<std::string>& comment_lines) {
+  std::vector<std::vector<std::string>> allowed(comment_lines.size());
+  const std::string kTag = "xfraud-lint:";
+  for (size_t i = 0; i < comment_lines.size(); ++i) {
+    std::string::size_type tag = comment_lines[i].find(kTag);
+    if (tag == std::string::npos) continue;
+    std::string::size_type open =
+        comment_lines[i].find("allow(", tag + kTag.size());
+    if (open == std::string::npos) continue;
+    std::string::size_type close = comment_lines[i].find(')', open);
+    if (close == std::string::npos) continue;
+    std::string args =
+        comment_lines[i].substr(open + 6, close - (open + 6));
+    std::stringstream ss(args);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
+      if (!rule.empty()) allowed[i].push_back(rule);
+    }
+  }
+  return allowed;
+}
+
+class Linter {
+ public:
+  Linter(const std::string& path, const std::string& contents)
+      : path_(path),
+        scope_(ClassifyPath(path)),
+        split_(Split(contents)),
+        code_lines_(SplitLines(split_.code)),
+        comment_lines_(SplitLines(split_.comments)),
+        allowed_(ParseAllows(comment_lines_)) {}
+
+  std::vector<Finding> Run() {
+    CheckNondeterminism();
+    CheckNakedNew();
+    CheckRawIo();
+    CheckUsingNamespace();
+    CheckHeaderGuard();
+    CheckCatchAll();
+    CheckTodoIssue();
+    return std::move(findings_);
+  }
+
+ private:
+  bool Allowed(size_t line0, const std::string& rule) const {
+    for (size_t l = line0 > 0 ? line0 - 1 : 0; l <= line0; ++l) {
+      if (l >= allowed_.size()) break;
+      for (const std::string& r : allowed_[l]) {
+        if (r == rule) return true;
+      }
+    }
+    return false;
+  }
+
+  void Report(size_t line0, const std::string& rule,
+              const std::string& message) {
+    if (Allowed(line0, rule)) return;
+    findings_.push_back(
+        {path_, static_cast<int>(line0) + 1, rule, message});
+  }
+
+  void CheckNondeterminism() {
+    if (scope_.rng_exempt) return;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string& line = code_lines_[i];
+      if (HasWord(line, "rand", true) || HasWord(line, "srand", true)) {
+        Report(i, "nondeterminism",
+               "rand()/srand() break bit-reproducible sampling; take an "
+               "explicit xfraud::Rng");
+      }
+      if (HasWord(line, "random_device", false)) {
+        Report(i, "nondeterminism",
+               "std::random_device is nondeterministic; seed through "
+               "common/rng instead");
+      }
+      if (HasWord(line, "time", true)) {
+        Report(i, "nondeterminism",
+               "time() as an input makes runs unreproducible; thread a seed "
+               "or WallTimer through instead");
+      }
+    }
+  }
+
+  void CheckNakedNew() {
+    if (!scope_.in_library) return;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string& line = code_lines_[i];
+      if (HasWord(line, "new", false)) {
+        Report(i, "no-naked-new",
+               "naked new in library code; use make_unique/make_shared or a "
+               "container");
+      }
+      if (HasWord(line, "malloc", true) || HasWord(line, "calloc", true) ||
+          HasWord(line, "realloc", true) || HasWord(line, "free", true)) {
+        Report(i, "no-naked-new",
+               "manual malloc/free in library code; use RAII containers");
+      }
+    }
+  }
+
+  void CheckRawIo() {
+    if (!scope_.in_library || scope_.io_exempt) return;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string& line = code_lines_[i];
+      bool hit = line.find("std::cout") != std::string::npos ||
+                 HasWord(line, "printf", true) ||
+                 HasWord(line, "fprintf", true) ||
+                 HasWord(line, "puts", true);
+      if (hit) {
+        Report(i, "no-raw-io",
+               "direct stdout/printf in library code; route through "
+               "XF_LOG/obs or take an std::ostream&");
+      }
+    }
+  }
+
+  void CheckUsingNamespace() {
+    if (!scope_.is_header) return;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string& line = code_lines_[i];
+      if (HasWord(line, "using", false) && HasWord(line, "namespace", false)) {
+        std::string::size_type u = line.find("using");
+        std::string::size_type n = line.find("namespace", u);
+        if (n != std::string::npos) {
+          Report(i, "no-using-namespace",
+                 "using namespace in a header leaks into every includer");
+        }
+      }
+    }
+  }
+
+  void CheckHeaderGuard() {
+    if (!scope_.is_header) return;
+    bool pragma_once = false;
+    bool ifndef = false;
+    bool define = false;
+    size_t limit = std::min<size_t>(code_lines_.size(), 50);
+    for (size_t i = 0; i < limit; ++i) {
+      const std::string& line = code_lines_[i];
+      if (line.find("#pragma once") != std::string::npos) pragma_once = true;
+      if (line.find("#ifndef") != std::string::npos) ifndef = true;
+      if (ifndef && line.find("#define") != std::string::npos) define = true;
+    }
+    if (!pragma_once && !(ifndef && define)) {
+      Report(0, "header-guard",
+             "header lacks an include guard (#pragma once or "
+             "#ifndef/#define pair)");
+    }
+  }
+
+  void CheckCatchAll() {
+    if (!scope_.in_library) return;
+    const std::string& code = split_.code;
+    size_t line0 = 0;
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (code[i] == '\n') {
+        ++line0;
+        continue;
+      }
+      if (code.compare(i, 5, "catch") != 0) continue;
+      if (i > 0 && IsWordChar(code[i - 1])) continue;
+      if (i + 5 < code.size() && IsWordChar(code[i + 5])) continue;
+      size_t j = i + 5;
+      while (j < code.size() &&
+             (code[j] == ' ' || code[j] == '\n' || code[j] == '\t')) {
+        ++j;
+      }
+      if (j >= code.size() || code[j] != '(') continue;
+      size_t close = code.find(')', j);
+      if (close == std::string::npos) continue;
+      std::string params = code.substr(j + 1, close - j - 1);
+      params.erase(std::remove_if(params.begin(), params.end(),
+                                  [](char c) { return std::isspace(
+                                        static_cast<unsigned char>(c)); }),
+                   params.end());
+      if (params != "...") continue;
+      // Walk the handler block and demand the exception is rethrown,
+      // captured, or converted into a returned error.
+      size_t open = code.find('{', close);
+      if (open == std::string::npos) continue;
+      int depth = 1;
+      size_t k = open + 1;
+      while (k < code.size() && depth > 0) {
+        if (code[k] == '{') ++depth;
+        if (code[k] == '}') --depth;
+        ++k;
+      }
+      std::string body = code.substr(open + 1, k - open - 2);
+      bool handled = HasWord(body, "throw", false) ||
+                     body.find("current_exception") != std::string::npos ||
+                     HasWord(body, "return", false);
+      if (!handled) {
+        Report(line0, "no-catch-all",
+               "catch (...) swallows the exception; rethrow, capture via "
+               "std::current_exception, or convert to Status");
+      }
+    }
+  }
+
+  void CheckTodoIssue() {
+    for (size_t i = 0; i < comment_lines_.size(); ++i) {
+      const std::string& line = comment_lines_[i];
+      for (const char* tag : {"TODO", "FIXME"}) {
+        std::string::size_type pos = line.find(tag);
+        if (pos == std::string::npos) continue;
+        // Accept TODO(#123) / FIXME(#123) — a trackable reference.
+        std::string::size_type after = pos + std::string(tag).size();
+        bool has_issue = line.compare(after, 2, "(#") == 0 &&
+                         after + 2 < line.size() &&
+                         std::isdigit(static_cast<unsigned char>(
+                             line[after + 2])) != 0;
+        if (!has_issue) {
+          Report(i, "todo-issue",
+                 std::string(tag) +
+                     " without an issue reference; use TODO(#123) so it is "
+                     "trackable");
+        }
+        break;  // one finding per line is enough
+      }
+    }
+  }
+
+  std::string path_;
+  FileScope scope_;
+  SplitSource split_;
+  std::vector<std::string> code_lines_;
+  std::vector<std::string> comment_lines_;
+  std::vector<std::vector<std::string>> allowed_;
+  std::vector<Finding> findings_;
+};
+
+bool ShouldSkipDir(const fs::path& dir) {
+  std::string name = dir.filename().string();
+  return name == ".git" || name == "lint_fixtures" ||
+         name.rfind("build", 0) == 0 || name == "CMakeFiles";
+}
+
+bool LintableFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleIds() {
+  static const std::vector<std::string> kRules = {
+      "nondeterminism", "no-naked-new",       "no-raw-io",
+      "header-guard",   "no-using-namespace", "no-catch-all",
+      "todo-issue",
+  };
+  return kRules;
+}
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& contents) {
+  return Linter(path, contents).Run();
+}
+
+bool LintPaths(const std::vector<std::string>& roots,
+               std::vector<Finding>* findings, std::string* error) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    fs::file_status st = fs::status(root, ec);
+    if (ec) {
+      *error = "cannot stat " + root + ": " + ec.message();
+      return false;
+    }
+    if (fs::is_regular_file(st)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(st)) {
+      *error = root + " is neither a file nor a directory";
+      return false;
+    }
+    fs::recursive_directory_iterator it(root, ec), end;
+    if (ec) {
+      *error = "cannot walk " + root + ": " + ec.message();
+      return false;
+    }
+    for (; it != end; it.increment(ec)) {
+      if (ec) {
+        *error = "walk failed under " + root + ": " + ec.message();
+        return false;
+      }
+      if (it->is_directory() && ShouldSkipDir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && LintableFile(it->path())) {
+        files.push_back(it->path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      *error = "cannot read " + file;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Finding> f = LintContent(file, buf.str());
+    findings->insert(findings->end(), f.begin(), f.end());
+  }
+  return true;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out;
+  };
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n  {\"file\": \"" << escape(findings[i].file)
+        << "\", \"line\": " << findings[i].line << ", \"rule\": \""
+        << escape(findings[i].rule) << "\", \"message\": \""
+        << escape(findings[i].message) << "\"}";
+  }
+  if (!findings.empty()) out << "\n";
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace xfraud::lint

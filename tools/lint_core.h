@@ -1,0 +1,39 @@
+#ifndef XFRAUD_TOOLS_LINT_CORE_H_
+#define XFRAUD_TOOLS_LINT_CORE_H_
+
+#include <string>
+#include <vector>
+
+namespace xfraud::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;
+  int line = 1;
+  std::string rule;
+  std::string message;
+};
+
+/// All rule identifiers, for `--list-rules` and directive validation.
+const std::vector<std::string>& RuleIds();
+
+/// Lints one file given its contents. `path` picks which rules apply
+/// (library-only rules fire under src/xfraud, header rules on *.h) and is
+/// echoed into findings. Suppression: a `// xfraud-lint: allow(rule-id)`
+/// comment on the offending line or the line above silences that rule there.
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& contents);
+
+/// Recursively lints *.h/*.cc/*.hpp/*.cpp under each root (a root may also
+/// be a single file). Build trees, .git, and lint_fixtures/ are skipped
+/// during the walk unless the root itself points into them. Returns false
+/// and sets `error` on I/O failure.
+bool LintPaths(const std::vector<std::string>& roots,
+               std::vector<Finding>* findings, std::string* error);
+
+/// JSON array of findings: [{"file":...,"line":N,"rule":...,"message":...}].
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace xfraud::lint
+
+#endif  // XFRAUD_TOOLS_LINT_CORE_H_

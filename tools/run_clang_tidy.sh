@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library,
+# tools, bench, and example sources using the compile database exported by
+# CMake (CMAKE_EXPORT_COMPILE_COMMANDS is always ON, see CMakeLists.txt).
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+#
+# The binary is resolved from $CLANG_TIDY, then PATH. Containers without a
+# clang toolchain skip with exit 0 so tools/ci.sh --mode=lint stays usable
+# everywhere; the static-analysis gate that always runs is xfraud_lint.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  TIDY="$(command -v clang-tidy || true)"
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found (set \$CLANG_TIDY or install it); skipping"
+  exit 0
+fi
+
+DB="${BUILD_DIR}/compile_commands.json"
+if [[ ! -f "${DB}" ]]; then
+  echo "run_clang_tidy: ${DB} missing; configure first: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+
+# Sources with entries in the compile database, excluding third-party code
+# and test fixtures that are broken on purpose.
+mapfile -t FILES < <(
+  git ls-files 'src/*.cc' 'tools/*.cc' 'bench/*.cc' 'examples/*.cc' \
+    | grep -v 'lint_fixtures/'
+)
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy: no sources found" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: ${TIDY} over ${#FILES[@]} files (db: ${DB})"
+status=0
+for f in "${FILES[@]}"; do
+  "${TIDY}" -p "${BUILD_DIR}" --quiet "${f}" || status=1
+done
+if [[ "${status}" -ne 0 ]]; then
+  echo "run_clang_tidy: findings above must be fixed" >&2
+fi
+exit "${status}"

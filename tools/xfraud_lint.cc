@@ -1,0 +1,90 @@
+// xfraud_lint: project-specific lint rules the compiler can't enforce.
+//
+// Usage:
+//   xfraud_lint [--json=report.json] [--quiet] [--list-rules] [paths...]
+//
+// With no paths, lints src/ tests/ bench/ examples/ tools/ relative to the
+// current directory. Exits 0 when clean, 1 on findings, 2 on usage or I/O
+// errors. Findings print as `file:line: rule-id message` (editor-clickable);
+// `--json` additionally writes a machine-readable report. Suppress a rule at
+// one site with `// xfraud-lint: allow(rule-id)` on that line or the line
+// above.
+//
+// The rules and their rationale are documented in DESIGN.md §9.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : xfraud::lint::RuleIds()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: xfraud_lint [--json=report.json] [--quiet] "
+                   "[--list-rules] [paths...]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "xfraud_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
+      if (std::filesystem::is_directory(dir)) roots.push_back(dir);
+    }
+    if (roots.empty()) {
+      std::cerr << "xfraud_lint: no default roots found; run from the repo "
+                   "root or pass paths\n";
+      return 2;
+    }
+  }
+
+  std::vector<xfraud::lint::Finding> findings;
+  std::string error;
+  if (!xfraud::lint::LintPaths(roots, &findings, &error)) {
+    std::cerr << "xfraud_lint: " << error << "\n";
+    return 2;
+  }
+
+  if (!quiet) {
+    for (const auto& f : findings) {
+      std::cout << f.file << ":" << f.line << ": " << f.rule << " "
+                << f.message << "\n";
+    }
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "xfraud_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << xfraud::lint::FindingsToJson(findings);
+  }
+  if (!quiet) {
+    std::cout << (findings.empty() ? "xfraud_lint: clean"
+                                   : "xfraud_lint: " +
+                                         std::to_string(findings.size()) +
+                                         " finding(s)")
+              << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}
