@@ -1,0 +1,71 @@
+#include "xfraud/common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "xfraud/common/rng.h"
+#include "xfraud/obs/metrics.h"
+#include "xfraud/obs/registry.h"
+
+namespace xfraud::internal {
+
+namespace {
+
+struct RetryMetrics {
+  obs::Counter* attempts;
+  obs::Counter* retries;
+  obs::Counter* giveups;
+
+  static const RetryMetrics& Get() {
+    static RetryMetrics metrics = [] {
+      auto& r = obs::Registry::Global();
+      return RetryMetrics{r.counter("retry/attempts"),
+                          r.counter("retry/retries"),
+                          r.counter("retry/giveups")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+bool IsRetryable(const Status& s, const RetryPolicy& policy) {
+  if (s.IsIoError()) return true;
+  return policy.retry_corruption && s.IsCorruption();
+}
+
+double BackoffAndSleep(const RetryPolicy& policy, uint64_t jitter_seed,
+                       int next_attempt) {
+  double base = policy.initial_backoff_s;
+  for (int i = 2; i < next_attempt; ++i) base *= policy.multiplier;
+  base = std::min(base, policy.max_backoff_s);
+  // Deterministic jitter: attempt k of a given seed always draws the same
+  // factor, so a replayed fault sequence sleeps the same schedule.
+  Rng rng(Rng::StreamSeed(jitter_seed, static_cast<uint64_t>(next_attempt)));
+  double factor =
+      1.0 + policy.jitter_frac * (2.0 * rng.NextDouble() - 1.0);
+  double sleep_s = std::max(0.0, base * factor);
+  RetryMetrics::Get().retries->Increment();
+  if (sleep_s > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+  }
+  return sleep_s;
+}
+
+void CountAttempt() { RetryMetrics::Get().attempts->Increment(); }
+
+void CountGiveup() { RetryMetrics::Get().giveups->Increment(); }
+
+uint64_t NowToken() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double SecondsSince(uint64_t start_token) {
+  return static_cast<double>(NowToken() - start_token) * 1e-9;
+}
+
+}  // namespace xfraud::internal

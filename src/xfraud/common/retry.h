@@ -1,0 +1,90 @@
+#ifndef XFRAUD_COMMON_RETRY_H_
+#define XFRAUD_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "xfraud/common/status.h"
+
+namespace xfraud {
+
+/// Retry-with-exponential-backoff policy for transient I/O failures on the
+/// KV serving path (paper §3.3.3: loaders read all graph state over a KV
+/// store, where transient errors are the norm, not the exception).
+///
+/// The default policy (`max_attempts == 1`) performs exactly one attempt —
+/// i.e. retries are opt-in and code paths that never configure a policy
+/// behave exactly as before.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  int max_attempts = 1;
+  /// Sleep before attempt 2; doubles (times `multiplier`) per retry.
+  double initial_backoff_s = 1e-4;
+  /// Backoff ceiling per sleep.
+  double max_backoff_s = 0.05;
+  double multiplier = 2.0;
+  /// Each sleep is scaled by a deterministic factor in
+  /// [1 - jitter_frac, 1 + jitter_frac] drawn from the jitter seed, so
+  /// concurrent loader threads don't retry in lockstep.
+  double jitter_frac = 0.2;
+  /// Overall wall-clock budget across all attempts; once exceeded, the last
+  /// failure is returned even if attempts remain.
+  double deadline_s = 1e9;
+  /// Corruption (e.g. a torn KV record) is retried like IoError when true —
+  /// on a replicated store a re-read can hit a healthy replica.
+  bool retry_corruption = true;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+namespace internal {
+
+/// True if `s` is worth retrying under `policy` (IoError always;
+/// Corruption when the policy says so).
+bool IsRetryable(const Status& s, const RetryPolicy& policy);
+
+/// Returns the jittered backoff before attempt `next_attempt` (2-based) and
+/// sleeps for it. Split from the template so the obs counters and the sleep
+/// live in one translation unit.
+double BackoffAndSleep(const RetryPolicy& policy, uint64_t jitter_seed,
+                       int next_attempt);
+
+/// Obs bookkeeping hooks (counters retry/attempts, retry/retries,
+/// retry/giveups).
+void CountAttempt();
+void CountGiveup();
+
+/// Seconds elapsed since `start_token` (a steady_clock reading captured by
+/// NowToken). Indirection keeps <chrono> out of this header's clients.
+uint64_t NowToken();
+double SecondsSince(uint64_t start_token);
+
+}  // namespace internal
+
+/// Runs `fn` (returning Status) up to `policy.max_attempts` times, sleeping
+/// with exponential backoff + deterministic jitter between attempts, until
+/// it succeeds, fails with a non-retryable status, exhausts attempts, or
+/// exceeds the deadline. The jitter sequence is a pure function of
+/// `jitter_seed` (derive it from the batch/op id via Rng::StreamSeed), so
+/// fault-injection runs replay identically.
+template <typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, uint64_t jitter_seed,
+                        Fn&& fn) {
+  const uint64_t start = internal::NowToken();
+  Status last = Status::OK();
+  for (int attempt = 1;; ++attempt) {
+    internal::CountAttempt();
+    last = fn();
+    if (last.ok() || !internal::IsRetryable(last, policy)) return last;
+    if (attempt >= policy.max_attempts ||
+        internal::SecondsSince(start) >= policy.deadline_s) {
+      if (policy.enabled()) internal::CountGiveup();
+      return last;
+    }
+    internal::BackoffAndSleep(policy, jitter_seed, attempt + 1);
+  }
+}
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_RETRY_H_

@@ -24,6 +24,20 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(&sm);
 }
 
+Rng::State Rng::GetState() const {
+  State out;
+  for (int i = 0; i < 4; ++i) out.s[i] = state_[i];
+  out.has_cached_gaussian = has_cached_gaussian_;
+  out.cached_gaussian = cached_gaussian_;
+  return out;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 uint64_t Rng::NextUint64() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -64,6 +64,23 @@ class Rng {
   /// thread claims it).
   static uint64_t StreamSeed(uint64_t root, uint64_t stream);
 
+  /// Complete generator state, snapshotable for checkpoint/resume. The
+  /// Box-Muller gaussian cache is part of the state: dropping it would shift
+  /// every subsequent NextGaussian() by one draw and break bit-identical
+  /// resume.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  /// Snapshots the full generator state.
+  State GetState() const;
+
+  /// Restores a snapshot taken with GetState(); the restored generator
+  /// produces the exact continuation of the snapshotted stream.
+  void SetState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

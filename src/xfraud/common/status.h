@@ -65,6 +65,10 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   /// Human-readable representation, e.g. "InvalidArgument: bad dim".
   std::string ToString() const;

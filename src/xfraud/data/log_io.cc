@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "xfraud/common/atomic_file.h"
+
 namespace xfraud::data {
 
 namespace {
@@ -49,8 +51,7 @@ std::vector<std::string> SplitTabs(const std::string& line) {
 Status WriteTransactionLog(
     const std::vector<graph::TransactionRecord>& records,
     const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  std::ostringstream out;
   out << kHeader << "\n";
   for (const auto& r : records) {
     out << r.txn_id << '\t' << r.buyer_id << '\t' << r.email << '\t'
@@ -62,8 +63,7 @@ Status WriteTransactionLog(
     }
     out << '\n';
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<std::vector<graph::TransactionRecord>> ReadTransactionLog(

@@ -6,8 +6,13 @@
 #include "xfraud/common/logging.h"
 #include "xfraud/common/timer.h"
 #include "xfraud/dist/partition.h"
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/fault/faulty_kv.h"
 #include "xfraud/graph/subgraph.h"
+#include "xfraud/kv/feature_store.h"
+#include "xfraud/kv/mem_kv.h"
 #include "xfraud/nn/optim.h"
+#include "xfraud/nn/serialize.h"
 #include "xfraud/obs/registry.h"
 #include "xfraud/obs/trace.h"
 #include "xfraud/sample/batch_loader.h"
@@ -72,7 +77,15 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
     double sample_seconds = 0.0;   // this epoch
     double loss_sum = 0.0;
     int64_t steps = 0;
+    bool alive = true;
+    // KV serving path (kv_backed_loaders): the worker's partition ingested
+    // into its own store — partitions use local node ids, so stores cannot
+    // be shared across workers — optionally fronted by a fault decorator.
+    std::unique_ptr<kv::MemKvStore> kv;
+    std::unique_ptr<fault::FaultyKvStore> faulty_kv;
+    std::unique_ptr<kv::FeatureStore> features;
   };
+  fault::FaultInjector* injector = options_.fault_injector;
   std::vector<Worker> workers(kappa);
   std::vector<int8_t> in_train(ds.graph.num_nodes(), 0);
   for (int32_t v : ds.train_nodes) in_train[v] = 1;
@@ -93,6 +106,22 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
                          .weight_decay = options_.train.weight_decay});
     workers[w].rng = xfraud::Rng(options_.train.seed + 1000 + w);
     workers[w].rng.Shuffle(&workers[w].local_train);
+    if (options_.kv_backed_loaders) {
+      workers[w].kv = std::make_unique<kv::MemKvStore>();
+      // Ingest through the raw store — faults belong to the serving path,
+      // not to the one-time bulk load.
+      kv::FeatureStore ingest(workers[w].kv.get());
+      Status ingested = ingest.Ingest(workers[w].graph);
+      XF_CHECK(ingested.ok());
+      kv::KvStore* serving = workers[w].kv.get();
+      if (injector != nullptr) {
+        workers[w].faulty_kv = std::make_unique<fault::FaultyKvStore>(
+            workers[w].kv.get(), injector);
+        serving = workers[w].faulty_kv.get();
+      }
+      workers[w].features = std::make_unique<kv::FeatureStore>(serving);
+      workers[w].features->set_retry_policy(options_.kv_retry);
+    }
   }
 
   // Steps per epoch: the busiest worker's batch count (others wrap).
@@ -147,6 +176,10 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
   obs::Counter* allreduce_rounds = obs_registry.counter("dist/allreduce_rounds");
   obs::Counter* allreduce_bytes = obs_registry.counter("dist/allreduce_bytes");
   obs::Histogram* round_bytes = obs_registry.histogram("dist/round_bytes");
+  obs::Counter* worker_kills = obs_registry.counter("dist/worker_kills");
+  obs::Counter* redistributed_ctr =
+      obs_registry.counter("dist/redistributed_batches");
+  obs::Counter* epoch_restarts = obs_registry.counter("dist/epoch_restarts");
   obs_registry.gauge("dist/workers")->Set(static_cast<double>(kappa));
   int64_t param_floats = 0;
   for (const auto& p : params0) param_floats += p.var.value().size();
@@ -154,95 +187,231 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
       2 * static_cast<int64_t>(kappa - 1) * param_floats *
       static_cast<int64_t>(sizeof(float));
 
+  // Epoch-start state for FailureRecovery::kRestartEpoch: enough to re-run
+  // the epoch exactly (replicas are synchronized, so one parameter/optimizer
+  // image covers all of them; the shuffle walk is per-worker).
+  struct EpochSnapshot {
+    std::vector<nn::Tensor> params;
+    std::vector<nn::Tensor> opt_m;
+    std::vector<nn::Tensor> opt_v;
+    int64_t opt_step = 0;
+    std::vector<xfraud::Rng::State> rng;
+    std::vector<size_t> cursor;
+    std::vector<std::vector<int32_t>> order;
+  };
+
   int stale = 0;
   for (int epoch = 0; epoch < options_.train.max_epochs; ++epoch) {
     obs::ScopedSpan epoch_span("dist/epoch");
     WallTimer epoch_timer;
-    for (int w = 0; w < kappa; ++w) {
-      Worker& worker = workers[w];
-      worker.compute_seconds = 0.0;
-      worker.sample_seconds = 0.0;
-      worker.loss_sum = 0.0;
-      worker.steps = 0;
-      // Plan the worker's epoch up front (cursor walk with reshuffle on
-      // wrap, dedup of seeds that wrapped within a batch) and hand the plan
-      // to a BatchLoader so sampler threads can prefetch ahead of the
-      // gradient steps. The plan only draws shuffles from worker.rng;
-      // sampling itself runs on per-batch streams.
-      worker.loader = nullptr;
-      if (worker.local_train.empty()) continue;
-      std::vector<std::vector<int32_t>> plan;
-      plan.reserve(steps_per_epoch);
-      for (int64_t step = 0; step < steps_per_epoch; ++step) {
-        std::vector<int32_t> seeds;
-        for (int b = 0; b < options_.train.batch_size; ++b) {
-          if (worker.cursor >= worker.local_train.size()) {
-            worker.cursor = 0;
-            worker.rng.Shuffle(&worker.local_train);
-          }
-          seeds.push_back(worker.local_train[worker.cursor++]);
-        }
-        std::sort(seeds.begin(), seeds.end());
-        seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
-        plan.push_back(std::move(seeds));
+    const bool may_kill_this_epoch =
+        injector != nullptr && injector->plan().kill_worker >= 0 &&
+        injector->plan().kill_epoch == epoch;
+    EpochSnapshot snap;
+    if (may_kill_this_epoch &&
+        options_.recovery == FailureRecovery::kRestartEpoch) {
+      for (const auto& p : params0) snap.params.push_back(p.var.value());
+      snap.opt_m = workers[0].optimizer->first_moments();
+      snap.opt_v = workers[0].optimizer->second_moments();
+      snap.opt_step = workers[0].optimizer->step_count();
+      for (int w = 0; w < kappa; ++w) {
+        snap.rng.push_back(workers[w].rng.GetState());
+        snap.cursor.push_back(workers[w].cursor);
+        snap.order.push_back(workers[w].local_train);
       }
-      worker.loader = std::make_unique<sample::BatchLoader>(
-          &worker.graph, sampler_, std::move(plan),
-          xfraud::Rng::StreamSeed(
-              xfraud::Rng::StreamSeed(options_.train.seed, kDistSampleTag),
-              static_cast<uint64_t>(epoch) * kappa + w),
-          loader_opts);
     }
-    for (int64_t step = 0; step < steps_per_epoch; ++step) {
-      // Phase 1: every worker computes gradients on its own partition.
-      // (Run serially on this single-core host; each worker's sampling and
-      // compute times are measured individually to model the concurrent
-      // cluster.)
+
+    int killed_this_epoch = -1;  // reported in DistributedEpoch
+    int killed = -1;             // elastic: dead for the rest of this run
+    int64_t redistributed = 0;
+    double recovery_seconds = 0.0;
+    bool epoch_restarted = false;
+    bool suppress_kill = false;
+    bool rerun;
+    do {
+      rerun = false;
+      killed = -1;
+      redistributed = 0;
       for (int w = 0; w < kappa; ++w) {
         Worker& worker = workers[w];
-        if (worker.loader == nullptr) {
-          for (auto& p : params[w]) p.var.ZeroGrad();
-          continue;
+        worker.compute_seconds = 0.0;
+        worker.sample_seconds = 0.0;
+        worker.loss_sum = 0.0;
+        worker.steps = 0;
+        // Plan the worker's epoch up front (cursor walk with reshuffle on
+        // wrap, dedup of seeds that wrapped within a batch) and hand the
+        // plan to a BatchLoader so sampler threads can prefetch ahead of
+        // the gradient steps. The plan only draws shuffles from worker.rng;
+        // sampling itself runs on per-batch streams.
+        worker.loader = nullptr;
+        if (worker.local_train.empty()) continue;
+        std::vector<std::vector<int32_t>> plan;
+        plan.reserve(steps_per_epoch);
+        for (int64_t step = 0; step < steps_per_epoch; ++step) {
+          std::vector<int32_t> seeds;
+          for (int b = 0; b < options_.train.batch_size; ++b) {
+            if (worker.cursor >= worker.local_train.size()) {
+              worker.cursor = 0;
+              worker.rng.Shuffle(&worker.local_train);
+            }
+            seeds.push_back(worker.local_train[worker.cursor++]);
+          }
+          std::sort(seeds.begin(), seeds.end());
+          seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+          plan.push_back(std::move(seeds));
         }
-        auto loaded = worker.loader->Next();
-        XF_CHECK(loaded.has_value());
-        worker.sample_seconds += loaded->sample_seconds;
+        sample::LoaderOptions wopts = loader_opts;
+        wopts.feature_store = worker.features.get();
+        worker.loader = std::make_unique<sample::BatchLoader>(
+            &worker.graph, sampler_, std::move(plan),
+            xfraud::Rng::StreamSeed(
+                xfraud::Rng::StreamSeed(options_.train.seed, kDistSampleTag),
+                static_cast<uint64_t>(epoch) * kappa + w),
+            wopts);
+      }
+      for (int64_t step = 0; step < steps_per_epoch; ++step) {
+        // Phase 1: every worker computes gradients on its own partition.
+        // (Run serially on this single-core host; each worker's sampling
+        // and compute times are measured individually to model the
+        // concurrent cluster.)
+        int extra_this_step = 0;
+        for (int w = 0; w < kappa; ++w) {
+          Worker& worker = workers[w];
+          if (!suppress_kill && injector != nullptr &&
+              injector->ShouldKillWorker(w, epoch, step)) {
+            XF_CHECK(kappa >= 2);  // a dead lone worker has no recovery
+            worker_kills->Increment();
+            killed_this_epoch = w;
+            if (options_.recovery == FailureRecovery::kRestartEpoch) {
+              rerun = true;
+              break;
+            }
+            killed = w;
+            worker.alive = false;
+          }
+          if (!worker.alive || worker.loader == nullptr) {
+            // Dead (or partition-less) workers contribute zero gradient;
+            // clearing every step also discards the mean the all-reduce
+            // copy-back wrote into this replica's buffers last step.
+            for (auto& p : params[w]) p.var.ZeroGrad();
+            continue;
+          }
+          auto loaded = worker.loader->Next();
+          XF_CHECK(loaded.has_value());
+          worker.sample_seconds += loaded->sample_seconds;
+          WallTimer t;
+          core::ForwardOptions fwd;
+          fwd.training = true;
+          fwd.rng = &worker.rng;
+          nn::Var logits = replicas_[w]->Forward(loaded->batch, fwd);
+          nn::Var loss = nn::CrossEntropy(logits, loaded->batch.target_labels,
+                                          options_.train.class_weights);
+          worker.optimizer->ZeroGrad();
+          loss.Backward();
+          worker.loss_sum += loss.item();
+          ++worker.steps;
+          worker.compute_seconds += t.ElapsedSeconds();
+        }
+        if (rerun) break;
+
+        // Elastic recovery: one survivor per step absorbs the next of the
+        // dead worker's planned batches (its loader still holds them — a
+        // MiniBatch is self-contained, so any replica can train on it).
+        // The extra backward accumulates onto the survivor's own gradient
+        // (no ZeroGrad between the two), exactly like DDP gradient
+        // accumulation.
+        if (killed >= 0 && workers[killed].loader != nullptr) {
+          auto extra = workers[killed].loader->Next();
+          if (extra.has_value()) {
+            WallTimer t;
+            int s = static_cast<int>(
+                (static_cast<int64_t>(killed) + 1 + step) % kappa);
+            if (s == killed) s = (s + 1) % kappa;
+            core::ForwardOptions fwd;
+            fwd.training = true;
+            fwd.rng = &workers[s].rng;
+            nn::Var logits = replicas_[s]->Forward(extra->batch, fwd);
+            nn::Var loss =
+                nn::CrossEntropy(logits, extra->batch.target_labels,
+                                 options_.train.class_weights);
+            loss.Backward();
+            workers[s].loss_sum += loss.item();
+            ++workers[s].steps;
+            workers[s].sample_seconds += extra->sample_seconds;
+            recovery_seconds += t.ElapsedSeconds();
+            redistributed_ctr->Increment();
+            ++redistributed;
+            extra_this_step = 1;
+          } else {
+            workers[killed].loader = nullptr;
+          }
+        }
+
+        // Phase 2: DDP all-reduce — average gradients across replicas and
+        // write the mean back into every replica's gradient buffers. The
+        // denominator is the number of batch-gradients contributed this
+        // step: kappa normally, one less when a worker is dead, plus one
+        // when a survivor absorbed a redistributed batch.
+        allreduce_rounds->Increment();
+        allreduce_bytes->Add(ring_bytes_per_round);
+        round_bytes->Record(static_cast<double>(ring_bytes_per_round));
+        const int contributions =
+            kappa - (killed >= 0 ? 1 : 0) + extra_this_step;
+        for (size_t p = 0; p < params0.size(); ++p) {
+          nn::Tensor& acc = params[0][p].var.grad();
+          for (int w = 1; w < kappa; ++w) {
+            acc.AddInPlace(params[w][p].var.grad());
+          }
+          acc.ScaleInPlace(1.0f / static_cast<float>(contributions));
+          for (int w = 1; w < kappa; ++w) {
+            params[w][p].var.grad() = acc;
+          }
+        }
+
+        // Phase 3: identical optimizer step on every live replica (states
+        // match, so they stay synchronized; a dead replica freezes until
+        // its end-of-epoch rejoin).
+        for (int w = 0; w < kappa; ++w) {
+          if (w == killed) continue;
+          workers[w].optimizer->ClipGradNorm(options_.train.clip);
+          workers[w].optimizer->Step();
+        }
+      }
+      if (rerun) {
+        // Roll every replica back to the epoch-start image and re-run the
+        // epoch with the failure suppressed (the worker "restarted").
         WallTimer t;
-        core::ForwardOptions fwd;
-        fwd.training = true;
-        fwd.rng = &worker.rng;
-        nn::Var logits = replicas_[w]->Forward(loaded->batch, fwd);
-        nn::Var loss = nn::CrossEntropy(logits, loaded->batch.target_labels,
-                                        options_.train.class_weights);
-        worker.optimizer->ZeroGrad();
-        loss.Backward();
-        worker.loss_sum += loss.item();
-        ++worker.steps;
-        worker.compute_seconds += t.ElapsedSeconds();
-      }
-
-      // Phase 2: DDP all-reduce — average gradients across replicas and
-      // write the mean back into every replica's gradient buffers.
-      allreduce_rounds->Increment();
-      allreduce_bytes->Add(ring_bytes_per_round);
-      round_bytes->Record(static_cast<double>(ring_bytes_per_round));
-      for (size_t p = 0; p < params0.size(); ++p) {
-        nn::Tensor& acc = params[0][p].var.grad();
-        for (int w = 1; w < kappa; ++w) {
-          acc.AddInPlace(params[w][p].var.grad());
+        for (int w = 0; w < kappa; ++w) {
+          for (size_t p = 0; p < params[w].size(); ++p) {
+            params[w][p].var.mutable_value() = snap.params[p];
+          }
+          Status restored = workers[w].optimizer->SetState(
+              snap.opt_m, snap.opt_v, snap.opt_step);
+          XF_CHECK(restored.ok());
+          workers[w].rng.SetState(snap.rng[w]);
+          workers[w].cursor = snap.cursor[w];
+          workers[w].local_train = snap.order[w];
+          workers[w].loader = nullptr;
         }
-        acc.ScaleInPlace(1.0f / static_cast<float>(kappa));
-        for (int w = 1; w < kappa; ++w) {
-          params[w][p].var.grad() = acc;
-        }
+        recovery_seconds += t.ElapsedSeconds();
+        epoch_restarted = true;
+        suppress_kill = true;
+        epoch_restarts->Increment();
       }
+    } while (rerun);
 
-      // Phase 3: identical optimizer step on every replica (states match,
-      // so replicas stay synchronized).
-      for (int w = 0; w < kappa; ++w) {
-        workers[w].optimizer->ClipGradNorm(options_.train.clip);
-        workers[w].optimizer->Step();
-      }
+    // Elastic rejoin: the dead replica re-enters the next epoch with a
+    // survivor's parameters and optimizer state (they are all identical).
+    if (killed >= 0) {
+      WallTimer t;
+      const int src = killed == 0 ? 1 : 0;
+      Status synced = nn::CopyParameters(params[src], &params[killed]);
+      XF_CHECK(synced.ok());
+      synced = workers[killed].optimizer->CopyStateFrom(
+          *workers[src].optimizer);
+      XF_CHECK(synced.ok());
+      workers[killed].alive = true;
+      recovery_seconds += t.ElapsedSeconds();
     }
 
     double wall = epoch_timer.ElapsedSeconds();
@@ -275,6 +444,10 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
     stats.max_worker_compute_seconds = slowest_compute;
     stats.simulated_cluster_seconds =
         slowest + options_.sync_overhead_seconds * steps_per_epoch;
+    stats.killed_worker = killed_this_epoch;
+    stats.redistributed_batches = redistributed;
+    stats.restarted = epoch_restarted;
+    stats.recovery_seconds = recovery_seconds;
     result.history.push_back(stats);
 
     if (options_.train.verbose) {

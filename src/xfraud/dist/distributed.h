@@ -4,12 +4,30 @@
 #include <memory>
 #include <vector>
 
+#include "xfraud/common/retry.h"
 #include "xfraud/core/gnn_model.h"
 #include "xfraud/data/generator.h"
 #include "xfraud/sample/sampler.h"
 #include "xfraud/train/trainer.h"
 
+namespace xfraud::fault {
+class FaultInjector;
+}  // namespace xfraud::fault
+
 namespace xfraud::dist {
+
+/// What the cluster does when a worker dies mid-epoch (the fault model a
+/// production DDP job needs; injected deterministically via
+/// fault::FaultInjector for tests).
+enum class FailureRecovery {
+  /// Survivors absorb the dead worker's remaining batches this epoch
+  /// (elastic, kappa-1 semantics); the dead replica re-syncs parameters and
+  /// optimizer state from a survivor at the epoch boundary.
+  kElastic,
+  /// Roll every replica back to the epoch-start snapshot and re-run the
+  /// epoch without the dead worker's failure (it "restarted").
+  kRestartEpoch,
+};
 
 /// Options of the distributed-training simulation (paper §3.3, §4).
 struct DistributedOptions {
@@ -23,6 +41,22 @@ struct DistributedOptions {
   /// Modeled per-step all-reduce latency added to the simulated cluster
   /// epoch time (gradient exchange is not free on a real cluster).
   double sync_overhead_seconds = 0.002;
+  /// Optional chaos source (not owned). Its plan's kill_worker@epoch:step
+  /// kills that worker mid-epoch; with kv_backed_loaders it also injects
+  /// KV faults into every worker's feature reads.
+  fault::FaultInjector* fault_injector = nullptr;
+  /// Recovery policy when fault_injector kills a worker.
+  FailureRecovery recovery = FailureRecovery::kElastic;
+  /// Serve each worker's batch features from a per-worker KV-backed
+  /// FeatureStore built over its partition (the paper's §3.3.3 serving
+  /// topology: one KV loader per worker; partitions use local node ids, so
+  /// stores cannot be shared). Required for KV fault injection to reach the
+  /// distributed path.
+  bool kv_backed_loaders = false;
+  /// Retry policy of every worker's feature reads (see common/retry.h).
+  /// Defaults to a single attempt; raise max_attempts to ride out injected
+  /// or real transient KV errors.
+  RetryPolicy kv_retry;
 };
 
 /// Per-epoch record of the distributed run.
@@ -47,6 +81,15 @@ struct DistributedEpoch {
   /// not show the paper's speedup; the per-worker costs are measured for
   /// real, only the overlap is modeled. See DESIGN.md §1.)
   double simulated_cluster_seconds = 0.0;
+  /// Fault accounting: which worker died this epoch (-1 = none), how many
+  /// of its batches survivors absorbed (elastic), whether the epoch was
+  /// rolled back and re-run (restart), and what the recovery itself cost in
+  /// wall-clock seconds (extra forward/backward on survivors + the rejoin
+  /// parameter/optimizer sync, or the snapshot restore).
+  int killed_worker = -1;
+  int64_t redistributed_batches = 0;
+  bool restarted = false;
+  double recovery_seconds = 0.0;
 };
 
 struct DistributedResult {

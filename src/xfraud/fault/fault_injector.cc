@@ -1,0 +1,62 @@
+#include "xfraud/fault/fault_injector.h"
+
+#include "xfraud/common/rng.h"
+#include "xfraud/obs/metrics.h"
+#include "xfraud/obs/registry.h"
+
+namespace xfraud::fault {
+
+namespace {
+
+// Site tag folded into the decision-stream seed so KV decisions are
+// independent of any other injection site added later.
+constexpr uint64_t kKvSiteTag = 0x4B564F50ULL;  // "KVOP"
+
+struct FaultMetrics {
+  obs::Counter* injected_io_errors;
+  obs::Counter* injected_corruptions;
+  obs::Counter* injected_latencies;
+
+  static const FaultMetrics& Get() {
+    static FaultMetrics metrics = [] {
+      auto& r = obs::Registry::Global();
+      return FaultMetrics{r.counter("fault/injected_io_errors"),
+                          r.counter("fault/injected_corruptions"),
+                          r.counter("fault/injected_latencies")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+FaultInjector::KvFault FaultInjector::NextKvFault(double* latency_s) {
+  if (latency_s != nullptr) *latency_s = 0.0;
+  if (!plan_.has_kv_faults()) return KvFault::kNone;
+  const int64_t op = kv_ops_.fetch_add(1);
+  Rng rng(Rng::StreamSeed(plan_.seed ^ kKvSiteTag,
+                          static_cast<uint64_t>(op)));
+  // Draw all three decisions unconditionally so the stream layout is stable
+  // even when individual rates are zero.
+  const double u_error = rng.NextDouble();
+  const double u_corrupt = rng.NextDouble();
+  const double u_latency = rng.NextDouble();
+  if (latency_s != nullptr && u_latency < plan_.kv_latency_rate) {
+    *latency_s = plan_.kv_latency_s;
+    injected_latencies_.fetch_add(1);
+    FaultMetrics::Get().injected_latencies->Increment();
+  }
+  if (u_error < plan_.kv_error_rate) {
+    injected_io_errors_.fetch_add(1);
+    FaultMetrics::Get().injected_io_errors->Increment();
+    return KvFault::kIoError;
+  }
+  if (u_corrupt < plan_.kv_corrupt_rate) {
+    injected_corruptions_.fetch_add(1);
+    FaultMetrics::Get().injected_corruptions->Increment();
+    return KvFault::kCorruption;
+  }
+  return KvFault::kNone;
+}
+
+}  // namespace xfraud::fault

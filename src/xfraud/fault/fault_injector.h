@@ -1,0 +1,74 @@
+#ifndef XFRAUD_FAULT_FAULT_INJECTOR_H_
+#define XFRAUD_FAULT_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "xfraud/fault/fault_plan.h"
+
+namespace xfraud::fault {
+
+/// Thrown by fault decorators to simulate a process crash (a sampler worker
+/// dying mid-batch). Distinct from CheckError so tests can tell an injected
+/// crash apart from a real contract violation.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Turns a FaultPlan into a deterministic decision sequence. The fate of KV
+/// op number i is a pure function of (plan.seed, i) — two injectors built
+/// from the same plan make identical decisions in the same order, so any
+/// failure found under chaos testing replays exactly.
+///
+/// Thread-safe: the op counter is atomic and each decision derives a
+/// private Rng from Rng::StreamSeed(plan.seed ^ site_tag, op).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  enum class KvFault { kNone, kIoError, kCorruption };
+
+  /// Decides the fate of the next KV operation. `latency_s` (may be null)
+  /// receives the extra latency to add before serving the op (0 if none);
+  /// latency composes with errors — a slow failing disk is the common case.
+  KvFault NextKvFault(double* latency_s);
+
+  /// True exactly at the planned (worker, epoch, step) kill point.
+  bool ShouldKillWorker(int worker, int epoch, int64_t step) const {
+    return worker == plan_.kill_worker && epoch == plan_.kill_epoch &&
+           step == plan_.kill_step;
+  }
+
+  /// True for the planned sampler crash call (0-based call index).
+  bool ShouldCrashSampler(int64_t call_index) const {
+    return plan_.crash_batch >= 0 && call_index == plan_.crash_batch;
+  }
+
+  /// Claims the next sampler-call index (used by FaultySampler).
+  int64_t NextSamplerCall() { return sampler_calls_.fetch_add(1); }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Totals for tests and reporting.
+  int64_t injected_io_errors() const { return injected_io_errors_.load(); }
+  int64_t injected_corruptions() const {
+    return injected_corruptions_.load();
+  }
+  int64_t injected_latencies() const { return injected_latencies_.load(); }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<int64_t> kv_ops_{0};
+  std::atomic<int64_t> sampler_calls_{0};
+  std::atomic<int64_t> injected_io_errors_{0};
+  std::atomic<int64_t> injected_corruptions_{0};
+  std::atomic<int64_t> injected_latencies_{0};
+};
+
+}  // namespace xfraud::fault
+
+#endif  // XFRAUD_FAULT_FAULT_INJECTOR_H_

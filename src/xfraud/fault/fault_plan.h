@@ -1,0 +1,64 @@
+#ifndef XFRAUD_FAULT_FAULT_PLAN_H_
+#define XFRAUD_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xfraud/common/status.h"
+
+namespace xfraud::fault {
+
+/// Declarative description of every fault a run should experience. The plan
+/// is pure data; a FaultInjector turns it into a deterministic decision
+/// sequence (seeded through Rng::StreamSeed), so the exact same failures
+/// replay on every run with the same plan — a flaky-looking failure under
+/// chaos testing is reproducible by rerunning with the printed plan string.
+///
+/// Spec grammar (comma-separated key=value, all keys optional):
+///   seed=<u64>              decision-stream seed (default 1)
+///   kv_error_rate=<f>       P(injected IoError) per KV op
+///   kv_corrupt_rate=<f>     P(injected Corruption) per KV op
+///   kv_latency_rate=<f>     P(added latency) per KV op
+///   kv_latency_s=<f>        added latency when it fires (seconds)
+///   kill_worker=<w>@<e>:<s> kill DDP worker w at epoch e, step s
+///   crash_batch=<n>         sampler throws on its n-th SampleBatch call
+///
+/// Example: "seed=7,kv_error_rate=0.05,kill_worker=1@0:3"
+struct FaultPlan {
+  uint64_t seed = 1;
+  double kv_error_rate = 0.0;
+  double kv_corrupt_rate = 0.0;
+  double kv_latency_rate = 0.0;
+  double kv_latency_s = 0.0;
+  int kill_worker = -1;  // -1: no kill
+  int kill_epoch = 0;
+  int64_t kill_step = 0;
+  int64_t crash_batch = -1;  // -1: no sampler crash
+
+  /// True if the plan injects anything at all.
+  bool any() const {
+    return kv_error_rate > 0.0 || kv_corrupt_rate > 0.0 ||
+           kv_latency_rate > 0.0 || kill_worker >= 0 || crash_batch >= 0;
+  }
+  bool has_kv_faults() const {
+    return kv_error_rate > 0.0 || kv_corrupt_rate > 0.0 ||
+           kv_latency_rate > 0.0;
+  }
+
+  /// Parses the spec grammar above. Unknown keys, malformed numbers, or
+  /// rates outside [0, 1] are InvalidArgument.
+  static Result<FaultPlan> Parse(std::string_view spec);
+
+  /// Reads XFRAUD_FAULT_PLAN from the environment; an unset or empty
+  /// variable yields the default (inject-nothing) plan. This is how
+  /// `tools/ci.sh --mode=faults` pushes a chaos profile into the test suite.
+  static Result<FaultPlan> FromEnv();
+
+  /// Canonical spec string (round-trips through Parse).
+  std::string ToString() const;
+};
+
+}  // namespace xfraud::fault
+
+#endif  // XFRAUD_FAULT_FAULT_PLAN_H_

@@ -1,0 +1,48 @@
+#include "xfraud/fault/faulty_kv.h"
+
+#include <chrono>
+#include <thread>
+
+namespace xfraud::fault {
+
+Status FaultyKvStore::MaybeInject(std::string_view key) const {
+  double latency_s = 0.0;
+  FaultInjector::KvFault fault = injector_->NextKvFault(&latency_s);
+  if (latency_s > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(latency_s));
+  }
+  switch (fault) {
+    case FaultInjector::KvFault::kNone:
+      return Status::OK();
+    case FaultInjector::KvFault::kIoError:
+      return Status::IoError("injected fault on key '" + std::string(key) +
+                             "'");
+    case FaultInjector::KvFault::kCorruption:
+      return Status::Corruption("injected corruption on key '" +
+                                std::string(key) + "'");
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultyKvStore::Put(std::string_view key, std::string_view value) {
+  XF_RETURN_IF_ERROR(MaybeInject(key));
+  return inner_->Put(key, value);
+}
+
+Status FaultyKvStore::Get(std::string_view key, std::string* value) const {
+  XF_RETURN_IF_ERROR(MaybeInject(key));
+  return inner_->Get(key, value);
+}
+
+Status FaultyKvStore::Delete(std::string_view key) {
+  return inner_->Delete(key);
+}
+
+int64_t FaultyKvStore::Count() const { return inner_->Count(); }
+
+std::vector<std::string> FaultyKvStore::KeysWithPrefix(
+    std::string_view prefix) const {
+  return inner_->KeysWithPrefix(prefix);
+}
+
+}  // namespace xfraud::fault

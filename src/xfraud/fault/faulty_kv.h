@@ -1,0 +1,44 @@
+#ifndef XFRAUD_FAULT_FAULTY_KV_H_
+#define XFRAUD_FAULT_FAULTY_KV_H_
+
+#include <string>
+#include <vector>
+
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/kv/kvstore.h"
+
+namespace xfraud::fault {
+
+/// KvStore decorator that injects the plan's KV faults (IoError,
+/// Corruption, added latency) in front of any inner store. Wrap a
+/// ShardedKvStore with this and hand it to a FeatureStore to chaos-test the
+/// whole loader path without touching the store under test.
+///
+/// Only Get and Put are fault-injected (they are the serving path);
+/// Delete/Count/KeysWithPrefix pass through untouched.
+class FaultyKvStore : public kv::KvStore {
+ public:
+  /// Wraps (not owning) `inner`; decisions come from (not owning)
+  /// `injector`. Both must outlive this store.
+  FaultyKvStore(kv::KvStore* inner, FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  int64_t Count() const override;
+  std::vector<std::string> KeysWithPrefix(
+      std::string_view prefix) const override;
+
+ private:
+  /// Applies the injector's verdict for one op; returns the injected error
+  /// (after any injected latency) or OK to proceed to the inner store.
+  Status MaybeInject(std::string_view key) const;
+
+  kv::KvStore* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace xfraud::fault
+
+#endif  // XFRAUD_FAULT_FAULTY_KV_H_

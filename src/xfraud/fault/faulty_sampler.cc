@@ -1,0 +1,18 @@
+#include "xfraud/fault/faulty_sampler.h"
+
+#include <string>
+
+namespace xfraud::fault {
+
+graph::Subgraph FaultySampler::Sample(const graph::HeteroGraph& g,
+                                      const std::vector<int32_t>& seeds,
+                                      xfraud::Rng* rng) const {
+  const int64_t call = injector_->NextSamplerCall();
+  if (injector_->ShouldCrashSampler(call)) {
+    throw InjectedCrash("injected sampler crash on call " +
+                        std::to_string(call));
+  }
+  return inner_->Sample(g, seeds, rng);
+}
+
+}  // namespace xfraud::fault

@@ -1,0 +1,36 @@
+#ifndef XFRAUD_FAULT_FAULTY_SAMPLER_H_
+#define XFRAUD_FAULT_FAULTY_SAMPLER_H_
+
+#include <vector>
+
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/sample/sampler.h"
+
+namespace xfraud::fault {
+
+/// Sampler decorator that simulates a loader worker dying: on the plan's
+/// `crash_batch`-th Sample call (counted across all threads) it throws
+/// InjectedCrash instead of sampling. Exercises BatchLoader's
+/// producer-failure propagation path — the consumer must see the exception
+/// promptly instead of hanging on a queue nobody will fill.
+class FaultySampler : public sample::Sampler {
+ public:
+  /// Wraps (not owning) `inner`; crash schedule from (not owning)
+  /// `injector`. Both must outlive this sampler.
+  FaultySampler(const sample::Sampler* inner, FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  graph::Subgraph Sample(const graph::HeteroGraph& g,
+                         const std::vector<int32_t>& seeds,
+                         xfraud::Rng* rng) const override;
+
+  const char* name() const override { return "faulty"; }
+
+ private:
+  const sample::Sampler* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace xfraud::fault
+
+#endif  // XFRAUD_FAULT_FAULTY_SAMPLER_H_

@@ -1,9 +1,10 @@
 #include "xfraud/graph/serialize.h"
 
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "xfraud/common/atomic_file.h"
 #include "xfraud/kv/kvstore.h"
 
 namespace xfraud::graph {
@@ -49,8 +50,10 @@ bool ReadVec(std::istream& in, size_t count, std::vector<T>* v,
 }  // namespace
 
 Status SaveGraph(const HeteroGraph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  // Serialize into memory, then publish via tmp-file + rename with a CRC32
+  // footer over the whole image (the in-format checksum only covers the
+  // payload arrays, not the header): crash-safe and torn-file-proof.
+  std::ostringstream out;
   out.write(kMagic, 4);
   WritePod(out, kVersion);
   int64_t num_nodes = g.num_nodes();
@@ -99,13 +102,18 @@ Status SaveGraph(const HeteroGraph& g, const std::string& path) {
 
   uint32_t crc = kv::Crc32(crc_buffer.data(), crc_buffer.size());
   WritePod(out, crc);
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFileWithCrc(path, out.str());
 }
 
 Result<HeteroGraph> LoadGraph(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  Result<std::string> raw = ReadFileVerifyCrc(path);
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) {
+      return Status::IoError("cannot open for read: " + path);
+    }
+    return raw.status();
+  }
+  std::istringstream in(std::move(raw).value());
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) {

@@ -1,6 +1,7 @@
 #include "xfraud/kv/feature_store.h"
 
 #include <cstring>
+#include <functional>
 
 #include "xfraud/common/logging.h"
 
@@ -26,6 +27,18 @@ bool ReadPod(std::string_view data, size_t* offset, T* out) {
 }
 
 }  // namespace
+
+Status FeatureStore::GetWithRetry(const std::string& key,
+                                  std::string* value) const {
+  if (!retry_.enabled()) return store_->Get(key, value);
+  // Jitter stream keyed by the record so concurrent loader threads
+  // retrying different keys don't back off in lockstep, while a replayed
+  // run retries each key on the identical schedule.
+  uint64_t jitter_seed =
+      Rng::StreamSeed(0x5254525EULL, std::hash<std::string>{}(key));
+  return RetryWithBackoff(retry_, jitter_seed,
+                          [&] { return store_->Get(key, value); });
+}
 
 Status FeatureStore::Ingest(const graph::HeteroGraph& g) {
   std::string meta;
@@ -58,7 +71,7 @@ Status FeatureStore::Ingest(const graph::HeteroGraph& g) {
 
 Result<int64_t> FeatureStore::NumNodes() const {
   std::string meta;
-  XF_RETURN_IF_ERROR(store_->Get("m", &meta));
+  XF_RETURN_IF_ERROR(GetWithRetry("m", &meta));
   size_t offset = 0;
   int64_t num_nodes = 0;
   if (!ReadPod(meta, &offset, &num_nodes)) {
@@ -69,7 +82,7 @@ Result<int64_t> FeatureStore::NumNodes() const {
 
 Result<int64_t> FeatureStore::FeatureDim() const {
   std::string meta;
-  XF_RETURN_IF_ERROR(store_->Get("m", &meta));
+  XF_RETURN_IF_ERROR(GetWithRetry("m", &meta));
   size_t offset = sizeof(int64_t);
   int64_t dim = 0;
   if (!ReadPod(meta, &offset, &dim)) {
@@ -81,7 +94,7 @@ Result<int64_t> FeatureStore::FeatureDim() const {
 Status FeatureStore::ReadFeatures(int32_t node,
                                   std::vector<float>* out) const {
   std::string raw;
-  XF_RETURN_IF_ERROR(store_->Get(FeatKey(node), &raw));
+  XF_RETURN_IF_ERROR(GetWithRetry(FeatKey(node), &raw));
   if (raw.size() % sizeof(float) != 0) {
     return Status::Corruption("bad feature record size");
   }
@@ -94,7 +107,7 @@ Status FeatureStore::ReadNeighbors(int32_t node,
                                    std::vector<int32_t>* neighbors,
                                    std::vector<uint8_t>* edge_types) const {
   std::string raw;
-  XF_RETURN_IF_ERROR(store_->Get(AdjKey(node), &raw));
+  XF_RETURN_IF_ERROR(GetWithRetry(AdjKey(node), &raw));
   constexpr size_t kEntry = sizeof(int32_t) + sizeof(uint8_t);
   if (raw.size() % kEntry != 0) {
     return Status::Corruption("bad adjacency record size");
@@ -117,7 +130,7 @@ Status FeatureStore::ReadNeighbors(int32_t node,
 Status FeatureStore::ReadNode(int32_t node, graph::NodeType* type,
                               int8_t* label) const {
   std::string raw;
-  XF_RETURN_IF_ERROR(store_->Get(NodeKey(node), &raw));
+  XF_RETURN_IF_ERROR(GetWithRetry(NodeKey(node), &raw));
   size_t offset = 0;
   uint8_t type_byte = 0, has_features = 0;
   if (!ReadPod(raw, &offset, &type_byte) || !ReadPod(raw, &offset, label) ||

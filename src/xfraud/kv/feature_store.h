@@ -2,8 +2,10 @@
 #define XFRAUD_KV_FEATURE_STORE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "xfraud/common/retry.h"
 #include "xfraud/graph/hetero_graph.h"
 #include "xfraud/kv/kvstore.h"
 #include "xfraud/sample/sampler.h"
@@ -24,6 +26,15 @@ class FeatureStore {
  public:
   /// Wraps (not owning) a KvStore.
   explicit FeatureStore(KvStore* store) : store_(store) {}
+
+  /// Configures retry-with-backoff for every read this store issues. The
+  /// default policy performs a single attempt (no behavior change); set
+  /// `max_attempts > 1` to ride out transient IoError/Corruption from the
+  /// backing store (the expected failure mode of the paper's networked KV
+  /// serving path). Not thread-safe against concurrent reads — configure
+  /// before handing the store to loader threads.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   /// Writes the whole graph into the store.
   Status Ingest(const graph::HeteroGraph& g);
@@ -51,7 +62,12 @@ class FeatureStore {
                                       xfraud::Rng* rng) const;
 
  private:
+  /// All reads funnel through here: one KV Get under the retry policy, with
+  /// a deterministic per-key jitter stream.
+  Status GetWithRetry(const std::string& key, std::string* value) const;
+
   KvStore* store_;
+  RetryPolicy retry_;
 };
 
 }  // namespace xfraud::kv

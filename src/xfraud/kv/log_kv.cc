@@ -33,6 +33,11 @@ Result<std::unique_ptr<LogKvStore>> LogKvStore::Open(const std::string& path) {
   // make_unique cannot reach the private ctor; ownership is taken on the
   // same line. xfraud-lint: allow(no-naked-new)
   std::unique_ptr<LogKvStore> store(new LogKvStore(path));
+  // A crash mid-Compact can leave a stale "<path>.compact" behind (the
+  // rename never happened, so the live log is still authoritative). Remove
+  // it on open: it must never be replayed, and leaving it around would make
+  // the next Compact start from a partially-written file.
+  ::unlink((path + ".compact").c_str());
   store->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (store->fd_ < 0) {
     return Status::IoError("cannot open " + path);
@@ -227,6 +232,13 @@ Result<int64_t> LogKvStore::Compact() {
     new_size += static_cast<int64_t>(total);
   }
 
+  // Make the compacted image durable before the rename publishes it; a
+  // crash between rename and a later fsync could otherwise surface a
+  // zero-length "compacted" log.
+  if (::fsync(tmp_fd) != 0) {
+    ::close(tmp_fd);
+    return Status::IoError("fsync failed on " + tmp_path);
+  }
   if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
     ::close(tmp_fd);
     return Status::IoError("rename failed for " + tmp_path);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "xfraud/common/logging.h"
+#include "xfraud/common/rng.h"
 #include "xfraud/common/timer.h"
 #include "xfraud/kv/mem_kv.h"
 #include "xfraud/obs/registry.h"
@@ -50,9 +51,16 @@ Status ShardedKvStore::Put(std::string_view key, std::string_view value) {
 
 Status ShardedKvStore::Get(std::string_view key, std::string* value) const {
   size_t shard = ShardOf(key);
-  if (!obs::IsEnabled()) return shards_[shard]->Get(key, value);
+  auto read = [&] {
+    if (!retry_.enabled()) return shards_[shard]->Get(key, value);
+    uint64_t jitter_seed =
+        Rng::StreamSeed(0x53484152ULL, std::hash<std::string_view>{}(key));
+    return RetryWithBackoff(retry_, jitter_seed,
+                            [&] { return shards_[shard]->Get(key, value); });
+  };
+  if (!obs::IsEnabled()) return read();
   WallTimer timer;
-  Status s = shards_[shard]->Get(key, value);
+  Status s = read();
   shard_get_s_[shard]->Record(timer.ElapsedSeconds());
   return s;
 }

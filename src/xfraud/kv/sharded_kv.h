@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "xfraud/common/retry.h"
 #include "xfraud/kv/kvstore.h"
 #include "xfraud/obs/metrics.h"
 
@@ -30,10 +31,18 @@ class ShardedKvStore : public KvStore {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Retry-with-backoff for shard reads (default: single attempt). Lets a
+  /// sharded store built over flaky backends (network shards, FaultyKvStore
+  /// in chaos tests) absorb transient IoError/Corruption at the shard
+  /// boundary. Configure before sharing the store across threads.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
   size_t ShardOf(std::string_view key) const;
 
   std::vector<std::unique_ptr<KvStore>> shards_;
+  RetryPolicy retry_;
   // Per-shard op-latency histograms ("kv/shard<i>/get_s", ".../put_s") in
   // the global registry: a hot shard (skewed hash or a slow backend) shows
   // up as one shard's p99 detaching from the others'.

@@ -45,6 +45,33 @@ void AdamW::ZeroGrad() {
   for (auto& p : params_) p.var.ZeroGrad();
 }
 
+Status AdamW::SetState(std::vector<Tensor> first_moments,
+                       std::vector<Tensor> second_moments,
+                       int64_t step_count) {
+  if (first_moments.size() != params_.size() ||
+      second_moments.size() != params_.size()) {
+    return Status::InvalidArgument("optimizer state count mismatch");
+  }
+  if (step_count < 0) {
+    return Status::InvalidArgument("negative optimizer step count");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!first_moments[i].SameShape(params_[i].var.value()) ||
+        !second_moments[i].SameShape(params_[i].var.value())) {
+      return Status::InvalidArgument("optimizer state shape mismatch at " +
+                                     params_[i].name);
+    }
+  }
+  m_ = std::move(first_moments);
+  v_ = std::move(second_moments);
+  step_count_ = step_count;
+  return Status::OK();
+}
+
+Status AdamW::CopyStateFrom(const AdamW& other) {
+  return SetState(other.m_, other.v_, other.step_count_);
+}
+
 double AdamW::ClipGradNorm(double max_norm) {
   double total = 0.0;
   for (auto& p : params_) {

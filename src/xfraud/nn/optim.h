@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "xfraud/common/status.h"
 #include "xfraud/nn/modules.h"
 
 namespace xfraud::nn {
@@ -36,6 +37,23 @@ class AdamW {
 
   const std::vector<NamedParameter>& params() const { return params_; }
   AdamWOptions& options() { return options_; }
+
+  /// Optimizer state, exposed for checkpoint/resume and dead-replica
+  /// rejoin: a resumed (or rejoined) optimizer must continue the exact
+  /// moment estimates and bias-correction schedule, or the update sequence
+  /// diverges from an uninterrupted run.
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+  int64_t step_count() const { return step_count_; }
+
+  /// Restores state captured from a checkpoint (or a peer replica).
+  /// Shapes must match the constructed parameter list.
+  Status SetState(std::vector<Tensor> first_moments,
+                  std::vector<Tensor> second_moments, int64_t step_count);
+
+  /// Copies moment state + step count from a peer optimizer over the same
+  /// architecture (DDP dead-worker rejoin).
+  Status CopyStateFrom(const AdamW& other);
 
  private:
   std::vector<NamedParameter> params_;

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <unordered_map>
+
+#include "xfraud/common/atomic_file.h"
 
 namespace xfraud::nn {
 
@@ -13,8 +15,10 @@ constexpr char kMagic[4] = {'X', 'F', 'C', 'K'};
 
 Status SaveParameters(const std::vector<NamedParameter>& params,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  // Serialize into memory, then publish with tmp-file + rename + CRC32
+  // footer: a crash mid-save leaves the previous checkpoint intact, and a
+  // torn/bit-flipped file is rejected at load instead of misparsed.
+  std::ostringstream out;
   out.write(kMagic, 4);
   uint32_t count = static_cast<uint32_t>(params.size());
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
@@ -29,14 +33,19 @@ Status SaveParameters(const std::vector<NamedParameter>& params,
     out.write(reinterpret_cast<const char*>(p.var.value().data()),
               static_cast<std::streamsize>(rows * cols * sizeof(float)));
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFileWithCrc(path, out.str());
 }
 
 Status LoadParameters(const std::string& path,
                       std::vector<NamedParameter>* params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  Result<std::string> raw = ReadFileVerifyCrc(path);
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) {
+      return Status::IoError("cannot open for read: " + path);
+    }
+    return raw.status();
+  }
+  std::istringstream in(std::move(raw).value());
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) {

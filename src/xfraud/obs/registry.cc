@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "xfraud/common/atomic_file.h"
 #include "xfraud/common/table_printer.h"
 
 namespace xfraud::obs {
@@ -140,12 +140,7 @@ std::string Registry::ToJson() const {
 }
 
 Status Registry::WriteJsonFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path);
-  out << ToJson();
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, ToJson());
 }
 
 }  // namespace xfraud::obs

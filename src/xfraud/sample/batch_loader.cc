@@ -5,6 +5,7 @@
 
 #include "xfraud/common/check.h"
 #include "xfraud/common/timer.h"
+#include "xfraud/kv/feature_store.h"
 #include "xfraud/obs/registry.h"
 
 namespace xfraud::sample {
@@ -20,6 +21,8 @@ struct LoaderMetrics {
   obs::Histogram* producer_stall_s;
   obs::Histogram* consumer_wait_s;
   obs::Counter* batches;
+  obs::Counter* degraded_batches;
+  obs::Counter* degraded_rows;
 
   static const LoaderMetrics& Get() {
     static const LoaderMetrics m = [] {
@@ -27,7 +30,9 @@ struct LoaderMetrics {
       return LoaderMetrics{r.histogram("loader/queue_depth"),
                            r.histogram("loader/producer_stall_s"),
                            r.histogram("loader/consumer_wait_s"),
-                           r.counter("loader/batches")};
+                           r.counter("loader/batches"),
+                           r.counter("loader/degraded_batches"),
+                           r.counter("loader/degraded_rows")};
     }();
     return m;
   }
@@ -71,25 +76,70 @@ LoadedBatch BatchLoader::SampleOne(int64_t index) const {
   LoadedBatch out;
   out.index = index;
   out.batch = sampler_->SampleBatch(*graph_, seed_batches_[index], &rng);
+  if (options_.feature_store != nullptr) FillFeaturesFromKv(&out);
   out.sample_seconds = timer.ElapsedSeconds();
   return out;
 }
 
-void BatchLoader::WorkerLoop() {
-  const LoaderMetrics& metrics = LoaderMetrics::Get();
-  const int64_t n = num_batches();
-  for (;;) {
-    int64_t index = claim_.fetch_add(1);
-    if (index >= n) return;
-    LoadedBatch batch = SampleOne(index);
-    if (obs::IsEnabled()) {
-      metrics.queue_depth->Record(static_cast<double>(ready_.size()));
-      WallTimer stall;
-      if (!ready_.Push(std::move(batch))) return;  // closed: consumer done
-      metrics.producer_stall_s->Record(stall.ElapsedSeconds());
-    } else if (!ready_.Push(std::move(batch))) {
-      return;  // closed: consumer is done
+void BatchLoader::FillFeaturesFromKv(LoadedBatch* out) const {
+  MiniBatch& batch = out->batch;
+  const int64_t rows = batch.features.rows();
+  const int64_t cols = batch.features.cols();
+  // Start from a zero canvas so a failed fetch leaves its row imputed
+  // rather than silently falling back to the in-memory copy.
+  batch.features = nn::Tensor(rows, cols);
+  std::vector<float> feat;
+  for (int64_t local = 0; local < rows; ++local) {
+    int32_t global = batch.sub.nodes[static_cast<size_t>(local)];
+    Status s = options_.feature_store->ReadFeatures(global, &feat);
+    if (s.ok()) {
+      if (static_cast<int64_t>(feat.size()) == cols) {
+        std::copy(feat.begin(), feat.end(), batch.features.Row(local));
+      } else {
+        ++out->degraded_rows;  // shape drift: treat like a failed read
+      }
+    } else if (!s.IsNotFound()) {
+      // Retries (the store's policy) are exhausted; degrade, don't abort.
+      ++out->degraded_rows;
     }
+    // NotFound = entity node without features; zeros are the contract.
+  }
+  out->degraded = out->degraded_rows > 0;
+  if (out->degraded && obs::IsEnabled()) {
+    const LoaderMetrics& metrics = LoaderMetrics::Get();
+    metrics.degraded_batches->Increment();
+    metrics.degraded_rows->Add(out->degraded_rows);
+  }
+}
+
+void BatchLoader::WorkerLoop() {
+  try {
+    const LoaderMetrics& metrics = LoaderMetrics::Get();
+    const int64_t n = num_batches();
+    for (;;) {
+      int64_t index = claim_.fetch_add(1);
+      if (index >= n) return;
+      LoadedBatch batch = SampleOne(index);
+      if (obs::IsEnabled()) {
+        metrics.queue_depth->Record(static_cast<double>(ready_.size()));
+        WallTimer stall;
+        if (!ready_.Push(std::move(batch))) return;  // closed: consumer done
+        metrics.producer_stall_s->Record(stall.ElapsedSeconds());
+      } else if (!ready_.Push(std::move(batch))) {
+        return;  // closed: consumer is done
+      }
+    }
+  } catch (...) {
+    // A dying producer must not strand the consumer: park the exception,
+    // then close the queue so Pop() wakes and Next() can rethrow. Closing
+    // also stops sibling workers at their next Push.
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (worker_error_ == nullptr) {
+        worker_error_ = std::current_exception();
+      }
+    }
+    ready_.Close();
   }
 }
 
@@ -125,9 +175,23 @@ std::optional<LoadedBatch> BatchLoader::Next() {
       return out;
     }
     std::optional<LoadedBatch> item = ready_.Pop();
-    if (!item.has_value()) return std::nullopt;  // closed mid-stream
+    if (!item.has_value()) {
+      // Queue closed before the epoch finished: either a worker died (its
+      // exception surfaces here) or the loader is being torn down.
+      RethrowWorkerError();
+      return std::nullopt;
+    }
     reorder_.emplace(item->index, std::move(*item));
   }
+}
+
+void BatchLoader::RethrowWorkerError() {
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    err = worker_error_;
+  }
+  if (err != nullptr) std::rethrow_exception(err);
 }
 
 std::vector<std::vector<int32_t>> BatchLoader::MakeSeedBatches(

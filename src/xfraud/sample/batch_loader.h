@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -11,6 +13,10 @@
 #include "xfraud/common/mpmc_queue.h"
 #include "xfraud/common/rng.h"
 #include "xfraud/sample/sampler.h"
+
+namespace xfraud::kv {
+class FeatureStore;
+}  // namespace xfraud::kv
 
 namespace xfraud::sample {
 
@@ -24,6 +30,13 @@ struct LoaderOptions {
   /// Bound of the ready-batch queue: how far the samplers may run ahead of
   /// the consumer before backpressure blocks them.
   int prefetch_depth = 4;
+  /// When set, every batch's feature rows are re-fetched from this
+  /// KV-backed store (the paper's serving topology) instead of trusting the
+  /// in-memory graph's copy. A row whose fetch fails after the store's
+  /// retry policy is exhausted is zero-imputed and the batch flagged
+  /// `degraded` — the epoch keeps going instead of aborting. nullptr (the
+  /// default) keeps the in-memory feature path.
+  const kv::FeatureStore* feature_store = nullptr;
 };
 
 /// One produced mini-batch plus its provenance and cost.
@@ -31,6 +44,10 @@ struct LoadedBatch {
   int64_t index = 0;           // position in the epoch's batch sequence
   MiniBatch batch;
   double sample_seconds = 0.0;  // wall time spent sampling this batch
+  /// Degraded-mode bookkeeping (KV feature path only): rows whose feature
+  /// fetch exhausted retries and was zero-imputed.
+  bool degraded = false;
+  int64_t degraded_rows = 0;
 };
 
 /// Pipelined mini-batch producer: the one batch engine behind
@@ -79,7 +96,12 @@ class BatchLoader {
 
  private:
   LoadedBatch SampleOne(int64_t index) const;
+  /// KV feature path: repaints the batch's feature tensor from the
+  /// configured FeatureStore, zero-imputing rows whose reads fail.
+  void FillFeaturesFromKv(LoadedBatch* out) const;
   void WorkerLoop();
+  /// Rethrows the first exception a worker died with, if any.
+  void RethrowWorkerError();
 
   const graph::HeteroGraph* graph_;
   const Sampler* sampler_;
@@ -96,6 +118,12 @@ class BatchLoader {
   BoundedQueue<LoadedBatch> ready_;
   std::map<int64_t, LoadedBatch> reorder_;
   std::vector<std::thread> workers_;
+
+  // Producer-failure propagation: the first exception thrown by a worker is
+  // parked here (and the queue closed) so the consumer rethrows it from
+  // Next() instead of hanging on a queue nobody will fill.
+  std::mutex error_mu_;
+  std::exception_ptr worker_error_;
 };
 
 }  // namespace xfraud::sample

@@ -1,0 +1,185 @@
+#include "xfraud/train/checkpoint.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "xfraud/common/atomic_file.h"
+
+namespace xfraud::train {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'F', 'T', 'C'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len) || len > (1u << 20)) return false;
+  s->resize(len);
+  in.read(s->data(), len);
+  return static_cast<bool>(in);
+}
+
+void WriteTensor(std::ostream& out, const nn::Tensor& t) {
+  WritePod(out, t.rows());
+  WritePod(out, t.cols());
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+bool ReadTensor(std::istream& in, nn::Tensor* t) {
+  int64_t rows = 0, cols = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || rows < 0 || cols < 0) {
+    return false;
+  }
+  *t = nn::Tensor(rows, cols);
+  in.read(reinterpret_cast<char*>(t->data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+std::string TrainerCheckpointPath(const std::string& dir) {
+  return dir + "/trainer.ckpt";
+}
+
+Status SaveTrainerCheckpoint(const TrainerCheckpoint& ckpt,
+                             const std::string& path) {
+  std::ostringstream out;
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+  WritePod(out, ckpt.seed);
+  WritePod(out, ckpt.next_epoch);
+  WritePod(out, ckpt.stale);
+  WritePod(out, ckpt.best_epoch);
+  WritePod(out, ckpt.best_val_auc);
+  for (uint64_t s : ckpt.rng.s) WritePod(out, s);
+  WritePod(out, static_cast<uint8_t>(ckpt.rng.has_cached_gaussian ? 1 : 0));
+  WritePod(out, ckpt.rng.cached_gaussian);
+
+  WritePod(out, static_cast<int64_t>(ckpt.train_node_order.size()));
+  out.write(reinterpret_cast<const char*>(ckpt.train_node_order.data()),
+            static_cast<std::streamsize>(ckpt.train_node_order.size() *
+                                         sizeof(int32_t)));
+
+  WritePod(out, static_cast<int64_t>(ckpt.history.size()));
+  for (const EpochStats& e : ckpt.history) {
+    WritePod(out, e.epoch);
+    WritePod(out, e.train_loss);
+    WritePod(out, e.val_auc);
+    WritePod(out, e.seconds);
+    WritePod(out, e.sample_seconds);
+    WritePod(out, e.compute_seconds);
+  }
+
+  if (ckpt.opt_m.size() != ckpt.params.size() ||
+      ckpt.opt_v.size() != ckpt.params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint optimizer state count != parameter count");
+  }
+  WritePod(out, static_cast<int64_t>(ckpt.params.size()));
+  for (size_t i = 0; i < ckpt.params.size(); ++i) {
+    WriteString(out, ckpt.params[i].first);
+    WriteTensor(out, ckpt.params[i].second);
+    WriteTensor(out, ckpt.opt_m[i]);
+    WriteTensor(out, ckpt.opt_v[i]);
+  }
+  WritePod(out, ckpt.opt_step);
+  return AtomicWriteFileWithCrc(path, out.str());
+}
+
+Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
+  Result<std::string> raw = ReadFileVerifyCrc(path);
+  if (!raw.ok()) return raw.status();
+  std::istringstream in(std::move(raw).value());
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad trainer checkpoint magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported trainer checkpoint version in " +
+                              path);
+  }
+  TrainerCheckpoint ckpt;
+  uint8_t has_gaussian = 0;
+  if (!ReadPod(in, &ckpt.seed) || !ReadPod(in, &ckpt.next_epoch) ||
+      !ReadPod(in, &ckpt.stale) || !ReadPod(in, &ckpt.best_epoch) ||
+      !ReadPod(in, &ckpt.best_val_auc)) {
+    return Status::Corruption("truncated trainer checkpoint header: " + path);
+  }
+  for (uint64_t& s : ckpt.rng.s) {
+    if (!ReadPod(in, &s)) {
+      return Status::Corruption("truncated rng state in " + path);
+    }
+  }
+  if (!ReadPod(in, &has_gaussian) ||
+      !ReadPod(in, &ckpt.rng.cached_gaussian)) {
+    return Status::Corruption("truncated rng state in " + path);
+  }
+  ckpt.rng.has_cached_gaussian = has_gaussian != 0;
+
+  int64_t node_count = 0;
+  if (!ReadPod(in, &node_count) || node_count < 0) {
+    return Status::Corruption("bad train-node count in " + path);
+  }
+  ckpt.train_node_order.resize(static_cast<size_t>(node_count));
+  in.read(reinterpret_cast<char*>(ckpt.train_node_order.data()),
+          static_cast<std::streamsize>(node_count * sizeof(int32_t)));
+  if (!in) {
+    return Status::Corruption("truncated train-node order in " + path);
+  }
+
+  int64_t history_count = 0;
+  if (!ReadPod(in, &history_count) || history_count < 0) {
+    return Status::Corruption("bad history count in " + path);
+  }
+  ckpt.history.resize(static_cast<size_t>(history_count));
+  for (EpochStats& e : ckpt.history) {
+    if (!ReadPod(in, &e.epoch) || !ReadPod(in, &e.train_loss) ||
+        !ReadPod(in, &e.val_auc) || !ReadPod(in, &e.seconds) ||
+        !ReadPod(in, &e.sample_seconds) || !ReadPod(in, &e.compute_seconds)) {
+      return Status::Corruption("truncated history in " + path);
+    }
+  }
+
+  int64_t param_count = 0;
+  if (!ReadPod(in, &param_count) || param_count < 0) {
+    return Status::Corruption("bad parameter count in " + path);
+  }
+  ckpt.params.resize(static_cast<size_t>(param_count));
+  ckpt.opt_m.resize(static_cast<size_t>(param_count));
+  ckpt.opt_v.resize(static_cast<size_t>(param_count));
+  for (int64_t i = 0; i < param_count; ++i) {
+    if (!ReadString(in, &ckpt.params[i].first) ||
+        !ReadTensor(in, &ckpt.params[i].second) ||
+        !ReadTensor(in, &ckpt.opt_m[i]) || !ReadTensor(in, &ckpt.opt_v[i])) {
+      return Status::Corruption("truncated parameter block in " + path);
+    }
+  }
+  if (!ReadPod(in, &ckpt.opt_step) || ckpt.opt_step < 0) {
+    return Status::Corruption("bad optimizer step count in " + path);
+  }
+  return ckpt;
+}
+
+}  // namespace xfraud::train

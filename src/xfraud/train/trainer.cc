@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <system_error>
+#include <unordered_map>
+#include <utility>
 
 #include "xfraud/common/logging.h"
 #include "xfraud/common/timer.h"
 #include "xfraud/obs/registry.h"
 #include "xfraud/obs/trace.h"
+#include "xfraud/train/checkpoint.h"
 
 namespace xfraud::train {
 
@@ -117,23 +122,121 @@ double Trainer::TrainStep(const sample::MiniBatch& batch) {
   return loss.item();
 }
 
+Status Trainer::SaveCheckpoint(int epoch,
+                               const std::vector<int32_t>& train_nodes,
+                               int stale, const TrainResult& result) {
+  TrainerCheckpoint ckpt;
+  ckpt.seed = options_.seed;
+  ckpt.next_epoch = epoch + 1;
+  ckpt.stale = stale;
+  ckpt.best_epoch = result.best_epoch;
+  ckpt.best_val_auc = result.best_val_auc;
+  ckpt.rng = rng_.GetState();
+  ckpt.train_node_order = train_nodes;
+  ckpt.history = result.history;
+  for (const nn::NamedParameter& p : model_->Parameters()) {
+    ckpt.params.emplace_back(p.name, p.var.value());
+  }
+  ckpt.opt_m = optimizer_.first_moments();
+  ckpt.opt_v = optimizer_.second_moments();
+  ckpt.opt_step = optimizer_.step_count();
+  return SaveTrainerCheckpoint(
+      ckpt, TrainerCheckpointPath(options_.checkpoint_dir));
+}
+
+Status Trainer::TryResume(std::vector<int32_t>* train_nodes,
+                          int* start_epoch, int* stale,
+                          TrainResult* result) {
+  Result<TrainerCheckpoint> loaded =
+      LoadTrainerCheckpoint(TrainerCheckpointPath(options_.checkpoint_dir));
+  if (!loaded.ok()) {
+    // No checkpoint yet: a cold start under --resume is the normal first
+    // run of an always-resume job. Anything else (corruption, I/O) is fatal.
+    if (loaded.status().IsNotFound()) return Status::OK();
+    return loaded.status();
+  }
+  const TrainerCheckpoint& ckpt = loaded.value();
+  if (ckpt.seed != options_.seed) {
+    return Status::FailedPrecondition(
+        "checkpoint seed mismatch: checkpoint has " +
+        std::to_string(ckpt.seed) + ", run has " +
+        std::to_string(options_.seed));
+  }
+  std::unordered_map<std::string, const nn::Tensor*> by_name;
+  for (const auto& [name, tensor] : ckpt.params) {
+    by_name.emplace(name, &tensor);
+  }
+  for (nn::NamedParameter& p : model_->Parameters()) {
+    auto it = by_name.find(p.name);
+    if (it == by_name.end()) {
+      return Status::Corruption("checkpoint missing parameter: " + p.name);
+    }
+    if (!it->second->SameShape(p.var.value())) {
+      return Status::InvalidArgument("checkpoint shape mismatch for " +
+                                     p.name);
+    }
+    p.var.mutable_value() = *it->second;
+  }
+  XF_RETURN_IF_ERROR(
+      optimizer_.SetState(ckpt.opt_m, ckpt.opt_v, ckpt.opt_step));
+  rng_.SetState(ckpt.rng);
+  if (ckpt.train_node_order.size() != train_nodes->size()) {
+    return Status::FailedPrecondition(
+        "checkpoint train-set size mismatch: checkpoint has " +
+        std::to_string(ckpt.train_node_order.size()) + " nodes, run has " +
+        std::to_string(train_nodes->size()));
+  }
+  *train_nodes = ckpt.train_node_order;
+  *start_epoch = ckpt.next_epoch;
+  *stale = ckpt.stale;
+  result->history = ckpt.history;
+  result->best_epoch = ckpt.best_epoch;
+  result->best_val_auc = ckpt.best_val_auc;
+  return Status::OK();
+}
+
 TrainResult Trainer::Train(const data::SimDataset& ds) {
   TrainResult result;
   std::vector<int32_t> train_nodes = ds.train_nodes;
   int stale = 0;
+  int start_epoch = 0;
+  if (!options_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      result.error = Status::IoError("cannot create checkpoint dir " +
+                                     options_.checkpoint_dir + ": " +
+                                     ec.message());
+      return result;
+    }
+  }
+  if (!options_.checkpoint_dir.empty() && options_.resume) {
+    Status s = TryResume(&train_nodes, &start_epoch, &stale, &result);
+    if (!s.ok()) {
+      result.error = s;
+      return result;
+    }
+  }
   double total_seconds = 0.0;
   double total_sample = 0.0;
   double total_compute = 0.0;
+  for (const EpochStats& e : result.history) {
+    total_seconds += e.seconds;
+    total_sample += e.sample_seconds;
+    total_compute += e.compute_seconds;
+  }
   sample::LoaderOptions loader_opts{.num_workers = options_.num_sample_workers,
-                                    .prefetch_depth = options_.prefetch_depth};
+                                    .prefetch_depth = options_.prefetch_depth,
+                                    .feature_store = options_.feature_store};
 
   if (options_.trace) obs::SetTraceLogging(true);
-  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options_.max_epochs; ++epoch) {
     obs::ScopedSpan epoch_span("trainer/epoch");
     WallTimer timer;
     rng_.Shuffle(&train_nodes);
     double loss_sum = 0.0;
     int64_t batches = 0;
+    int64_t degraded = 0;
     double compute_seconds = 0.0;
     sample::BatchLoader loader(
         &ds.graph, sampler_,
@@ -145,6 +248,21 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
       loss_sum += TrainStep(loaded->batch);
       compute_seconds += step_timer.ElapsedSeconds();
       ++batches;
+      if (loaded->degraded) ++degraded;
+    }
+    result.total_batches += batches;
+    result.degraded_batches += degraded;
+    if (batches > 0 && static_cast<double>(degraded) /
+                               static_cast<double>(batches) >
+                           options_.max_degraded_frac) {
+      result.error = Status::FailedPrecondition(
+          "degraded-batch fraction " +
+          std::to_string(static_cast<double>(degraded) /
+                         static_cast<double>(batches)) +
+          " exceeded --max-degraded-frac " +
+          std::to_string(options_.max_degraded_frac) + " in epoch " +
+          std::to_string(epoch));
+      break;
     }
     double seconds = timer.ElapsedSeconds();
     total_seconds += seconds;
@@ -171,13 +289,24 @@ TrainResult Trainer::Train(const data::SimDataset& ds) {
                    << seconds << "s)";
     }
 
+    bool stop = false;
     if (val.auc > result.best_val_auc) {
       result.best_val_auc = val.auc;
       result.best_epoch = epoch;
       stale = 0;
     } else if (++stale >= options_.patience) {
-      break;
+      stop = true;
     }
+    // Checkpoint after the early-stop bookkeeping so a resumed run
+    // continues (or stops) with exactly the same decision state.
+    if (!options_.checkpoint_dir.empty()) {
+      Status s = SaveCheckpoint(epoch, train_nodes, stale, result);
+      if (!s.ok()) {
+        result.error = s;
+        break;
+      }
+    }
+    if (stop) break;
   }
   if (!result.history.empty()) {
     double n = static_cast<double>(result.history.size());
@@ -201,7 +330,8 @@ EvalResult Trainer::Evaluate(const graph::HeteroGraph& g,
       &g, sampler_, sample::BatchLoader::MakeSeedBatches(nodes, batch_size),
       eval_root_,
       sample::LoaderOptions{.num_workers = options_.num_sample_workers,
-                            .prefetch_depth = options_.prefetch_depth});
+                            .prefetch_depth = options_.prefetch_depth,
+                            .feature_store = options_.feature_store});
   while (auto loaded = loader.Next()) {
     const sample::MiniBatch& batch = loaded->batch;
     WallTimer timer;

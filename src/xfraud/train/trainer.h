@@ -1,8 +1,10 @@
 #ifndef XFRAUD_TRAIN_TRAINER_H_
 #define XFRAUD_TRAIN_TRAINER_H_
 
+#include <string>
 #include <vector>
 
+#include "xfraud/common/status.h"
 #include "xfraud/core/gnn_model.h"
 #include "xfraud/data/generator.h"
 #include "xfraud/nn/optim.h"
@@ -37,6 +39,22 @@ struct TrainOptions {
   /// always accumulate in obs::Registry::Global() histograms unless the
   /// whole subsystem is switched off with obs::SetEnabled(false).
   bool trace = false;
+  /// When set, batch feature rows are served from this KV-backed store
+  /// (configure its RetryPolicy for transient-fault tolerance); batches
+  /// whose reads exhaust retries are zero-imputed and flagged degraded
+  /// instead of aborting the epoch. See LoaderOptions::feature_store.
+  const kv::FeatureStore* feature_store = nullptr;
+  /// Degraded-batch budget per epoch: if more than this fraction of an
+  /// epoch's batches are degraded, the run fails (TrainResult::error =
+  /// FailedPrecondition) — silent mass imputation would train on zeros.
+  /// The default (1.0) never fails the run.
+  double max_degraded_frac = 1.0;
+  /// Epoch-granular checkpoint/resume. With `checkpoint_dir` set, a
+  /// CRC-verified checkpoint is atomically written after every epoch; with
+  /// `resume` also set, Train() restores the latest checkpoint (if one
+  /// exists) and continues — bit-identical to a run that never stopped.
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 /// Model scores on an evaluation split.
@@ -76,6 +94,13 @@ struct TrainResult {
   /// mean_epoch_seconds; with sampler workers they overlap).
   double mean_epoch_sample_seconds = 0.0;
   double mean_epoch_compute_seconds = 0.0;
+  /// Degraded-mode accounting (KV feature path): batches that trained on
+  /// partially zero-imputed features, out of all batches drawn.
+  int64_t degraded_batches = 0;
+  int64_t total_batches = 0;
+  /// OK unless the run aborted early: the degraded-batch fraction exceeded
+  /// max_degraded_frac (FailedPrecondition), or checkpoint I/O failed.
+  Status error;
 };
 
 /// Mini-batch trainer for any GnnModel: per epoch, shuffles the training
@@ -106,6 +131,16 @@ class Trainer {
   core::GnnModel* model() { return model_; }
 
  private:
+  /// Writes the post-epoch checkpoint (atomic + CRC) into checkpoint_dir.
+  Status SaveCheckpoint(int epoch, const std::vector<int32_t>& train_nodes,
+                        int stale, const TrainResult& result);
+  /// Restores the checkpoint_dir checkpoint if resume is set and one
+  /// exists. Outputs the epoch to continue from, the early-stop counter and
+  /// the shuffled train-node order; OK + *start_epoch == 0 when starting
+  /// cold.
+  Status TryResume(std::vector<int32_t>* train_nodes, int* start_epoch,
+                   int* stale, TrainResult* result);
+
   core::GnnModel* model_;
   const sample::Sampler* sampler_;
   TrainOptions options_;

@@ -19,11 +19,15 @@
 ///   train   -> trainer, metrics (AUC/AP/curves/threshold tables)
 ///   explain -> GNNExplainer, 13 centrality measures, hybrid explainer
 ///   dist    -> PIC partitioning + DistributedDataParallel simulation
+///   fault   -> deterministic fault injection (chaos plans, faulty KV and
+///              sampler decorators) for robustness testing
 
 #include "xfraud/baselines/gat.h"
 #include "xfraud/baselines/gem.h"
+#include "xfraud/common/atomic_file.h"
 #include "xfraud/common/logging.h"
 #include "xfraud/common/mpmc_queue.h"
+#include "xfraud/common/retry.h"
 #include "xfraud/common/rng.h"
 #include "xfraud/common/status.h"
 #include "xfraud/common/table_printer.h"
@@ -45,6 +49,10 @@
 #include "xfraud/explain/hit_rate.h"
 #include "xfraud/explain/hybrid.h"
 #include "xfraud/explain/visualize.h"
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/fault/fault_plan.h"
+#include "xfraud/fault/faulty_kv.h"
+#include "xfraud/fault/faulty_sampler.h"
 #include "xfraud/graph/graph_builder.h"
 #include "xfraud/graph/hetero_graph.h"
 #include "xfraud/graph/serialize.h"
@@ -62,6 +70,7 @@
 #include "xfraud/obs/trace.h"
 #include "xfraud/sample/batch_loader.h"
 #include "xfraud/sample/sampler.h"
+#include "xfraud/train/checkpoint.h"
 #include "xfraud/train/incremental.h"
 #include "xfraud/train/metrics.h"
 #include "xfraud/train/trainer.h"

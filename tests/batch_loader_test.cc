@@ -4,6 +4,8 @@
 
 #include "xfraud/core/detector.h"
 #include "xfraud/data/generator.h"
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/fault/faulty_sampler.h"
 #include "xfraud/train/trainer.h"
 
 namespace xfraud::sample {
@@ -108,6 +110,43 @@ TEST_F(BatchLoaderTest, EarlyConsumerExitReleasesWorkers) {
   auto first = loader.Next();
   ASSERT_TRUE(first.has_value());
   EXPECT_EQ(first->index, 0);
+}
+
+TEST_F(BatchLoaderTest, SerialSamplerCrashThrowsInline) {
+  fault::FaultPlan plan;
+  plan.crash_batch = 1;
+  fault::FaultInjector injector(plan);
+  fault::FaultySampler faulty(&sampler_, &injector);
+  BatchLoader loader(&ds_->graph, &faulty,
+                     BatchLoader::MakeSeedBatches(ds_->train_nodes, 64),
+                     /*stream_seed=*/9, LoaderOptions{.num_workers = 0});
+  ASSERT_TRUE(loader.Next().has_value());  // call 0 succeeds
+  EXPECT_THROW(loader.Next(), fault::InjectedCrash);
+}
+
+TEST_F(BatchLoaderTest, PipelinedWorkerCrashPropagatesToConsumer) {
+  // A sampler worker dying must close the queue and rethrow on the
+  // consumer thread — not hang the consumer on a queue nobody will fill,
+  // and not vanish into the worker thread. (The test completing at all is
+  // the no-hang assertion; ctest would time out otherwise.)
+  for (int num_workers : {1, 3}) {
+    fault::FaultPlan plan;
+    plan.crash_batch = 2;
+    fault::FaultInjector injector(plan);
+    fault::FaultySampler faulty(&sampler_, &injector);
+    BatchLoader loader(&ds_->graph, &faulty,
+                       BatchLoader::MakeSeedBatches(ds_->train_nodes, 16),
+                       /*stream_seed=*/9,
+                       LoaderOptions{.num_workers = num_workers,
+                                     .prefetch_depth = 2});
+    EXPECT_THROW(
+        {
+          while (auto b = loader.Next()) {
+          }
+        },
+        fault::InjectedCrash)
+        << num_workers << " workers";
+  }
 }
 
 TEST_F(BatchLoaderTest, PipelinedTrainingReproducesSerialBitForBit) {

@@ -121,6 +121,61 @@ TEST(LogKvTest, SurvivesTruncatedTail) {
   EXPECT_EQ(value, "crash");
 }
 
+TEST(LogKvTest, SurvivesTailTornInsideTheRecordHeader) {
+  std::string path = TempPath("log_torn_header.kv");
+  std::remove(path.c_str());
+  int64_t size_before_tail = 0;
+  {
+    auto store = std::move(LogKvStore::Open(path).value());
+    ASSERT_TRUE(store->Put("good", "value").ok());
+    size_before_tail = store->FileSize();
+    ASSERT_TRUE(store->Put("tail", "never lands").ok());
+  }
+  // Crash so early in the append that not even the fixed-size record
+  // header made it to disk — a shorter tear than a cut payload.
+  std::filesystem::resize_file(std::filesystem::path(path),
+                               static_cast<uintmax_t>(size_before_tail + 5));
+  auto store = std::move(LogKvStore::Open(path).value());
+  std::string value;
+  ASSERT_TRUE(store->Get("good", &value).ok());
+  EXPECT_EQ(value, "value");
+  EXPECT_TRUE(store->Get("tail", &value).IsNotFound());
+  // Recovery dropped the torn tail; new appends land on a clean boundary.
+  ASSERT_TRUE(store->Put("after", "crash").ok());
+  ASSERT_TRUE(store->Get("after", &value).ok());
+  EXPECT_EQ(value, "crash");
+}
+
+TEST(LogKvTest, IgnoresStaleCompactFileLeftByACrash) {
+  std::string path = TempPath("log_stale_compact.kv");
+  std::string stale = path + ".compact";
+  std::remove(path.c_str());
+  std::remove(stale.c_str());
+  {
+    auto store = std::move(LogKvStore::Open(path).value());
+    ASSERT_TRUE(store->Put("live", "data").ok());
+  }
+  // A crash between writing "<path>.compact" and the rename leaves a stale
+  // compacted image behind. Make it a fully valid log with different
+  // contents, so replaying it by mistake would be visible.
+  {
+    auto ghost = std::move(LogKvStore::Open(stale).value());
+    ASSERT_TRUE(ghost->Put("ghost", "should never be served").ok());
+  }
+  auto store = std::move(LogKvStore::Open(path).value());
+  std::string value;
+  ASSERT_TRUE(store->Get("live", &value).ok());
+  EXPECT_EQ(value, "data");
+  EXPECT_TRUE(store->Get("ghost", &value).IsNotFound());
+  // Reopen also cleaned the stale file up, so a later Compact's tmp write
+  // starts from a clean slate.
+  EXPECT_FALSE(std::filesystem::exists(stale));
+  auto reclaimed = store->Compact();
+  ASSERT_TRUE(reclaimed.ok());
+  ASSERT_TRUE(store->Get("live", &value).ok());
+  EXPECT_EQ(value, "data");
+}
+
 TEST(LogKvTest, DetectsCorruptPayload) {
   std::string path = TempPath("log_corrupt.kv");
   std::remove(path.c_str());

@@ -1,0 +1,15 @@
+// Fixture: fires no-direct-write.
+#include <fcntl.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void TearableWrites(const std::string& path, const std::string& data) {
+  std::ofstream out(path);
+  out << data;
+  FILE* f = fopen(path.c_str(), "w");
+  static_cast<void>(f);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  static_cast<void>(fd);
+}

@@ -14,3 +14,12 @@ int SeededElsewhere() {
 // xfraud-lint: allow(todo-issue)
 // TODO: suppressed marker without an issue number
 int Stub() { return 0; }
+
+#include <fstream>
+#include <string>
+
+void LegacyScratchFile(const std::string& path) {
+  // xfraud-lint: allow(no-direct-write)
+  std::ofstream out(path);
+  out << "scratch";
+}

@@ -99,6 +99,43 @@ TEST(LintRawIo, ExemptInObsAndLogging) {
                   .empty());
 }
 
+TEST(LintDirectWrite, FiresOnOfstreamFopenAndRawOpen) {
+  auto f = LintContent(kLibPath,
+                       "std::ofstream out(path);\n"
+                       "FILE* fp = fopen(\"x\", \"w\");\n"
+                       "int fd = ::open(\"x\", O_WRONLY);\n");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[1].line, 2);
+  EXPECT_EQ(f[2].line, 3);
+  for (const auto& finding : f) EXPECT_EQ(finding.rule, "no-direct-write");
+}
+
+TEST(LintDirectWrite, ReadsAndMemberOpenAreFine) {
+  auto f = LintContent(kLibPath,
+                       "std::ifstream in(path);\n"
+                       "in.open(path);\n"
+                       "store->Open(path);\n");
+  EXPECT_TRUE(f.empty()) << f[0].rule;
+}
+
+TEST(LintDirectWrite, ExemptInAtomicFileAndLogKv) {
+  EXPECT_TRUE(LintContent("src/xfraud/common/atomic_file.cc",
+                          "int fd = ::open(tmp.c_str(), O_WRONLY);\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("src/xfraud/kv/log_kv.cc",
+                          "int fd = ::open(path.c_str(), O_RDWR);\n")
+                  .empty());
+}
+
+TEST(LintDirectWrite, SilentOutsideLibraryAndInComments) {
+  EXPECT_TRUE(
+      LintContent("tools/xfraud_cli.cc", "std::ofstream out(path);\n")
+          .empty());
+  EXPECT_TRUE(LintContent(kLibPath, "// mentions std::ofstream only\n")
+                  .empty());
+}
+
 TEST(LintHeaderGuard, FiresOnUnguardedHeader) {
   auto f = LintContent(kLibHeader, "inline int f() { return 1; }\n");
   ASSERT_EQ(f.size(), 1u);

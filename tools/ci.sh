@@ -7,6 +7,8 @@
 #   tools/ci.sh --mode=ubsan         # build + test with XFRAUD_SANITIZE=undefined
 #   tools/ci.sh --mode=tsan          # build + test with XFRAUD_SANITIZE=thread
 #   tools/ci.sh --mode=asan          # build + test with XFRAUD_SANITIZE=address
+#   tools/ci.sh --mode=faults        # build + test under a chaos fault plan
+#                                    # (XFRAUD_FAULT_PLAN overrides the default)
 #
 # An optional positional argument overrides the build directory (default:
 # build for plain/lint, build-<mode> for sanitizer modes).
@@ -29,17 +31,29 @@ done
 
 SANITIZE=""
 case "${MODE}" in
-  plain|lint) ;;
+  plain|lint|faults) ;;
   ubsan) SANITIZE="undefined" ;;
   tsan) SANITIZE="thread" ;;
   asan) SANITIZE="address" ;;
   *)
-    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan)" >&2
+    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan|faults)" >&2
     exit 2
     ;;
 esac
 if [[ -z "${BUILD_DIR}" ]]; then
-  if [[ -n "${SANITIZE}" ]]; then BUILD_DIR="build-${MODE}"; else BUILD_DIR="build"; fi
+  if [[ -n "${SANITIZE}" || "${MODE}" == "faults" ]]; then
+    BUILD_DIR="build-${MODE}"
+  else
+    BUILD_DIR="build"
+  fi
+fi
+
+# Chaos profile: transient KV errors and latency plus one worker kill,
+# injected deterministically (fault/fault_plan.h grammar). The suite must
+# pass anyway — retries, degraded batches, and DDP recovery absorb it.
+if [[ "${MODE}" == "faults" ]]; then
+  export XFRAUD_FAULT_PLAN="${XFRAUD_FAULT_PLAN:-seed=20260805,kv_error_rate=0.01,kv_latency_rate=0.005,kv_latency_s=0.0001,kill_worker=1@1:2}"
+  echo "== fault plan: ${XFRAUD_FAULT_PLAN} =="
 fi
 
 echo "== hygiene =="

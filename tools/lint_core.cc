@@ -151,6 +151,7 @@ struct FileScope {
   bool in_library = false;   // under src/xfraud — library-only rules
   bool rng_exempt = false;   // the one sanctioned randomness source
   bool io_exempt = false;    // sanctioned output sinks
+  bool durable_write_exempt = false;  // sanctioned file-write primitives
 };
 
 FileScope ClassifyPath(const std::string& path) {
@@ -163,6 +164,11 @@ FileScope ClassifyPath(const std::string& path) {
   scope.io_exempt = p.find("common/logging") != std::string::npos ||
                     p.find("common/table_printer") != std::string::npos ||
                     p.find("/obs/") != std::string::npos;
+  // The two sanctioned write paths: the atomic-write helper itself and the
+  // log-structured store's append/compact machinery.
+  scope.durable_write_exempt =
+      p.find("common/atomic_file") != std::string::npos ||
+      p.find("kv/log_kv") != std::string::npos;
   return scope;
 }
 
@@ -207,6 +213,7 @@ class Linter {
     CheckNondeterminism();
     CheckNakedNew();
     CheckRawIo();
+    CheckDirectWrite();
     CheckUsingNamespace();
     CheckHeaderGuard();
     CheckCatchAll();
@@ -283,6 +290,34 @@ class Linter {
         Report(i, "no-raw-io",
                "direct stdout/printf in library code; route through "
                "XF_LOG/obs or take an std::ostream&");
+      }
+    }
+  }
+
+  /// A write that goes through std::ofstream / fopen / ::open can be torn
+  /// by a crash between the first byte and the last. Library code must
+  /// write durable files through common/atomic_file (tmp + fsync + rename,
+  /// optional CRC footer); only the allowlisted sinks (the helper itself
+  /// and the log-structured KV, whose append/replay protocol handles torn
+  /// tails by design) may open files for writing directly.
+  void CheckDirectWrite() {
+    if (!scope_.in_library || scope_.durable_write_exempt) return;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string& line = code_lines_[i];
+      bool hit = HasWord(line, "ofstream", false) ||
+                 HasWord(line, "fopen", true);
+      if (!hit) {
+        std::string::size_type pos = line.find("::open");
+        if (pos != std::string::npos) {
+          std::string::size_type j = pos + 6;
+          while (j < line.size() && line[j] == ' ') ++j;
+          hit = j < line.size() && line[j] == '(';
+        }
+      }
+      if (hit) {
+        Report(i, "no-direct-write",
+               "direct file write in library code can tear on crash; use "
+               "common/atomic_file (AtomicWriteFile[WithCrc])");
       }
     }
   }
@@ -418,8 +453,8 @@ bool LintableFile(const fs::path& p) {
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
       "nondeterminism", "no-naked-new",       "no-raw-io",
-      "header-guard",   "no-using-namespace", "no-catch-all",
-      "todo-issue",
+      "no-direct-write", "header-guard",      "no-using-namespace",
+      "no-catch-all",   "todo-issue",
   };
   return kRules;
 }

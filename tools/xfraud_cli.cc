@@ -13,6 +13,7 @@
 //
 // Exit code 0 on success, 1 on usage/runtime errors.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -37,6 +38,10 @@ struct Flags {
     auto it = values.find(key);
     return it == values.end() ? fallback : std::stoi(it->second);
   }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
 };
 
 int Usage() {
@@ -45,6 +50,9 @@ int Usage() {
       "  generate --out <log.tsv> [--scale small|large|xlarge] [--seed N]\n"
       "  train    --log <log.tsv> --model <ckpt> [--epochs N] [--hidden N]\n"
       "           [--sample-workers N] [--prefetch N]\n"
+      "           [--checkpoint-dir D] [--resume] [--kv-serve]\n"
+      "           [--kv-retries N] [--max-degraded-frac F]\n"
+      "           [--fault-plan SPEC]\n"
       "  score    --log <log.tsv> --model <ckpt> [--top N]\n"
       "           [--sample-workers N] [--prefetch N]\n"
       "  explain  --log <log.tsv> --model <ckpt> --txn <txn_id>\n"
@@ -57,7 +65,18 @@ int Usage() {
       "observability (train/score): --metrics-out=<path>.json writes the\n"
       "obs::Registry snapshot (counters + p50/p95/p99 histograms of the\n"
       "sampler, loader, trainer, and KV paths; schema in DESIGN.md §8);\n"
-      "--trace prints RAII span timings to stderr as they close.\n";
+      "--trace prints RAII span timings to stderr as they close.\n"
+      "\n"
+      "fault tolerance (train): --checkpoint-dir writes a CRC-verified\n"
+      "checkpoint after every epoch; --resume continues from it\n"
+      "bit-identically. --kv-serve serves batch features from a KV-backed\n"
+      "store with --kv-retries retry attempts per read (default 4);\n"
+      "batches whose reads exhaust retries are zero-imputed, and the run\n"
+      "fails if more than --max-degraded-frac of an epoch's batches\n"
+      "degrade. --fault-plan (or env XFRAUD_FAULT_PLAN) injects\n"
+      "deterministic chaos, e.g.\n"
+      "  seed=3,kv_error_rate=0.02,kv_latency_rate=0.01,kv_latency_s=1e-4\n"
+      "(see DESIGN.md §10 for the full grammar).\n";
   return 1;
 }
 
@@ -197,8 +216,62 @@ int CmdTrain(const Flags& flags) {
   opts.num_sample_workers = flags.GetInt("sample-workers", 0);
   opts.prefetch_depth = flags.GetInt("prefetch", 4);
   opts.trace = flags.Has("trace");
+  opts.checkpoint_dir = flags.Get("checkpoint-dir");
+  opts.resume = flags.Has("resume");
+  opts.max_degraded_frac = flags.GetDouble("max-degraded-frac", 1.0);
+
+  // --kv-serve: serve batch features through the KV path (with retries and
+  // degraded-mode imputation) instead of the in-memory graph. --fault-plan
+  // (or env XFRAUD_FAULT_PLAN) injects deterministic chaos in front of it.
+  std::unique_ptr<kv::ShardedKvStore> kv_store;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FaultyKvStore> faulty_store;
+  std::unique_ptr<kv::FeatureStore> feature_store;
+  if (flags.Has("fault-plan") || std::getenv("XFRAUD_FAULT_PLAN") != nullptr) {
+    Result<fault::FaultPlan> plan =
+        flags.Has("fault-plan") ? fault::FaultPlan::Parse(flags.Get("fault-plan"))
+                                : fault::FaultPlan::FromEnv();
+    if (!plan.ok()) {
+      std::cerr << "train: " << plan.status().ToString() << "\n";
+      return 1;
+    }
+    injector = std::make_unique<fault::FaultInjector>(plan.value());
+    std::cout << "fault plan: " << plan.value().ToString() << "\n";
+  }
+  if (flags.Has("kv-serve")) {
+    kv_store = kv::ShardedKvStore::InMemory(4);
+    kv::KvStore* serving = kv_store.get();
+    {
+      // Bulk load through the raw store; faults belong to the serving path.
+      kv::FeatureStore ingest(kv_store.get());
+      Status s = ingest.Ingest(ds.value().graph);
+      if (!s.ok()) {
+        std::cerr << "train: kv ingest: " << s.ToString() << "\n";
+        return 1;
+      }
+    }
+    if (injector != nullptr) {
+      faulty_store =
+          std::make_unique<fault::FaultyKvStore>(kv_store.get(), injector.get());
+      serving = faulty_store.get();
+    }
+    feature_store = std::make_unique<kv::FeatureStore>(serving);
+    RetryPolicy retry;
+    retry.max_attempts = flags.GetInt("kv-retries", 4);
+    feature_store->set_retry_policy(retry);
+    opts.feature_store = feature_store.get();
+  }
+
   train::Trainer trainer(&detector, &sampler, opts);
   auto result = trainer.Train(ds.value());
+  if (!result.error.ok()) {
+    std::cerr << "train: " << result.error.ToString() << "\n";
+    return 1;
+  }
+  if (result.degraded_batches > 0) {
+    std::cout << "degraded batches: " << result.degraded_batches << "/"
+              << result.total_batches << "\n";
+  }
   auto test = trainer.Evaluate(ds.value().graph, ds.value().test_nodes);
   std::cout << "best val AUC " << TablePrinter::Num(result.best_val_auc, 4)
             << ", test AUC " << TablePrinter::Num(test.auc, 4) << ", AP "
