@@ -1,0 +1,34 @@
+#include "xfraud/baselines/rule_scorer.h"
+
+namespace xfraud::baselines {
+
+namespace {
+
+// A rule with zero recorded precision (diagnostics were not computed) still
+// deserves a vote; floor the weight so it contributes.
+constexpr double kMinWeight = 1e-3;
+
+double WeightOf(const data::Rule& rule) {
+  return rule.precision > kMinWeight ? rule.precision : kMinWeight;
+}
+
+}  // namespace
+
+RuleScorer::RuleScorer(std::vector<data::Rule> rules)
+    : rules_(std::move(rules)) {
+  for (const data::Rule& rule : rules_) weight_sum_ += WeightOf(rule);
+}
+
+double RuleScorer::Score(const std::vector<float>& features) const {
+  if (rules_.empty()) return 0.5;
+  double fired = 0.0;
+  for (const data::Rule& rule : rules_) {
+    if (rule.dim < 0 || static_cast<size_t>(rule.dim) >= features.size()) {
+      continue;
+    }
+    if (rule.Fires(features)) fired += WeightOf(rule);
+  }
+  return fired / weight_sum_;
+}
+
+}  // namespace xfraud::baselines

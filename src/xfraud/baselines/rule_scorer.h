@@ -1,0 +1,41 @@
+#ifndef XFRAUD_BASELINES_RULE_SCORER_H_
+#define XFRAUD_BASELINES_RULE_SCORER_H_
+
+#include <vector>
+
+#include "xfraud/data/prefilter.h"
+
+namespace xfraud::baselines {
+
+/// Turns the mined pre-filter rules (data::RuleFilter — the reproduction's
+/// stand-in for the BU's skope-rules system) into a cheap [0, 1] risk
+/// score over a raw feature row: the precision-weighted vote of the rules
+/// that fire. No graph, no KV reads beyond the seed's own features, no
+/// model forward — which is exactly what makes it the degraded scorer the
+/// serving layer falls back to when a request is shed or the GNN path is
+/// unavailable (and a worth-tracking baseline in its own right).
+class RuleScorer {
+ public:
+  /// Scores with the given rules; empty rules yield the neutral 0.5.
+  explicit RuleScorer(std::vector<data::Rule> rules);
+
+  static RuleScorer FromFilter(const data::RuleFilter& filter) {
+    return RuleScorer(filter.rules());
+  }
+
+  /// Precision-weighted fraction of rules firing on `features`. Rules
+  /// whose dimension is out of range for the row never fire (a degraded,
+  /// truncated row must not crash the fallback). Returns 0.5 when no rules
+  /// were mined.
+  double Score(const std::vector<float>& features) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  std::vector<data::Rule> rules_;
+  double weight_sum_ = 0.0;
+};
+
+}  // namespace xfraud::baselines
+
+#endif  // XFRAUD_BASELINES_RULE_SCORER_H_

@@ -1,0 +1,42 @@
+#include "xfraud/common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace xfraud {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  double NowSeconds() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepFor(double seconds) override {
+    if (seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
+};
+
+thread_local const Deadline* t_current_deadline = nullptr;
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+DeadlineScope::DeadlineScope(const Deadline& deadline)
+    : prev_(t_current_deadline), deadline_(deadline) {
+  t_current_deadline = &deadline_;
+}
+
+DeadlineScope::~DeadlineScope() { t_current_deadline = prev_; }
+
+const Deadline* DeadlineScope::Current() { return t_current_deadline; }
+
+}  // namespace xfraud

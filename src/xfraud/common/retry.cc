@@ -1,9 +1,8 @@
 #include "xfraud/common/retry.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
+#include "xfraud/common/clock.h"
 #include "xfraud/common/rng.h"
 #include "xfraud/obs/metrics.h"
 #include "xfraud/obs/registry.h"
@@ -36,7 +35,7 @@ bool IsRetryable(const Status& s, const RetryPolicy& policy) {
 }
 
 double BackoffAndSleep(const RetryPolicy& policy, uint64_t jitter_seed,
-                       int next_attempt) {
+                       int next_attempt, double remaining_s) {
   double base = policy.initial_backoff_s;
   for (int i = 2; i < next_attempt; ++i) base *= policy.multiplier;
   base = std::min(base, policy.max_backoff_s);
@@ -45,11 +44,13 @@ double BackoffAndSleep(const RetryPolicy& policy, uint64_t jitter_seed,
   Rng rng(Rng::StreamSeed(jitter_seed, static_cast<uint64_t>(next_attempt)));
   double factor =
       1.0 + policy.jitter_frac * (2.0 * rng.NextDouble() - 1.0);
-  double sleep_s = std::max(0.0, base * factor);
+  // Clamp to the unspent deadline budget: the next attempt deserves its
+  // shot, but never at the price of sleeping past the deadline.
+  double sleep_s =
+      std::max(0.0, std::min(base * factor, std::max(0.0, remaining_s)));
   RetryMetrics::Get().retries->Increment();
-  if (sleep_s > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
-  }
+  Clock* clock = policy.clock != nullptr ? policy.clock : Clock::Real();
+  clock->SleepFor(sleep_s);
   return sleep_s;
 }
 
@@ -57,15 +58,9 @@ void CountAttempt() { RetryMetrics::Get().attempts->Increment(); }
 
 void CountGiveup() { RetryMetrics::Get().giveups->Increment(); }
 
-uint64_t NowToken() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-double SecondsSince(uint64_t start_token) {
-  return static_cast<double>(NowToken() - start_token) * 1e-9;
+double PolicyNowSeconds(const RetryPolicy& policy) {
+  Clock* clock = policy.clock != nullptr ? policy.clock : Clock::Real();
+  return clock->NowSeconds();
 }
 
 }  // namespace xfraud::internal

@@ -8,6 +8,8 @@
 
 namespace xfraud {
 
+class Clock;
+
 /// Retry-with-exponential-backoff policy for transient I/O failures on the
 /// KV serving path (paper §3.3.3: loaders read all graph state over a KV
 /// store, where transient errors are the norm, not the exception).
@@ -33,6 +35,10 @@ struct RetryPolicy {
   /// Corruption (e.g. a torn KV record) is retried like IoError when true —
   /// on a replicated store a re-read can hit a healthy replica.
   bool retry_corruption = true;
+  /// Time source for the deadline and the backoff sleeps; nullptr means
+  /// Clock::Real(). Inject a VirtualClock so retry-heavy chaos tests
+  /// neither sleep real time nor flake on wall-clock jitter.
+  Clock* clock = nullptr;
 
   bool enabled() const { return max_attempts > 1; }
 };
@@ -43,21 +49,22 @@ namespace internal {
 /// Corruption when the policy says so).
 bool IsRetryable(const Status& s, const RetryPolicy& policy);
 
-/// Returns the jittered backoff before attempt `next_attempt` (2-based) and
-/// sleeps for it. Split from the template so the obs counters and the sleep
-/// live in one translation unit.
+/// Returns the jittered backoff before attempt `next_attempt` (2-based),
+/// clamped to `remaining_s` — the unspent deadline budget — so a retry loop
+/// never overshoots its deadline by a long backoff, then sleeps for it on
+/// the policy's clock. Split from the template so the obs counters and the
+/// sleep live in one translation unit.
 double BackoffAndSleep(const RetryPolicy& policy, uint64_t jitter_seed,
-                       int next_attempt);
+                       int next_attempt, double remaining_s);
 
 /// Obs bookkeeping hooks (counters retry/attempts, retry/retries,
 /// retry/giveups).
 void CountAttempt();
 void CountGiveup();
 
-/// Seconds elapsed since `start_token` (a steady_clock reading captured by
-/// NowToken). Indirection keeps <chrono> out of this header's clients.
-uint64_t NowToken();
-double SecondsSince(uint64_t start_token);
+/// The policy clock's current reading (Clock::Real() when unset).
+/// Indirection keeps <chrono> out of this header's clients.
+double PolicyNowSeconds(const RetryPolicy& policy);
 
 }  // namespace internal
 
@@ -70,18 +77,19 @@ double SecondsSince(uint64_t start_token);
 template <typename Fn>
 Status RetryWithBackoff(const RetryPolicy& policy, uint64_t jitter_seed,
                         Fn&& fn) {
-  const uint64_t start = internal::NowToken();
+  const double start_s = internal::PolicyNowSeconds(policy);
   Status last = Status::OK();
   for (int attempt = 1;; ++attempt) {
     internal::CountAttempt();
     last = fn();
     if (last.ok() || !internal::IsRetryable(last, policy)) return last;
-    if (attempt >= policy.max_attempts ||
-        internal::SecondsSince(start) >= policy.deadline_s) {
+    const double elapsed_s = internal::PolicyNowSeconds(policy) - start_s;
+    if (attempt >= policy.max_attempts || elapsed_s >= policy.deadline_s) {
       if (policy.enabled()) internal::CountGiveup();
       return last;
     }
-    internal::BackoffAndSleep(policy, jitter_seed, attempt + 1);
+    internal::BackoffAndSleep(policy, jitter_seed, attempt + 1,
+                              policy.deadline_s - elapsed_s);
   }
 }
 

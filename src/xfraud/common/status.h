@@ -18,6 +18,8 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// A cheap value type describing the outcome of a fallible operation.
@@ -55,6 +57,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// The serving path's shed/failover verdict: the request was refused or
+  /// every replica is down — retrying later may succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// A request deadline expired before the operation completed.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -68,6 +79,10 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// Human-readable representation, e.g. "InvalidArgument: bad dim".

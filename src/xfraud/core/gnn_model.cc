@@ -28,4 +28,13 @@ nn::Var ApplyTypedLinear(const std::vector<nn::Linear>& linears,
   return out;
 }
 
+std::vector<double> FraudProbabilities(const nn::Var& logits) {
+  nn::Var probs = nn::RowSoftmax(logits);
+  std::vector<double> out(probs.rows());
+  for (int64_t r = 0; r < probs.rows(); ++r) {
+    out[r] = probs.value().At(r, 1);
+  }
+  return out;
+}
+
 }  // namespace xfraud::core

@@ -46,6 +46,11 @@ nn::Var ApplyTypedLinear(const std::vector<nn::Linear>& linears,
                          const nn::Var& x,
                          const std::vector<int32_t>& types);
 
+/// Fraud probabilities (softmax of the [N, 2] logits' fraud column) — the
+/// score every consumer of Forward reports: trainer evaluation, the
+/// explainers, the CLI, and the online ScoringService.
+std::vector<double> FraudProbabilities(const nn::Var& logits);
+
 }  // namespace xfraud::core
 
 #endif  // XFRAUD_CORE_GNN_MODEL_H_

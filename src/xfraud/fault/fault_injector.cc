@@ -16,13 +16,17 @@ struct FaultMetrics {
   obs::Counter* injected_io_errors;
   obs::Counter* injected_corruptions;
   obs::Counter* injected_latencies;
+  obs::Counter* injected_replica_failures;
+  obs::Counter* injected_replica_slowdowns;
 
   static const FaultMetrics& Get() {
     static FaultMetrics metrics = [] {
       auto& r = obs::Registry::Global();
       return FaultMetrics{r.counter("fault/injected_io_errors"),
                           r.counter("fault/injected_corruptions"),
-                          r.counter("fault/injected_latencies")};
+                          r.counter("fault/injected_latencies"),
+                          r.counter("fault/injected_replica_failures"),
+                          r.counter("fault/injected_replica_slowdowns")};
     }();
     return metrics;
   }
@@ -57,6 +61,25 @@ FaultInjector::KvFault FaultInjector::NextKvFault(double* latency_s) {
     return KvFault::kCorruption;
   }
   return KvFault::kNone;
+}
+
+bool FaultInjector::NextReplicaFault(int replica_id, int shard_id,
+                                     double* latency_s) {
+  if (!plan_.has_replica_faults()) return false;
+  if (latency_s != nullptr && replica_id >= 0 &&
+      replica_id == plan_.slow_replica) {
+    *latency_s += plan_.slow_replica_latency_s;
+    injected_replica_slowdowns_.fetch_add(1);
+    FaultMetrics::Get().injected_replica_slowdowns->Increment();
+  }
+  const bool killed =
+      (replica_id >= 0 && replica_id == plan_.kill_replica) ||
+      (shard_id >= 0 && shard_id == plan_.kill_shard);
+  if (killed) {
+    injected_replica_failures_.fetch_add(1);
+    FaultMetrics::Get().injected_replica_failures->Increment();
+  }
+  return killed;
 }
 
 }  // namespace xfraud::fault

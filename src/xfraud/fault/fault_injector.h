@@ -37,6 +37,14 @@ class FaultInjector {
   /// latency composes with errors — a slow failing disk is the common case.
   KvFault NextKvFault(double* latency_s);
 
+  /// Position-based verdict for one op on a store sitting at
+  /// (replica_id, shard_id) in a serving topology (-1 for "not positioned").
+  /// Returns true when the plan kills this replica or its whole shard (the
+  /// op must fail), and adds the plan's slow-replica latency to *latency_s
+  /// (may be null). Unlike NextKvFault this is not randomized — a dead
+  /// replica is dead for every op, which is what failover tests need.
+  bool NextReplicaFault(int replica_id, int shard_id, double* latency_s);
+
   /// True exactly at the planned (worker, epoch, step) kill point.
   bool ShouldKillWorker(int worker, int epoch, int64_t step) const {
     return worker == plan_.kill_worker && epoch == plan_.kill_epoch &&
@@ -59,6 +67,12 @@ class FaultInjector {
     return injected_corruptions_.load();
   }
   int64_t injected_latencies() const { return injected_latencies_.load(); }
+  int64_t injected_replica_failures() const {
+    return injected_replica_failures_.load();
+  }
+  int64_t injected_replica_slowdowns() const {
+    return injected_replica_slowdowns_.load();
+  }
 
  private:
   FaultPlan plan_;
@@ -67,6 +81,8 @@ class FaultInjector {
   std::atomic<int64_t> injected_io_errors_{0};
   std::atomic<int64_t> injected_corruptions_{0};
   std::atomic<int64_t> injected_latencies_{0};
+  std::atomic<int64_t> injected_replica_failures_{0};
+  std::atomic<int64_t> injected_replica_slowdowns_{0};
 };
 
 }  // namespace xfraud::fault

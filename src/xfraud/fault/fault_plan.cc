@@ -98,6 +98,38 @@ Status ParseKill(std::string_view text, FaultPlan* plan) {
   return Status::OK();
 }
 
+// slow_replica=<r>@<seconds>
+Status ParseSlowReplica(std::string_view text, FaultPlan* plan) {
+  size_t at = text.find('@');
+  if (at == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "fault plan: slow_replica wants <replica>@<seconds>, got '" +
+        std::string(text) + "'");
+  }
+  int64_t replica = 0;
+  XF_RETURN_IF_ERROR(
+      ParseI64("slow_replica", text.substr(0, at), &replica));
+  XF_RETURN_IF_ERROR(ParseF64("slow_replica", text.substr(at + 1),
+                              &plan->slow_replica_latency_s));
+  if (replica < 0 || plan->slow_replica_latency_s < 0.0) {
+    return Status::InvalidArgument(
+        "fault plan: slow_replica fields must be non-negative");
+  }
+  plan->slow_replica = static_cast<int>(replica);
+  return Status::OK();
+}
+
+Status ParseIndex(std::string_view key, std::string_view text, int* out) {
+  int64_t v = 0;
+  XF_RETURN_IF_ERROR(ParseI64(key, text, &v));
+  if (v < 0) {
+    return Status::InvalidArgument("fault plan: " + std::string(key) +
+                                   " must be non-negative");
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
@@ -133,6 +165,12 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
       XF_RETURN_IF_ERROR(ParseKill(value, &plan));
     } else if (key == "crash_batch") {
       XF_RETURN_IF_ERROR(ParseI64(key, value, &plan.crash_batch));
+    } else if (key == "kill_replica") {
+      XF_RETURN_IF_ERROR(ParseIndex(key, value, &plan.kill_replica));
+    } else if (key == "kill_shard") {
+      XF_RETURN_IF_ERROR(ParseIndex(key, value, &plan.kill_shard));
+    } else if (key == "slow_replica") {
+      XF_RETURN_IF_ERROR(ParseSlowReplica(value, &plan));
     } else {
       return Status::InvalidArgument("fault plan: unknown key '" +
                                      std::string(key) + "'");
@@ -161,6 +199,12 @@ std::string FaultPlan::ToString() const {
         << kill_step;
   }
   if (crash_batch >= 0) out << ",crash_batch=" << crash_batch;
+  if (kill_replica >= 0) out << ",kill_replica=" << kill_replica;
+  if (kill_shard >= 0) out << ",kill_shard=" << kill_shard;
+  if (slow_replica >= 0) {
+    out << ",slow_replica=" << slow_replica << "@"
+        << slow_replica_latency_s;
+  }
   return out.str();
 }
 

@@ -23,6 +23,9 @@ namespace xfraud::fault {
 ///   kv_latency_s=<f>        added latency when it fires (seconds)
 ///   kill_worker=<w>@<e>:<s> kill DDP worker w at epoch e, step s
 ///   crash_batch=<n>         sampler throws on its n-th SampleBatch call
+///   kill_replica=<r>        every op on KV replica r fails (all shards)
+///   kill_shard=<s>          every op on all replicas of shard s fails
+///   slow_replica=<r>@<sec>  every op on replica r takes +<sec> latency
 ///
 /// Example: "seed=7,kv_error_rate=0.05,kill_worker=1@0:3"
 struct FaultPlan {
@@ -35,11 +38,24 @@ struct FaultPlan {
   int kill_epoch = 0;
   int64_t kill_step = 0;
   int64_t crash_batch = -1;  // -1: no sampler crash
+  /// Replica-level serving faults. They only bite on FaultyKvStore
+  /// instances constructed with a replica/shard position (the serving
+  /// topology); plain training-path decorators have position -1 and are
+  /// unaffected, so a global chaos plan doesn't break non-replicated runs.
+  int kill_replica = -1;            // -1: no replica kill
+  int kill_shard = -1;              // -1: no shard kill
+  int slow_replica = -1;            // -1: no slow replica
+  double slow_replica_latency_s = 0.0;
 
   /// True if the plan injects anything at all.
   bool any() const {
     return kv_error_rate > 0.0 || kv_corrupt_rate > 0.0 ||
-           kv_latency_rate > 0.0 || kill_worker >= 0 || crash_batch >= 0;
+           kv_latency_rate > 0.0 || kill_worker >= 0 || crash_batch >= 0 ||
+           has_replica_faults();
+  }
+  /// True if any replica-position fault is planned.
+  bool has_replica_faults() const {
+    return kill_replica >= 0 || kill_shard >= 0 || slow_replica >= 0;
   }
   bool has_kv_faults() const {
     return kv_error_rate > 0.0 || kv_corrupt_rate > 0.0 ||

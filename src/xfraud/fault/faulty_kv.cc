@@ -1,15 +1,23 @@
 #include "xfraud/fault/faulty_kv.h"
 
-#include <chrono>
-#include <thread>
-
 namespace xfraud::fault {
 
 Status FaultyKvStore::MaybeInject(std::string_view key) const {
-  double latency_s = 0.0;
-  FaultInjector::KvFault fault = injector_->NextKvFault(&latency_s);
-  if (latency_s > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(latency_s));
+  double replica_latency_s = 0.0;
+  const bool replica_dead =
+      injector_->NextReplicaFault(replica_id_, shard_id_, &replica_latency_s);
+  // NextKvFault resets its latency output, so the two injected latencies
+  // are drawn separately and summed (a slow replica with a flaky disk pays
+  // both).
+  double op_latency_s = 0.0;
+  FaultInjector::KvFault fault = injector_->NextKvFault(&op_latency_s);
+  const double latency_s = replica_latency_s + op_latency_s;
+  if (latency_s > 0.0) clock_->SleepFor(latency_s);
+  if (replica_dead) {
+    return Status::IoError("replica " + std::to_string(replica_id_) +
+                           " of shard " + std::to_string(shard_id_) +
+                           " is down (injected) for key '" +
+                           std::string(key) + "'");
   }
   switch (fault) {
     case FaultInjector::KvFault::kNone:

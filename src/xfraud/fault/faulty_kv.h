@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "xfraud/common/clock.h"
 #include "xfraud/fault/fault_injector.h"
 #include "xfraud/kv/kvstore.h"
 
@@ -20,8 +21,21 @@ class FaultyKvStore : public kv::KvStore {
  public:
   /// Wraps (not owning) `inner`; decisions come from (not owning)
   /// `injector`. Both must outlive this store.
-  FaultyKvStore(kv::KvStore* inner, FaultInjector* injector)
-      : inner_(inner), injector_(injector) {}
+  ///
+  /// `replica_id`/`shard_id` place this store in a serving topology so the
+  /// plan's replica-level faults (kill_replica / kill_shard /
+  /// slow_replica) apply; the default -1 ("not positioned") keeps the
+  /// training-path behavior: only the randomized per-op faults fire.
+  /// Injected latency sleeps on `clock` (nullptr: Clock::Real()), so chaos
+  /// tests under a VirtualClock never block real time.
+  explicit FaultyKvStore(kv::KvStore* inner, FaultInjector* injector,
+                         int replica_id = -1, int shard_id = -1,
+                         Clock* clock = nullptr)
+      : inner_(inner),
+        injector_(injector),
+        replica_id_(replica_id),
+        shard_id_(shard_id),
+        clock_(clock != nullptr ? clock : Clock::Real()) {}
 
   Status Put(std::string_view key, std::string_view value) override;
   Status Get(std::string_view key, std::string* value) const override;
@@ -37,6 +51,9 @@ class FaultyKvStore : public kv::KvStore {
 
   kv::KvStore* inner_;
   FaultInjector* injector_;
+  int replica_id_;
+  int shard_id_;
+  Clock* clock_;
 };
 
 }  // namespace xfraud::fault

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <functional>
 
+#include "xfraud/common/clock.h"
 #include "xfraud/common/logging.h"
 
 namespace xfraud::kv {
@@ -24,6 +25,17 @@ bool ReadPod(std::string_view data, size_t* offset, T* out) {
   std::memcpy(out, data.data() + *offset, sizeof(T));
   *offset += sizeof(T);
   return true;
+}
+
+// Polls the calling thread's DeadlineScope (serving-path requests open one
+// around sampling + KV reads); no scope means no deadline.
+Status CheckDeadline(const char* stage) {
+  const Deadline* deadline = DeadlineScope::Current();
+  if (deadline != nullptr && deadline->Expired()) {
+    return Status::DeadlineExceeded(std::string(stage) +
+                                    ": request deadline exhausted");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -148,6 +160,21 @@ Status FeatureStore::ReadNode(int32_t node, graph::NodeType* type,
 Result<sample::MiniBatch> FeatureStore::LoadBatch(
     const std::vector<int32_t>& seeds, int hops, int fanout,
     xfraud::Rng* rng) const {
+  return LoadBatchImpl(seeds, hops, fanout, rng, nullptr);
+}
+
+Result<sample::MiniBatch> FeatureStore::LoadBatchDegraded(
+    const std::vector<int32_t>& seeds, int hops, int fanout,
+    xfraud::Rng* rng, DegradedLoadStats* stats) const {
+  *stats = DegradedLoadStats{};
+  return LoadBatchImpl(seeds, hops, fanout, rng, stats);
+}
+
+Result<sample::MiniBatch> FeatureStore::LoadBatchImpl(
+    const std::vector<int32_t>& seeds, int hops, int fanout,
+    xfraud::Rng* rng, DegradedLoadStats* stats) const {
+  // Metadata must be readable — without the feature dim no batch shape
+  // exists, degraded or not.
   Result<int64_t> dim = FeatureDim();
   if (!dim.ok()) return dim.status();
 
@@ -173,7 +200,15 @@ Result<sample::MiniBatch> FeatureStore::LoadBatch(
   for (int hop = 0; hop < hops && !frontier.empty(); ++hop) {
     std::vector<int32_t> next;
     for (int32_t v : frontier) {
-      XF_RETURN_IF_ERROR(ReadNeighbors(v, &neighbors, &etypes));
+      XF_RETURN_IF_ERROR(CheckDeadline("feature_store/expand"));
+      Status ns = ReadNeighbors(v, &neighbors, &etypes);
+      if (!ns.ok()) {
+        if (stats == nullptr) return ns;
+        // Degraded: the node stays in the batch, its neighborhood is
+        // simply not expanded this hop.
+        ++stats->failed_adjacency_reads;
+        continue;
+      }
       int64_t degree = static_cast<int64_t>(neighbors.size());
       int64_t take = fanout < 0 ? degree
                                 : std::min<int64_t>(degree, fanout);
@@ -203,9 +238,17 @@ Result<sample::MiniBatch> FeatureStore::LoadBatch(
   batch.node_types.resize(sub.nodes.size());
   for (size_t local = 0; local < sub.nodes.size(); ++local) {
     int32_t global = sub.nodes[local];
-    graph::NodeType type;
-    int8_t label;
-    XF_RETURN_IF_ERROR(ReadNode(global, &type, &label));
+    XF_RETURN_IF_ERROR(CheckDeadline("feature_store/materialize"));
+    graph::NodeType type = graph::NodeType::kTxn;
+    int8_t label = graph::kLabelUnknown;
+    Status node_status = ReadNode(global, &type, &label);
+    if (!node_status.ok()) {
+      if (stats == nullptr) return node_status;
+      // Degraded: impute the type (kTxn keeps the row flowing through the
+      // transaction projections, matching its zeroed features).
+      ++stats->imputed_node_types;
+      type = graph::NodeType::kTxn;
+    }
     batch.node_types[local] = static_cast<int32_t>(type);
 
     std::vector<float> feat;
@@ -215,10 +258,18 @@ Result<sample::MiniBatch> FeatureStore::LoadBatch(
       std::copy(feat.begin(), feat.end(),
                 batch.features.Row(static_cast<int64_t>(local)));
     } else if (!fs.IsNotFound()) {
-      return fs;
+      if (stats == nullptr) return fs;
+      // Degraded: the row was zero-initialized; flag it and move on.
+      ++stats->imputed_feature_rows;
     }
 
-    XF_RETURN_IF_ERROR(ReadNeighbors(global, &neighbors, &etypes));
+    Status as = ReadNeighbors(global, &neighbors, &etypes);
+    if (!as.ok()) {
+      if (stats == nullptr) return as;
+      ++stats->failed_adjacency_reads;
+      neighbors.clear();
+      etypes.clear();
+    }
     for (size_t i = 0; i < neighbors.size(); ++i) {
       auto it = sub.local_of.find(neighbors[i]);
       if (it == sub.local_of.end()) continue;
@@ -232,6 +283,8 @@ Result<sample::MiniBatch> FeatureStore::LoadBatch(
   }
 
   for (int32_t seed : seeds) {
+    // A seed whose own record is unreadable fails the batch even in
+    // degraded mode — there is nothing meaningful to score.
     graph::NodeType type;
     int8_t label;
     XF_RETURN_IF_ERROR(ReadNode(seed, &type, &label));

@@ -57,11 +57,53 @@ class FeatureStore {
   /// k-hop neighbourhood (`hops`, fan-out capped at `fanout`) through "a"
   /// records and fill features from "f" records. This is the loader path
   /// whose single- vs multi-threaded throughput Figures 12-13 compare.
+  ///
+  /// Honors the calling thread's DeadlineScope: each BFS hop and each node
+  /// materialization checks the remaining budget and fails fast with
+  /// DeadlineExceeded once it is spent, so a dead request never keeps
+  /// issuing KV reads.
   Result<sample::MiniBatch> LoadBatch(const std::vector<int32_t>& seeds,
                                       int hops, int fanout,
                                       xfraud::Rng* rng) const;
 
+  /// What LoadBatchDegraded had to paper over (all zero on a clean load).
+  struct DegradedLoadStats {
+    /// Feature reads that exhausted replicas/retries → row zero-imputed.
+    int64_t imputed_feature_rows = 0;
+    /// Adjacency reads that failed → node kept, neighborhood not expanded
+    /// and its induced edges dropped.
+    int64_t failed_adjacency_reads = 0;
+    /// Non-seed node records that failed → node type imputed as kTxn.
+    int64_t imputed_node_types = 0;
+
+    bool degraded() const {
+      return imputed_feature_rows + failed_adjacency_reads +
+                 imputed_node_types >
+             0;
+    }
+    int64_t total() const {
+      return imputed_feature_rows + failed_adjacency_reads +
+             imputed_node_types;
+    }
+  };
+
+  /// Degraded-tolerant LoadBatch for the serving path (PR 4's
+  /// zero-imputation idea applied to online reads): read failures on
+  /// features, adjacency, or non-seed node records degrade the batch
+  /// (zero-imputed rows, skipped expansions) instead of failing it, with
+  /// the damage tallied in `stats`. Failures that make the batch
+  /// meaningless — metadata or a seed's own node record unreadable, or the
+  /// deadline expiring — still fail. Identical to LoadBatch on a healthy
+  /// store, including the RNG stream.
+  Result<sample::MiniBatch> LoadBatchDegraded(
+      const std::vector<int32_t>& seeds, int hops, int fanout,
+      xfraud::Rng* rng, DegradedLoadStats* stats) const;
+
  private:
+  Result<sample::MiniBatch> LoadBatchImpl(const std::vector<int32_t>& seeds,
+                                          int hops, int fanout,
+                                          xfraud::Rng* rng,
+                                          DegradedLoadStats* stats) const;
   /// All reads funnel through here: one KV Get under the retry policy, with
   /// a deterministic per-key jitter stream.
   Status GetWithRetry(const std::string& key, std::string* value) const;

@@ -28,7 +28,7 @@ class KvStore {
   /// Number of live keys.
   virtual int64_t Count() const = 0;
 
-  /// All live keys with the given prefix (unsorted).
+  /// All live keys with the given prefix, in ascending byte order.
   virtual std::vector<std::string> KeysWithPrefix(
       std::string_view prefix) const = 0;
 };

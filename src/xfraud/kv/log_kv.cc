@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "xfraud/common/logging.h"
@@ -198,6 +199,7 @@ std::vector<std::string> LogKvStore::KeysWithPrefix(
       out.push_back(key);
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

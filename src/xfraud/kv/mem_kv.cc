@@ -1,5 +1,7 @@
 #include "xfraud/kv/mem_kv.h"
 
+#include <algorithm>
+
 #include "xfraud/kv/kv_metrics.h"
 
 namespace xfraud::kv {
@@ -76,6 +78,7 @@ std::vector<std::string> MemKvStore::KeysWithPrefix(
       out.push_back(key);
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -1,0 +1,256 @@
+#include "xfraud/kv/replicated_kv.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "xfraud/common/logging.h"
+#include "xfraud/common/rng.h"
+#include "xfraud/kv/mem_kv.h"
+#include "xfraud/obs/registry.h"
+
+namespace xfraud::kv {
+
+namespace {
+
+// Salt folded into the key hash for primary selection, distinct from the
+// sharding hash so the primary replica is uncorrelated with the shard.
+constexpr uint64_t kPrimarySalt = 0x5245504CULL;  // "REPL"
+
+thread_local double t_hedge_rebate_s = 0.0;
+
+}  // namespace
+
+double HedgeRebate::Take() {
+  double credit = t_hedge_rebate_s;
+  t_hedge_rebate_s = 0.0;
+  return credit;
+}
+
+void HedgeRebate::Add(double seconds) { t_hedge_rebate_s += seconds; }
+
+ReplicatedKvStore::ReplicatedKvStore(std::vector<KvStore*> replicas,
+                                     ReplicationOptions options)
+    : replicas_(std::move(replicas)), options_(options) {
+  Init();
+}
+
+ReplicatedKvStore::ReplicatedKvStore(
+    std::vector<std::unique_ptr<KvStore>> replicas,
+    ReplicationOptions options)
+    : owned_(std::move(replicas)), options_(options) {
+  replicas_.reserve(owned_.size());
+  for (const auto& r : owned_) replicas_.push_back(r.get());
+  Init();
+}
+
+void ReplicatedKvStore::Init() {
+  XF_CHECK(!replicas_.empty());
+  for (KvStore* r : replicas_) XF_CHECK(r != nullptr);
+  clock_ = options_.clock != nullptr ? options_.clock : Clock::Real();
+  XF_CHECK_GE(options_.breaker.min_events, 1);
+  breakers_.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    auto b = std::make_unique<Breaker>();
+    b->outcomes.assign(
+        options_.breaker.enabled() ? options_.breaker.window : 0, 0);
+    breakers_.push_back(std::move(b));
+  }
+  auto& r = obs::Registry::Global();
+  reads_ = r.counter("kv/replicated/reads");
+  failovers_ = r.counter("kv/replicated/failovers");
+  hedged_reads_ = r.counter("kv/replicated/hedged_reads");
+  hedge_wins_ = r.counter("kv/replicated/hedge_wins");
+  breaker_opens_ = r.counter("kv/replicated/breaker_opens");
+  breaker_closes_ = r.counter("kv/replicated/breaker_closes");
+  exhausted_ = r.counter("kv/replicated/exhausted");
+  get_s_ = r.histogram("kv/replicated/get_s");
+}
+
+std::unique_ptr<ReplicatedKvStore> ReplicatedKvStore::InMemory(
+    int num_replicas, ReplicationOptions options) {
+  XF_CHECK_GT(num_replicas, 0);
+  std::vector<std::unique_ptr<KvStore>> replicas;
+  replicas.reserve(num_replicas);
+  for (int i = 0; i < num_replicas; ++i) {
+    replicas.push_back(std::make_unique<MemKvStore>());
+  }
+  return std::make_unique<ReplicatedKvStore>(std::move(replicas), options);
+}
+
+size_t ReplicatedKvStore::PrimaryOf(std::string_view key) const {
+  uint64_t h = std::hash<std::string_view>{}(key);
+  return Rng::StreamSeed(kPrimarySalt, h) % replicas_.size();
+}
+
+ReplicatedKvStore::BreakerState ReplicatedKvStore::breaker_state(
+    size_t replica) const {
+  XF_CHECK_BOUNDS(replica, breakers_.size());
+  std::lock_guard<std::mutex> lock(breakers_[replica]->mu);
+  return breakers_[replica]->state;
+}
+
+bool ReplicatedKvStore::AdmitRead(size_t r) const {
+  if (!options_.breaker.enabled()) return true;
+  Breaker& b = *breakers_[r];
+  std::lock_guard<std::mutex> lock(b.mu);
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      // One probe at a time; everyone else keeps failing over.
+      return false;
+    case BreakerState::kOpen:
+      if (clock_->NowSeconds() >= b.probe_at_s) {
+        b.state = BreakerState::kHalfOpen;  // this caller is the probe
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void ReplicatedKvStore::RecordOutcome(size_t r, bool healthy) const {
+  if (!options_.breaker.enabled()) return;
+  Breaker& b = *breakers_[r];
+  std::lock_guard<std::mutex> lock(b.mu);
+  switch (b.state) {
+    case BreakerState::kOpen:
+      // A straggler from before the breaker opened; the probe will decide.
+      return;
+    case BreakerState::kHalfOpen:
+      if (healthy) {
+        b.state = BreakerState::kClosed;
+        std::fill(b.outcomes.begin(), b.outcomes.end(), 0);
+        b.next = 0;
+        b.filled = 0;
+        b.errors = 0;
+        breaker_closes_->Increment();
+      } else {
+        b.state = BreakerState::kOpen;
+        b.probe_at_s = clock_->NowSeconds() + options_.breaker.cooloff_s;
+      }
+      return;
+    case BreakerState::kClosed:
+      break;
+  }
+  if (b.filled == static_cast<int>(b.outcomes.size())) {
+    b.errors -= b.outcomes[b.next];
+  } else {
+    ++b.filled;
+  }
+  b.outcomes[b.next] = healthy ? 0 : 1;
+  b.errors += b.outcomes[b.next];
+  b.next = (b.next + 1) % b.outcomes.size();
+  if (b.filled >= options_.breaker.min_events &&
+      static_cast<double>(b.errors) >=
+          options_.breaker.error_frac * static_cast<double>(b.filled)) {
+    b.state = BreakerState::kOpen;
+    b.probe_at_s = clock_->NowSeconds() + options_.breaker.cooloff_s;
+    breaker_opens_->Increment();
+  }
+}
+
+Status ReplicatedKvStore::GetOnce(size_t r, std::string_view key,
+                                  std::string* value,
+                                  double* latency_s) const {
+  const double start_s = clock_->NowSeconds();
+  Status s = replicas_[r]->Get(key, value);
+  *latency_s = clock_->NowSeconds() - start_s;
+  return s;
+}
+
+Status ReplicatedKvStore::Get(std::string_view key,
+                              std::string* value) const {
+  reads_->Increment();
+  const Deadline* deadline = DeadlineScope::Current();
+  const size_t n = replicas_.size();
+  const size_t primary = PrimaryOf(key);
+  Status last = Status::OK();
+  bool any_attempt = false;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = (primary + i) % n;
+    if (deadline != nullptr && deadline->Expired()) {
+      return Status::DeadlineExceeded(
+          "deadline expired before replica read of key '" +
+          std::string(key) + "'");
+    }
+    if (!AdmitRead(r)) continue;
+    if (any_attempt) failovers_->Increment();
+    any_attempt = true;
+    std::string tmp;
+    double latency = 0.0;
+    Status s = GetOnce(r, key, &tmp, &latency);
+    const bool healthy = s.ok() || s.IsNotFound();
+    RecordOutcome(r, healthy);
+    if (!healthy) {
+      last = std::move(s);
+      continue;
+    }
+    double effective = latency;
+    if (options_.hedge_delay_s >= 0.0 &&
+        latency > options_.hedge_delay_s) {
+      // The primary was slow enough that a real deployment would have
+      // fired a backup request at hedge_delay; emulate that race against
+      // the next admitted replica.
+      for (size_t j = i + 1; j < n; ++j) {
+        const size_t h = (primary + j) % n;
+        if (!AdmitRead(h)) continue;
+        hedged_reads_->Increment();
+        std::string hedge_tmp;
+        double hedge_latency = 0.0;
+        Status hs = GetOnce(h, key, &hedge_tmp, &hedge_latency);
+        const bool hedge_healthy = hs.ok() || hs.IsNotFound();
+        RecordOutcome(h, hedge_healthy);
+        const double hedged_total = options_.hedge_delay_s + hedge_latency;
+        if (hedge_healthy && hedged_total < latency) {
+          hedge_wins_->Increment();
+          HedgeRebate::Add(latency - hedged_total);
+          effective = hedged_total;
+          tmp = std::move(hedge_tmp);
+          s = std::move(hs);
+        }
+        break;  // at most one hedge per read
+      }
+    }
+    if (obs::IsEnabled()) get_s_->Record(effective);
+    if (s.ok()) *value = std::move(tmp);
+    return s;
+  }
+  exhausted_->Increment();
+  if (!any_attempt) {
+    return Status::Unavailable("no replica admitted read of key '" +
+                               std::string(key) +
+                               "' (all circuit breakers open)");
+  }
+  return last;
+}
+
+Status ReplicatedKvStore::Put(std::string_view key, std::string_view value) {
+  Status first_error = Status::OK();
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    Status s = replicas_[r]->Put(key, value);
+    RecordOutcome(r, s.ok());
+    if (!s.ok() && first_error.ok()) first_error = std::move(s);
+  }
+  return first_error;
+}
+
+Status ReplicatedKvStore::Delete(std::string_view key) {
+  Status first_error = Status::OK();
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    Status s = replicas_[r]->Delete(key);
+    const bool healthy = s.ok() || s.IsNotFound();
+    RecordOutcome(r, healthy);
+    if (!healthy && first_error.ok()) first_error = std::move(s);
+  }
+  return first_error;
+}
+
+int64_t ReplicatedKvStore::Count() const { return replicas_[0]->Count(); }
+
+std::vector<std::string> ReplicatedKvStore::KeysWithPrefix(
+    std::string_view prefix) const {
+  return replicas_[0]->KeysWithPrefix(prefix);
+}
+
+}  // namespace xfraud::kv

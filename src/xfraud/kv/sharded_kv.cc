@@ -1,6 +1,8 @@
 #include "xfraud/kv/sharded_kv.h"
 
+#include <algorithm>
 #include <functional>
+#include <iterator>
 #include <string>
 
 #include "xfraud/common/logging.h"
@@ -12,8 +14,20 @@
 namespace xfraud::kv {
 
 ShardedKvStore::ShardedKvStore(std::vector<std::unique_ptr<KvStore>> shards)
+    : owned_(std::move(shards)) {
+  shards_.reserve(owned_.size());
+  for (const auto& shard : owned_) shards_.push_back(shard.get());
+  InitMetrics();
+}
+
+ShardedKvStore::ShardedKvStore(std::vector<KvStore*> shards)
     : shards_(std::move(shards)) {
+  InitMetrics();
+}
+
+void ShardedKvStore::InitMetrics() {
   XF_CHECK(!shards_.empty());
+  for (KvStore* shard : shards_) XF_CHECK(shard != nullptr);
   auto& registry = obs::Registry::Global();
   shard_get_s_.reserve(shards_.size());
   shard_put_s_.reserve(shards_.size());
@@ -77,10 +91,21 @@ int64_t ShardedKvStore::Count() const {
 
 std::vector<std::string> ShardedKvStore::KeysWithPrefix(
     std::string_view prefix) const {
+  // Merge the (sorted) per-shard lists so the result is in ascending byte
+  // order regardless of shard count or hash layout — callers comparing key
+  // listings across different shardings must see identical output.
   std::vector<std::string> out;
   for (const auto& shard : shards_) {
-    auto keys = shard->KeysWithPrefix(prefix);
-    out.insert(out.end(), keys.begin(), keys.end());
+    std::vector<std::string> keys = shard->KeysWithPrefix(prefix);
+    std::sort(keys.begin(), keys.end());  // defensive: contract says sorted
+    std::vector<std::string> merged;
+    merged.reserve(out.size() + keys.size());
+    std::merge(std::make_move_iterator(out.begin()),
+               std::make_move_iterator(out.end()),
+               std::make_move_iterator(keys.begin()),
+               std::make_move_iterator(keys.end()),
+               std::back_inserter(merged));
+    out = std::move(merged);
   }
   return out;
 }

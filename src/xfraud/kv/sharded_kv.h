@@ -19,6 +19,12 @@ class ShardedKvStore : public KvStore {
   /// Takes ownership of the shard stores. Pre: at least one shard.
   explicit ShardedKvStore(std::vector<std::unique_ptr<KvStore>> shards);
 
+  /// Non-owning view over externally owned shards (the serving topology
+  /// layers shards over replicated/faulty stores it owns itself, and also
+  /// builds per-replica ingest views over the same cells). The shards must
+  /// outlive this store. Pre: at least one shard, none null.
+  explicit ShardedKvStore(std::vector<KvStore*> shards);
+
   /// Convenience: N in-memory shards.
   static std::unique_ptr<ShardedKvStore> InMemory(int num_shards);
 
@@ -40,8 +46,10 @@ class ShardedKvStore : public KvStore {
 
  private:
   size_t ShardOf(std::string_view key) const;
+  void InitMetrics();
 
-  std::vector<std::unique_ptr<KvStore>> shards_;
+  std::vector<std::unique_ptr<KvStore>> owned_;
+  std::vector<KvStore*> shards_;
   RetryPolicy retry_;
   // Per-shard op-latency histograms ("kv/shard<i>/get_s", ".../put_s") in
   // the global registry: a hot shard (skewed hash or a slow backend) shows

@@ -1,0 +1,71 @@
+#include "xfraud/serve/topology.h"
+
+#include "xfraud/common/logging.h"
+#include "xfraud/kv/feature_store.h"
+
+namespace xfraud::serve {
+
+ServingTopology::ServingTopology(TopologyOptions options)
+    : options_(options) {
+  XF_CHECK_GT(options_.num_shards, 0);
+  XF_CHECK_GT(options_.num_replicas, 0);
+  const int S = options_.num_shards;
+  const int R = options_.num_replicas;
+  Clock* clock =
+      options_.clock != nullptr ? options_.clock : Clock::Real();
+  if (options_.replication.clock == nullptr) {
+    options_.replication.clock = clock;
+  }
+
+  cells_.reserve(static_cast<size_t>(S) * R);
+  for (int i = 0; i < S * R; ++i) {
+    cells_.push_back(std::make_unique<kv::MemKvStore>());
+  }
+  if (options_.plan.any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(options_.plan);
+    faulty_.reserve(cells_.size());
+  }
+
+  shards_.reserve(S);
+  for (int s = 0; s < S; ++s) {
+    std::vector<kv::KvStore*> replicas;
+    replicas.reserve(R);
+    for (int r = 0; r < R; ++r) {
+      kv::KvStore* cell = cells_[static_cast<size_t>(s) * R + r].get();
+      if (injector_ != nullptr) {
+        faulty_.push_back(std::make_unique<fault::FaultyKvStore>(
+            cell, injector_.get(), r, s, clock));
+        cell = faulty_.back().get();
+      }
+      replicas.push_back(cell);
+    }
+    shards_.push_back(std::make_unique<kv::ReplicatedKvStore>(
+        std::move(replicas), options_.replication));
+  }
+
+  std::vector<kv::KvStore*> shard_ptrs;
+  shard_ptrs.reserve(S);
+  for (const auto& shard : shards_) shard_ptrs.push_back(shard.get());
+  serving_ = std::make_unique<kv::ShardedKvStore>(std::move(shard_ptrs));
+
+  ingest_views_.reserve(R);
+  for (int r = 0; r < R; ++r) {
+    std::vector<kv::KvStore*> column;
+    column.reserve(S);
+    for (int s = 0; s < S; ++s) {
+      column.push_back(cells_[static_cast<size_t>(s) * R + r].get());
+    }
+    ingest_views_.push_back(
+        std::make_unique<kv::ShardedKvStore>(std::move(column)));
+  }
+}
+
+Status ServingTopology::Ingest(const graph::HeteroGraph& g) {
+  for (const auto& view : ingest_views_) {
+    kv::FeatureStore ingest(view.get());
+    XF_RETURN_IF_ERROR(ingest.Ingest(g));
+  }
+  return Status::OK();
+}
+
+}  // namespace xfraud::serve

@@ -1,0 +1,73 @@
+#ifndef XFRAUD_SERVE_TOPOLOGY_H_
+#define XFRAUD_SERVE_TOPOLOGY_H_
+
+#include <memory>
+#include <vector>
+
+#include "xfraud/common/clock.h"
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/fault/fault_plan.h"
+#include "xfraud/fault/faulty_kv.h"
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/kv/mem_kv.h"
+#include "xfraud/kv/replicated_kv.h"
+#include "xfraud/kv/sharded_kv.h"
+
+namespace xfraud::serve {
+
+struct TopologyOptions {
+  int num_shards = 4;
+  int num_replicas = 2;
+  /// Failover/hedging/breaker behavior of each shard's replica group. Its
+  /// clock defaults to `clock` below when unset.
+  kv::ReplicationOptions replication;
+  /// Chaos profile applied per replica cell (kill_replica / kill_shard /
+  /// slow_replica plus the randomized per-op faults). An inject-nothing
+  /// plan skips the fault layer entirely.
+  fault::FaultPlan plan;
+  /// Time source for injected latency and replication; nullptr means
+  /// Clock::Real().
+  Clock* clock = nullptr;
+};
+
+/// Owns the full serving storage stack of paper §3.3.3 / Appendix C —
+/// S shards × R replicas of in-memory cells — wired as:
+///
+///   serving():  ShardedKvStore
+///                 └─ per shard: ReplicatedKvStore (failover/hedge/breaker)
+///                      └─ per replica: [FaultyKvStore →] MemKvStore
+///
+/// plus R fault-free per-replica ingest views (a ShardedKvStore over each
+/// replica column) so Ingest() populates every replica identically without
+/// the chaos layer or the replicated write path biting during setup.
+class ServingTopology {
+ public:
+  explicit ServingTopology(TopologyOptions options);
+
+  /// The hardened read path: hand this to a FeatureStore for serving.
+  kv::KvStore* serving() const { return serving_.get(); }
+
+  /// Writes the graph into every replica of every shard (bypassing fault
+  /// injection — chaos applies to serving reads, not test setup).
+  Status Ingest(const graph::HeteroGraph& g);
+
+  /// Null when the plan injects nothing.
+  fault::FaultInjector* injector() const { return injector_.get(); }
+
+  kv::ReplicatedKvStore* shard(size_t s) const { return shards_[s].get(); }
+  int num_shards() const { return options_.num_shards; }
+  int num_replicas() const { return options_.num_replicas; }
+
+ private:
+  TopologyOptions options_;
+  std::vector<std::unique_ptr<kv::MemKvStore>> cells_;  // [shard*R + replica]
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<std::unique_ptr<fault::FaultyKvStore>> faulty_;
+  std::vector<std::unique_ptr<kv::ReplicatedKvStore>> shards_;
+  std::unique_ptr<kv::ShardedKvStore> serving_;
+  std::vector<std::unique_ptr<kv::ShardedKvStore>> ingest_views_;
+};
+
+}  // namespace xfraud::serve
+
+#endif  // XFRAUD_SERVE_TOPOLOGY_H_

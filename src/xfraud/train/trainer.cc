@@ -74,15 +74,6 @@ BatchTiming Summarize(const std::vector<double>& secs) {
 
 }  // namespace
 
-std::vector<double> FraudProbabilities(const nn::Var& logits) {
-  nn::Var probs = nn::RowSoftmax(logits);
-  std::vector<double> out(probs.rows());
-  for (int64_t r = 0; r < probs.rows(); ++r) {
-    out[r] = probs.value().At(r, 1);
-  }
-  return out;
-}
-
 Trainer::Trainer(core::GnnModel* model, const sample::Sampler* sampler,
                  TrainOptions options)
     : model_(model),

@@ -21,10 +21,15 @@
 ///   dist    -> PIC partitioning + DistributedDataParallel simulation
 ///   fault   -> deterministic fault injection (chaos plans, faulty KV and
 ///              sampler decorators) for robustness testing
+///   serve   -> online scoring service over a sharded+replicated KV
+///              topology: failover, hedged reads, circuit breakers,
+///              deadlines, load shedding (sits above core/kv/baselines)
 
 #include "xfraud/baselines/gat.h"
 #include "xfraud/baselines/gem.h"
+#include "xfraud/baselines/rule_scorer.h"
 #include "xfraud/common/atomic_file.h"
+#include "xfraud/common/clock.h"
 #include "xfraud/common/logging.h"
 #include "xfraud/common/mpmc_queue.h"
 #include "xfraud/common/retry.h"
@@ -60,6 +65,7 @@
 #include "xfraud/kv/feature_store.h"
 #include "xfraud/kv/log_kv.h"
 #include "xfraud/kv/mem_kv.h"
+#include "xfraud/kv/replicated_kv.h"
 #include "xfraud/kv/sharded_kv.h"
 #include "xfraud/nn/modules.h"
 #include "xfraud/nn/ops.h"
@@ -70,6 +76,8 @@
 #include "xfraud/obs/trace.h"
 #include "xfraud/sample/batch_loader.h"
 #include "xfraud/sample/sampler.h"
+#include "xfraud/serve/scoring_service.h"
+#include "xfraud/serve/topology.h"
 #include "xfraud/train/checkpoint.h"
 #include "xfraud/train/incremental.h"
 #include "xfraud/train/metrics.h"

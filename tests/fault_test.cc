@@ -112,6 +112,102 @@ TEST(FaultPlanTest, FromEnvReadsXfraudFaultPlan) {
   }
 }
 
+TEST(FaultPlanTest, ParsesReplicaFaultKeys) {
+  auto parsed = FaultPlan::Parse(
+      "seed=3,kill_replica=1,kill_shard=2,slow_replica=0@0.25");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FaultPlan& plan = parsed.value();
+  EXPECT_EQ(plan.kill_replica, 1);
+  EXPECT_EQ(plan.kill_shard, 2);
+  EXPECT_EQ(plan.slow_replica, 0);
+  EXPECT_DOUBLE_EQ(plan.slow_replica_latency_s, 0.25);
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.has_replica_faults());
+  EXPECT_FALSE(plan.has_kv_faults());
+
+  auto reparsed = FaultPlan::Parse(plan.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().kill_replica, plan.kill_replica);
+  EXPECT_EQ(reparsed.value().kill_shard, plan.kill_shard);
+  EXPECT_EQ(reparsed.value().slow_replica, plan.slow_replica);
+  EXPECT_DOUBLE_EQ(reparsed.value().slow_replica_latency_s,
+                   plan.slow_replica_latency_s);
+}
+
+TEST(FaultPlanTest, RejectsMalformedReplicaFaults) {
+  EXPECT_TRUE(
+      FaultPlan::Parse("kill_replica=-2").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultPlan::Parse("kill_shard=nope").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultPlan::Parse("slow_replica=1").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultPlan::Parse("slow_replica=1@-0.5").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultPlan::Parse("slow_replica=-1@0.5").status().IsInvalidArgument());
+}
+
+TEST(FaultInjectorTest, ReplicaVerdictFollowsPosition) {
+  auto plan =
+      FaultPlan::Parse("kill_replica=1,kill_shard=3,slow_replica=0@0.5");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(plan.value());
+
+  double latency = 0.0;
+  // Matching replica id: dead on every shard.
+  EXPECT_TRUE(injector.NextReplicaFault(1, 0, &latency));
+  EXPECT_TRUE(injector.NextReplicaFault(1, 2, &latency));
+  // Matching shard id: every replica of the shard is dead.
+  EXPECT_TRUE(injector.NextReplicaFault(0, 3, &latency));
+  // Slow replica: survives, but pays the latency tax.
+  latency = 0.0;
+  EXPECT_FALSE(injector.NextReplicaFault(0, 0, &latency));
+  EXPECT_DOUBLE_EQ(latency, 0.5);
+  // Unpositioned (training-path) stores never see replica faults.
+  latency = 0.0;
+  EXPECT_FALSE(injector.NextReplicaFault(-1, -1, &latency));
+  EXPECT_DOUBLE_EQ(latency, 0.0);
+
+  EXPECT_GT(injector.injected_replica_failures(), 0);
+  EXPECT_GT(injector.injected_replica_slowdowns(), 0);
+}
+
+TEST(FaultyKvTest, PositionedStoreDiesPerPlanUnpositionedSurvives) {
+  auto plan = FaultPlan::Parse("kill_replica=0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(plan.value());
+  kv::MemKvStore inner;
+  ASSERT_TRUE(inner.Put("k", "v").ok());
+
+  VirtualClock clock;
+  FaultyKvStore dead(&inner, &injector, /*replica_id=*/0, /*shard_id=*/0,
+                     &clock);
+  FaultyKvStore alive(&inner, &injector, /*replica_id=*/1, /*shard_id=*/0,
+                      &clock);
+  FaultyKvStore unpositioned(&inner, &injector);
+
+  std::string value;
+  EXPECT_TRUE(dead.Get("k", &value).IsIoError());
+  EXPECT_TRUE(dead.Put("k", "w").IsIoError());
+  EXPECT_TRUE(alive.Get("k", &value).ok());
+  EXPECT_TRUE(unpositioned.Get("k", &value).ok());
+}
+
+TEST(FaultyKvTest, SlowReplicaSleepsOnTheInjectedClock) {
+  auto plan = FaultPlan::Parse("slow_replica=0@0.25");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(plan.value());
+  kv::MemKvStore inner;
+  ASSERT_TRUE(inner.Put("k", "v").ok());
+  VirtualClock clock;
+  FaultyKvStore slow(&inner, &injector, /*replica_id=*/0, /*shard_id=*/0,
+                     &clock);
+  std::string value;
+  ASSERT_TRUE(slow.Get("k", &value).ok());
+  // The injected latency elapsed on the virtual clock, not in real time.
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 0.25);
+}
+
 // ---- FaultInjector determinism --------------------------------------------
 
 TEST(FaultInjectorTest, DecisionSequenceIsDeterministic) {

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -11,6 +12,7 @@
 #include "xfraud/kv/feature_store.h"
 #include "xfraud/kv/log_kv.h"
 #include "xfraud/kv/mem_kv.h"
+#include "xfraud/kv/replicated_kv.h"
 #include "xfraud/kv/sharded_kv.h"
 
 namespace xfraud::kv {
@@ -337,6 +339,59 @@ TEST_F(FeatureStoreTest, LoadBatchMatchesDirectSampling) {
   for (size_t i = 0; i < seeds.size(); ++i) {
     EXPECT_EQ(b.target_labels[i], direct.target_labels[i]);
   }
+}
+
+TEST(ReplicatedKvTest, BasicContract) {
+  RunBasicKvContract([] { return ReplicatedKvStore::InMemory(3); });
+}
+
+TEST(ShardedKvTest, KeysWithPrefixSortedRegardlessOfShardLayout) {
+  // Keys deliberately inserted out of order, with decoys that share a
+  // shorter prefix.
+  std::vector<std::string> keys = {"pfx9", "pfx10", "pfx1", "pfx5",
+                                   "pfx2", "pfx77", "pfx0", "pfx42"};
+  std::vector<std::string> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<std::string> reference;
+  for (int num_shards : {1, 2, 5}) {
+    auto store = ShardedKvStore::InMemory(num_shards);
+    ASSERT_TRUE(store->Put("other", "x").ok());
+    ASSERT_TRUE(store->Put("pf", "x").ok());
+    for (const auto& k : keys) ASSERT_TRUE(store->Put(k, "v").ok());
+    std::vector<std::string> got = store->KeysWithPrefix("pfx");
+    // Sorted ascending, independent of how keys hashed across shards.
+    EXPECT_EQ(got, expected) << num_shards << " shards";
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference) << num_shards << " shards";
+    }
+  }
+}
+
+TEST(KeysWithPrefixContract, EveryStoreReturnsSortedKeys) {
+  auto check = [](KvStore* store) {
+    for (const char* k : {"b2", "a1", "b1", "a9", "a10", "c"}) {
+      ASSERT_TRUE(store->Put(k, "v").ok());
+    }
+    std::vector<std::string> all = store->KeysWithPrefix("");
+    EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+    EXPECT_EQ(all.size(), 6u);
+    std::vector<std::string> a = store->KeysWithPrefix("a");
+    EXPECT_EQ(a, (std::vector<std::string>{"a1", "a10", "a9"}));
+  };
+  MemKvStore mem;
+  check(&mem);
+  auto sharded = ShardedKvStore::InMemory(3);
+  check(sharded.get());
+  auto replicated = ReplicatedKvStore::InMemory(2);
+  check(replicated.get());
+  std::string path = TempPath("prefix_sorted.kv");
+  std::remove(path.c_str());
+  auto log = LogKvStore::Open(path);
+  ASSERT_TRUE(log.ok());
+  check(log.value().get());
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// Fixture: raw std::chrono clock reads and sleeps in library code outside
+// common/ — each flagged line should fire no-raw-clock.
+#include <chrono>
+#include <thread>
+
+namespace xfraud::bad {
+
+double NowSecondsRaw() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+void NapRaw() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace xfraud::bad

@@ -50,6 +50,40 @@ TEST(LintNondeterminism, IgnoresWordsContainingTokens) {
   EXPECT_TRUE(f.empty()) << f[0].rule;
 }
 
+TEST(LintRawClock, FiresOnClockReadsAndSleeps) {
+  auto f = LintContent(kLibPath,
+                       "auto t = std::chrono::steady_clock::now();\n"
+                       "auto u = std::chrono::system_clock::now();\n"
+                       "std::this_thread::sleep_for(d);\n"
+                       "std::this_thread::sleep_until(tp);\n");
+  ASSERT_EQ(f.size(), 4u);
+  for (const auto& finding : f) EXPECT_EQ(finding.rule, "no-raw-clock");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[3].line, 4);
+}
+
+TEST(LintRawClock, ExemptInCommonAndSilentOutsideLibrary) {
+  EXPECT_TRUE(LintContent("src/xfraud/common/clock.cc",
+                          "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("src/xfraud/common/timer.h",
+                          "#pragma once\n"
+                          "using Clock = std::chrono::steady_clock;\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("bench/bench_thing.cc",
+                          "std::this_thread::sleep_for(d);\n")
+                  .empty());
+}
+
+TEST(LintRawClock, InjectableClockAndTypeAliasesAreFine) {
+  auto f = LintContent(kLibPath,
+                       "double t = clock_->NowSeconds();\n"
+                       "clock_->SleepFor(0.1);\n"
+                       "using Clock = xfraud::Clock;\n"
+                       "// steady_clock::now() mentioned in a comment\n");
+  EXPECT_TRUE(f.empty()) << f[0].rule;
+}
+
 TEST(LintNakedNew, FiresInLibraryCode) {
   auto f = LintContent(kLibPath, "int* p = new int(3);\n");
   ASSERT_EQ(f.size(), 1u);

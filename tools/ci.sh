@@ -85,4 +85,14 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 echo "== test =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+# Serving chaos leg: re-run the ServingChaos suites under a replica-failure
+# plan (one replica of every shard dead plus flaky reads). The scoring
+# service must keep answering — failover, breakers, and degraded mode
+# absorb it; serve_test.cc asserts bit-identical scores across runs.
+if [[ "${MODE}" == "faults" ]]; then
+  echo "== serving chaos =="
+  XFRAUD_FAULT_PLAN="seed=20260805,kill_replica=0,kv_error_rate=0.005" \
+    "${BUILD_DIR}/tests/xfraud_tests" --gtest_filter='ServingChaos*'
+fi
+
 echo "== ci ok (${MODE}) =="

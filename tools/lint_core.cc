@@ -152,6 +152,7 @@ struct FileScope {
   bool rng_exempt = false;   // the one sanctioned randomness source
   bool io_exempt = false;    // sanctioned output sinks
   bool durable_write_exempt = false;  // sanctioned file-write primitives
+  bool clock_exempt = false;  // common/ wraps the raw clock for everyone
 };
 
 FileScope ClassifyPath(const std::string& path) {
@@ -169,6 +170,10 @@ FileScope ClassifyPath(const std::string& path) {
   scope.durable_write_exempt =
       p.find("common/atomic_file") != std::string::npos ||
       p.find("kv/log_kv") != std::string::npos;
+  // common/ (clock.h/.cc, timer.h) is where raw std::chrono lives; the rest
+  // of the library must take an injectable Clock so tests can use virtual
+  // time.
+  scope.clock_exempt = p.find("common/") != std::string::npos;
   return scope;
 }
 
@@ -211,6 +216,7 @@ class Linter {
 
   std::vector<Finding> Run() {
     CheckNondeterminism();
+    CheckRawClock();
     CheckNakedNew();
     CheckRawIo();
     CheckDirectWrite();
@@ -257,6 +263,28 @@ class Linter {
         Report(i, "nondeterminism",
                "time() as an input makes runs unreproducible; thread a seed "
                "or WallTimer through instead");
+      }
+    }
+  }
+
+  /// Library code that reads std::chrono clocks or sleeps directly cannot
+  /// be driven by a VirtualClock, so its timeouts/deadlines are untestable
+  /// without real waiting. Everything outside common/ must go through the
+  /// injectable xfraud::Clock (common/clock.h).
+  void CheckRawClock() {
+    if (!scope_.in_library || scope_.clock_exempt) return;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string& line = code_lines_[i];
+      bool clock_read = (HasWord(line, "steady_clock", false) ||
+                         HasWord(line, "system_clock", false) ||
+                         HasWord(line, "high_resolution_clock", false)) &&
+                        line.find("::now") != std::string::npos;
+      bool raw_sleep = HasWord(line, "sleep_for", true) ||
+                       HasWord(line, "sleep_until", true);
+      if (clock_read || raw_sleep) {
+        Report(i, "no-raw-clock",
+               "raw std::chrono clock/sleep in library code defeats virtual "
+               "time; take an xfraud::Clock (common/clock.h)");
       }
     }
   }
@@ -452,9 +480,9 @@ bool LintableFile(const fs::path& p) {
 
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
-      "nondeterminism", "no-naked-new",       "no-raw-io",
-      "no-direct-write", "header-guard",      "no-using-namespace",
-      "no-catch-all",   "todo-issue",
+      "nondeterminism",  "no-raw-clock", "no-naked-new",
+      "no-raw-io",       "no-direct-write", "header-guard",
+      "no-using-namespace", "no-catch-all", "todo-issue",
   };
   return kRules;
 }

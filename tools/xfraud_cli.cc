@@ -10,15 +10,22 @@
 //   xfraud_cli explain --log log.tsv --model detector.ckpt --txn <id>
 //       run the hybrid explainer on one transaction's community and render
 //       it (the paper's Fig. 11 workflow)
+//   xfraud_cli serve-bench --log log.tsv [--model detector.ckpt] ...
+//       drive the online scoring service (replicated KV, hedged reads,
+//       deadlines, load shedding) and report tail latencies
 //
 // Exit code 0 on success, 1 on usage/runtime errors.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "xfraud/xfraud.h"
 
@@ -56,6 +63,11 @@ int Usage() {
       "  score    --log <log.tsv> --model <ckpt> [--top N]\n"
       "           [--sample-workers N] [--prefetch N]\n"
       "  explain  --log <log.tsv> --model <ckpt> --txn <txn_id>\n"
+      "  serve-bench --log <log.tsv> [--model <ckpt>] [--requests N]\n"
+      "           [--shards N] [--replicas N] [--hedge-delay-ms F]\n"
+      "           [--deadline-ms F] [--max-inflight N]\n"
+      "           [--shed-policy failfast|degrade] [--max-degraded-frac F]\n"
+      "           [--fault-plan SPEC] [--threads N] [--virtual-clock]\n"
       "\n"
       "--sample-workers enables the pipelined batch loader: N sampler\n"
       "threads prefetch mini-batches ahead of the model (0 = inline\n"
@@ -76,7 +88,21 @@ int Usage() {
       "degrade. --fault-plan (or env XFRAUD_FAULT_PLAN) injects\n"
       "deterministic chaos, e.g.\n"
       "  seed=3,kv_error_rate=0.02,kv_latency_rate=0.01,kv_latency_s=1e-4\n"
-      "(see DESIGN.md §10 for the full grammar).\n";
+      "(see DESIGN.md §10 for the full grammar).\n"
+      "\n"
+      "online serving (serve-bench): stands up --shards x --replicas\n"
+      "in-memory KV cells behind the hardened read path (failover, circuit\n"
+      "breakers, hedged reads after --hedge-delay-ms; negative disables\n"
+      "hedging) and scores --requests labeled transactions under a\n"
+      "--deadline-ms budget. Admission control sheds requests past\n"
+      "--max-inflight concurrent scores: --shed-policy failfast refuses\n"
+      "them, degrade answers from the mined-rule prefilter (counted\n"
+      "against --max-degraded-frac). --fault-plan adds kill_replica=<r>,\n"
+      "kill_shard=<s>, slow_replica=<r>@<sec> to the grammar above.\n"
+      "--virtual-clock replays injected latency on simulated time\n"
+      "(bit-deterministic with --threads 1); --model reuses a trained\n"
+      "checkpoint, otherwise a seed-initialized detector is scored\n"
+      "(latency-realistic either way). See DESIGN.md §11.\n";
   return 1;
 }
 
@@ -410,6 +436,191 @@ int CmdExplain(const Flags& flags) {
   return 0;
 }
 
+/// Exact interpolated percentile over raw samples (matches
+/// bench_serve_tail_latency; the obs histogram only estimates).
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) * (rank - lo);
+}
+
+int64_t CounterValue(const char* name) {
+  return obs::Registry::Global().counter(name)->value();
+}
+
+int CmdServeBench(const Flags& flags) {
+  std::string path = flags.Get("log");
+  if (path.empty()) {
+    std::cerr << "serve-bench: --log is required\n";
+    return 1;
+  }
+  auto records = data::ReadTransactionLog(path);
+  if (!records.ok()) {
+    std::cerr << "serve-bench: " << records.status().ToString() << "\n";
+    return 1;
+  }
+  data::SimDataset ds = data::TransactionGenerator::BuildDataset(
+      records.value(), path, 0.7, 0.1, flags.GetInt("seed", 7));
+
+  VirtualClock virtual_clock;
+  Clock* clock =
+      flags.Has("virtual-clock") ? &virtual_clock : Clock::Real();
+
+  serve::TopologyOptions topo;
+  topo.num_shards = flags.GetInt("shards", 4);
+  topo.num_replicas = flags.GetInt("replicas", 3);
+  topo.clock = clock;
+  topo.replication.hedge_delay_s =
+      flags.GetDouble("hedge-delay-ms", -1.0) * 1e-3;
+  if (flags.Has("fault-plan") || std::getenv("XFRAUD_FAULT_PLAN") != nullptr) {
+    Result<fault::FaultPlan> plan =
+        flags.Has("fault-plan")
+            ? fault::FaultPlan::Parse(flags.Get("fault-plan"))
+            : fault::FaultPlan::FromEnv();
+    if (!plan.ok()) {
+      std::cerr << "serve-bench: " << plan.status().ToString() << "\n";
+      return 1;
+    }
+    topo.plan = plan.value();
+    std::cout << "fault plan: " << plan.value().ToString() << "\n";
+  }
+  serve::ServingTopology topology(topo);
+  Status ingest = topology.Ingest(ds.graph);
+  if (!ingest.ok()) {
+    std::cerr << "serve-bench: ingest: " << ingest.ToString() << "\n";
+    return 1;
+  }
+  kv::FeatureStore features(topology.serving());
+
+  // Score with the trained checkpoint when given; a fresh seed-initialized
+  // detector exercises the identical serving path otherwise.
+  Rng rng(flags.GetInt("seed", 7));
+  std::unique_ptr<core::XFraudDetector> detector;
+  if (flags.Has("model")) {
+    auto loaded = LoadDetector(ds.graph, flags);
+    if (!loaded.ok()) {
+      std::cerr << "serve-bench: " << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    detector = std::move(loaded.value());
+  } else {
+    detector = std::make_unique<core::XFraudDetector>(
+        ConfigFor(ds.graph, flags), &rng);
+  }
+
+  std::string shed = flags.Get("shed-policy", "failfast");
+  if (shed != "failfast" && shed != "degrade") {
+    std::cerr << "serve-bench: --shed-policy must be failfast or degrade\n";
+    return 1;
+  }
+  serve::ServiceOptions options;
+  options.deadline_s = flags.GetDouble("deadline-ms", 250.0) * 1e-3;
+  options.max_inflight = flags.GetInt("max-inflight", 64);
+  options.shed_policy = shed == "degrade" ? serve::ShedPolicy::kDegrade
+                                          : serve::ShedPolicy::kFailFast;
+  options.max_degraded_frac = flags.GetDouble("max-degraded-frac", 1.0);
+  options.clock = clock;
+  serve::ScoringService service(detector.get(), &features, options);
+  baselines::RuleScorer fallback = baselines::RuleScorer::FromFilter(
+      data::RuleFilter::Fit(records.value(), data::RuleFilter::Options{}));
+  service.set_fallback(&fallback);
+
+  auto seeds = ds.graph.LabeledTransactions();
+  if (seeds.empty()) {
+    std::cerr << "serve-bench: log has no labeled transactions\n";
+    return 1;
+  }
+  const int num_requests =
+      std::max(1, flags.GetInt("requests", 200));
+  const int num_threads = std::max(1, flags.GetInt("threads", 1));
+
+  const int64_t hedged_before = CounterValue("kv/replicated/hedged_reads");
+  const int64_t wins_before = CounterValue("kv/replicated/hedge_wins");
+  const int64_t failovers_before = CounterValue("kv/replicated/failovers");
+  const int64_t opens_before = CounterValue("kv/replicated/breaker_opens");
+
+  std::vector<double> latencies(static_cast<size_t>(num_requests), -1.0);
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::atomic<int> deadline_count{0};
+  std::atomic<int> degraded_count{0};
+  std::atomic<int> prefilter_count{0};
+  auto worker = [&](int first, int last) {
+    for (int r = first; r < last; ++r) {
+      const int32_t node = seeds[static_cast<size_t>(r) % seeds.size()];
+      auto resp = service.Score(/*request_id=*/r, node);
+      if (resp.ok()) {
+        ok_count.fetch_add(1);
+        latencies[static_cast<size_t>(r)] = resp.value().latency_s;
+        if (resp.value().degraded) degraded_count.fetch_add(1);
+        if (resp.value().from_prefilter) prefilter_count.fetch_add(1);
+      } else if (resp.status().IsDeadlineExceeded()) {
+        deadline_count.fetch_add(1);
+      } else {
+        shed_count.fetch_add(1);
+      }
+    }
+  };
+  WallTimer timer;
+  if (num_threads == 1) {
+    worker(0, num_requests);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    const int per = (num_requests + num_threads - 1) / num_threads;
+    for (int t = 0; t < num_threads; ++t) {
+      const int first = t * per;
+      threads.emplace_back(worker, std::min(first, num_requests),
+                           std::min(first + per, num_requests));
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = timer.ElapsedSeconds();
+
+  std::vector<double> ok_latencies;
+  for (double l : latencies) {
+    if (l >= 0.0) ok_latencies.push_back(l);
+  }
+  std::cout << "scored " << num_requests << " requests on " << num_threads
+            << " thread(s) in " << TablePrinter::Num(wall_s, 2) << "s ("
+            << topo.num_shards << " shards x " << topo.num_replicas
+            << " replicas";
+  if (flags.Has("virtual-clock")) {
+    std::cout << ", virtual clock at "
+              << TablePrinter::Num(virtual_clock.NowSeconds(), 3) << "s";
+  }
+  std::cout << ")\n";
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"ok", std::to_string(ok_count.load())});
+  table.AddRow({"shed / unavailable", std::to_string(shed_count.load())});
+  table.AddRow({"deadline exceeded", std::to_string(deadline_count.load())});
+  table.AddRow({"degraded", std::to_string(degraded_count.load())});
+  table.AddRow({"prefilter fallback", std::to_string(prefilter_count.load())});
+  table.AddRow(
+      {"p50 (ms)", TablePrinter::Num(Percentile(ok_latencies, 0.50) * 1e3, 2)});
+  table.AddRow(
+      {"p95 (ms)", TablePrinter::Num(Percentile(ok_latencies, 0.95) * 1e3, 2)});
+  table.AddRow(
+      {"p99 (ms)", TablePrinter::Num(Percentile(ok_latencies, 0.99) * 1e3, 2)});
+  table.AddRow({"hedged reads",
+                std::to_string(CounterValue("kv/replicated/hedged_reads") -
+                               hedged_before)});
+  table.AddRow({"hedge wins",
+                std::to_string(CounterValue("kv/replicated/hedge_wins") -
+                               wins_before)});
+  table.AddRow({"failovers",
+                std::to_string(CounterValue("kv/replicated/failovers") -
+                               failovers_before)});
+  table.AddRow({"breaker opens",
+                std::to_string(CounterValue("kv/replicated/breaker_opens") -
+                               opens_before)});
+  table.Print(std::cout);
+  return WriteMetricsSnapshot(flags);
+}
+
 int Main(int argc, char** argv) {
   SetMinLogLevel(LogLevel::kWarning);
   if (argc < 2) return Usage();
@@ -424,6 +635,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags.value());
   if (command == "score") return CmdScore(flags.value());
   if (command == "explain") return CmdExplain(flags.value());
+  if (command == "serve-bench") return CmdServeBench(flags.value());
   return Usage();
 }
 
