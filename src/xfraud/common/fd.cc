@@ -1,0 +1,18 @@
+#include "xfraud/common/fd.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+namespace xfraud {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc != 0 && errno == EINTR);
+  }
+  fd_ = fd;
+}
+
+}  // namespace xfraud

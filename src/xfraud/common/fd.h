@@ -1,0 +1,42 @@
+#ifndef XFRAUD_COMMON_FD_H_
+#define XFRAUD_COMMON_FD_H_
+
+namespace xfraud {
+
+/// RAII owner of a POSIX file descriptor. Move-only; closing retries on
+/// EINTR. Holds -1 when empty. The transport layer (dist/) passes these
+/// around so no early-return path can leak a socket.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_FD_H_

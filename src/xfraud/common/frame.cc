@@ -1,0 +1,81 @@
+#include "xfraud/common/frame.h"
+
+#include <string>
+
+namespace xfraud {
+
+namespace {
+
+constexpr unsigned char kMagic[4] = {'X', 'F', 'R', 'M'};
+
+void PutU16(unsigned char* out, uint16_t v) {
+  out[0] = static_cast<unsigned char>(v & 0xFF);
+  out[1] = static_cast<unsigned char>((v >> 8) & 0xFF);
+}
+
+void PutU32(unsigned char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PutU64(unsigned char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint16_t GetU16(const unsigned char* in) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(in[0]) |
+                               static_cast<uint16_t>(in[1]) << 8);
+}
+
+uint32_t GetU32(const unsigned char* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void EncodeFrameHeader(const FrameHeader& header, unsigned char* out) {
+  for (int i = 0; i < 4; ++i) out[i] = kMagic[i];
+  PutU16(out + 4, static_cast<uint16_t>(header.type));
+  PutU16(out + 6, header.flags);
+  PutU32(out + 8, header.rank);
+  PutU64(out + 12, header.seq);
+  PutU64(out + 20, header.payload_bytes);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const unsigned char* data) {
+  for (int i = 0; i < 4; ++i) {
+    if (data[i] != kMagic[i]) {
+      return Status::Corruption("frame: bad magic");
+    }
+  }
+  FrameHeader header;
+  uint16_t type = GetU16(data + 4);
+  if (type < static_cast<uint16_t>(FrameType::kHello) ||
+      type > static_cast<uint16_t>(FrameType::kGather)) {
+    return Status::Corruption("frame: unknown type " + std::to_string(type));
+  }
+  header.type = static_cast<FrameType>(type);
+  header.flags = GetU16(data + 6);
+  header.rank = GetU32(data + 8);
+  header.seq = GetU64(data + 12);
+  header.payload_bytes = GetU64(data + 20);
+  if (header.payload_bytes > kMaxFramePayload) {
+    return Status::Corruption("frame: payload length " +
+                              std::to_string(header.payload_bytes) +
+                              " exceeds limit");
+  }
+  return header;
+}
+
+}  // namespace xfraud

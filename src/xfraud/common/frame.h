@@ -1,0 +1,64 @@
+#ifndef XFRAUD_COMMON_FRAME_H_
+#define XFRAUD_COMMON_FRAME_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "xfraud/common/status.h"
+
+namespace xfraud {
+
+/// Length-prefixed wire frame used by the dist/ socket transport and the
+/// rank-0 rendezvous. A frame is a fixed 28-byte header followed by
+/// `payload_bytes` of payload:
+///
+///   [0..4)   magic  "XFRM"
+///   [4..6)   type   u16 (FrameType)
+///   [6..8)   flags  u16 (dtype / backend-specific bits)
+///   [8..12)  rank   u32 (sender rank, or root, depending on type)
+///   [12..20) seq    u64 (collective sequence number or generation)
+///   [20..28) payload_bytes u64
+///
+/// Integers are encoded little-endian byte-by-byte, so the encoding is
+/// host-endianness independent (frames only ever cross localhost today, but
+/// the format does not bake that in). Serialization lives in common/ so it
+/// carries no socket I/O — dist/ owns the fds.
+enum class FrameType : uint16_t {
+  kHello = 1,      // ring handshake: rank = sender's rank
+  kJoin = 2,       // rendezvous: rank = joiner, seq = generation, payload = ring endpoint
+  kAssign = 3,     // rendezvous reply: seq = generation, payload = successor endpoint
+  kReduce = 4,     // all-reduce pass 1 (partial sums travel the ring)
+  kResult = 5,     // all-reduce pass 2 (final sum travels the ring)
+  kBroadcast = 6,  // broadcast payload, rank = root
+  kBarrier = 7,    // empty token circling the ring
+  kGather = 8,     // concatenated per-rank entries travelling toward root
+};
+
+/// Payload dtype, carried in `flags` for the numeric collectives.
+enum class FrameDtype : uint16_t { kNone = 0, kFloat32 = 1, kFloat64 = 2 };
+
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  uint16_t flags = 0;
+  uint32_t rank = 0;
+  uint64_t seq = 0;
+  uint64_t payload_bytes = 0;
+};
+
+inline constexpr size_t kFrameHeaderBytes = 28;
+
+/// Frames above this payload size are rejected as corrupt — far above any
+/// gradient buffer the simulation ships, far below anything that could make
+/// a malformed length field allocate the host out of memory.
+inline constexpr uint64_t kMaxFramePayload = 1ULL << 31;
+
+/// Encodes `header` into `out`, which must hold kFrameHeaderBytes.
+void EncodeFrameHeader(const FrameHeader& header, unsigned char* out);
+
+/// Decodes a header from `data` (kFrameHeaderBytes long). Returns
+/// Corruption on a bad magic, unknown type, or oversized payload length.
+Result<FrameHeader> DecodeFrameHeader(const unsigned char* data);
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_FRAME_H_

@@ -1,0 +1,91 @@
+#ifndef XFRAUD_DIST_COMMUNICATOR_H_
+#define XFRAUD_DIST_COMMUNICATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "xfraud/common/status.h"
+
+namespace xfraud::dist {
+
+/// Collective-communication surface of the distributed runtime, shaped after
+/// PyTorch's ProcessGroup backends. `DistributedTrainer` and the
+/// multi-process worker loop speak only this interface; the backend decides
+/// whether "the cluster" is kappa replicas in one address space
+/// (InProcessGroup) or kappa real processes on a socket ring
+/// (SocketCommunicator).
+///
+/// Semantics every backend must honour:
+///  - AllReduceSum reduces element-wise in ascending-rank order — the sum is
+///    the left fold ((r0 + r1) + r2) + ... — and every rank's buffer holds
+///    the bit-identical result afterwards. Rank order is the contract that
+///    keeps replicas bitwise synchronized across backends.
+///  - Broadcast copies root's buffer into every rank's buffer.
+///  - Gather delivers every rank's buffer to `root`, indexed by rank; ranks
+///    may contribute different lengths.
+///  - Barrier returns only once every rank has entered it.
+///  - Collectives are matched by call order: every rank must issue the same
+///    sequence of operations with the same element counts. A mismatch is
+///    FailedPrecondition (in-process) or Corruption (socket, detected via
+///    frame headers).
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  virtual Status AllReduceSum(std::span<float> data) = 0;
+  virtual Status AllReduceSum(std::span<double> data) = 0;
+  virtual Status Broadcast(std::span<float> data, int root) = 0;
+  virtual Status Broadcast(std::span<double> data, int root) = 0;
+  virtual Status Barrier() = 0;
+  virtual Status Gather(std::span<const float> send, int root,
+                        std::vector<std::vector<float>>* recv) = 0;
+
+  /// Wall seconds this rank has spent inside collectives. Zero for the
+  /// in-process backend (its sync cost is modeled, not measured).
+  virtual double comm_seconds() const = 0;
+
+  /// Payload + header bytes this rank has put on the wire. Zero in-process.
+  virtual int64_t bytes_on_wire() const = 0;
+};
+
+/// Shared-memory backend: one group object hands out `size` communicator
+/// endpoints over a common buffer table.
+///
+/// Two completion modes:
+///  - phased (default): a rank's collective call deposits its buffer and
+///    returns immediately; the last rank's call executes the operation in
+///    rank order and completes it for everyone. This matches the serial
+///    driver in DistributedTrainer, where one thread plays every rank in
+///    turn and a blocking collective would deadlock. Buffers passed to a
+///    phased call must stay valid until the last rank's call of that
+///    operation returns.
+///  - blocking: each call waits (condition variable) until all ranks have
+///    entered, mirroring a real collective. For threaded tests and benches.
+///
+/// Once any operation fails (signature mismatch across ranks), the group is
+/// poisoned and every subsequent call returns the original error.
+class InProcessGroup {
+ public:
+  explicit InProcessGroup(int size, bool blocking = false);
+  ~InProcessGroup();
+
+  int size() const;
+  Communicator* communicator(int rank);
+
+  /// Implementation detail (the group's buffer table); public only so the
+  /// per-rank endpoints in the .cc can name it.
+  struct Shared;
+
+ private:
+  std::shared_ptr<Shared> shared_;
+  std::vector<std::unique_ptr<Communicator>> endpoints_;
+};
+
+}  // namespace xfraud::dist
+
+#endif  // XFRAUD_DIST_COMMUNICATOR_H_

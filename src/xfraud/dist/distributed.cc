@@ -12,7 +12,6 @@
 #include "xfraud/kv/feature_store.h"
 #include "xfraud/kv/mem_kv.h"
 #include "xfraud/nn/optim.h"
-#include "xfraud/nn/serialize.h"
 #include "xfraud/obs/registry.h"
 #include "xfraud/obs/trace.h"
 #include "xfraud/sample/batch_loader.h"
@@ -20,15 +19,6 @@
 namespace xfraud::dist {
 
 using train::FraudProbabilities;
-
-namespace {
-
-// Stream tags of the simulation's independent sampling roots (per-worker
-// training streams and the replica-0 evaluation stream).
-constexpr uint64_t kDistSampleTag = 0x44495354ULL;  // "DIST"
-constexpr uint64_t kDistEvalTag = 0x4456414CULL;    // "DVAL"
-
-}  // namespace
 
 DistributedTrainer::DistributedTrainer(std::vector<core::GnnModel*> replicas,
                                        const sample::Sampler* sampler,
@@ -167,6 +157,25 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
   std::vector<std::vector<nn::NamedParameter>> params(kappa);
   for (int w = 0; w < kappa; ++w) params[w] = replicas_[w]->Parameters();
 
+  // Collective backend. With no injected communicators the trainer owns a
+  // phased InProcessGroup: each rank's collective call deposits its buffer
+  // and returns, and the last rank's call executes the operation — the
+  // pattern a serial driver needs (a blocking collective would deadlock the
+  // single thread playing every rank in turn).
+  std::unique_ptr<InProcessGroup> owned_group;
+  std::vector<Communicator*> comm = options_.communicators;
+  if (comm.empty()) {
+    owned_group = std::make_unique<InProcessGroup>(kappa);
+    for (int w = 0; w < kappa; ++w) {
+      comm.push_back(owned_group->communicator(w));
+    }
+  }
+  XF_CHECK_EQ(comm.size(), static_cast<size_t>(kappa));
+  for (int w = 0; w < kappa; ++w) {
+    XF_CHECK_EQ(comm[w]->rank(), w);
+    XF_CHECK_EQ(comm[w]->size(), kappa);
+  }
+
   // Simulated comms accounting: a ring all-reduce over kappa workers moves
   // 2*(kappa-1) gradient-buffer copies across the cluster per round (the
   // reduce-scatter plus the all-gather). Measured as modeled volume — this
@@ -204,6 +213,10 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
   for (int epoch = 0; epoch < options_.train.max_epochs; ++epoch) {
     obs::ScopedSpan epoch_span("dist/epoch");
     WallTimer epoch_timer;
+    std::vector<double> comm_seconds_at_start(kappa);
+    for (int w = 0; w < kappa; ++w) {
+      comm_seconds_at_start[w] = comm[w]->comm_seconds();
+    }
     const bool may_kill_this_epoch =
         injector != nullptr && injector->plan().kill_worker >= 0 &&
         injector->plan().kill_epoch == epoch;
@@ -357,14 +370,20 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
         round_bytes->Record(static_cast<double>(ring_bytes_per_round));
         const int contributions =
             kappa - (killed >= 0 ? 1 : 0) + extra_this_step;
+        const float inv_contributions =
+            1.0f / static_cast<float>(contributions);
         for (size_t p = 0; p < params0.size(); ++p) {
-          nn::Tensor& acc = params[0][p].var.grad();
-          for (int w = 1; w < kappa; ++w) {
-            acc.AddInPlace(params[w][p].var.grad());
+          for (int w = 0; w < kappa; ++w) {
+            nn::Tensor& g = params[w][p].var.grad();
+            Status reduced = comm[w]->AllReduceSum(
+                std::span<float>(g.data(), static_cast<size_t>(g.size())));
+            XF_CHECK(reduced.ok()) << reduced.message();
           }
-          acc.ScaleInPlace(1.0f / static_cast<float>(contributions));
-          for (int w = 1; w < kappa; ++w) {
-            params[w][p].var.grad() = acc;
+          // Every rank scales its own copy of the (bit-identical) sum by
+          // the same scalar, which lands on the same bits the historical
+          // scale-then-copy produced.
+          for (int w = 0; w < kappa; ++w) {
+            params[w][p].var.grad().ScaleInPlace(inv_contributions);
           }
         }
 
@@ -401,15 +420,61 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
     } while (rerun);
 
     // Elastic rejoin: the dead replica re-enters the next epoch with a
-    // survivor's parameters and optimizer state (they are all identical).
+    // survivor's parameters and optimizer state, moved as Broadcast
+    // collectives rooted at a survivor so the rejoin protocol is the same
+    // whatever the backend. Survivors broadcast-receive values identical to
+    // what they already hold (replicas are synchronized), so only the dead
+    // rank observes a change.
     if (killed >= 0) {
       WallTimer t;
       const int src = killed == 0 ? 1 : 0;
-      Status synced = nn::CopyParameters(params[src], &params[killed]);
-      XF_CHECK(synced.ok());
-      synced = workers[killed].optimizer->CopyStateFrom(
-          *workers[src].optimizer);
-      XF_CHECK(synced.ok());
+      for (size_t p = 0; p < params0.size(); ++p) {
+        for (int w = 0; w < kappa; ++w) {
+          nn::Tensor& v = params[w][p].var.mutable_value();
+          Status synced = comm[w]->Broadcast(
+              std::span<float>(v.data(), static_cast<size_t>(v.size())), src);
+          XF_CHECK(synced.ok()) << synced.message();
+        }
+      }
+      // Optimizer state travels through per-rank staging buffers: moments
+      // are broadcast tensor-by-tensor, then installed with SetState on
+      // every rank (a no-op on survivors, the rejoin on the dead rank).
+      std::vector<std::vector<nn::Tensor>> moments_m(kappa);
+      std::vector<std::vector<nn::Tensor>> moments_v(kappa);
+      std::vector<std::vector<double>> step_buf(
+          kappa, std::vector<double>(1, 0.0));
+      for (int w = 0; w < kappa; ++w) {
+        moments_m[w] = workers[w].optimizer->first_moments();
+        moments_v[w] = workers[w].optimizer->second_moments();
+        step_buf[w][0] =
+            static_cast<double>(workers[w].optimizer->step_count());
+      }
+      for (size_t p = 0; p < params0.size(); ++p) {
+        for (int w = 0; w < kappa; ++w) {
+          nn::Tensor& m = moments_m[w][p];
+          Status synced = comm[w]->Broadcast(
+              std::span<float>(m.data(), static_cast<size_t>(m.size())), src);
+          XF_CHECK(synced.ok()) << synced.message();
+        }
+        for (int w = 0; w < kappa; ++w) {
+          nn::Tensor& v2 = moments_v[w][p];
+          Status synced = comm[w]->Broadcast(
+              std::span<float>(v2.data(), static_cast<size_t>(v2.size())),
+              src);
+          XF_CHECK(synced.ok()) << synced.message();
+        }
+      }
+      for (int w = 0; w < kappa; ++w) {
+        Status synced =
+            comm[w]->Broadcast(std::span<double>(step_buf[w]), src);
+        XF_CHECK(synced.ok()) << synced.message();
+      }
+      for (int w = 0; w < kappa; ++w) {
+        Status installed = workers[w].optimizer->SetState(
+            moments_m[w], moments_v[w],
+            static_cast<int64_t>(step_buf[w][0]));
+        XF_CHECK(installed.ok()) << installed.message();
+      }
       workers[killed].alive = true;
       recovery_seconds += t.ElapsedSeconds();
     }
@@ -442,8 +507,20 @@ DistributedResult DistributedTrainer::Train(const data::SimDataset& ds) {
     stats.wall_seconds = wall;
     stats.max_worker_sample_seconds = slowest_sample;
     stats.max_worker_compute_seconds = slowest_compute;
-    stats.simulated_cluster_seconds =
-        slowest + options_.sync_overhead_seconds * steps_per_epoch;
+    // Sync cost: measured when the backend measures (slowest rank's time
+    // inside collectives this epoch), modeled otherwise — never both.
+    double measured_comm = 0.0;
+    for (int w = 0; w < kappa; ++w) {
+      measured_comm = std::max(
+          measured_comm, comm[w]->comm_seconds() - comm_seconds_at_start[w]);
+    }
+    if (measured_comm > 0.0) {
+      stats.measured_comm_seconds = measured_comm;
+    } else {
+      stats.modeled_sync_seconds =
+          options_.sync_overhead_seconds * steps_per_epoch;
+    }
+    stats.simulated_cluster_seconds = slowest + stats.sync_seconds();
     stats.killed_worker = killed_this_epoch;
     stats.redistributed_batches = redistributed;
     stats.restarted = epoch_restarted;

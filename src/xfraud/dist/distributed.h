@@ -1,12 +1,14 @@
 #ifndef XFRAUD_DIST_DISTRIBUTED_H_
 #define XFRAUD_DIST_DISTRIBUTED_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "xfraud/common/retry.h"
 #include "xfraud/core/gnn_model.h"
 #include "xfraud/data/generator.h"
+#include "xfraud/dist/communicator.h"
 #include "xfraud/sample/sampler.h"
 #include "xfraud/train/trainer.h"
 
@@ -15,6 +17,14 @@ class FaultInjector;
 }  // namespace xfraud::fault
 
 namespace xfraud::dist {
+
+/// Stream tags of the distributed simulation's independent sampling roots
+/// (per-worker training streams and the rank-0 evaluation stream). Shared
+/// with the multi-process worker (dist/worker.h), which must derive the
+/// exact same per-(epoch, rank) loader streams for a fault-free socket run
+/// to be bit-identical to the in-process run.
+inline constexpr uint64_t kDistSampleTag = 0x44495354ULL;  // "DIST"
+inline constexpr uint64_t kDistEvalTag = 0x4456414CULL;    // "DVAL"
 
 /// What the cluster does when a worker dies mid-epoch (the fault model a
 /// production DDP job needs; injected deterministically via
@@ -57,6 +67,11 @@ struct DistributedOptions {
   /// Defaults to a single attempt; raise max_attempts to ride out injected
   /// or real transient KV errors.
   RetryPolicy kv_retry;
+  /// Collective backend, one endpoint per rank (communicators[w] must have
+  /// rank() == w and size() == num_workers). Not owned. Empty means the
+  /// trainer builds its own phased InProcessGroup, which reproduces the
+  /// historical shared-memory semantics bit-identically.
+  std::vector<Communicator*> communicators;
 };
 
 /// Per-epoch record of the distributed run.
@@ -71,8 +86,22 @@ struct DistributedEpoch {
   double max_worker_sample_seconds = 0.0;
   /// Slowest worker's gradient-compute (forward+backward) cost this epoch.
   double max_worker_compute_seconds = 0.0;
+  /// Sync cost of this epoch, split by provenance so the two are never
+  /// summed: exactly one of the pair is nonzero. `modeled_sync_seconds` is
+  /// the in-process model (sync_overhead_seconds × steps);
+  /// `measured_comm_seconds` is the slowest rank's measured time inside
+  /// collectives when the backend is a real transport
+  /// (Communicator::comm_seconds() > 0, i.e. the socket ring).
+  double modeled_sync_seconds = 0.0;
+  double measured_comm_seconds = 0.0;
+  /// The epoch's sync cost: measured when the backend measures, else the
+  /// model.
+  double sync_seconds() const {
+    return measured_comm_seconds > 0.0 ? measured_comm_seconds
+                                       : modeled_sync_seconds;
+  }
   /// Simulated cluster wall-clock: max over workers of their measured
-  /// epoch cost plus the modeled sync cost — what a kappa-machine cluster
+  /// epoch cost plus sync_seconds() — what a kappa-machine cluster
   /// would take, since workers compute concurrently there. A worker's
   /// epoch cost is sample+compute on the serial path, and
   /// max(sample, compute) when sampler workers pipeline batches ahead of

@@ -1,0 +1,51 @@
+#ifndef XFRAUD_DIST_LAUNCHER_H_
+#define XFRAUD_DIST_LAUNCHER_H_
+
+#include <vector>
+
+#include "xfraud/common/clock.h"
+#include "xfraud/dist/worker.h"
+
+namespace xfraud::dist {
+
+struct ProcessClusterOptions {
+  /// Per-rank template: `rank` and `suppress_kill` are overwritten per
+  /// process; `world` is the cluster size; an empty `rendezvous` defaults to
+  /// `unix:<checkpoint_dir>/rdzv.sock`. `checkpoint_dir` is created if
+  /// missing.
+  DistWorkerOptions worker;
+  /// Restart budget per rank. A rank that dies by signal (the fault plan's
+  /// SIGKILL, or a real crash) is re-forked with the kill suppressed, up to
+  /// this many times; exhausting the budget fails the run.
+  int max_restarts_per_rank = 2;
+  /// Whole-cluster wall budget; expiry kills every worker and fails with
+  /// DeadlineExceeded.
+  double overall_timeout_s = 600.0;
+  /// nullptr means Clock::Real(). (Workers always run on real time in their
+  /// own processes; the clock only paces the monitor loop.)
+  Clock* clock = nullptr;
+};
+
+struct ProcessClusterReport {
+  /// Rank 0's result, loaded from `<checkpoint_dir>/result.bin`.
+  DistributedResult result;
+  /// Total re-forks across all ranks.
+  int restarts = 0;
+  /// Ranks observed dying by signal, in observation order (one entry per
+  /// death, so a twice-killed rank appears twice).
+  std::vector<int> kills_observed;
+};
+
+/// Forks one real OS process per rank (children inherit the in-memory
+/// dataset), runs RunDistWorker in each, and supervises them with waitpid:
+/// a signal death is recorded and the rank re-forked with `suppress_kill`
+/// set (it resumes from its CRC checkpoint and rejoins the ring at the next
+/// generation); a nonzero exit or an exhausted restart budget kills the
+/// remaining workers and fails the run. Returns once every rank has exited
+/// cleanly.
+Result<ProcessClusterReport> RunProcessCluster(
+    const data::SimDataset& ds, const ProcessClusterOptions& options);
+
+}  // namespace xfraud::dist
+
+#endif  // XFRAUD_DIST_LAUNCHER_H_

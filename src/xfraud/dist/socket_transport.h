@@ -1,0 +1,132 @@
+#ifndef XFRAUD_DIST_SOCKET_TRANSPORT_H_
+#define XFRAUD_DIST_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xfraud/common/clock.h"
+#include "xfraud/common/fd.h"
+#include "xfraud/common/frame.h"
+#include "xfraud/common/retry.h"
+#include "xfraud/common/status.h"
+#include "xfraud/dist/communicator.h"
+#include "xfraud/dist/rendezvous.h"
+
+namespace xfraud::dist {
+
+// ---- Low-level nonblocking socket I/O under a Deadline ---------------------
+//
+// All blocking is poll()-based with the remaining deadline budget as the
+// timeout, so a dead peer costs at most the deadline, never a hang. Error
+// mapping: expiry -> DeadlineExceeded; peer closed / reset -> Unavailable;
+// transient connect failures (ECONNREFUSED, missing unix path) -> IoError so
+// RetryWithBackoff (common/retry.h) treats them as retryable.
+
+/// Dials `ep`; the returned fd is connected and nonblocking.
+Result<UniqueFd> DialEndpoint(const Endpoint& ep, const Deadline& deadline,
+                              Clock* clock);
+
+/// Accepts one connection from a nonblocking listener.
+Result<UniqueFd> AcceptWithDeadline(int listener, const Deadline& deadline,
+                                    Clock* clock);
+
+Status SendAllBytes(int fd, const void* data, size_t n,
+                    const Deadline& deadline, Clock* clock);
+Status RecvAllBytes(int fd, void* data, size_t n, const Deadline& deadline,
+                    Clock* clock);
+
+/// Writes header + payload (`header.payload_bytes` is set from `n`).
+Status SendFrame(int fd, FrameHeader header, const void* payload, size_t n,
+                 const Deadline& deadline, Clock* clock);
+
+/// Reads and validates one frame header (payload is read by the caller).
+Result<FrameHeader> RecvFrameHeader(int fd, const Deadline& deadline,
+                                    Clock* clock);
+
+/// Reads one frame that must match `want` type with exactly
+/// `payload_bytes` of payload, into `payload`.
+Status RecvFrameInto(int fd, FrameType want, void* payload,
+                     size_t payload_bytes, const Deadline& deadline,
+                     Clock* clock);
+
+// ---- SocketCommunicator ----------------------------------------------------
+
+struct SocketCommOptions {
+  int rank = 0;
+  int world = 1;
+  /// Rendezvous endpoint spec (`unix:<path>` or `tcp:host:port`).
+  Endpoint rendezvous;
+  /// Per-connect budget when dialing the rendezvous or ring successor.
+  double connect_timeout_s = 10.0;
+  /// Budget for one collective (the slowest frame hop within it).
+  double op_timeout_s = 60.0;
+  /// Budget for the whole cluster to assemble at the rendezvous.
+  double rendezvous_timeout_s = 60.0;
+  /// Backoff policy for dialing a host that is not listening yet.
+  RetryPolicy connect_retry{.max_attempts = 50,
+                            .initial_backoff_s = 0.002,
+                            .max_backoff_s = 0.25,
+                            .deadline_s = 60.0};
+  /// Rendezvous generation this rank believes it is joining; the host's
+  /// assignment overrides it (read back via generation()).
+  uint64_t generation = 0;
+  /// Time source; nullptr means Clock::Real(). Socket readiness still comes
+  /// from poll(), so a VirtualClock only makes sense for already-ready fds.
+  Clock* clock = nullptr;
+};
+
+/// Ring transport over local sockets: every rank owns a listening "ring"
+/// endpoint, learns its successor from the rank-0 rendezvous, dials it, and
+/// accepts its predecessor. Collectives are single- or double-pass ring
+/// walks (see DESIGN.md §12) whose reduction order is the same ascending-
+/// rank left fold as the in-process backend, so results are bit-identical
+/// across backends.
+///
+/// Any frame error (timeout, peer death, header mismatch) breaks the ring:
+/// the failing call tears down both ring connections — waking the
+/// neighbours with EOF so failure detection cascades around the ring — and
+/// every subsequent collective fails fast with the original error. Recovery
+/// is the caller's job: roll back to the epoch-start checkpoint, bump the
+/// generation, and Connect() a fresh communicator.
+class SocketCommunicator final : public Communicator {
+ public:
+  /// Full connection dance: bind the ring listener, rendezvous (rank 0
+  /// hosts via `host`, which must be non-null iff rank == 0 and world > 1),
+  /// dial the successor, accept the predecessor, exchange hellos.
+  static Result<std::unique_ptr<SocketCommunicator>> Connect(
+      const SocketCommOptions& options, RendezvousHost* host);
+
+  ~SocketCommunicator() override;
+
+  int rank() const override;
+  int size() const override;
+  Status AllReduceSum(std::span<float> data) override;
+  Status AllReduceSum(std::span<double> data) override;
+  Status Broadcast(std::span<float> data, int root) override;
+  Status Broadcast(std::span<double> data, int root) override;
+  Status Barrier() override;
+  Status Gather(std::span<const float> send, int root,
+                std::vector<std::vector<float>>* recv) override;
+  double comm_seconds() const override;
+  int64_t bytes_on_wire() const override;
+
+  /// Generation assigned by the rendezvous host at Connect time.
+  uint64_t generation() const;
+
+  /// Closes both ring connections (idempotent). Neighbours see EOF and fail
+  /// their in-flight collective with Unavailable.
+  void Shutdown();
+
+  struct Impl;
+  /// Use Connect() — public only so make_unique can reach it; Impl is not
+  /// constructible outside this class's implementation.
+  explicit SocketCommunicator(std::unique_ptr<Impl> impl);
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xfraud::dist
+
+#endif  // XFRAUD_DIST_SOCKET_TRANSPORT_H_

@@ -1,0 +1,681 @@
+#include "xfraud/dist/worker.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xfraud/common/atomic_file.h"
+#include "xfraud/common/logging.h"
+#include "xfraud/common/timer.h"
+#include "xfraud/dist/partition.h"
+#include "xfraud/dist/socket_transport.h"
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/graph/subgraph.h"
+#include "xfraud/nn/ops.h"
+#include "xfraud/nn/optim.h"
+#include "xfraud/nn/serialize.h"
+#include "xfraud/sample/batch_loader.h"
+#include "xfraud/train/trainer.h"
+
+namespace xfraud::dist {
+
+namespace {
+
+// ---- Worker checkpoint ("XFDC") -------------------------------------------
+//
+// Written at every epoch boundary, so it is both the rollback image for
+// comm-failure recovery (survivors reload it in-process) and the resume
+// image for a SIGKILLed rank (the launcher's restarted process loads it at
+// startup). Same CRC-footer file format discipline as the trainer
+// checkpoint (train/checkpoint.cc).
+
+constexpr char kCkptMagic[4] = {'X', 'F', 'D', 'C'};
+constexpr uint32_t kCkptVersion = 1;
+
+constexpr char kResultMagic[4] = {'X', 'F', 'D', 'R'};
+constexpr uint32_t kResultVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len) || len > (1u << 20)) return false;
+  s->resize(len);
+  in.read(s->data(), len);
+  return static_cast<bool>(in);
+}
+
+void WriteTensor(std::ostream& out, const nn::Tensor& t) {
+  WritePod(out, t.rows());
+  WritePod(out, t.cols());
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+bool ReadTensor(std::istream& in, nn::Tensor* t) {
+  int64_t rows = 0, cols = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || rows < 0 || cols < 0) {
+    return false;
+  }
+  *t = nn::Tensor(rows, cols);
+  in.read(reinterpret_cast<char*>(t->data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+/// The non-parameter part of a rank's epoch-boundary state.
+struct WorkerState {
+  int32_t next_epoch = 0;
+  double best_val_auc = 0.0;
+  int32_t stale = 0;
+  xfraud::Rng::State rng;
+  uint64_t cursor = 0;
+  std::vector<int32_t> order;  // shuffled local train seeds
+};
+
+Status SaveWorkerCheckpoint(const std::string& path, uint64_t seed,
+                            const WorkerState& st,
+                            const std::vector<nn::NamedParameter>& params,
+                            const nn::AdamW& optimizer) {
+  std::ostringstream out;
+  out.write(kCkptMagic, 4);
+  WritePod(out, kCkptVersion);
+  WritePod(out, seed);
+  WritePod(out, st.next_epoch);
+  WritePod(out, st.best_val_auc);
+  WritePod(out, st.stale);
+  for (uint64_t s : st.rng.s) WritePod(out, s);
+  WritePod(out, static_cast<uint8_t>(st.rng.has_cached_gaussian ? 1 : 0));
+  WritePod(out, st.rng.cached_gaussian);
+  WritePod(out, st.cursor);
+  WritePod(out, static_cast<int64_t>(st.order.size()));
+  out.write(reinterpret_cast<const char*>(st.order.data()),
+            static_cast<std::streamsize>(st.order.size() * sizeof(int32_t)));
+
+  const std::vector<nn::Tensor>& m = optimizer.first_moments();
+  const std::vector<nn::Tensor>& v = optimizer.second_moments();
+  if (m.size() != params.size() || v.size() != params.size()) {
+    return Status::InvalidArgument(
+        "worker checkpoint: optimizer state count != parameter count");
+  }
+  WritePod(out, static_cast<int64_t>(params.size()));
+  for (size_t i = 0; i < params.size(); ++i) {
+    WriteString(out, params[i].name);
+    WriteTensor(out, params[i].var.value());
+    WriteTensor(out, m[i]);
+    WriteTensor(out, v[i]);
+  }
+  WritePod(out, optimizer.step_count());
+  return AtomicWriteFileWithCrc(path, out.str());
+}
+
+Status LoadWorkerCheckpoint(const std::string& path, uint64_t seed,
+                            WorkerState* st,
+                            std::vector<nn::NamedParameter>* params,
+                            nn::AdamW* optimizer) {
+  Result<std::string> raw = ReadFileVerifyCrc(path);
+  if (!raw.ok()) return raw.status();
+  std::istringstream in(std::move(raw).value());
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kCkptMagic, 4) != 0) {
+    return Status::Corruption("bad worker checkpoint magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kCkptVersion) {
+    return Status::Corruption("unsupported worker checkpoint version in " +
+                              path);
+  }
+  uint64_t saved_seed = 0;
+  if (!ReadPod(in, &saved_seed)) {
+    return Status::Corruption("truncated worker checkpoint: " + path);
+  }
+  if (saved_seed != seed) {
+    return Status::InvalidArgument(
+        "worker checkpoint " + path + " was written by a run with seed " +
+        std::to_string(saved_seed) + ", not " + std::to_string(seed));
+  }
+  uint8_t has_gauss = 0;
+  int64_t order_count = 0;
+  bool ok = ReadPod(in, &st->next_epoch) && ReadPod(in, &st->best_val_auc) &&
+            ReadPod(in, &st->stale);
+  for (uint64_t& s : st->rng.s) ok = ok && ReadPod(in, &s);
+  ok = ok && ReadPod(in, &has_gauss) && ReadPod(in, &st->rng.cached_gaussian) &&
+       ReadPod(in, &st->cursor) && ReadPod(in, &order_count);
+  if (!ok || order_count < 0 || st->next_epoch < 0) {
+    return Status::Corruption("truncated worker checkpoint: " + path);
+  }
+  st->rng.has_cached_gaussian = has_gauss != 0;
+  st->order.resize(static_cast<size_t>(order_count));
+  in.read(reinterpret_cast<char*>(st->order.data()),
+          static_cast<std::streamsize>(st->order.size() * sizeof(int32_t)));
+  int64_t param_count = 0;
+  if (!in || !ReadPod(in, &param_count) ||
+      param_count != static_cast<int64_t>(params->size())) {
+    return Status::Corruption(
+        "worker checkpoint parameter count mismatch in " + path);
+  }
+  std::vector<nn::Tensor> m(params->size());
+  std::vector<nn::Tensor> v(params->size());
+  for (size_t i = 0; i < params->size(); ++i) {
+    std::string name;
+    nn::Tensor value;
+    if (!ReadString(in, &name) || !ReadTensor(in, &value) ||
+        !ReadTensor(in, &m[i]) || !ReadTensor(in, &v[i])) {
+      return Status::Corruption("truncated worker checkpoint: " + path);
+    }
+    if (name != (*params)[i].name ||
+        value.rows() != (*params)[i].var.value().rows() ||
+        value.cols() != (*params)[i].var.value().cols()) {
+      return Status::InvalidArgument(
+          "worker checkpoint parameter " + name +
+          " does not match the constructed model in " + path);
+    }
+    (*params)[i].var.mutable_value() = std::move(value);
+  }
+  int64_t step = 0;
+  if (!ReadPod(in, &step)) {
+    return Status::Corruption("truncated worker checkpoint: " + path);
+  }
+  return optimizer->SetState(std::move(m), std::move(v), step);
+}
+
+}  // namespace
+
+Status SaveDistResult(const DistributedResult& result,
+                      const std::string& path) {
+  std::ostringstream out;
+  out.write(kResultMagic, 4);
+  WritePod(out, kResultVersion);
+  WritePod(out, result.best_val_auc);
+  WritePod(out, result.mean_wall_epoch_seconds);
+  WritePod(out, result.mean_simulated_epoch_seconds);
+  WritePod(out, result.edge_cut_fraction);
+  WritePod(out, static_cast<int64_t>(result.partition_nodes.size()));
+  for (int64_t n : result.partition_nodes) WritePod(out, n);
+  WritePod(out, static_cast<int64_t>(result.history.size()));
+  for (const DistributedEpoch& e : result.history) {
+    WritePod(out, static_cast<int32_t>(e.epoch));
+    WritePod(out, e.train_loss);
+    WritePod(out, e.val_auc);
+    WritePod(out, e.wall_seconds);
+    WritePod(out, e.max_worker_sample_seconds);
+    WritePod(out, e.max_worker_compute_seconds);
+    WritePod(out, e.modeled_sync_seconds);
+    WritePod(out, e.measured_comm_seconds);
+    WritePod(out, e.simulated_cluster_seconds);
+    WritePod(out, static_cast<int32_t>(e.killed_worker));
+    WritePod(out, e.redistributed_batches);
+    WritePod(out, static_cast<uint8_t>(e.restarted ? 1 : 0));
+    WritePod(out, e.recovery_seconds);
+  }
+  return AtomicWriteFileWithCrc(path, out.str());
+}
+
+Result<DistributedResult> LoadDistResult(const std::string& path) {
+  Result<std::string> raw = ReadFileVerifyCrc(path);
+  if (!raw.ok()) return raw.status();
+  std::istringstream in(std::move(raw).value());
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kResultMagic, 4) != 0) {
+    return Status::Corruption("bad dist result magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kResultVersion) {
+    return Status::Corruption("unsupported dist result version in " + path);
+  }
+  DistributedResult result;
+  int64_t partitions = 0;
+  if (!ReadPod(in, &result.best_val_auc) ||
+      !ReadPod(in, &result.mean_wall_epoch_seconds) ||
+      !ReadPod(in, &result.mean_simulated_epoch_seconds) ||
+      !ReadPod(in, &result.edge_cut_fraction) || !ReadPod(in, &partitions) ||
+      partitions < 0) {
+    return Status::Corruption("truncated dist result: " + path);
+  }
+  result.partition_nodes.resize(static_cast<size_t>(partitions));
+  for (int64_t& n : result.partition_nodes) {
+    if (!ReadPod(in, &n)) {
+      return Status::Corruption("truncated dist result: " + path);
+    }
+  }
+  int64_t epochs = 0;
+  if (!ReadPod(in, &epochs) || epochs < 0) {
+    return Status::Corruption("truncated dist result: " + path);
+  }
+  result.history.resize(static_cast<size_t>(epochs));
+  for (DistributedEpoch& e : result.history) {
+    int32_t epoch = 0, killed = 0;
+    uint8_t restarted = 0;
+    bool ok = ReadPod(in, &epoch) && ReadPod(in, &e.train_loss) &&
+              ReadPod(in, &e.val_auc) && ReadPod(in, &e.wall_seconds) &&
+              ReadPod(in, &e.max_worker_sample_seconds) &&
+              ReadPod(in, &e.max_worker_compute_seconds) &&
+              ReadPod(in, &e.modeled_sync_seconds) &&
+              ReadPod(in, &e.measured_comm_seconds) &&
+              ReadPod(in, &e.simulated_cluster_seconds) &&
+              ReadPod(in, &killed) && ReadPod(in, &e.redistributed_batches) &&
+              ReadPod(in, &restarted) && ReadPod(in, &e.recovery_seconds);
+    if (!ok) return Status::Corruption("truncated dist result: " + path);
+    e.epoch = epoch;
+    e.killed_worker = killed;
+    e.restarted = restarted != 0;
+  }
+  return result;
+}
+
+Result<DistributedResult> RunDistWorker(const data::SimDataset& ds,
+                                        const DistWorkerOptions& options) {
+  const int rank = options.rank;
+  const int world = options.world;
+  XF_CHECK(rank >= 0 && rank < world);
+  XF_CHECK_EQ(options.dist.num_workers, world);
+  XF_CHECK(!options.dist.kv_backed_loaders)
+      << "kv_backed_loaders is not supported in multi-process mode";
+  if (world > 1 && options.fault_plan.kill_worker == 0) {
+    return Status::InvalidArgument(
+        "multi-process mode cannot kill rank 0: it hosts the rendezvous and "
+        "owns the run's history (see DESIGN.md §12)");
+  }
+  const train::TrainOptions& topt = options.dist.train;
+
+  // Model + optimizer, identical on every rank (same init stream).
+  xfraud::Rng model_rng(options.model_seed);
+  core::XFraudDetector model(options.detector, &model_rng);
+  std::vector<nn::NamedParameter> params = model.Parameters();
+  nn::AdamW optimizer(params,
+                      nn::AdamWOptions{.lr = topt.lr,
+                                       .weight_decay = topt.weight_decay});
+
+  // ---- Partition, exactly like DistributedTrainer::Train ------------------
+  // Every rank recomputes the full deterministic partition (same seed, same
+  // PIC/k-means draws), then materializes only its own induced subgraph.
+  xfraud::Rng prng(topt.seed * 0x2545F491ULL + 0xBEEF);
+  std::vector<int> worker_of =
+      PartitionForWorkers(ds.graph, options.dist.num_clusters, world, &prng);
+  std::vector<std::vector<int32_t>> worker_nodes(static_cast<size_t>(world));
+  for (int64_t v = 0; v < ds.graph.num_nodes(); ++v) {
+    worker_nodes[static_cast<size_t>(worker_of[static_cast<size_t>(v)])]
+        .push_back(static_cast<int32_t>(v));
+  }
+  std::vector<int8_t> in_train(static_cast<size_t>(ds.graph.num_nodes()), 0);
+  for (int32_t v : ds.train_nodes) in_train[static_cast<size_t>(v)] = 1;
+
+  std::vector<int32_t> local_to_global;
+  graph::HeteroGraph my_graph = graph::InducedGraph(
+      ds.graph, worker_nodes[static_cast<size_t>(rank)], &local_to_global);
+  std::vector<int32_t> local_train;
+  for (size_t local = 0; local < local_to_global.size(); ++local) {
+    if (in_train[static_cast<size_t>(local_to_global[local])]) {
+      local_train.push_back(static_cast<int32_t>(local));
+    }
+  }
+
+  // Steps per epoch: the busiest rank's batch count (same formula as the
+  // in-process driver; a partition's train count equals its local_train
+  // size there).
+  size_t max_train = 1;
+  for (int w = 0; w < world; ++w) {
+    size_t n = 0;
+    for (int32_t v : worker_nodes[static_cast<size_t>(w)]) {
+      n += in_train[static_cast<size_t>(v)] != 0 ? 1u : 0u;
+    }
+    max_train = std::max(max_train, n);
+  }
+  const int64_t steps_per_epoch = static_cast<int64_t>(
+      (max_train + static_cast<size_t>(topt.batch_size) - 1) /
+      static_cast<size_t>(topt.batch_size));
+
+  sample::SageSampler train_sampler(options.sampler_hops,
+                                    options.sampler_fanout);
+  const sample::LoaderOptions loader_opts{
+      .num_workers = topt.num_sample_workers,
+      .prefetch_depth = topt.prefetch_depth};
+  const bool pipelined = loader_opts.num_workers > 0;
+
+  xfraud::Rng wrng(topt.seed + 1000 + static_cast<uint64_t>(rank));
+  wrng.Shuffle(&local_train);
+  size_t cursor = 0;
+  int start_epoch = 0;
+  double best = 0.0;
+  int stale = 0;
+
+  // Resume: a restarted rank picks up from its last epoch-boundary image.
+  const std::string ckpt_path =
+      options.checkpoint_dir + "/rank-" + std::to_string(rank) + ".ckpt";
+  {
+    WorkerState loaded;
+    Status resumed =
+        LoadWorkerCheckpoint(ckpt_path, topt.seed, &loaded, &params,
+                             &optimizer);
+    if (resumed.ok()) {
+      start_epoch = loaded.next_epoch;
+      best = loaded.best_val_auc;
+      stale = loaded.stale;
+      wrng.SetState(loaded.rng);
+      cursor = static_cast<size_t>(loaded.cursor);
+      local_train = loaded.order;
+      XF_LOG(Info) << "dist worker " << rank << " resumed at epoch "
+                   << start_epoch << " from " << ckpt_path;
+    } else if (!resumed.IsNotFound()) {
+      return resumed;
+    }
+  }
+
+  fault::FaultInjector injector(options.fault_plan);
+
+  // ---- Transport ----------------------------------------------------------
+  Endpoint rdzv_ep;
+  if (world > 1) {
+    Result<Endpoint> parsed = ParseEndpoint(options.rendezvous);
+    if (!parsed.ok()) return parsed.status();
+    rdzv_ep = parsed.value();
+  }
+  std::unique_ptr<RendezvousHost> host;
+  if (world > 1 && rank == 0) {
+    Result<std::unique_ptr<RendezvousHost>> created =
+        RendezvousHost::Create(rdzv_ep, world);
+    if (!created.ok()) return created.status();
+    host = std::move(created).value();
+  }
+  uint64_t generation = 0;
+  std::unique_ptr<SocketCommunicator> comm;
+  auto connect = [&]() -> Status {
+    SocketCommOptions copt;
+    copt.rank = rank;
+    copt.world = world;
+    copt.rendezvous = rdzv_ep;
+    copt.connect_timeout_s = options.connect_timeout_s;
+    copt.op_timeout_s = options.op_timeout_s;
+    copt.rendezvous_timeout_s = options.rendezvous_timeout_s;
+    copt.generation = generation;
+    Result<std::unique_ptr<SocketCommunicator>> connected =
+        SocketCommunicator::Connect(copt, host.get());
+    if (!connected.ok()) return connected.status();
+    comm = std::move(connected).value();
+    generation = comm->generation();
+    return Status::OK();
+  };
+  XF_RETURN_IF_ERROR(connect());
+
+  // Rank-0 evaluation on the full graph, same stream/sampler/batching as the
+  // in-process driver.
+  sample::SageSampler eval_sampler(2, 12);
+  const uint64_t eval_stream =
+      xfraud::Rng::StreamSeed(topt.seed, kDistEvalTag);
+  auto evaluate = [&]() {
+    train::EvalResult eval;
+    core::ForwardOptions fwd;
+    sample::BatchLoader loader(
+        &ds.graph, &eval_sampler,
+        sample::BatchLoader::MakeSeedBatches(ds.val_nodes, 640), eval_stream,
+        loader_opts);
+    while (auto loaded = loader.Next()) {
+      nn::Var logits = model.Forward(loaded->batch, fwd);
+      auto probs = train::FraudProbabilities(logits);
+      eval.scores.insert(eval.scores.end(), probs.begin(), probs.end());
+      eval.labels.insert(eval.labels.end(),
+                         loaded->batch.target_labels.begin(),
+                         loaded->batch.target_labels.end());
+    }
+    eval.auc = train::RocAuc(eval.scores, eval.labels);
+    return eval;
+  };
+
+  DistributedResult result;
+  if (rank == 0) {
+    for (int w = 0; w < world; ++w) {
+      result.partition_nodes.push_back(
+          static_cast<int64_t>(worker_nodes[static_cast<size_t>(w)].size()));
+    }
+    int64_t cut = 0;
+    for (int64_t v = 0; v < ds.graph.num_nodes(); ++v) {
+      for (int64_t e = ds.graph.InDegreeBegin(static_cast<int32_t>(v));
+           e < ds.graph.InDegreeEnd(static_cast<int32_t>(v)); ++e) {
+        cut += worker_of[static_cast<size_t>(ds.graph.neighbors()[e])] !=
+               worker_of[static_cast<size_t>(v)];
+      }
+    }
+    result.edge_cut_fraction =
+        ds.graph.num_edges() > 0
+            ? static_cast<double>(cut) / ds.graph.num_edges()
+            : 0.0;
+  }
+
+  // ---- Epoch loop ---------------------------------------------------------
+  int recovery_rounds = 0;
+  const float inv_world = 1.0f / static_cast<float>(world);
+  for (int epoch = start_epoch; epoch < topt.max_epochs; ++epoch) {
+    {
+      WorkerState snap;
+      snap.next_epoch = epoch;
+      snap.best_val_auc = best;
+      snap.stale = stale;
+      snap.rng = wrng.GetState();
+      snap.cursor = static_cast<uint64_t>(cursor);
+      snap.order = local_train;
+      XF_RETURN_IF_ERROR(
+          SaveWorkerCheckpoint(ckpt_path, topt.seed, snap, params,
+                               optimizer));
+    }
+
+    WallTimer epoch_timer;
+    bool restarted_this_epoch = false;
+    double recovery_seconds = 0.0;
+    double train_loss = 0.0;
+    double val_auc = 0.0;
+    double sample_seconds = 0.0;
+    double compute_seconds = 0.0;
+    std::vector<std::vector<float>> gathered;
+
+    for (;;) {
+      const double comm_at_start = comm->comm_seconds();
+      const bool suppress = options.suppress_kill || restarted_this_epoch;
+      Status attempt = [&]() -> Status {
+        sample_seconds = 0.0;
+        compute_seconds = 0.0;
+        double loss_sum = 0.0;
+        int64_t steps = 0;
+        // Plan this rank's epoch up front (cursor walk with reshuffle on
+        // wrap, dedup within a batch) — the same walk, against the same rng,
+        // as the in-process driver.
+        std::unique_ptr<sample::BatchLoader> loader;
+        if (!local_train.empty()) {
+          std::vector<std::vector<int32_t>> plan;
+          plan.reserve(static_cast<size_t>(steps_per_epoch));
+          for (int64_t step = 0; step < steps_per_epoch; ++step) {
+            std::vector<int32_t> seeds;
+            for (int b = 0; b < topt.batch_size; ++b) {
+              if (cursor >= local_train.size()) {
+                cursor = 0;
+                wrng.Shuffle(&local_train);
+              }
+              seeds.push_back(local_train[cursor++]);
+            }
+            std::sort(seeds.begin(), seeds.end());
+            seeds.erase(std::unique(seeds.begin(), seeds.end()),
+                        seeds.end());
+            plan.push_back(std::move(seeds));
+          }
+          loader = std::make_unique<sample::BatchLoader>(
+              &my_graph, &train_sampler, std::move(plan),
+              xfraud::Rng::StreamSeed(
+                  xfraud::Rng::StreamSeed(topt.seed, kDistSampleTag),
+                  static_cast<uint64_t>(epoch) *
+                          static_cast<uint64_t>(world) +
+                      static_cast<uint64_t>(rank)),
+              loader_opts);
+        }
+        for (int64_t step = 0; step < steps_per_epoch; ++step) {
+          if (!suppress && injector.ShouldKillWorker(rank, epoch, step)) {
+            XF_LOG(Info) << "dist worker " << rank
+                         << " executing planned SIGKILL at epoch " << epoch
+                         << " step " << step;
+            fault::KillCurrentProcess();
+          }
+          if (loader != nullptr) {
+            auto loaded = loader->Next();
+            XF_CHECK(loaded.has_value());
+            sample_seconds += loaded->sample_seconds;
+            WallTimer t;
+            core::ForwardOptions fwd;
+            fwd.training = true;
+            fwd.rng = &wrng;
+            nn::Var logits = model.Forward(loaded->batch, fwd);
+            nn::Var loss = nn::CrossEntropy(
+                logits, loaded->batch.target_labels, topt.class_weights);
+            optimizer.ZeroGrad();
+            loss.Backward();
+            loss_sum += loss.item();
+            ++steps;
+            compute_seconds += t.ElapsedSeconds();
+          } else {
+            // A partition-less rank contributes zero gradient but still
+            // participates in every collective.
+            for (auto& p : params) p.var.ZeroGrad();
+          }
+          for (auto& p : params) {
+            nn::Tensor& g = p.var.grad();
+            XF_RETURN_IF_ERROR(comm->AllReduceSum(std::span<float>(
+                g.data(), static_cast<size_t>(g.size()))));
+            // Same scalar on every rank over the bit-identical sum — the
+            // DDP gradient mean. World is the denominator even under chaos:
+            // recovery re-runs the epoch at full strength, never elastic.
+            g.ScaleInPlace(inv_world);
+          }
+          optimizer.ClipGradNorm(topt.clip);
+          optimizer.Step();
+        }
+        // Cluster loss: the ring's ascending-rank fold reproduces the
+        // serial driver's worker-order accumulation bit for bit.
+        double loss_buf[2] = {loss_sum, static_cast<double>(steps)};
+        XF_RETURN_IF_ERROR(
+            comm->AllReduceSum(std::span<double>(loss_buf, 2)));
+        train_loss = loss_buf[1] > 0.0 ? loss_buf[0] / loss_buf[1] : 0.0;
+        double val_buf[1] = {0.0};
+        if (rank == 0) val_buf[0] = evaluate().auc;
+        XF_RETURN_IF_ERROR(
+            comm->Broadcast(std::span<double>(val_buf, 1), 0));
+        val_auc = val_buf[0];
+        const float my_stats[3] = {
+            static_cast<float>(sample_seconds),
+            static_cast<float>(compute_seconds),
+            static_cast<float>(comm->comm_seconds() - comm_at_start)};
+        gathered.clear();
+        return comm->Gather(std::span<const float>(my_stats, 3), 0,
+                            rank == 0 ? &gathered : nullptr);
+      }();
+      if (attempt.ok()) break;
+      // A peer died or a collective timed out. Tear the ring down (waking
+      // neighbours with EOF), roll back to the epoch-start image, and
+      // reassemble under the next generation — the launcher meanwhile
+      // restarts the dead rank, which resumes from its own checkpoint.
+      if (++recovery_rounds > options.max_recovery_rounds) return attempt;
+      XF_LOG(Info) << "dist worker " << rank << " epoch " << epoch
+                   << " comm failure (" << attempt.message()
+                   << "); rolling back and rejoining as generation "
+                   << generation + 1;
+      WallTimer recovery_timer;
+      comm->Shutdown();
+      comm = nullptr;
+      WorkerState snap;
+      XF_RETURN_IF_ERROR(LoadWorkerCheckpoint(ckpt_path, topt.seed, &snap,
+                                              &params, &optimizer));
+      XF_CHECK_EQ(snap.next_epoch, epoch);
+      best = snap.best_val_auc;
+      stale = snap.stale;
+      wrng.SetState(snap.rng);
+      cursor = static_cast<size_t>(snap.cursor);
+      local_train = snap.order;
+      ++generation;
+      XF_RETURN_IF_ERROR(connect());
+      restarted_this_epoch = true;
+      recovery_seconds += recovery_timer.ElapsedSeconds();
+    }
+
+    if (rank == 0) {
+      XF_CHECK_EQ(gathered.size(), static_cast<size_t>(world));
+      DistributedEpoch stats;
+      stats.epoch = epoch;
+      stats.train_loss = train_loss;
+      stats.val_auc = val_auc;
+      stats.wall_seconds = epoch_timer.ElapsedSeconds();
+      double slowest = 0.0;
+      double measured_comm = 0.0;
+      for (const std::vector<float>& g : gathered) {
+        XF_CHECK_EQ(g.size(), static_cast<size_t>(3));
+        const double s = g[0], c = g[1], cm = g[2];
+        stats.max_worker_sample_seconds =
+            std::max(stats.max_worker_sample_seconds, s);
+        stats.max_worker_compute_seconds =
+            std::max(stats.max_worker_compute_seconds, c);
+        slowest = std::max(slowest, pipelined ? std::max(s, c) : s + c);
+        measured_comm = std::max(measured_comm, cm);
+      }
+      // The socket backend measures its sync cost, so modeled_sync_seconds
+      // stays zero — the split DistributedEpoch documents.
+      stats.measured_comm_seconds = measured_comm;
+      stats.simulated_cluster_seconds = slowest + stats.sync_seconds();
+      stats.restarted = restarted_this_epoch;
+      stats.recovery_seconds = recovery_seconds;
+      result.history.push_back(stats);
+      if (topt.verbose) {
+        XF_LOG(Info) << "dist-mp(" << world << ") epoch " << epoch
+                     << " loss " << stats.train_loss << " val_auc "
+                     << stats.val_auc << " sim "
+                     << stats.simulated_cluster_seconds << "s";
+      }
+    }
+
+    // Early stopping, decided identically on every rank from the broadcast
+    // val AUC (same comparison as the in-process driver).
+    if (val_auc > best) {
+      best = val_auc;
+      stale = 0;
+    } else if (++stale >= topt.patience) {
+      break;
+    }
+  }
+
+  result.best_val_auc = best;
+  if (rank == 0) {
+    for (const DistributedEpoch& e : result.history) {
+      result.mean_wall_epoch_seconds += e.wall_seconds;
+      result.mean_simulated_epoch_seconds += e.simulated_cluster_seconds;
+    }
+    if (!result.history.empty()) {
+      result.mean_wall_epoch_seconds /=
+          static_cast<double>(result.history.size());
+      result.mean_simulated_epoch_seconds /=
+          static_cast<double>(result.history.size());
+    }
+    XF_RETURN_IF_ERROR(nn::SaveParameters(
+        params, options.checkpoint_dir + "/final_model.ckpt"));
+    XF_RETURN_IF_ERROR(
+        SaveDistResult(result, options.checkpoint_dir + "/result.bin"));
+  }
+  return result;
+}
+
+}  // namespace xfraud::dist

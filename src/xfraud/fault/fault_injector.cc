@@ -1,5 +1,8 @@
 #include "xfraud/fault/fault_injector.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include "xfraud/common/rng.h"
 #include "xfraud/obs/metrics.h"
 #include "xfraud/obs/registry.h"
@@ -80,6 +83,14 @@ bool FaultInjector::NextReplicaFault(int replica_id, int shard_id,
     FaultMetrics::Get().injected_replica_failures->Increment();
   }
   return killed;
+}
+
+void KillCurrentProcess() {
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL cannot be handled; execution never reaches this point, but the
+  // compiler cannot know that.
+  for (;;) {
+  }
 }
 
 }  // namespace xfraud::fault

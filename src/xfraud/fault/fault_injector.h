@@ -85,6 +85,12 @@ class FaultInjector {
   std::atomic<int64_t> injected_replica_slowdowns_{0};
 };
 
+/// Dies by SIGKILL, exactly like a machine loss: no destructors, no atexit,
+/// no flushes. The process-cluster launcher (dist/launcher.h) observes the
+/// signal in waitpid and restarts the rank. Used by the multi-process dist
+/// worker at its planned ShouldKillWorker point; never returns.
+[[noreturn]] void KillCurrentProcess();
+
 }  // namespace xfraud::fault
 
 #endif  // XFRAUD_FAULT_FAULT_INJECTOR_H_

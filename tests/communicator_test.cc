@@ -1,0 +1,436 @@
+// Conformance suite of the dist::Communicator contract, run against BOTH
+// backends: the shared-memory InProcessGroup (blocking mode, one thread per
+// rank) and the SocketCommunicator ring over unix sockets in /tmp. The
+// contract under test (communicator.h):
+//   - AllReduceSum is the ascending-rank left fold — bit-identical on every
+//     rank, and bit-identical ACROSS backends;
+//   - Broadcast copies root's buffer everywhere;
+//   - Gather delivers rank-indexed buffers (possibly of differing lengths)
+//     to root;
+//   - Barrier releases only once all ranks entered;
+//   - collectives are matched by call order, and a signature mismatch
+//     poisons the group.
+// Socket-specific failure modes (deadline expiry, peer death, dead
+// rendezvous) and the phased in-process mode get their own tests below.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "xfraud/common/clock.h"
+#include "xfraud/common/status.h"
+#include "xfraud/common/timer.h"
+#include "xfraud/dist/communicator.h"
+#include "xfraud/dist/rendezvous.h"
+#include "xfraud/dist/socket_transport.h"
+
+namespace xfraud::dist {
+namespace {
+
+enum class Backend { kInProcess, kSocket };
+
+std::string BackendName(Backend b) {
+  return b == Backend::kInProcess ? "InProcess" : "Socket";
+}
+
+/// Short unique unix-socket directory (AF_UNIX paths are length-capped, so
+/// deep gtest temp paths are risky).
+std::string MakeSocketDir() {
+  static std::atomic<int> counter{0};
+  std::string dir = "/tmp/xfc-" + std::to_string(::getpid()) + "-" +
+                    std::to_string(counter.fetch_add(1));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// A `world`-rank cluster of the requested backend. Run() plays one rank
+/// per thread and collects each rank's Status so assertions happen on the
+/// main thread.
+class Cluster {
+ public:
+  Cluster(Backend backend, int world, double op_timeout_s = 20.0)
+      : backend_(backend), world_(world) {
+    if (backend == Backend::kInProcess) {
+      group_ = std::make_unique<InProcessGroup>(world, /*blocking=*/true);
+      return;
+    }
+    dir_ = MakeSocketDir();
+    Endpoint rdzv = ParseEndpoint("unix:" + dir_ + "/rdzv.sock").value();
+    if (world > 1) {
+      host_ = RendezvousHost::Create(rdzv, world).value();
+    }
+    socket_comms_.resize(static_cast<size_t>(world));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(world));
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([this, r, rdzv, op_timeout_s] {
+        SocketCommOptions o;
+        o.rank = r;
+        o.world = world_;
+        o.rendezvous = rdzv;
+        o.op_timeout_s = op_timeout_s;
+        o.rendezvous_timeout_s = 20.0;
+        auto comm =
+            SocketCommunicator::Connect(o, r == 0 ? host_.get() : nullptr);
+        if (comm.ok()) {
+          socket_comms_[static_cast<size_t>(r)] = std::move(comm).value();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int r = 0; r < world; ++r) {
+      EXPECT_NE(socket_comms_[static_cast<size_t>(r)], nullptr)
+          << "rank " << r << " failed to connect";
+    }
+  }
+
+  int world() const { return world_; }
+
+  Communicator* comm(int rank) {
+    if (backend_ == Backend::kInProcess) return group_->communicator(rank);
+    return socket_comms_[static_cast<size_t>(rank)].get();
+  }
+
+  SocketCommunicator* socket_comm(int rank) {
+    return socket_comms_[static_cast<size_t>(rank)].get();
+  }
+
+  /// Runs fn(rank, comm) on every rank concurrently; returns per-rank
+  /// statuses.
+  std::vector<Status> Run(
+      const std::function<Status(int, Communicator*)>& fn) {
+    std::vector<Status> statuses(static_cast<size_t>(world_));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(world_));
+    for (int r = 0; r < world_; ++r) {
+      threads.emplace_back([this, r, &fn, &statuses] {
+        statuses[static_cast<size_t>(r)] = fn(r, comm(r));
+      });
+    }
+    for (auto& t : threads) t.join();
+    return statuses;
+  }
+
+ private:
+  Backend backend_;
+  int world_;
+  std::string dir_;
+  std::unique_ptr<InProcessGroup> group_;
+  std::unique_ptr<RendezvousHost> host_;
+  std::vector<std::unique_ptr<SocketCommunicator>> socket_comms_;
+};
+
+void ExpectAllOk(const std::vector<Status>& statuses) {
+  for (size_t r = 0; r < statuses.size(); ++r) {
+    EXPECT_TRUE(statuses[r].ok())
+        << "rank " << r << ": " << statuses[r].ToString();
+  }
+}
+
+class CommunicatorTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(CommunicatorTest, RankAndSize) {
+  Cluster cluster(GetParam(), 3);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.comm(r)->rank(), r);
+    EXPECT_EQ(cluster.comm(r)->size(), 3);
+  }
+}
+
+/// Floating-point sums are order-dependent; the contract pins the order to
+/// the ascending-rank left fold. The payload is adversarial (huge and tiny
+/// magnitudes, sign flips) so any other association produces different bits.
+TEST_P(CommunicatorTest, AllReduceSumFloatIsAscendingRankLeftFold) {
+  const int world = 4;
+  Cluster cluster(GetParam(), world);
+  auto contribution = [](int rank) {
+    return std::vector<float>{1.0e8f * (rank % 2 == 0 ? 1.0f : -1.0f),
+                              1.0f / (1.0f + static_cast<float>(rank)),
+                              1.0e-3f * static_cast<float>(rank + 1),
+                              -3.25f};
+  };
+  // The reference fold, computed serially exactly as the contract states.
+  std::vector<float> expected = contribution(0);
+  for (int r = 1; r < world; ++r) {
+    auto c = contribution(r);
+    for (size_t i = 0; i < expected.size(); ++i) expected[i] += c[i];
+  }
+  std::vector<std::vector<float>> results(world);
+  ExpectAllOk(cluster.Run([&](int rank, Communicator* comm) {
+    results[static_cast<size_t>(rank)] = contribution(rank);
+    return comm->AllReduceSum(
+        std::span<float>(results[static_cast<size_t>(rank)]));
+  }));
+  for (int r = 0; r < world; ++r) {
+    for (size_t i = 0; i < expected.size(); ++i) {
+      // Exact equality: bit-identical, not approximately equal.
+      EXPECT_EQ(results[static_cast<size_t>(r)][i], expected[i])
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST_P(CommunicatorTest, AllReduceSumDoubleIsAscendingRankLeftFold) {
+  const int world = 3;
+  Cluster cluster(GetParam(), world);
+  auto contribution = [](int rank) {
+    return std::vector<double>{1.0e16 * (rank == 1 ? -1.0 : 1.0),
+                               0.1 + static_cast<double>(rank)};
+  };
+  std::vector<double> expected = contribution(0);
+  for (int r = 1; r < world; ++r) {
+    auto c = contribution(r);
+    for (size_t i = 0; i < expected.size(); ++i) expected[i] += c[i];
+  }
+  std::vector<std::vector<double>> results(world);
+  ExpectAllOk(cluster.Run([&](int rank, Communicator* comm) {
+    results[static_cast<size_t>(rank)] = contribution(rank);
+    return comm->AllReduceSum(
+        std::span<double>(results[static_cast<size_t>(rank)]));
+  }));
+  for (int r = 0; r < world; ++r) {
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(results[static_cast<size_t>(r)][i], expected[i]);
+    }
+  }
+}
+
+TEST_P(CommunicatorTest, BroadcastFromEveryRoot) {
+  const int world = 3;
+  Cluster cluster(GetParam(), world);
+  for (int root = 0; root < world; ++root) {
+    std::vector<std::vector<double>> bufs(world);
+    ExpectAllOk(cluster.Run([&, root](int rank, Communicator* comm) {
+      bufs[static_cast<size_t>(rank)] = {
+          rank == root ? 42.5 + root : -1.0,
+          rank == root ? -7.0 : static_cast<double>(rank)};
+      return comm->Broadcast(
+          std::span<double>(bufs[static_cast<size_t>(rank)]), root);
+    }));
+    for (int r = 0; r < world; ++r) {
+      EXPECT_EQ(bufs[static_cast<size_t>(r)][0], 42.5 + root);
+      EXPECT_EQ(bufs[static_cast<size_t>(r)][1], -7.0);
+    }
+  }
+}
+
+TEST_P(CommunicatorTest, GatherIsRankIndexedAndRaggedLengthsSurvive) {
+  const int world = 4;
+  Cluster cluster(GetParam(), world);
+  std::vector<std::vector<float>> gathered;
+  ExpectAllOk(cluster.Run([&](int rank, Communicator* comm) {
+    // Rank r contributes r+1 elements, all equal to r+0.5.
+    std::vector<float> send(static_cast<size_t>(rank + 1),
+                            static_cast<float>(rank) + 0.5f);
+    return comm->Gather(std::span<const float>(send), /*root=*/0,
+                        rank == 0 ? &gathered : nullptr);
+  }));
+  ASSERT_EQ(gathered.size(), static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    ASSERT_EQ(gathered[static_cast<size_t>(r)].size(),
+              static_cast<size_t>(r + 1));
+    for (float v : gathered[static_cast<size_t>(r)]) {
+      EXPECT_EQ(v, static_cast<float>(r) + 0.5f);
+    }
+  }
+}
+
+TEST_P(CommunicatorTest, BarrierReleasesOnlyAfterAllRanksEnter) {
+  const int world = 3;
+  Cluster cluster(GetParam(), world);
+  std::atomic<int> entered{0};
+  std::vector<int> seen_after(world, 0);
+  ExpectAllOk(cluster.Run([&](int rank, Communicator* comm) {
+    entered.fetch_add(1);
+    Status s = comm->Barrier();
+    // After the barrier every rank must already have incremented.
+    seen_after[static_cast<size_t>(rank)] = entered.load();
+    return s;
+  }));
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(seen_after[static_cast<size_t>(r)], world);
+  }
+}
+
+/// Collectives are matched by call order: a heterogeneous sequence must
+/// stay in lockstep across ops of different types and sizes.
+TEST_P(CommunicatorTest, MixedOperationSequenceStaysMatched) {
+  const int world = 3;
+  Cluster cluster(GetParam(), world);
+  std::vector<std::vector<float>> finals(world);
+  ExpectAllOk(cluster.Run([&](int rank, Communicator* comm) {
+    std::vector<float> grads(8, static_cast<float>(rank + 1));
+    XF_RETURN_IF_ERROR(comm->AllReduceSum(std::span<float>(grads)));
+    std::vector<double> decision = {rank == 0 ? 1.0 : 0.0};
+    XF_RETURN_IF_ERROR(
+        comm->Broadcast(std::span<double>(decision), /*root=*/0));
+    XF_RETURN_IF_ERROR(comm->Barrier());
+    std::vector<std::vector<float>> stats;
+    std::vector<float> mine = {static_cast<float>(rank)};
+    XF_RETURN_IF_ERROR(comm->Gather(std::span<const float>(mine), 0,
+                                    rank == 0 ? &stats : nullptr));
+    if (decision[0] != 1.0) return Status::Internal("broadcast lost");
+    finals[static_cast<size_t>(rank)] = grads;
+    return Status::OK();
+  }));
+  const float expected = 1.0f + 2.0f + 3.0f;
+  for (int r = 0; r < world; ++r) {
+    for (float v : finals[static_cast<size_t>(r)]) EXPECT_EQ(v, expected);
+  }
+}
+
+TEST_P(CommunicatorTest, WorldOfOneIsIdentity) {
+  Cluster cluster(GetParam(), 1);
+  Communicator* comm = cluster.comm(0);
+  std::vector<float> v = {3.5f, -1.25f};
+  ASSERT_TRUE(comm->AllReduceSum(std::span<float>(v)).ok());
+  EXPECT_EQ(v[0], 3.5f);
+  EXPECT_EQ(v[1], -1.25f);
+  std::vector<double> d = {9.0};
+  ASSERT_TRUE(comm->Broadcast(std::span<double>(d), 0).ok());
+  EXPECT_EQ(d[0], 9.0);
+  ASSERT_TRUE(comm->Barrier().ok());
+  std::vector<std::vector<float>> gathered;
+  std::vector<float> mine = {1.0f};
+  ASSERT_TRUE(
+      comm->Gather(std::span<const float>(mine), 0, &gathered).ok());
+  ASSERT_EQ(gathered.size(), 1u);
+  EXPECT_EQ(gathered[0][0], 1.0f);
+}
+
+/// comm_seconds / bytes_on_wire are the modeled-vs-measured split's source
+/// of truth: the in-process backend must report zero (its sync cost is
+/// modeled), the socket backend must measure nonzero time and bytes.
+TEST_P(CommunicatorTest, CommStatsAreMeasuredOnlyOnRealTransports) {
+  const int world = 2;
+  Cluster cluster(GetParam(), world);
+  ExpectAllOk(cluster.Run([&](int rank, Communicator* comm) {
+    (void)rank;
+    std::vector<float> v(256, 1.0f);
+    return comm->AllReduceSum(std::span<float>(v));
+  }));
+  for (int r = 0; r < world; ++r) {
+    if (GetParam() == Backend::kInProcess) {
+      EXPECT_EQ(cluster.comm(r)->comm_seconds(), 0.0);
+      EXPECT_EQ(cluster.comm(r)->bytes_on_wire(), 0);
+    } else {
+      EXPECT_GT(cluster.comm(r)->comm_seconds(), 0.0);
+      EXPECT_GT(cluster.comm(r)->bytes_on_wire(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CommunicatorTest,
+                         ::testing::Values(Backend::kInProcess,
+                                           Backend::kSocket),
+                         [](const ::testing::TestParamInfo<Backend>& param) {
+                           return BackendName(param.param);
+                         });
+
+// ---- Phased in-process mode (the serial driver's completion model) --------
+
+/// One thread plays every rank in turn: each call deposits and returns
+/// immediately; the LAST rank's call executes the fold and completes the
+/// operation for everyone.
+TEST(InProcessPhasedTest, LastRankCompletesTheOperationForEveryone) {
+  const int world = 3;
+  InProcessGroup group(world);  // phased (non-blocking) mode
+  std::vector<std::vector<float>> bufs(world);
+  for (int r = 0; r < world; ++r) {
+    bufs[static_cast<size_t>(r)] = {static_cast<float>(r), 10.0f};
+  }
+  for (int r = 0; r < world; ++r) {
+    ASSERT_TRUE(group.communicator(r)
+                    ->AllReduceSum(
+                        std::span<float>(bufs[static_cast<size_t>(r)]))
+                    .ok());
+  }
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(bufs[static_cast<size_t>(r)][0], 0.0f + 1.0f + 2.0f);
+    EXPECT_EQ(bufs[static_cast<size_t>(r)][1], 30.0f);
+  }
+}
+
+TEST(InProcessPhasedTest, SignatureMismatchPoisonsTheGroup) {
+  InProcessGroup group(2);
+  std::vector<float> a = {1.0f, 2.0f};
+  ASSERT_TRUE(group.communicator(0)->AllReduceSum(std::span<float>(a)).ok());
+  // Rank 1 shows up with a different element count for the same slot.
+  std::vector<float> b = {1.0f, 2.0f, 3.0f};
+  Status s = group.communicator(1)->AllReduceSum(std::span<float>(b));
+  EXPECT_TRUE(s.IsFailedPrecondition()) << s.ToString();
+  // Poisoned: even a well-formed follow-up op fails with the original error.
+  std::vector<float> c = {0.0f};
+  Status after = group.communicator(0)->AllReduceSum(std::span<float>(c));
+  EXPECT_TRUE(after.IsFailedPrecondition()) << after.ToString();
+}
+
+// ---- Socket-specific failure modes ----------------------------------------
+
+/// A rank that enters a collective alone must get DeadlineExceeded after
+/// op_timeout, not hang: its peer simply never shows up.
+TEST(SocketCommunicatorTest, CollectiveTimesOutWhenPeerNeverEnters) {
+  Cluster cluster(Backend::kSocket, 2, /*op_timeout_s=*/0.3);
+  std::vector<Status> statuses = cluster.Run([](int rank, Communicator* comm) {
+    if (rank != 0) return Status::OK();  // rank 1 never joins the op
+    std::vector<float> v(4, 1.0f);
+    return comm->AllReduceSum(std::span<float>(v));
+  });
+  EXPECT_TRUE(statuses[0].IsDeadlineExceeded()) << statuses[0].ToString();
+}
+
+/// Shutdown closes both ring connections; neighbours blocked in a
+/// collective wake with an error instead of waiting out the full deadline,
+/// and the EOF cascades so every surviving rank fails.
+TEST(SocketCommunicatorTest, PeerDeathFailsSurvivorsFast) {
+  Cluster cluster(Backend::kSocket, 3, /*op_timeout_s=*/20.0);
+  WallTimer timer;
+  std::vector<Status> statuses =
+      cluster.Run([&cluster](int rank, Communicator* comm) {
+        if (rank == 1) {
+          cluster.socket_comm(1)->Shutdown();  // "dies" before the op
+          return Status::OK();
+        }
+        std::vector<float> v(4, 1.0f);
+        return comm->AllReduceSum(std::span<float>(v));
+      });
+  EXPECT_FALSE(statuses[0].ok());
+  EXPECT_FALSE(statuses[2].ok());
+  // Failure detection must be EOF-driven, far faster than the 20s deadline.
+  EXPECT_LT(timer.ElapsedSeconds(), 10.0);
+  // And the communicator stays failed: no silent self-healing.
+  std::vector<float> v = {1.0f};
+  EXPECT_FALSE(
+      cluster.socket_comm(0)->AllReduceSum(std::span<float>(v)).ok());
+}
+
+TEST(SocketCommunicatorTest, RendezvousWithDeadHostFails) {
+  std::string dir = MakeSocketDir();
+  Endpoint nowhere =
+      ParseEndpoint("unix:" + dir + "/no-host.sock").value();
+  Endpoint my_ring = ParseEndpoint("unix:" + dir + "/ring.sock").value();
+  RetryPolicy retry{.max_attempts = 3,
+                    .initial_backoff_s = 0.01,
+                    .max_backoff_s = 0.02,
+                    .deadline_s = 1.0};
+  Clock* clock = Clock::Real();
+  uint64_t generation = 0;
+  auto joined = JoinRendezvous(nowhere, /*rank=*/1, /*world=*/2, my_ring,
+                               /*generation=*/0,
+                               Deadline::After(clock, 1.0), retry, clock,
+                               &generation);
+  EXPECT_FALSE(joined.ok());
+}
+
+}  // namespace
+}  // namespace xfraud::dist

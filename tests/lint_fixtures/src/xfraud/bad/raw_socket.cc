@@ -1,0 +1,12 @@
+// Fixture: raw socket syscalls outside src/xfraud/dist must trip
+// no-raw-socket — they bypass the Communicator transport's deadlines,
+// retries, and error mapping.
+
+int BadRawSocket() {
+  int fd = socket(1, 1, 0);
+  bind(fd, nullptr, 0);
+  listen(fd, 4);
+  int peer = accept(fd, nullptr, nullptr);
+  connect(peer, nullptr, 0);
+  return peer;
+}

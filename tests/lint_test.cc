@@ -84,6 +84,41 @@ TEST(LintRawClock, InjectableClockAndTypeAliasesAreFine) {
   EXPECT_TRUE(f.empty()) << f[0].rule;
 }
 
+TEST(LintRawSocket, FiresOnSocketSyscallsInLibraryCode) {
+  auto f = LintContent(kLibPath,
+                       "int fd = socket(AF_UNIX, SOCK_STREAM, 0);\n"
+                       "bind(fd, addr, len);\n"
+                       "listen(fd, 4);\n"
+                       "int p = accept(fd, nullptr, nullptr);\n"
+                       "connect(p, addr, len);\n");
+  ASSERT_EQ(f.size(), 5u);
+  for (const auto& finding : f) EXPECT_EQ(finding.rule, "no-raw-socket");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[4].line, 5);
+}
+
+TEST(LintRawSocket, ExemptInDistAndSilentOutsideLibrary) {
+  EXPECT_TRUE(LintContent("src/xfraud/dist/socket_transport.cc",
+                          "int fd = socket(AF_UNIX, SOCK_STREAM, 0);\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("src/xfraud/dist/rendezvous.cc",
+                          "bind(fd, addr, len);\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("tools/some_tool.cc",
+                          "connect(fd, addr, len);\n")
+                  .empty());
+}
+
+TEST(LintRawSocket, WrappersAndMentionsAreFine) {
+  auto f = LintContent(kLibPath,
+                       "auto c = SocketCommunicator::Connect(options, host);\n"
+                       "store.BindShards(4);\n"
+                       "// calls connect() under the hood\n"
+                       "int disconnect_count = 0;\n"
+                       "listener.Accept();\n");
+  EXPECT_TRUE(f.empty()) << f[0].rule;
+}
+
 TEST(LintNakedNew, FiresInLibraryCode) {
   auto f = LintContent(kLibPath, "int* p = new int(3);\n");
   ASSERT_EQ(f.size(), 1u);

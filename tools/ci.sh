@@ -9,6 +9,10 @@
 #   tools/ci.sh --mode=asan          # build + test with XFRAUD_SANITIZE=address
 #   tools/ci.sh --mode=faults        # build + test under a chaos fault plan
 #                                    # (XFRAUD_FAULT_PLAN overrides the default)
+#   tools/ci.sh --mode=mp            # multi-process distributed leg: the
+#                                    # MultiProcess fork/SIGKILL test suite
+#                                    # under a hard timeout, plus a socket
+#                                    # dist-bench smoke (real worker processes)
 #
 # An optional positional argument overrides the build directory (default:
 # build for plain/lint, build-<mode> for sanitizer modes).
@@ -31,17 +35,17 @@ done
 
 SANITIZE=""
 case "${MODE}" in
-  plain|lint|faults) ;;
+  plain|lint|faults|mp) ;;
   ubsan) SANITIZE="undefined" ;;
   tsan) SANITIZE="thread" ;;
   asan) SANITIZE="address" ;;
   *)
-    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan|faults)" >&2
+    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan|faults|mp)" >&2
     exit 2
     ;;
 esac
 if [[ -z "${BUILD_DIR}" ]]; then
-  if [[ -n "${SANITIZE}" || "${MODE}" == "faults" ]]; then
+  if [[ -n "${SANITIZE}" || "${MODE}" == "faults" || "${MODE}" == "mp" ]]; then
     BUILD_DIR="build-${MODE}"
   else
     BUILD_DIR="build"
@@ -81,6 +85,26 @@ cmake -B "${BUILD_DIR}" -S . "${CONFIG_ARGS[@]}"
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# Multi-process leg: real forked worker processes, real SIGKILLs, socket
+# rendezvous. Everything runs under hard timeouts (ctest --timeout plus the
+# launcher's own overall deadline) so a wedged ring can never hang CI.
+if [[ "${MODE}" == "mp" ]]; then
+  echo "== multi-process dist tests =="
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+        --timeout 600 -R '^xfraud_mp_tests$'
+  echo "== socket dist-bench smoke =="
+  MP_TMP="$(mktemp -d /tmp/xfraud-ci-mp.XXXXXX)"
+  trap 'rm -rf "${MP_TMP}"' EXIT
+  timeout 300 "${BUILD_DIR}/tools/xfraud_cli" generate \
+    --out "${MP_TMP}/log.tsv" --scale small --seed 42
+  timeout 300 "${BUILD_DIR}/tools/xfraud_cli" dist-bench \
+    --log "${MP_TMP}/log.tsv" --transport=socket --workers=4 --epochs=1 \
+    --checkpoint-dir "${MP_TMP}/ckpt" \
+    --fault-plan "kill_worker=2@0:1"
+  echo "== ci ok (${MODE}) =="
+  exit 0
+fi
 
 echo "== test =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

@@ -153,6 +153,7 @@ struct FileScope {
   bool io_exempt = false;    // sanctioned output sinks
   bool durable_write_exempt = false;  // sanctioned file-write primitives
   bool clock_exempt = false;  // common/ wraps the raw clock for everyone
+  bool socket_exempt = false;  // dist/ is the sanctioned transport layer
 };
 
 FileScope ClassifyPath(const std::string& path) {
@@ -174,6 +175,9 @@ FileScope ClassifyPath(const std::string& path) {
   // of the library must take an injectable Clock so tests can use virtual
   // time.
   scope.clock_exempt = p.find("common/") != std::string::npos;
+  // Raw socket syscalls live behind the dist::Communicator transport; only
+  // src/xfraud/dist (sockets, rendezvous, ring framing) may issue them.
+  scope.socket_exempt = p.find("src/xfraud/dist") != std::string::npos;
   return scope;
 }
 
@@ -217,6 +221,7 @@ class Linter {
   std::vector<Finding> Run() {
     CheckNondeterminism();
     CheckRawClock();
+    CheckRawSocket();
     CheckNakedNew();
     CheckRawIo();
     CheckDirectWrite();
@@ -285,6 +290,32 @@ class Linter {
         Report(i, "no-raw-clock",
                "raw std::chrono clock/sleep in library code defeats virtual "
                "time; take an xfraud::Clock (common/clock.h)");
+      }
+    }
+  }
+
+  /// Socket syscalls scattered through library code bypass the
+  /// dist::Communicator abstraction — its deadline budgets, error mapping,
+  /// retry policy, and poison-on-failure semantics. Everything outside
+  /// src/xfraud/dist must either speak Communicator or add a sanctioned
+  /// primitive to the transport layer.
+  void CheckRawSocket() {
+    if (!scope_.in_library || scope_.socket_exempt) return;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string& line = code_lines_[i];
+      bool hit = false;
+      for (const char* fn :
+           {"socket", "socketpair", "connect", "bind", "listen", "accept"}) {
+        if (HasWord(line, fn, /*requires_call=*/true)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        Report(i, "no-raw-socket",
+               "raw socket syscall outside src/xfraud/dist bypasses the "
+               "Communicator transport (deadlines, retries, error mapping); "
+               "use dist::Communicator or extend dist/socket_transport");
       }
     }
   }
@@ -480,9 +511,10 @@ bool LintableFile(const fs::path& p) {
 
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
-      "nondeterminism",  "no-raw-clock", "no-naked-new",
-      "no-raw-io",       "no-direct-write", "header-guard",
-      "no-using-namespace", "no-catch-all", "todo-issue",
+      "nondeterminism",  "no-raw-clock", "no-raw-socket",
+      "no-naked-new",    "no-raw-io",    "no-direct-write",
+      "header-guard",    "no-using-namespace", "no-catch-all",
+      "todo-issue",
   };
   return kRules;
 }

@@ -13,6 +13,13 @@
 //   xfraud_cli serve-bench --log log.tsv [--model detector.ckpt] ...
 //       drive the online scoring service (replicated KV, hedged reads,
 //       deadlines, load shedding) and report tail latencies
+//   xfraud_cli dist-bench --log log.tsv --transport inproc|socket ...
+//       run distributed data-parallel training over the chosen Communicator
+//       backend (socket forks one real OS process per rank) and print the
+//       per-epoch cost table
+//   xfraud_cli dist-worker --log log.tsv --rank R --workers W ...
+//       run one rank of a socket-backed cluster (what dist-bench's launcher
+//       forks; also usable standalone for hand-launched clusters)
 //
 // Exit code 0 on success, 1 on usage/runtime errors.
 
@@ -68,6 +75,14 @@ int Usage() {
       "           [--deadline-ms F] [--max-inflight N]\n"
       "           [--shed-policy failfast|degrade] [--max-degraded-frac F]\n"
       "           [--fault-plan SPEC] [--threads N] [--virtual-clock]\n"
+      "  dist-bench --log <log.tsv> [--transport inproc|socket]\n"
+      "           [--workers N] [--epochs N] [--batch N] [--clusters N]\n"
+      "           [--recovery elastic|restart] [--fault-plan SPEC]\n"
+      "           [--checkpoint-dir D] [--op-timeout SEC] [--timeout SEC]\n"
+      "  dist-worker --log <log.tsv> --rank R --workers W\n"
+      "           --rendezvous unix:<path>|tcp:host:port --checkpoint-dir D\n"
+      "           [--epochs N] [--batch N] [--clusters N]\n"
+      "           [--fault-plan SPEC] [--suppress-kill] [--op-timeout SEC]\n"
       "\n"
       "--sample-workers enables the pipelined batch loader: N sampler\n"
       "threads prefetch mini-batches ahead of the model (0 = inline\n"
@@ -102,7 +117,20 @@ int Usage() {
       "--virtual-clock replays injected latency on simulated time\n"
       "(bit-deterministic with --threads 1); --model reuses a trained\n"
       "checkpoint, otherwise a seed-initialized detector is scored\n"
-      "(latency-realistic either way). See DESIGN.md §11.\n";
+      "(latency-realistic either way). See DESIGN.md §11.\n"
+      "\n"
+      "distributed training (dist-bench / dist-worker): --transport inproc\n"
+      "runs every replica in this process over the shared-memory\n"
+      "Communicator (bit-identical to the historical simulation);\n"
+      "--transport socket forks one real OS process per rank, connected by\n"
+      "a length-prefixed-frame ring over unix sockets with rank-0\n"
+      "rendezvous. In socket mode kill_worker=<r>@<e>:<s> in --fault-plan\n"
+      "is a real SIGKILL; the launcher re-forks the rank, which resumes\n"
+      "from its CRC checkpoint under --checkpoint-dir and rejoins the\n"
+      "ring. The epoch table reports the sync cost split by provenance:\n"
+      "'modeled sync' (inproc: sync_overhead x steps) and 'measured comm'\n"
+      "(socket: slowest rank's time inside collectives) — exactly one is\n"
+      "set, never both summed. See DESIGN.md §12.\n";
   return 1;
 }
 
@@ -621,6 +649,202 @@ int CmdServeBench(const Flags& flags) {
   return WriteMetricsSnapshot(flags);
 }
 
+/// Parses --fault-plan / XFRAUD_FAULT_PLAN; an empty plan when neither is
+/// set.
+Result<fault::FaultPlan> PlanFromFlags(const Flags& flags) {
+  if (flags.Has("fault-plan")) {
+    return fault::FaultPlan::Parse(flags.Get("fault-plan"));
+  }
+  if (std::getenv("XFRAUD_FAULT_PLAN") != nullptr) {
+    return fault::FaultPlan::FromEnv();
+  }
+  return fault::FaultPlan{};
+}
+
+/// DistWorkerOptions shared by dist-worker and dist-bench --transport
+/// socket: both sides of a cluster must derive identical options from
+/// identical flags or the replicas diverge at step zero.
+dist::DistWorkerOptions WorkerOptionsFromFlags(const data::SimDataset& ds,
+                                               const Flags& flags) {
+  dist::DistWorkerOptions w;
+  w.rank = flags.GetInt("rank", 0);
+  w.world = std::max(1, flags.GetInt("workers", 4));
+  w.rendezvous = flags.Get("rendezvous");
+  w.detector = ConfigFor(ds.graph, flags);
+  w.model_seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  w.dist.num_workers = w.world;
+  w.dist.num_clusters = flags.GetInt("clusters", 32);
+  w.dist.train.max_epochs = flags.GetInt("epochs", 6);
+  w.dist.train.patience =
+      flags.GetInt("patience", w.dist.train.max_epochs);
+  w.dist.train.batch_size = flags.GetInt("batch", 128);
+  w.dist.train.lr = 2e-3f;
+  w.dist.train.class_weights = {1.0f, 4.0f};
+  w.dist.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  w.dist.train.num_sample_workers = flags.GetInt("sample-workers", 0);
+  w.dist.train.prefetch_depth = flags.GetInt("prefetch", 4);
+  w.checkpoint_dir = flags.Get("checkpoint-dir");
+  w.suppress_kill = flags.Has("suppress-kill");
+  w.op_timeout_s = flags.GetDouble("op-timeout", 60.0);
+  return w;
+}
+
+/// Per-epoch cost table of a distributed run. The sync cost is printed
+/// split by provenance — "modeled sync" (in-process: sync_overhead x
+/// steps) vs "measured comm" (socket: slowest rank's time inside
+/// collectives). Exactly one of the pair is ever set; the other prints "-"
+/// so the two can never read as summed.
+void PrintDistResult(const dist::DistributedResult& result) {
+  TablePrinter table({"epoch", "loss", "val auc", "wall (s)",
+                      "modeled sync (s)", "measured comm (s)",
+                      "sim cluster (s)", "recovery"});
+  for (const auto& e : result.history) {
+    std::string recovery = "-";
+    if (e.restarted || e.killed_worker >= 0) {
+      recovery = e.restarted ? "restart" : "elastic";
+      if (e.killed_worker >= 0) {
+        recovery += " w" + std::to_string(e.killed_worker);
+      }
+      recovery += " +" + TablePrinter::Num(e.recovery_seconds, 3) + "s";
+    }
+    table.AddRow(
+        {std::to_string(e.epoch), TablePrinter::Num(e.train_loss, 4),
+         TablePrinter::Num(e.val_auc, 4),
+         TablePrinter::Num(e.wall_seconds, 3),
+         e.modeled_sync_seconds > 0.0
+             ? TablePrinter::Num(e.modeled_sync_seconds, 4)
+             : "-",
+         e.measured_comm_seconds > 0.0
+             ? TablePrinter::Num(e.measured_comm_seconds, 4)
+             : "-",
+         TablePrinter::Num(e.simulated_cluster_seconds, 3), recovery});
+  }
+  table.Print(std::cout);
+  std::cout << "best val AUC " << TablePrinter::Num(result.best_val_auc, 4)
+            << ", mean wall epoch "
+            << TablePrinter::Num(result.mean_wall_epoch_seconds, 3)
+            << "s, mean simulated epoch "
+            << TablePrinter::Num(result.mean_simulated_epoch_seconds, 3)
+            << "s, edge cut "
+            << TablePrinter::Num(result.edge_cut_fraction * 100, 1)
+            << "%\npartition nodes:";
+  for (int64_t n : result.partition_nodes) std::cout << " " << n;
+  std::cout << "\n";
+}
+
+int CmdDistWorker(const Flags& flags) {
+  auto ds = LoadDataset(flags);
+  if (!ds.ok()) {
+    std::cerr << "dist-worker: " << ds.status().ToString() << "\n";
+    return 1;
+  }
+  if (!flags.Has("rank")) {
+    std::cerr << "dist-worker: --rank is required\n";
+    return 1;
+  }
+  dist::DistWorkerOptions worker = WorkerOptionsFromFlags(ds.value(), flags);
+  if (worker.rendezvous.empty()) {
+    std::cerr << "dist-worker: --rendezvous is required\n";
+    return 1;
+  }
+  if (worker.checkpoint_dir.empty()) {
+    std::cerr << "dist-worker: --checkpoint-dir is required\n";
+    return 1;
+  }
+  auto plan = PlanFromFlags(flags);
+  if (!plan.ok()) {
+    std::cerr << "dist-worker: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  worker.fault_plan = plan.value();
+  auto result = dist::RunDistWorker(ds.value(), worker);
+  if (!result.ok()) {
+    std::cerr << "dist-worker: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  if (worker.rank == 0) PrintDistResult(result.value());
+  return WriteMetricsSnapshot(flags);
+}
+
+int CmdDistBench(const Flags& flags) {
+  auto ds = LoadDataset(flags);
+  if (!ds.ok()) {
+    std::cerr << "dist-bench: " << ds.status().ToString() << "\n";
+    return 1;
+  }
+  std::string transport = flags.Get("transport", "inproc");
+  if (transport != "inproc" && transport != "socket") {
+    std::cerr << "dist-bench: --transport must be inproc or socket\n";
+    return 1;
+  }
+  std::string recovery = flags.Get("recovery", "elastic");
+  if (recovery != "elastic" && recovery != "restart") {
+    std::cerr << "dist-bench: --recovery must be elastic or restart\n";
+    return 1;
+  }
+  auto plan = PlanFromFlags(flags);
+  if (!plan.ok()) {
+    std::cerr << "dist-bench: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  if (plan.value().any()) {
+    std::cout << "fault plan: " << plan.value().ToString() << "\n";
+  }
+
+  if (transport == "socket") {
+    dist::ProcessClusterOptions cluster;
+    cluster.worker = WorkerOptionsFromFlags(ds.value(), flags);
+    cluster.worker.fault_plan = plan.value();
+    if (cluster.worker.checkpoint_dir.empty()) {
+      cluster.worker.checkpoint_dir = "/tmp/xfraud-dist-bench";
+    }
+    cluster.overall_timeout_s = flags.GetDouble("timeout", 600.0);
+    std::cout << "forking " << cluster.worker.world
+              << " worker process(es), rendezvous + checkpoints under "
+              << cluster.worker.checkpoint_dir << "\n";
+    auto report = dist::RunProcessCluster(ds.value(), cluster);
+    if (!report.ok()) {
+      std::cerr << "dist-bench: " << report.status().ToString() << "\n";
+      return 1;
+    }
+    if (!report.value().kills_observed.empty()) {
+      std::cout << "kills observed (rank):";
+      for (int r : report.value().kills_observed) std::cout << " " << r;
+      std::cout << " — " << report.value().restarts << " restart(s)\n";
+    }
+    PrintDistResult(report.value().result);
+    return WriteMetricsSnapshot(flags);
+  }
+
+  // In-process: kappa identically-seeded replicas over the shared-memory
+  // Communicator (the historical simulation, bit-identical).
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const int kappa = std::max(1, flags.GetInt("workers", 4));
+  std::vector<std::unique_ptr<core::XFraudDetector>> replicas;
+  std::vector<core::GnnModel*> ptrs;
+  for (int w = 0; w < kappa; ++w) {
+    Rng rng(seed);
+    replicas.push_back(std::make_unique<core::XFraudDetector>(
+        ConfigFor(ds.value().graph, flags), &rng));
+    ptrs.push_back(replicas.back().get());
+  }
+  sample::SageSampler sampler(2, 8);
+  dist::DistributedOptions options =
+      WorkerOptionsFromFlags(ds.value(), flags).dist;
+  options.recovery = recovery == "restart"
+                         ? dist::FailureRecovery::kRestartEpoch
+                         : dist::FailureRecovery::kElastic;
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (plan.value().any()) {
+    injector = std::make_unique<fault::FaultInjector>(plan.value());
+    options.fault_injector = injector.get();
+  }
+  dist::DistributedTrainer trainer(ptrs, &sampler, options);
+  dist::DistributedResult result = trainer.Train(ds.value());
+  PrintDistResult(result);
+  return WriteMetricsSnapshot(flags);
+}
+
 int Main(int argc, char** argv) {
   SetMinLogLevel(LogLevel::kWarning);
   if (argc < 2) return Usage();
@@ -636,6 +860,8 @@ int Main(int argc, char** argv) {
   if (command == "score") return CmdScore(flags.value());
   if (command == "explain") return CmdExplain(flags.value());
   if (command == "serve-bench") return CmdServeBench(flags.value());
+  if (command == "dist-bench") return CmdDistBench(flags.value());
+  if (command == "dist-worker") return CmdDistWorker(flags.value());
   return Usage();
 }
 
