@@ -1,9 +1,17 @@
 // Microbenchmarks of the autograd substrate (google-benchmark): the ops on
-// the detector's critical path, forward and forward+backward. Useful for
+// the detector's critical path, forward and forward+backward, plus the
+// before/after pairs that gate each nn::kernels fusion (blocked vs naive
+// GEMM, fused vs composed linear and attention aggregate). Useful for
 // tracking regressions in the engine that every experiment sits on.
+//
+// XFRAUD_KERNEL_THREADS sets the kernel worker count (default 1; results
+// are bit-identical at any value, only the timings move).
+
+#include <cstdlib>
 
 #include <benchmark/benchmark.h>
 
+#include "xfraud/nn/kernels.h"
 #include "xfraud/nn/modules.h"
 #include "xfraud/nn/ops.h"
 
@@ -23,6 +31,22 @@ void BM_MatMulForward(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulForward)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_GemmReference(benchmark::State& state) {
+  // The naive ikj GEMM the blocked kernel replaced — the "before" side of
+  // the BM_MatMulForward gate, kept runnable in the same binary.
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Uniform(n, 64, 1.0f, &rng);
+  Tensor b = Tensor::Uniform(64, 64, 1.0f, &rng);
+  Tensor c(n, 64);
+  for (auto _ : state) {
+    kernels::reference::Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_GemmReference)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_MatMulTrain(benchmark::State& state) {
   int64_t n = state.range(0);
   Rng rng(2);
@@ -35,8 +59,102 @@ void BM_MatMulTrain(benchmark::State& state) {
     loss.Backward();
     benchmark::DoNotOptimize(a.grad().data());
   }
+  // Forward GEMM plus the two backward products, all n x 64 x 64 shaped.
+  state.SetItemsProcessed(state.iterations() * 3 * n * 64 * 64);
 }
 BENCHMARK(BM_MatMulTrain)->Arg(256)->Arg(1024);
+
+void BM_LinearFused(benchmark::State& state) {
+  // Fused x·W + b + ReLU forward/backward...
+  int64_t n = state.range(0);
+  Rng rng(7);
+  Linear lin(64, 64, &rng);
+  Var x(Tensor::Uniform(n, 64, 1.0f, &rng), true);
+  for (auto _ : state) {
+    x.ZeroGrad();
+    lin.ZeroGrad();
+    Var loss = Sum(lin.Forward(x, kernels::Activation::kRelu));
+    loss.Backward();
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_LinearFused)->Arg(256)->Arg(1024);
+
+void BM_LinearComposed(benchmark::State& state) {
+  // ...vs the composed MatMul + AddRowBroadcast + Relu chain it replaced.
+  int64_t n = state.range(0);
+  Rng rng(7);
+  Linear lin(64, 64, &rng);
+  Var x(Tensor::Uniform(n, 64, 1.0f, &rng), true);
+  Var bias(Tensor(1, 64, 0.01f), true);
+  for (auto _ : state) {
+    x.ZeroGrad();
+    lin.ZeroGrad();
+    bias.ZeroGrad();
+    Var loss =
+        Sum(Relu(AddRowBroadcast(MatMul(x, lin.weight()), bias)));
+    loss.Backward();
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_LinearComposed)->Arg(256)->Arg(1024);
+
+void BM_AttentionAggregateFused(benchmark::State& state) {
+  // Fused segment-softmax -> per-head weighting -> scatter-add...
+  int64_t edges = state.range(0);
+  int64_t nodes = edges / 2 + 1;
+  const int64_t kHeads = 4;
+  const int64_t kHeadDim = 16;
+  Rng rng(8);
+  Var scores(Tensor::Uniform(edges, kHeads, 1.0f, &rng), true);
+  Var values(Tensor::Uniform(edges, kHeads * kHeadDim, 1.0f, &rng), true);
+  std::vector<int32_t> dst(edges);
+  for (auto& d : dst) d = static_cast<int32_t>(rng.NextBounded(nodes));
+  for (auto _ : state) {
+    scores.ZeroGrad();
+    values.ZeroGrad();
+    Var loss = Sum(AttentionAggregate(scores, values, dst, nodes, kHeadDim,
+                                      /*dropout_p=*/0.0f, /*training=*/false,
+                                      nullptr));
+    loss.Backward();
+    benchmark::DoNotOptimize(scores.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_AttentionAggregateFused)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AttentionAggregateComposed(benchmark::State& state) {
+  // ...vs the composed SegmentSoftmax + per-head SliceCols/MulColBroadcast/
+  // ConcatCols + ScatterAddRows chain it replaced in HeteroConv.
+  int64_t edges = state.range(0);
+  int64_t nodes = edges / 2 + 1;
+  const int64_t kHeads = 4;
+  const int64_t kHeadDim = 16;
+  Rng rng(8);
+  Var scores(Tensor::Uniform(edges, kHeads, 1.0f, &rng), true);
+  Var values(Tensor::Uniform(edges, kHeads * kHeadDim, 1.0f, &rng), true);
+  std::vector<int32_t> dst(edges);
+  for (auto& d : dst) d = static_cast<int32_t>(rng.NextBounded(nodes));
+  for (auto _ : state) {
+    scores.ZeroGrad();
+    values.ZeroGrad();
+    Var att = SegmentSoftmax(scores, dst, nodes);
+    Var messages;
+    for (int64_t h = 0; h < kHeads; ++h) {
+      Var v_h = SliceCols(values, h * kHeadDim, kHeadDim);
+      Var att_h = SliceCols(att, h, 1);
+      Var msg_h = MulColBroadcast(v_h, att_h);
+      messages = messages.defined() ? ConcatCols(messages, msg_h) : msg_h;
+    }
+    Var loss = Sum(ScatterAddRows(messages, dst, nodes));
+    loss.Backward();
+    benchmark::DoNotOptimize(scores.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_AttentionAggregateComposed)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_SegmentSoftmax(benchmark::State& state) {
   int64_t edges = state.range(0);
@@ -106,4 +224,14 @@ BENCHMARK(BM_LayerNormForward)->Arg(1024)->Arg(8192);
 }  // namespace
 }  // namespace xfraud::nn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* threads = std::getenv("XFRAUD_KERNEL_THREADS");
+  if (threads != nullptr) {
+    xfraud::nn::kernels::SetNumThreads(std::atoi(threads));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

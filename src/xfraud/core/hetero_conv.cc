@@ -94,25 +94,36 @@ Var HeteroConvLayer::Forward(const Var& node_input,
     scores = scores.defined() ? nn::ConcatCols(scores, score_h) : score_h;
   }
 
-  // eq. 9: normalize over each target's in-neighbourhood, per head.
-  Var att = nn::SegmentSoftmax(scores, edge_dst, num_nodes);
-  att = nn::Dropout(att, dropout_, options.training, options.rng);
+  Var agg;
+  if (options.edge_mask == nullptr) {
+    // Hot path (train + serve): eqs. 9-10 + the eq. 1 aggregate in one
+    // fused kernel — softmax-normalize per target, per-head value
+    // weighting, scatter-add — instead of five full passes over the [E,D]
+    // message block. Bit-identical to the composed ops below, including
+    // dropout RNG consumption.
+    agg = nn::AttentionAggregate(scores, v_edges, edge_dst, num_nodes,
+                                 head_dim_, dropout_, options.training,
+                                 options.rng);
+  } else {
+    // Explainer path: the learned edge mask multiplies the message block
+    // between weighting and aggregation, so it stays on the composed ops.
+    // eq. 9: normalize over each target's in-neighbourhood, per head.
+    Var att = nn::SegmentSoftmax(scores, edge_dst, num_nodes);
+    att = nn::Dropout(att, dropout_, options.training, options.rng);
 
-  // eq. 10: per-head value weighting, concatenated back to [E, dim].
-  Var messages;
-  for (int h = 0; h < num_heads_; ++h) {
-    Var v_h = nn::SliceCols(v_edges, h * head_dim_, head_dim_);
-    Var att_h = nn::SliceCols(att, h, 1);
-    Var msg_h = nn::MulColBroadcast(v_h, att_h);
-    messages = messages.defined() ? nn::ConcatCols(messages, msg_h) : msg_h;
-  }
-
-  if (options.edge_mask != nullptr) {
+    // eq. 10: per-head value weighting, concatenated back to [E, dim].
+    Var messages;
+    for (int h = 0; h < num_heads_; ++h) {
+      Var v_h = nn::SliceCols(v_edges, h * head_dim_, head_dim_);
+      Var att_h = nn::SliceCols(att, h, 1);
+      Var msg_h = nn::MulColBroadcast(v_h, att_h);
+      messages = messages.defined() ? nn::ConcatCols(messages, msg_h) : msg_h;
+    }
     messages = nn::MulColBroadcast(messages, *options.edge_mask);
-  }
 
-  // eq. 1 aggregate, then layer norm + ReLU (paper §3.2.1 step 2).
-  Var agg = nn::ScatterAddRows(messages, edge_dst, num_nodes);
+    // eq. 1 aggregate (paper §3.2.1 step 2).
+    agg = nn::ScatterAddRows(messages, edge_dst, num_nodes);
+  }
   Var h = use_residual_ ? nn::Add(agg, node_input) : agg;
   return nn::Relu(norm_.Forward(h));
 }

@@ -1,0 +1,144 @@
+#ifndef XFRAUD_NN_KERNELS_H_
+#define XFRAUD_NN_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xfraud/nn/tensor.h"
+
+namespace xfraud::nn::kernels {
+
+// The compute-kernel layer under the autograd ops (DESIGN.md §13): blocked,
+// fused, optionally thread-parallel inner loops. Two contracts hold for every
+// kernel here:
+//
+//   1. *Bitwise conformance.* Each kernel produces bit-identical floats to
+//      the naive reference implementation in kernels::reference (asserted by
+//      tests/nn_kernels_test.cc via Tensor::BitwiseEqual). Blocking and
+//      packing change the traversal, never the per-element accumulation
+//      order, which stays ascending in the reduction index (k for GEMM, the
+//      i/edge id for column sums and scatters).
+//
+//   2. *Deterministic parallelism.* SetNumThreads(n) only changes which
+//      worker computes which disjoint slice of the output; every output
+//      element is reduced by exactly one worker in the fixed order above, so
+//      results are bit-identical at any thread count — the same contract
+//      BatchLoader and dist::Communicator uphold.
+//
+// Kernels never skip terms (no zero-shortcuts): 0·NaN and 0·Inf must
+// propagate, and timing must not depend on the data.
+
+/// Optional activation fused into the GEMM epilogue.
+enum class Activation { kNone, kRelu };
+
+/// Sets the kernel worker count (1 = serial, the default). Thread-safe;
+/// takes effect for subsequent kernel calls.
+void SetNumThreads(int n);
+int NumThreads();
+
+/// C = act(A·B + bias). A [n,k], B [k,m], C preallocated [n,m] (overwritten).
+/// `bias` is nullptr (no bias) or a length-m row added before `act`.
+/// Cache-blocked over B panels (a packed column-tile layout) with a
+/// register-tiled micro-kernel; parallel over row blocks of C.
+void GemmBiasAct(const Tensor& a, const Tensor& b, const float* bias,
+                 Activation act, Tensor* c);
+
+/// C = A·B (no bias, no activation).
+void Gemm(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// dA += G·Bᵀ. G [n,m], B [k,m], dA [n,k]. Row-dot form: B's row-major
+/// storage is already the transposed-operand layout, so every dot product
+/// streams two contiguous rows. Parallel over rows of dA.
+void GemmTransBAdd(const Tensor& g, const Tensor& b, Tensor* da);
+
+/// dB += Aᵀ·G. A [n,k], G [n,m], dB [k,m]. i-outer loops keep G's row hot
+/// across a k-block; the reduction over i stays ascending for every output
+/// element. Parallel over k blocks (disjoint dB rows).
+void GemmTransAAdd(const Tensor& a, const Tensor& g, Tensor* db);
+
+/// gb[0,:] += column sums of G, reduced over rows in ascending order.
+void ColSumAdd(const Tensor& g, Tensor* gb);
+
+/// CSR-style grouping of row ids by group: rows[offsets[g]..offsets[g+1])
+/// lists, in ascending row order, every r with group_of_row[r] == g. This is
+/// the fixed reduction order that makes parallel scatters deterministic:
+/// each group's reduction happens on one worker, ascending in r — exactly
+/// the order the serial edge-loop reference uses.
+struct RowGroups {
+  int64_t num_groups = 0;
+  std::vector<int64_t> offsets;  // size num_groups + 1
+  std::vector<int32_t> rows;     // size = |group_of_row|, grouped
+};
+
+/// Builds RowGroups by stable counting sort. Checks every id is in
+/// [0, num_groups).
+RowGroups BuildRowGroups(const std::vector<int32_t>& group_of_row,
+                         int64_t num_groups);
+
+/// out[i,:] = a[idx[i],:]. out preallocated [|idx|, a.cols]. Parallel over
+/// output rows (pure gather, no reduction).
+void GatherRows(const Tensor& a, const std::vector<int32_t>& idx, Tensor* out);
+
+/// out[g,:] += Σ_{r in group g} a[r,:], ascending r within each group.
+/// Parallel over groups (disjoint output rows).
+void ScatterAddGrouped(const Tensor& a, const RowGroups& groups, Tensor* out);
+
+/// out[idx[r],:] += a[r,:]. Serial fast path of ScatterAddGrouped: when the
+/// kernel pool has one thread it streams a in row order (no group build, no
+/// indirection); with more threads it builds groups and dispatches to
+/// ScatterAddGrouped. Both orders reduce each output element ascending in
+/// r, so the results are bit-identical.
+void ScatterAddRowsKernel(const Tensor& a, const std::vector<int32_t>& idx,
+                          Tensor* out);
+
+/// out[i,:] += g[idx[i],:] — the backward of a scatter-add (a gather with
+/// accumulate). Parallel over output rows.
+void GatherAddRows(const Tensor& g, const std::vector<int32_t>& idx,
+                   Tensor* out);
+
+/// att = per-(segment, column) softmax of scores, segments given as row
+/// groups. Bit-identical to the unfused SegmentSoftmax op: per-segment
+/// max/sum reductions run ascending in the row id. Parallel over segments.
+void SegmentSoftmaxGrouped(const Tensor& scores, const RowGroups& groups,
+                           Tensor* att);
+
+/// out[g, h·hd+c] += Σ_{r in group g} w[r,h]·v[r, h·hd+c], ascending r.
+/// w is [R, H], v is [R, H·hd]. The fused "apply attention then aggregate"
+/// step: one pass over v instead of per-head slice/broadcast/concat/scatter
+/// round trips. Parallel over groups.
+void WeightedScatterAddGrouped(const Tensor& v, const Tensor& w,
+                               const RowGroups& groups, int64_t head_dim,
+                               Tensor* out);
+
+/// dv[r, h·hd+c] += w[r,h]·gout[dst[r], h·hd+c] — the value-side backward of
+/// the fused attention aggregate. Parallel over rows of dv (single writer).
+void WeightedGatherAdd(const Tensor& gout, const std::vector<int32_t>& dst,
+                       const Tensor& w, int64_t head_dim, Tensor* dv);
+
+/// dw[r,h] = Σ_c v[r, h·hd+c]·gout[dst[r], h·hd+c], ascending c — the
+/// attention-weight backward (per-edge, per-head dot). Overwrites dw.
+/// Parallel over rows.
+void PerHeadDots(const Tensor& gout, const std::vector<int32_t>& dst,
+                 const Tensor& v, int64_t head_dim, Tensor* dw);
+
+/// dscores[r,:] += att[r,:]·(datt[r,:] − dot[g(r),:]) with
+/// dot[g,c] = Σ_{r in group g} att[r,c]·datt[r,c], ascending r — the
+/// segment-softmax backward. Parallel over groups.
+void SegmentSoftmaxBackwardGrouped(const Tensor& att, const Tensor& datt,
+                                   const RowGroups& groups, Tensor* dscores);
+
+namespace reference {
+
+// Naive, unfused, serial reference kernels — the conformance oracle for the
+// blocked/parallel versions above, and the "before" side of the
+// bench_nn_ops fusion gates. Deliberately kept as straight triple loops.
+
+void Gemm(const Tensor& a, const Tensor& b, Tensor* c);
+void GemmTransBAdd(const Tensor& g, const Tensor& b, Tensor* da);
+void GemmTransAAdd(const Tensor& a, const Tensor& g, Tensor* db);
+
+}  // namespace reference
+
+}  // namespace xfraud::nn::kernels
+
+#endif  // XFRAUD_NN_KERNELS_H_

@@ -27,10 +27,8 @@ Linear::Linear(int64_t in_dim, int64_t out_dim, xfraud::Rng* rng,
   }
 }
 
-Var Linear::Forward(const Var& x) const {
-  Var y = MatMul(x, weight_);
-  if (with_bias_) y = AddRowBroadcast(y, bias_);
-  return y;
+Var Linear::Forward(const Var& x, kernels::Activation act) const {
+  return LinearBiasAct(x, weight_, with_bias_ ? bias_ : Var(), act);
 }
 
 void Linear::CollectParameters(const std::string& prefix,

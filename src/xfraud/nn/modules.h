@@ -48,7 +48,9 @@ class Linear : public Module {
   Linear(int64_t in_dim, int64_t out_dim, xfraud::Rng* rng,
          bool with_bias = true);
 
-  Var Forward(const Var& x) const;
+  /// y = act(x·W + b) in one fused kernel pass (no intermediate x·W block).
+  Var Forward(const Var& x,
+              kernels::Activation act = kernels::Activation::kNone) const;
 
   void CollectParameters(const std::string& prefix,
                          std::vector<NamedParameter>* out) const override;

@@ -60,54 +60,65 @@ Var MatMul(const Var& a, const Var& b) {
   const Tensor& bv = b.value();
   XF_CHECK_EQ(av.cols(), bv.rows());
   Tensor out(av.rows(), bv.cols());
-  // ikj loop order for cache-friendly access of B's rows.
-  for (int64_t i = 0; i < av.rows(); ++i) {
-    const float* arow = av.Row(i);
-    float* orow = out.Row(i);
-    for (int64_t k = 0; k < av.cols(); ++k) {
-      float aik = arow[k];
-      if (aik == 0.0f) continue;
-      const float* brow = bv.Row(k);
-      for (int64_t j = 0; j < bv.cols(); ++j) orow[j] += aik * brow[j];
-    }
-  }
+  // Blocked kernel; no zero-skip shortcut, so 0·NaN / 0·Inf propagate and
+  // timing is data-independent.
+  kernels::Gemm(av, bv, &out);
   auto a_impl = a.impl();
   auto b_impl = b.impl();
   return MakeResult(
       std::move(out), {a, b},
       [a_impl, b_impl](VarImpl* self) {
         const Tensor& g = self->grad;
-        const Tensor& amat = a_impl->value;
-        const Tensor& bmat = b_impl->value;
         if (a_impl->requires_grad) {
-          // dA = dC * B^T.
-          Tensor& ga = a_impl->EnsureGrad();
-          for (int64_t i = 0; i < amat.rows(); ++i) {
-            const float* grow = g.Row(i);
-            float* garow = ga.Row(i);
-            for (int64_t k = 0; k < amat.cols(); ++k) {
-              const float* brow = bmat.Row(k);
-              float acc = 0.0f;
-              for (int64_t j = 0; j < bmat.cols(); ++j) acc += grow[j] * brow[j];
-              garow[k] += acc;
-            }
-          }
+          kernels::GemmTransBAdd(g, b_impl->value, &a_impl->EnsureGrad());
         }
         if (b_impl->requires_grad) {
-          // dB = A^T * dC.
-          Tensor& gb = b_impl->EnsureGrad();
-          for (int64_t i = 0; i < amat.rows(); ++i) {
-            const float* arow = amat.Row(i);
-            const float* grow = g.Row(i);
-            for (int64_t k = 0; k < amat.cols(); ++k) {
-              float aik = arow[k];
-              if (aik == 0.0f) continue;
-              float* gbrow = gb.Row(k);
-              for (int64_t j = 0; j < bmat.cols(); ++j) {
-                gbrow[j] += aik * grow[j];
-              }
-            }
+          kernels::GemmTransAAdd(a_impl->value, g, &b_impl->EnsureGrad());
+        }
+      });
+}
+
+Var LinearBiasAct(const Var& x, const Var& w, const Var& bias,
+                  kernels::Activation act) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = w.value();
+  XF_CHECK_EQ(xv.cols(), wv.rows());
+  const float* bias_ptr = nullptr;
+  if (bias.defined()) {
+    XF_CHECK_EQ(bias.value().rows(), 1);
+    XF_CHECK_EQ(bias.value().cols(), wv.cols());
+    bias_ptr = bias.value().Row(0);
+  }
+  Tensor out(xv.rows(), wv.cols());
+  kernels::GemmBiasAct(xv, wv, bias_ptr, act, &out);
+  std::vector<Var> inputs = {x, w};
+  if (bias.defined()) inputs.push_back(bias);
+  auto x_impl = x.impl();
+  auto w_impl = w.impl();
+  auto b_impl = bias.defined() ? bias.impl() : nullptr;
+  return MakeResult(
+      std::move(out), std::move(inputs),
+      [x_impl, w_impl, b_impl, act](VarImpl* self) {
+        // Pre-activation grad: ReLU gates on the output (y > 0 ⟺ pre > 0).
+        const Tensor* dpre = &self->grad;
+        Tensor gated;
+        if (act == kernels::Activation::kRelu) {
+          gated = self->grad;
+          const float* y = self->value.data();
+          float* gp = gated.data();
+          for (int64_t i = 0; i < gated.size(); ++i) {
+            if (!(y[i] > 0.0f)) gp[i] = 0.0f;
           }
+          dpre = &gated;
+        }
+        if (x_impl->requires_grad) {
+          kernels::GemmTransBAdd(*dpre, w_impl->value, &x_impl->EnsureGrad());
+        }
+        if (w_impl->requires_grad) {
+          kernels::GemmTransAAdd(x_impl->value, *dpre, &w_impl->EnsureGrad());
+        }
+        if (b_impl != nullptr && b_impl->requires_grad) {
+          kernels::ColSumAdd(*dpre, &b_impl->EnsureGrad());
         }
       });
 }
@@ -263,6 +274,7 @@ Var Dropout(const Var& a, float p, bool training, xfraud::Rng* rng) {
 
 Var RowSoftmax(const Var& a) {
   const Tensor& av = a.value();
+  XF_CHECK_GT(av.cols(), 0) << "RowSoftmax over a zero-column tensor";
   Tensor out(av.rows(), av.cols());
   for (int64_t r = 0; r < av.rows(); ++r) {
     const float* x = av.Row(r);
@@ -302,6 +314,7 @@ Var CrossEntropy(const Var& logits, const std::vector<int>& labels,
   int64_t n = lv.rows();
   int64_t c = lv.cols();
   XF_CHECK_GT(n, 0);
+  XF_CHECK_GT(c, 0) << "CrossEntropy over zero-column logits";
   if (!class_weights.empty()) {
     XF_CHECK_EQ(static_cast<int64_t>(class_weights.size()), c);
   }
@@ -329,6 +342,9 @@ Var CrossEntropy(const Var& logits, const std::vector<int>& labels,
     total_weight += w;
     loss -= w * std::log(std::max(p[label], 1e-12f));
   }
+  XF_CHECK_GT(total_weight, 0.0)
+      << "CrossEntropy: every present class has zero weight, the "
+         "normalizer would divide by zero";
   loss /= total_weight;
   Tensor out(1, 1, static_cast<float>(loss));
   auto l_impl = logits.impl();
@@ -416,24 +432,14 @@ Var SliceCols(const Var& a, int64_t start, int64_t len) {
 Var IndexRows(const Var& a, const std::vector<int32_t>& indices) {
   const Tensor& av = a.value();
   Tensor out(static_cast<int64_t>(indices.size()), av.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    int32_t src = indices[i];
-    XF_CHECK_GE(src, 0);
-    XF_CHECK_LT(src, av.rows());
-    std::copy(av.Row(src), av.Row(src) + av.cols(),
-              out.Row(static_cast<int64_t>(i)));
-  }
+  kernels::GatherRows(av, indices, &out);
   auto a_impl = a.impl();
   auto idx = std::make_shared<std::vector<int32_t>>(indices);
   return MakeResult(std::move(out), {a}, [a_impl, idx](VarImpl* self) {
     if (!a_impl->requires_grad) return;
-    Tensor& ga = a_impl->EnsureGrad();
-    const Tensor& g = self->grad;
-    for (size_t i = 0; i < idx->size(); ++i) {
-      const float* grow = g.Row(static_cast<int64_t>(i));
-      float* garow = ga.Row((*idx)[i]);
-      for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
-    }
+    // Scatter-add by source row: each source row's contributions accumulate
+    // in ascending gather position (serial stream or one worker per group).
+    kernels::ScatterAddRowsKernel(self->grad, *idx, &a_impl->EnsureGrad());
   });
 }
 
@@ -442,25 +448,12 @@ Var ScatterAddRows(const Var& a, const std::vector<int32_t>& index,
   const Tensor& av = a.value();
   XF_CHECK_EQ(static_cast<size_t>(av.rows()), index.size());
   Tensor out(num_rows, av.cols());
-  for (int64_t e = 0; e < av.rows(); ++e) {
-    int32_t dst = index[e];
-    XF_CHECK_GE(dst, 0);
-    XF_CHECK_LT(dst, num_rows);
-    const float* arow = av.Row(e);
-    float* orow = out.Row(dst);
-    for (int64_t c = 0; c < av.cols(); ++c) orow[c] += arow[c];
-  }
+  kernels::ScatterAddRowsKernel(av, index, &out);
   auto a_impl = a.impl();
   auto idx = std::make_shared<std::vector<int32_t>>(index);
   return MakeResult(std::move(out), {a}, [a_impl, idx](VarImpl* self) {
     if (!a_impl->requires_grad) return;
-    Tensor& ga = a_impl->EnsureGrad();
-    const Tensor& g = self->grad;
-    for (size_t e = 0; e < idx->size(); ++e) {
-      const float* grow = g.Row((*idx)[e]);
-      float* garow = ga.Row(static_cast<int64_t>(e));
-      for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
-    }
+    kernels::GatherAddRows(self->grad, *idx, &a_impl->EnsureGrad());
   });
 }
 
@@ -557,6 +550,77 @@ Var MulColBroadcast(const Var& a, const Var& col) {
       }
     }
   });
+}
+
+Var AttentionAggregate(const Var& scores, const Var& values,
+                       const std::vector<int32_t>& dst, int64_t num_nodes,
+                       int64_t head_dim, float dropout_p, bool training,
+                       xfraud::Rng* rng) {
+  const Tensor& sv = scores.value();
+  const Tensor& vv = values.value();
+  XF_CHECK_EQ(sv.rows(), vv.rows());
+  XF_CHECK_EQ(static_cast<size_t>(sv.rows()), dst.size());
+  XF_CHECK_GT(head_dim, 0);
+  XF_CHECK_EQ(sv.cols() * head_dim, vv.cols());
+  auto groups = std::make_shared<kernels::RowGroups>(
+      kernels::BuildRowGroups(dst, num_nodes));
+  // Pass 1: per-target softmax over [E,H] (kept for the backward).
+  auto att = std::make_shared<Tensor>(sv.rows(), sv.cols());
+  kernels::SegmentSoftmaxGrouped(sv, *groups, att.get());
+  // Inverted-dropout mask on the attention weights, drawn row-major over
+  // [E,H] — the exact RNG consumption order of the unfused Dropout op, so
+  // fused and composed training trajectories are bit-identical.
+  bool dropped = training && dropout_p > 0.0f;
+  auto mask = std::make_shared<std::vector<float>>();
+  Tensor w = *att;
+  if (dropped) {
+    XF_CHECK_LT(dropout_p, 1.0f);
+    XF_CHECK(rng != nullptr);
+    float keep = 1.0f - dropout_p;
+    mask->resize(static_cast<size_t>(att->size()));
+    float* wp = w.data();
+    for (int64_t i = 0; i < att->size(); ++i) {
+      float m = rng->NextBernoulli(dropout_p) ? 0.0f : 1.0f / keep;
+      (*mask)[static_cast<size_t>(i)] = m;
+      wp[i] *= m;
+    }
+  }
+  // Pass 2: weight the value block per head and aggregate per target node.
+  Tensor out(num_nodes, vv.cols());
+  kernels::WeightedScatterAddGrouped(vv, w, *groups, head_dim, &out);
+  auto s_impl = scores.impl();
+  auto v_impl = values.impl();
+  auto dst_copy = std::make_shared<std::vector<int32_t>>(dst);
+  return MakeResult(
+      std::move(out), {scores, values},
+      [s_impl, v_impl, groups, att, mask, dst_copy, head_dim](VarImpl* self) {
+        const Tensor& gout = self->grad;
+        // Recompute w = att ⊙ mask (cheaper than keeping both alive).
+        Tensor w_back = *att;
+        if (!mask->empty()) {
+          float* wp = w_back.data();
+          for (int64_t i = 0; i < w_back.size(); ++i) {
+            wp[i] *= (*mask)[static_cast<size_t>(i)];
+          }
+        }
+        if (v_impl->requires_grad) {
+          kernels::WeightedGatherAdd(gout, *dst_copy, w_back, head_dim,
+                                     &v_impl->EnsureGrad());
+        }
+        if (s_impl->requires_grad) {
+          Tensor datt(att->rows(), att->cols());
+          kernels::PerHeadDots(gout, *dst_copy, v_impl->value, head_dim,
+                               &datt);
+          if (!mask->empty()) {
+            float* dp = datt.data();
+            for (int64_t i = 0; i < datt.size(); ++i) {
+              dp[i] *= (*mask)[static_cast<size_t>(i)];
+            }
+          }
+          kernels::SegmentSoftmaxBackwardGrouped(*att, datt, *groups,
+                                                 &s_impl->EnsureGrad());
+        }
+      });
 }
 
 Var Sum(const Var& a) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "xfraud/common/rng.h"
+#include "xfraud/nn/kernels.h"
 #include "xfraud/nn/variable.h"
 
 namespace xfraud::nn {
@@ -13,9 +14,31 @@ namespace xfraud::nn {
 // when no input requires gradients the backward closure is omitted so pure
 // inference runs tape-free. All gradients are verified against central finite
 // differences in tests/nn_grad_test.cc.
+//
+// The dense/scatter hot paths (MatMul, LinearBiasAct, IndexRows,
+// ScatterAddRows, AttentionAggregate) run on the blocked, optionally
+// parallel nn::kernels layer (DESIGN.md §13); results are bit-identical at
+// any kernels::SetNumThreads setting.
 
 /// C = A * B. Shapes: [n,k] x [k,m] -> [n,m].
 Var MatMul(const Var& a, const Var& b);
+
+/// Fused act(x·W + b): one kernel pass instead of MatMul + AddRowBroadcast
+/// (+ Relu) round-tripping an [n,out] block through memory per op. `bias`
+/// may be an undefined Var for a bias-free linear.
+Var LinearBiasAct(const Var& x, const Var& w, const Var& bias,
+                  kernels::Activation act = kernels::Activation::kNone);
+
+/// Fused SegmentSoftmax → Dropout → per-head MulColBroadcast →
+/// ScatterAddRows: the HeteroConv attention aggregate (paper eqs. 9-10 +
+/// eq. 1) in two passes over the [E,D] value block instead of five. scores
+/// is [E,H], values [E, H·head_dim], dst the per-edge target node; returns
+/// [num_nodes, H·head_dim]. Bit-identical to the unfused composition,
+/// including RNG consumption order when dropout is active.
+Var AttentionAggregate(const Var& scores, const Var& values,
+                       const std::vector<int32_t>& dst, int64_t num_nodes,
+                       int64_t head_dim, float dropout_p, bool training,
+                       xfraud::Rng* rng);
 
 /// Elementwise A + B (same shape).
 Var Add(const Var& a, const Var& b);

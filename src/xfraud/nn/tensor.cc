@@ -1,6 +1,7 @@
 #include "xfraud/nn/tensor.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "xfraud/common/logging.h"
 
@@ -62,6 +63,13 @@ double Tensor::Norm() const {
   double acc = 0.0;
   for (float v : data_) acc += static_cast<double>(v) * v;
   return std::sqrt(acc);
+}
+
+bool Tensor::BitwiseEqual(const Tensor& other) const {
+  if (!SameShape(other)) return false;
+  if (data_.empty()) return true;
+  return std::memcmp(data_.data(), other.data_.data(),
+                     data_.size() * sizeof(float)) == 0;
 }
 
 std::string Tensor::ShapeString() const {

@@ -82,10 +82,17 @@ class Tensor {
   /// L2 norm of all entries.
   double Norm() const;
 
-  /// True when shapes and all entries match exactly.
+  /// True when the shapes match (says nothing about the entries; use
+  /// BitwiseEqual to compare contents).
   bool SameShape(const Tensor& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
+
+  /// True when shapes match and every entry is bit-for-bit identical.
+  /// Stricter than operator== on floats: NaNs with equal payloads compare
+  /// equal, +0 and -0 compare different — exactly what the kernel
+  /// conformance and determinism tests need.
+  bool BitwiseEqual(const Tensor& other) const;
 
   /// Compact debug string, e.g. "Tensor[3x4]".
   std::string ShapeString() const;

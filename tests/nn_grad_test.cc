@@ -178,6 +178,42 @@ TEST(GradCheck, SegmentSoftmax) {
   });
 }
 
+TEST(GradCheck, LinearBiasActNoBias) {
+  Rng rng(30);
+  std::vector<Var> in = {Var(RandomTensor(3, 4, &rng), true),
+                         Var(RandomTensor(4, 2, &rng), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Tanh(LinearBiasAct(v[0], v[1], Var())));
+  });
+}
+
+TEST(GradCheck, LinearBiasActWithBiasAndRelu) {
+  Rng rng(31);
+  // Bias pushed away from zero so no pre-activation sits on the ReLU kink
+  // (finite differences are invalid there).
+  Tensor bias = RandomTensor(1, 2, &rng);
+  for (auto& x : bias.vec()) x += (x >= 0 ? 2.0f : -2.0f);
+  std::vector<Var> in = {Var(RandomTensor(4, 3, &rng, 0.3f), true),
+                         Var(RandomTensor(3, 2, &rng, 0.3f), true),
+                         Var(std::move(bias), true)};
+  CheckGradients(in, [](std::vector<Var>& v) {
+    return Sum(Tanh(
+        LinearBiasAct(v[0], v[1], v[2], kernels::Activation::kRelu)));
+  });
+}
+
+TEST(GradCheck, AttentionAggregate) {
+  Rng rng(32);
+  std::vector<Var> in = {Var(RandomTensor(5, 2, &rng, 2.0f), true),   // scores
+                         Var(RandomTensor(5, 6, &rng), true)};        // values
+  std::vector<int32_t> dst = {0, 1, 1, 2, 0};
+  CheckGradients(in, [&dst](std::vector<Var>& v) {
+    return Sum(Tanh(AttentionAggregate(v[0], v[1], dst, /*num_nodes=*/3,
+                                       /*head_dim=*/3, /*dropout_p=*/0.0f,
+                                       /*training=*/false, nullptr)));
+  });
+}
+
 TEST(GradCheck, MulColBroadcast) {
   Rng rng(15);
   std::vector<Var> in = {Var(RandomTensor(4, 3, &rng), true),

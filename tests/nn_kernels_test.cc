@@ -1,0 +1,420 @@
+// Conformance and regression tests for the nn::kernels layer (DESIGN.md
+// §13): blocked kernels must match the naive reference bit for bit, any
+// thread count must match one thread bit for bit, the fused ops must match
+// their composed equivalents bit for bit (including dropout RNG
+// consumption), and the zero-skip NaN-swallowing bug must stay fixed.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xfraud/common/check.h"
+#include "xfraud/common/rng.h"
+#include "xfraud/core/hetero_conv.h"
+#include "xfraud/nn/kernels.h"
+#include "xfraud/nn/modules.h"
+#include "xfraud/nn/ops.h"
+
+namespace xfraud::nn {
+namespace {
+
+/// Restores the kernel layer to serial mode when a test exits.
+class ThreadRestore {
+ public:
+  ThreadRestore() = default;
+  ~ThreadRestore() { kernels::SetNumThreads(1); }
+};
+
+Tensor RandomTensor(int64_t r, int64_t c, Rng* rng, float scale = 1.0f) {
+  return Tensor::Uniform(r, c, scale, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Tensor::BitwiseEqual / SameShape semantics (the comparison the rest of
+// this file is built on).
+
+TEST(TensorEquality, SameShapeIgnoresContents) {
+  Tensor a(2, 3, 1.0f);
+  Tensor b(2, 3, -7.5f);
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.BitwiseEqual(b));
+}
+
+TEST(TensorEquality, BitwiseEqualRequiresShape) {
+  Tensor a(2, 3, 1.0f);
+  Tensor b(3, 2, 1.0f);
+  EXPECT_FALSE(a.BitwiseEqual(b));
+}
+
+TEST(TensorEquality, EqualPayloadNaNsCompareEqual) {
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a(1, 2, {nan, 1.0f});
+  Tensor b(1, 2, {nan, 1.0f});
+  EXPECT_TRUE(a.BitwiseEqual(b));  // == on floats would say false here
+}
+
+TEST(TensorEquality, SignedZerosCompareDifferent) {
+  Tensor a(1, 1, 0.0f);
+  Tensor b(1, 1, -0.0f);
+  EXPECT_EQ(a.At(0, 0), b.At(0, 0));  // numeric equality
+  EXPECT_FALSE(a.BitwiseEqual(b));    // bitwise difference detected
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM vs naive reference, bit for bit. Shapes chosen to hit the
+// micro-kernel edges: row remainders (n % 4 != 0) and partial right-edge
+// panels (m % 16 != 0).
+
+struct GemmShape {
+  int64_t n, k, m;
+};
+
+const GemmShape kGemmShapes[] = {{1, 1, 1},   {3, 5, 2},    {4, 16, 16},
+                                 {5, 7, 3},   {17, 33, 19}, {64, 64, 64},
+                                 {2, 64, 31}};
+
+TEST(KernelConformance, GemmMatchesReferenceBitwise) {
+  Rng rng(101);
+  for (const GemmShape& s : kGemmShapes) {
+    Tensor a = RandomTensor(s.n, s.k, &rng);
+    Tensor b = RandomTensor(s.k, s.m, &rng);
+    Tensor blocked(s.n, s.m);
+    Tensor naive(s.n, s.m);
+    kernels::Gemm(a, b, &blocked);
+    kernels::reference::Gemm(a, b, &naive);
+    EXPECT_TRUE(blocked.BitwiseEqual(naive))
+        << "shape " << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(KernelConformance, GemmTransBAddMatchesReferenceBitwise) {
+  Rng rng(102);
+  for (const GemmShape& s : kGemmShapes) {
+    Tensor g = RandomTensor(s.n, s.m, &rng);
+    Tensor b = RandomTensor(s.k, s.m, &rng);
+    // Non-zero initial accumulator: += semantics must match too.
+    Tensor da0 = RandomTensor(s.n, s.k, &rng);
+    Tensor da_fast = da0;
+    Tensor da_ref = da0;
+    kernels::GemmTransBAdd(g, b, &da_fast);
+    kernels::reference::GemmTransBAdd(g, b, &da_ref);
+    EXPECT_TRUE(da_fast.BitwiseEqual(da_ref))
+        << "shape " << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(KernelConformance, GemmTransAAddMatchesReferenceBitwise) {
+  Rng rng(103);
+  for (const GemmShape& s : kGemmShapes) {
+    Tensor a = RandomTensor(s.n, s.k, &rng);
+    Tensor g = RandomTensor(s.n, s.m, &rng);
+    Tensor db0 = RandomTensor(s.k, s.m, &rng);
+    Tensor db_fast = db0;
+    Tensor db_ref = db0;
+    kernels::GemmTransAAdd(a, g, &db_fast);
+    kernels::reference::GemmTransAAdd(a, g, &db_ref);
+    EXPECT_TRUE(db_fast.BitwiseEqual(db_ref))
+        << "shape " << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(KernelConformance, GemmBiasActZeroInnerDimIsBiasPlusAct) {
+  Tensor a(2, 0);
+  Tensor b(0, 3);
+  std::vector<float> bias = {-1.0f, 0.5f, 2.0f};
+  Tensor c(2, 3, -99.0f);
+  kernels::GemmBiasAct(a, b, bias.data(), kernels::Activation::kRelu, &c);
+  for (int64_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(c.At(r, 0), 0.0f);
+    EXPECT_EQ(c.At(r, 1), 0.5f);
+    EXPECT_EQ(c.At(r, 2), 2.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallelism: every kernel must be bit-identical at any
+// worker count, and repeat runs must be bit-identical too.
+
+TEST(KernelDeterminism, GemmBitIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  Rng rng(201);
+  Tensor a = RandomTensor(37, 29, &rng);
+  Tensor b = RandomTensor(29, 23, &rng);
+  Tensor serial(37, 23);
+  kernels::Gemm(a, b, &serial);
+  for (int threads : {2, 3, 4}) {
+    kernels::SetNumThreads(threads);
+    Tensor par(37, 23);
+    kernels::Gemm(a, b, &par);
+    EXPECT_TRUE(par.BitwiseEqual(serial)) << "threads=" << threads;
+    Tensor again(37, 23);
+    kernels::Gemm(a, b, &again);
+    EXPECT_TRUE(again.BitwiseEqual(par)) << "rerun, threads=" << threads;
+  }
+}
+
+TEST(KernelDeterminism, BackwardProductsBitIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  Rng rng(202);
+  Tensor a = RandomTensor(41, 19, &rng);
+  Tensor g = RandomTensor(41, 13, &rng);
+  Tensor b = RandomTensor(19, 13, &rng);
+  Tensor da1(41, 19);
+  Tensor db1(19, 13);
+  kernels::GemmTransBAdd(g, b, &da1);
+  kernels::GemmTransAAdd(a, g, &db1);
+  for (int threads : {2, 3}) {
+    kernels::SetNumThreads(threads);
+    Tensor da(41, 19);
+    Tensor db(19, 13);
+    kernels::GemmTransBAdd(g, b, &da);
+    kernels::GemmTransAAdd(a, g, &db);
+    EXPECT_TRUE(da.BitwiseEqual(da1)) << "threads=" << threads;
+    EXPECT_TRUE(db.BitwiseEqual(db1)) << "threads=" << threads;
+  }
+}
+
+TEST(KernelDeterminism, ScatterGatherSoftmaxBitIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  Rng rng(203);
+  const int64_t kEdges = 257;
+  const int64_t kNodes = 40;
+  const int64_t kHeads = 2;
+  const int64_t kHeadDim = 5;
+  Tensor msgs = RandomTensor(kEdges, kHeads * kHeadDim, &rng);
+  Tensor scores = RandomTensor(kEdges, kHeads, &rng, 2.0f);
+  std::vector<int32_t> dst(kEdges);
+  for (int64_t e = 0; e < kEdges; ++e) {
+    dst[static_cast<size_t>(e)] =
+        static_cast<int32_t>(rng.NextUint64() % kNodes);
+  }
+  kernels::RowGroups groups = kernels::BuildRowGroups(dst, kNodes);
+
+  Tensor scat1(kNodes, kHeads * kHeadDim);
+  kernels::ScatterAddRowsKernel(msgs, dst, &scat1);
+  Tensor gath1(kEdges, kHeads * kHeadDim);
+  kernels::GatherRows(scat1, dst, &gath1);
+  Tensor att1(kEdges, kHeads);
+  kernels::SegmentSoftmaxGrouped(scores, groups, &att1);
+  Tensor agg1(kNodes, kHeads * kHeadDim);
+  kernels::WeightedScatterAddGrouped(msgs, att1, groups, kHeadDim, &agg1);
+
+  for (int threads : {2, 3, 4}) {
+    kernels::SetNumThreads(threads);
+    Tensor scat(kNodes, kHeads * kHeadDim);
+    kernels::ScatterAddRowsKernel(msgs, dst, &scat);
+    Tensor gath(kEdges, kHeads * kHeadDim);
+    kernels::GatherRows(scat, dst, &gath);
+    Tensor att(kEdges, kHeads);
+    kernels::SegmentSoftmaxGrouped(scores, groups, &att);
+    Tensor agg(kNodes, kHeads * kHeadDim);
+    kernels::WeightedScatterAddGrouped(msgs, att, groups, kHeadDim, &agg);
+    EXPECT_TRUE(scat.BitwiseEqual(scat1)) << "threads=" << threads;
+    EXPECT_TRUE(gath.BitwiseEqual(gath1)) << "threads=" << threads;
+    EXPECT_TRUE(att.BitwiseEqual(att1)) << "threads=" << threads;
+    EXPECT_TRUE(agg.BitwiseEqual(agg1)) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused ops vs their composed equivalents, forward and backward, bit for
+// bit. The fused kernels must be drop-in: same floats, same gradients, same
+// RNG consumption.
+
+TEST(FusedConformance, LinearBiasActMatchesComposedBitwise) {
+  Rng rng(301);
+  Tensor xt = RandomTensor(7, 5, &rng);
+  Tensor wt = RandomTensor(5, 9, &rng);
+  Tensor bt = RandomTensor(1, 9, &rng);
+
+  Var x1(xt, true), w1(wt, true), b1(bt, true);
+  Var fused = LinearBiasAct(x1, w1, b1, kernels::Activation::kRelu);
+  Sum(fused).Backward();
+
+  Var x2(xt, true), w2(wt, true), b2(bt, true);
+  Var composed = Relu(AddRowBroadcast(MatMul(x2, w2), b2));
+  Sum(composed).Backward();
+
+  EXPECT_TRUE(fused.value().BitwiseEqual(composed.value()));
+  EXPECT_TRUE(x1.grad().BitwiseEqual(x2.grad()));
+  EXPECT_TRUE(w1.grad().BitwiseEqual(w2.grad()));
+  EXPECT_TRUE(b1.grad().BitwiseEqual(b2.grad()));
+}
+
+TEST(FusedConformance, LinearModuleForwardIsFusedPath) {
+  Rng rng(302);
+  Linear lin(6, 4, &rng);
+  Var x(RandomTensor(3, 6, &rng), false);
+  Var via_module = lin.Forward(x, kernels::Activation::kRelu);
+  Var composed = Relu(lin.Forward(x));
+  EXPECT_TRUE(via_module.value().BitwiseEqual(composed.value()));
+}
+
+/// The composed (pre-fusion) attention aggregate: segment softmax, dropout,
+/// per-head weighting via slice/broadcast/concat, scatter-add.
+Var ComposedAttentionAggregate(const Var& scores, const Var& values,
+                               const std::vector<int32_t>& dst,
+                               int64_t num_nodes, int64_t head_dim,
+                               float dropout_p, bool training, Rng* rng) {
+  int64_t heads = scores.cols();
+  Var att = SegmentSoftmax(scores, dst, num_nodes);
+  att = Dropout(att, dropout_p, training, rng);
+  Var messages;
+  for (int64_t h = 0; h < heads; ++h) {
+    Var v_h = SliceCols(values, h * head_dim, head_dim);
+    Var att_h = SliceCols(att, h, 1);
+    Var msg_h = MulColBroadcast(v_h, att_h);
+    messages = messages.defined() ? ConcatCols(messages, msg_h) : msg_h;
+  }
+  return ScatterAddRows(messages, dst, num_nodes);
+}
+
+TEST(FusedConformance, AttentionAggregateMatchesComposedBitwiseEval) {
+  Rng rng(303);
+  const int64_t kHeads = 2;
+  const int64_t kHeadDim = 3;
+  std::vector<int32_t> dst = {1, 0, 1, 2, 2, 3, 0, 1};
+  int64_t edges = static_cast<int64_t>(dst.size());
+  Tensor st = RandomTensor(edges, kHeads, &rng, 2.0f);
+  Tensor vt = RandomTensor(edges, kHeads * kHeadDim, &rng);
+
+  Var s1(st, true), v1(vt, true);
+  Var fused = AttentionAggregate(s1, v1, dst, 4, kHeadDim, /*dropout_p=*/0.5f,
+                                 /*training=*/false, nullptr);
+  Sum(fused).Backward();
+
+  Var s2(st, true), v2(vt, true);
+  Var composed = ComposedAttentionAggregate(s2, v2, dst, 4, kHeadDim, 0.5f,
+                                            false, nullptr);
+  Sum(composed).Backward();
+
+  EXPECT_TRUE(fused.value().BitwiseEqual(composed.value()));
+  EXPECT_TRUE(s1.grad().BitwiseEqual(s2.grad()));
+  EXPECT_TRUE(v1.grad().BitwiseEqual(v2.grad()));
+}
+
+TEST(FusedConformance, AttentionAggregateMatchesComposedBitwiseTraining) {
+  // Training mode: the fused kernel must consume dropout randomness in the
+  // exact order of the unfused Dropout op, so same-seeded runs coincide.
+  Rng rng(304);
+  const int64_t kHeads = 3;
+  const int64_t kHeadDim = 2;
+  std::vector<int32_t> dst = {0, 2, 1, 1, 0, 2, 2, 0, 1, 2};
+  int64_t edges = static_cast<int64_t>(dst.size());
+  Tensor st = RandomTensor(edges, kHeads, &rng, 2.0f);
+  Tensor vt = RandomTensor(edges, kHeads * kHeadDim, &rng);
+
+  Rng drop1(42);
+  Var s1(st, true), v1(vt, true);
+  Var fused = AttentionAggregate(s1, v1, dst, 3, kHeadDim, /*dropout_p=*/0.3f,
+                                 /*training=*/true, &drop1);
+  Sum(fused).Backward();
+
+  Rng drop2(42);
+  Var s2(st, true), v2(vt, true);
+  Var composed = ComposedAttentionAggregate(s2, v2, dst, 3, kHeadDim, 0.3f,
+                                            true, &drop2);
+  Sum(composed).Backward();
+
+  EXPECT_TRUE(fused.value().BitwiseEqual(composed.value()));
+  EXPECT_TRUE(s1.grad().BitwiseEqual(s2.grad()));
+  EXPECT_TRUE(v1.grad().BitwiseEqual(v2.grad()));
+}
+
+// ---------------------------------------------------------------------------
+// Regression: MatMul's old `if (aik == 0.0f) continue;` shortcut swallowed
+// 0·NaN and 0·Inf (which are NaN by IEEE 754) in the forward pass and the
+// dB = AᵀG backward product. These tests fail on the pre-kernel code.
+
+TEST(NanPropagation, MatMulForwardPropagatesZeroTimesNaN) {
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  Var a(Tensor(1, 2, {0.0f, 1.0f}), false);
+  Var b(Tensor(2, 1, {nan, 2.0f}), false);
+  Var c = MatMul(a, b);
+  // 0·NaN + 1·2 is NaN; the zero-skip used to report 2.
+  EXPECT_TRUE(std::isnan(c.value().At(0, 0)));
+}
+
+TEST(NanPropagation, MatMulForwardPropagatesZeroTimesInf) {
+  float inf = std::numeric_limits<float>::infinity();
+  Var a(Tensor(1, 2, {0.0f, 1.0f}), false);
+  Var b(Tensor(2, 1, {inf, 2.0f}), false);
+  Var c = MatMul(a, b);
+  // 0·inf is NaN; the zero-skip used to report 2.
+  EXPECT_TRUE(std::isnan(c.value().At(0, 0)));
+}
+
+TEST(NanPropagation, MatMulBackwardPropagatesThroughZeroActivation) {
+  // dB[0,0] = A[0,0]·G[0,0] + A[1,0]·G[1,0] = 0·inf + 1·1 = NaN. The old
+  // backward skipped the A[0,0] == 0 term and reported a finite 1.
+  float inf = std::numeric_limits<float>::infinity();
+  Var a(Tensor(2, 1, {0.0f, 1.0f}), false);
+  Var b(Tensor(1, 1, {3.0f}), true);
+  Var c = MatMul(a, b);
+  Var k = Constant(Tensor(2, 1, {inf, 1.0f}));
+  Sum(Mul(c, k)).Backward();
+  EXPECT_TRUE(std::isnan(b.grad().At(0, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Regression: RowSoftmax / CrossEntropy used to read x[0] before checking
+// cols > 0, and CrossEntropy divided by a possibly-zero total weight.
+
+TEST(EdgeChecks, RowSoftmaxZeroColumnsThrows) {
+  Var x(Tensor(2, 0), false);
+  EXPECT_THROW(RowSoftmax(x), CheckError);
+}
+
+TEST(EdgeChecks, CrossEntropyZeroColumnsThrows) {
+  Var logits(Tensor(2, 0), true);
+  std::vector<int> labels = {0, 0};
+  EXPECT_THROW(CrossEntropy(logits, labels), CheckError);
+}
+
+TEST(EdgeChecks, CrossEntropyZeroTotalWeightThrows) {
+  Rng rng(401);
+  Var logits(RandomTensor(3, 2, &rng), true);
+  std::vector<int> labels = {1, 1, 1};
+  std::vector<float> weights = {1.0f, 0.0f};  // every present class weight 0
+  EXPECT_THROW(CrossEntropy(logits, labels, weights), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a full HeteroConv layer forward must be bit-identical at any
+// kernel thread count, in eval and in training (dropout RNG consumption is
+// thread-count independent).
+
+TEST(KernelDeterminism, HeteroConvForwardBitIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  Rng init(501);
+  core::HeteroConvLayer layer(16, 4, 0.3f, /*first_layer=*/true,
+                              /*use_residual=*/true, &init);
+  std::vector<int32_t> node_types = {0, 0, 1, 2, 2};
+  std::vector<int32_t> src = {2, 2, 3, 4, 0, 1, 0, 1};
+  std::vector<int32_t> dst = {0, 1, 0, 1, 2, 2, 3, 4};
+  std::vector<int32_t> etypes = {0, 0, 1, 1, 2, 2, 3, 3};
+  Rng data(502);
+  Var h(Tensor::Uniform(5, 16, 1.0f, &data), false);
+
+  auto run_once = [&](bool training) {
+    Rng drop(7);
+    core::ForwardOptions opts;
+    opts.training = training;
+    opts.rng = training ? &drop : nullptr;
+    return layer.Forward(h, node_types, src, dst, etypes, opts);
+  };
+  Var eval1 = run_once(false);
+  Var train1 = run_once(true);
+  for (int threads : {2, 3}) {
+    kernels::SetNumThreads(threads);
+    EXPECT_TRUE(run_once(false).value().BitwiseEqual(eval1.value()))
+        << "eval, threads=" << threads;
+    EXPECT_TRUE(run_once(true).value().BitwiseEqual(train1.value()))
+        << "training, threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace xfraud::nn

@@ -13,6 +13,10 @@
 #                                    # MultiProcess fork/SIGKILL test suite
 #                                    # under a hard timeout, plus a socket
 #                                    # dist-bench smoke (real worker processes)
+#   tools/ci.sh --mode=bench-smoke   # bench_nn_ops under ASan+UBSan (one
+#                                    # short pass, serial and 4 kernel
+#                                    # threads), then a plain-build run that
+#                                    # snapshots BENCH_nn_ops.json
 #
 # An optional positional argument overrides the build directory (default:
 # build for plain/lint, build-<mode> for sanitizer modes).
@@ -35,17 +39,17 @@ done
 
 SANITIZE=""
 case "${MODE}" in
-  plain|lint|faults|mp) ;;
+  plain|lint|faults|mp|bench-smoke) ;;
   ubsan) SANITIZE="undefined" ;;
   tsan) SANITIZE="thread" ;;
   asan) SANITIZE="address" ;;
   *)
-    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan|faults|mp)" >&2
+    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan|faults|mp|bench-smoke)" >&2
     exit 2
     ;;
 esac
 if [[ -z "${BUILD_DIR}" ]]; then
-  if [[ -n "${SANITIZE}" || "${MODE}" == "faults" || "${MODE}" == "mp" ]]; then
+  if [[ -n "${SANITIZE}" || "${MODE}" == "faults" || "${MODE}" == "mp" || "${MODE}" == "bench-smoke" ]]; then
     BUILD_DIR="build-${MODE}"
   else
     BUILD_DIR="build"
@@ -73,6 +77,32 @@ if [[ "${MODE}" == "lint" ]]; then
   echo "== clang-tidy =="
   tools/run_clang_tidy.sh "${BUILD_DIR}"
   echo "== lint ok =="
+  exit 0
+fi
+
+# Bench smoke: every kernel and fusion path in bench_nn_ops executes once
+# under ASan+UBSan (serial and 4 kernel threads — the parallel scatter and
+# GEMM paths must be sanitizer-clean too), then a plain Release build emits
+# a BENCH_nn_ops.json snapshot (gitignored) for before/after comparisons.
+if [[ "${MODE}" == "bench-smoke" ]]; then
+  echo "== configure (bench-smoke, address+undefined) =="
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DXFRAUD_SANITIZE="address,undefined"
+  echo "== build bench_nn_ops (sanitized) =="
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_nn_ops
+  echo "== bench_nn_ops smoke (sanitized, serial) =="
+  "${BUILD_DIR}/bench/bench_nn_ops" --benchmark_min_time=0.01
+  echo "== bench_nn_ops smoke (sanitized, 4 kernel threads) =="
+  XFRAUD_KERNEL_THREADS=4 \
+    "${BUILD_DIR}/bench/bench_nn_ops" --benchmark_min_time=0.01
+  echo "== configure (plain snapshot) =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  echo "== build bench_nn_ops (plain) =="
+  cmake --build build -j "$(nproc)" --target bench_nn_ops
+  echo "== BENCH_nn_ops.json snapshot =="
+  build/bench/bench_nn_ops --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_nn_ops.json --benchmark_out_format=json
+  echo "== ci ok (${MODE}) =="
   exit 0
 fi
 
