@@ -8,7 +8,7 @@
 
 #include <cstring>
 
-#include "xfraud/kv/kvstore.h"
+#include "xfraud/common/crc32.h"
 
 namespace xfraud {
 
@@ -62,7 +62,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
 
 Status AtomicWriteFileWithCrc(const std::string& path,
                               std::string_view contents) {
-  uint32_t crc = kv::Crc32(contents.data(), contents.size());
+  uint32_t crc = Crc32(contents.data(), contents.size());
   std::string framed;
   framed.reserve(contents.size() + kFooterSize);
   framed.append(contents);
@@ -116,7 +116,7 @@ Result<std::string> ReadFileVerifyCrc(const std::string& path) {
   uint32_t stored;
   std::memcpy(&stored, footer, sizeof(stored));
   data.resize(data.size() - kFooterSize);
-  uint32_t actual = kv::Crc32(data.data(), data.size());
+  uint32_t actual = Crc32(data.data(), data.size());
   if (actual != stored) {
     return Status::Corruption("CRC mismatch in " + path);
   }

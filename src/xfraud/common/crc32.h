@@ -1,0 +1,16 @@
+#ifndef XFRAUD_COMMON_CRC32_H_
+#define XFRAUD_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xfraud {
+
+/// CRC-32 (IEEE) of a byte span. Shared integrity primitive of the KV log
+/// records, checkpoint files, and graph snapshots; lives in common/ so none
+/// of those layers has to reach into another for a checksum.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace xfraud
+
+#endif  // XFRAUD_COMMON_CRC32_H_

@@ -4,30 +4,8 @@
 
 #include "xfraud/common/clock.h"
 #include "xfraud/common/rng.h"
-#include "xfraud/obs/metrics.h"
-#include "xfraud/obs/registry.h"
 
 namespace xfraud::internal {
-
-namespace {
-
-struct RetryMetrics {
-  obs::Counter* attempts;
-  obs::Counter* retries;
-  obs::Counter* giveups;
-
-  static const RetryMetrics& Get() {
-    static RetryMetrics metrics = [] {
-      auto& r = obs::Registry::Global();
-      return RetryMetrics{r.counter("retry/attempts"),
-                          r.counter("retry/retries"),
-                          r.counter("retry/giveups")};
-    }();
-    return metrics;
-  }
-};
-
-}  // namespace
 
 bool IsRetryable(const Status& s, const RetryPolicy& policy) {
   if (s.IsIoError()) return true;
@@ -48,15 +26,11 @@ double BackoffAndSleep(const RetryPolicy& policy, uint64_t jitter_seed,
   // shot, but never at the price of sleeping past the deadline.
   double sleep_s =
       std::max(0.0, std::min(base * factor, std::max(0.0, remaining_s)));
-  RetryMetrics::Get().retries->Increment();
+  CountRetry();
   Clock* clock = policy.clock != nullptr ? policy.clock : Clock::Real();
   clock->SleepFor(sleep_s);
   return sleep_s;
 }
-
-void CountAttempt() { RetryMetrics::Get().attempts->Increment(); }
-
-void CountGiveup() { RetryMetrics::Get().giveups->Increment(); }
 
 double PolicyNowSeconds(const RetryPolicy& policy) {
   Clock* clock = policy.clock != nullptr ? policy.clock : Clock::Real();

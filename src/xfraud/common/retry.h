@@ -58,8 +58,12 @@ double BackoffAndSleep(const RetryPolicy& policy, uint64_t jitter_seed,
                        int next_attempt, double remaining_s);
 
 /// Obs bookkeeping hooks (counters retry/attempts, retry/retries,
-/// retry/giveups).
+/// retry/giveups). Declared here, *defined* in obs/retry_metrics.cc: the
+/// dependency runs obs -> common at link time, so common/ never includes
+/// obs/ headers and the module DAG stays acyclic (xfraud_analyze enforces
+/// this).
 void CountAttempt();
+void CountRetry();
 void CountGiveup();
 
 /// The policy clock's current reading (Clock::Real() when unset).

@@ -27,7 +27,11 @@ enum class StatusCode {
 /// Usage:
 ///   Status s = store.Put(key, value);
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]] at class scope: dropping any returned Status on the floor
+/// is a compile-time warning (and an xfraud_analyze `discarded-status`
+/// finding). Ignore deliberately with `(void)` plus a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -98,7 +102,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Minimal StatusOr analogue.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

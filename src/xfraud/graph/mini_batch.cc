@@ -1,0 +1,48 @@
+#include "xfraud/graph/mini_batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "xfraud/common/check.h"
+
+namespace xfraud::graph {
+
+MiniBatch MakeBatch(const HeteroGraph& g, Subgraph sub,
+                    const std::vector<int32_t>& seed_globals) {
+  // Subgraph contract: parallel edge arrays agree and the local-id map
+  // matches the node list. A sampler that violates these would materialize
+  // a batch with silently misaligned messages rather than crash here.
+  XF_CHECK_EQ(sub.src.size(), sub.dst.size());
+  XF_CHECK_EQ(sub.src.size(), sub.etypes.size());
+  XF_CHECK_EQ(sub.nodes.size(), sub.local_of.size());
+  MiniBatch batch;
+  batch.features = nn::Tensor(sub.num_nodes(), g.feature_dim());
+  batch.node_types.resize(sub.num_nodes());
+  for (int64_t local = 0; local < sub.num_nodes(); ++local) {
+    int32_t global = sub.nodes[local];
+    XF_DCHECK_BOUNDS(global, g.num_nodes());
+    batch.node_types[local] = static_cast<int32_t>(g.node_type(global));
+    if (g.HasFeatures(global)) {
+      const float* src = g.Features(global);
+      std::copy(src, src + g.feature_dim(), batch.features.Row(local));
+    }
+  }
+  batch.edge_src = sub.src;
+  batch.edge_dst = sub.dst;
+  batch.edge_types.resize(sub.etypes.size());
+  for (size_t e = 0; e < sub.etypes.size(); ++e) {
+    batch.edge_types[e] = static_cast<int32_t>(sub.etypes[e]);
+  }
+  for (int32_t seed : seed_globals) {
+    auto it = sub.local_of.find(seed);
+    XF_CHECK(it != sub.local_of.end()) << "seed not in subgraph";
+    int8_t label = g.label(seed);
+    XF_CHECK_NE(label, kLabelUnknown);
+    batch.target_locals.push_back(it->second);
+    batch.target_labels.push_back(label);
+  }
+  batch.sub = std::move(sub);
+  return batch;
+}
+
+}  // namespace xfraud::graph

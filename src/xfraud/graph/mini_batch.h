@@ -1,0 +1,43 @@
+#ifndef XFRAUD_GRAPH_MINI_BATCH_H_
+#define XFRAUD_GRAPH_MINI_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xfraud/graph/hetero_graph.h"
+#include "xfraud/graph/subgraph.h"
+#include "xfraud/nn/tensor.h"
+
+namespace xfraud::graph {
+
+/// A model-ready mini-batch: a subgraph materialized into tensors.
+/// Local node 0..N-1; features are zero-filled for non-transaction nodes
+/// (only txn nodes carry input features, paper §3.2.1).
+///
+/// Lives in graph/ (not sample/) so both producers of batches — the
+/// in-memory samplers in sample/ and the KV-backed loader in kv/ — sit
+/// *above* the type instead of kv/ reaching sideways into sample/ for it
+/// (the layering inversion xfraud_analyze's module DAG forbids).
+/// sample::MiniBatch remains as an alias for the established spelling.
+struct MiniBatch {
+  Subgraph sub;
+  nn::Tensor features;                  // [N, F]
+  std::vector<int32_t> node_types;      // [N] as ints
+  std::vector<int32_t> edge_src;        // [E]
+  std::vector<int32_t> edge_dst;        // [E]
+  std::vector<int32_t> edge_types;      // [E] as ints
+  std::vector<int32_t> target_locals;   // rows to classify
+  std::vector<int> target_labels;       // 0/1 per target
+
+  int64_t num_nodes() const { return static_cast<int64_t>(node_types.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edge_src.size()); }
+};
+
+/// Materializes a subgraph plus a set of labeled seed transactions into a
+/// MiniBatch (the seeds must be members of the subgraph).
+MiniBatch MakeBatch(const HeteroGraph& g, Subgraph sub,
+                    const std::vector<int32_t>& seed_globals);
+
+}  // namespace xfraud::graph
+
+#endif  // XFRAUD_GRAPH_MINI_BATCH_H_

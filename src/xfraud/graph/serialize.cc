@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "xfraud/common/atomic_file.h"
-#include "xfraud/kv/kvstore.h"
+#include "xfraud/common/crc32.h"
 
 namespace xfraud::graph {
 
@@ -100,7 +100,7 @@ Status SaveGraph(const HeteroGraph& g, const std::string& path) {
   WriteVec(out, edge_types, nullptr, &crc_buffer);
   WriteVec(out, features, nullptr, &crc_buffer);
 
-  uint32_t crc = kv::Crc32(crc_buffer.data(), crc_buffer.size());
+  uint32_t crc = Crc32(crc_buffer.data(), crc_buffer.size());
   WritePod(out, crc);
   return AtomicWriteFileWithCrc(path, out.str());
 }
@@ -148,7 +148,7 @@ Result<HeteroGraph> LoadGraph(const std::string& path) {
   }
   uint32_t stored_crc = 0;
   if (!ReadPod(in, &stored_crc) ||
-      stored_crc != kv::Crc32(crc_buffer.data(), crc_buffer.size())) {
+      stored_crc != Crc32(crc_buffer.data(), crc_buffer.size())) {
     return Status::Corruption("graph checksum mismatch: " + path);
   }
 

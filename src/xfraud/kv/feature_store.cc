@@ -157,20 +157,20 @@ Status FeatureStore::ReadNode(int32_t node, graph::NodeType* type,
   return Status::OK();
 }
 
-Result<sample::MiniBatch> FeatureStore::LoadBatch(
+Result<graph::MiniBatch> FeatureStore::LoadBatch(
     const std::vector<int32_t>& seeds, int hops, int fanout,
     xfraud::Rng* rng) const {
   return LoadBatchImpl(seeds, hops, fanout, rng, nullptr);
 }
 
-Result<sample::MiniBatch> FeatureStore::LoadBatchDegraded(
+Result<graph::MiniBatch> FeatureStore::LoadBatchDegraded(
     const std::vector<int32_t>& seeds, int hops, int fanout,
     xfraud::Rng* rng, DegradedLoadStats* stats) const {
   *stats = DegradedLoadStats{};
   return LoadBatchImpl(seeds, hops, fanout, rng, stats);
 }
 
-Result<sample::MiniBatch> FeatureStore::LoadBatchImpl(
+Result<graph::MiniBatch> FeatureStore::LoadBatchImpl(
     const std::vector<int32_t>& seeds, int hops, int fanout,
     xfraud::Rng* rng, DegradedLoadStats* stats) const {
   // Metadata must be readable — without the feature dim no batch shape
@@ -178,7 +178,7 @@ Result<sample::MiniBatch> FeatureStore::LoadBatchImpl(
   Result<int64_t> dim = FeatureDim();
   if (!dim.ok()) return dim.status();
 
-  sample::MiniBatch batch;
+  graph::MiniBatch batch;
   graph::Subgraph& sub = batch.sub;
   auto add_node = [&sub](int32_t global) {
     auto [it, inserted] = sub.local_of.emplace(

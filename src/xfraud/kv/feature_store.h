@@ -7,8 +7,8 @@
 
 #include "xfraud/common/retry.h"
 #include "xfraud/graph/hetero_graph.h"
+#include "xfraud/graph/mini_batch.h"
 #include "xfraud/kv/kvstore.h"
-#include "xfraud/sample/sampler.h"
 
 namespace xfraud::kv {
 
@@ -62,7 +62,7 @@ class FeatureStore {
   /// materialization checks the remaining budget and fails fast with
   /// DeadlineExceeded once it is spent, so a dead request never keeps
   /// issuing KV reads.
-  Result<sample::MiniBatch> LoadBatch(const std::vector<int32_t>& seeds,
+  Result<graph::MiniBatch> LoadBatch(const std::vector<int32_t>& seeds,
                                       int hops, int fanout,
                                       xfraud::Rng* rng) const;
 
@@ -95,12 +95,12 @@ class FeatureStore {
   /// meaningless — metadata or a seed's own node record unreadable, or the
   /// deadline expiring — still fail. Identical to LoadBatch on a healthy
   /// store, including the RNG stream.
-  Result<sample::MiniBatch> LoadBatchDegraded(
+  Result<graph::MiniBatch> LoadBatchDegraded(
       const std::vector<int32_t>& seeds, int hops, int fanout,
       xfraud::Rng* rng, DegradedLoadStats* stats) const;
 
  private:
-  Result<sample::MiniBatch> LoadBatchImpl(const std::vector<int32_t>& seeds,
+  Result<graph::MiniBatch> LoadBatchImpl(const std::vector<int32_t>& seeds,
                                           int hops, int fanout,
                                           xfraud::Rng* rng,
                                           DegradedLoadStats* stats) const;

@@ -33,9 +33,6 @@ class KvStore {
       std::string_view prefix) const = 0;
 };
 
-/// CRC-32 (IEEE) of a byte span — integrity check of the log records.
-uint32_t Crc32(const void* data, size_t size);
-
 }  // namespace xfraud::kv
 
 #endif  // XFRAUD_KV_KVSTORE_H_

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "xfraud/common/crc32.h"
 #include "xfraud/common/logging.h"
 #include "xfraud/kv/kv_metrics.h"
 
@@ -193,6 +194,9 @@ std::vector<std::string> LogKvStore::KeysWithPrefix(
     std::string_view prefix) const {
   std::shared_lock lock(mu_);
   std::vector<std::string> out;
+  // Order-insensitive hash-map walk: the matches are sorted below, so the
+  // iteration order never reaches the caller.
+  // xfraud-analyze: allow(unordered-iter)
   for (const auto& [key, entry] : index_) {
     if (key.size() >= prefix.size() &&
         std::string_view(key).substr(0, prefix.size()) == prefix) {
@@ -212,7 +216,19 @@ Result<int64_t> LogKvStore::Compact() {
   int64_t old_size = file_size_;
   int64_t new_size = 0;
   std::unordered_map<std::string, IndexEntry> new_index;
-  for (const auto& [key, entry] : index_) {
+  // Compact in ascending key order, not hash order: the compacted image's
+  // byte layout becomes a pure function of the live contents, so two
+  // stores holding the same state — e.g. a replica pair, or the same run
+  // replayed on a different stdlib — emit byte-identical logs. The
+  // collection loop itself is order-insensitive (sorted below).
+  std::vector<std::pair<std::string_view, const IndexEntry*>> live;
+  live.reserve(index_.size());
+  // xfraud-analyze: allow(unordered-iter)
+  for (const auto& [key, entry] : index_) live.emplace_back(key, &entry);
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, entry_ptr] : live) {
+    const IndexEntry& entry = *entry_ptr;
     size_t total = kHeaderSize + key.size() + entry.value_size;
     std::string buf(total, '\0');
     buf[4] = static_cast<char>(kKindPut);
@@ -227,7 +243,7 @@ Result<int64_t> LogKvStore::Compact() {
       ::close(tmp_fd);
       return Status::IoError("short write on " + tmp_path);
     }
-    new_index[key] =
+    new_index[std::string(key)] =
         IndexEntry{new_size + static_cast<int64_t>(kHeaderSize) +
                        static_cast<int64_t>(key.size()),
                    entry.value_size};

@@ -1,0 +1,40 @@
+// Definitions of common/retry.h's telemetry hooks. They live here, not in
+// common/retry.cc, so the include-graph edge runs obs -> common only:
+// common/ declares the hooks, obs/ implements them against the global
+// Registry, and the linker ties the two together. This is the dependency
+// inversion that keeps the bottom layer of the module DAG free of upward
+// includes (xfraud_analyze rule `layer-violation`).
+
+#include "xfraud/common/retry.h"
+#include "xfraud/obs/metrics.h"
+#include "xfraud/obs/registry.h"
+
+namespace xfraud::internal {
+
+namespace {
+
+struct RetryMetrics {
+  obs::Counter* attempts;
+  obs::Counter* retries;
+  obs::Counter* giveups;
+
+  static const RetryMetrics& Get() {
+    static RetryMetrics metrics = [] {
+      auto& r = obs::Registry::Global();
+      return RetryMetrics{r.counter("retry/attempts"),
+                          r.counter("retry/retries"),
+                          r.counter("retry/giveups")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void CountAttempt() { RetryMetrics::Get().attempts->Increment(); }
+
+void CountRetry() { RetryMetrics::Get().retries->Increment(); }
+
+void CountGiveup() { RetryMetrics::Get().giveups->Increment(); }
+
+}  // namespace xfraud::internal

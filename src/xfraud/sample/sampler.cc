@@ -48,44 +48,6 @@ void RecordSubgraph(const Subgraph& sub) {
 
 }  // namespace
 
-MiniBatch MakeBatch(const HeteroGraph& g, Subgraph sub,
-                    const std::vector<int32_t>& seed_globals) {
-  // Subgraph contract: parallel edge arrays agree and the local-id map
-  // matches the node list. A sampler that violates these would materialize
-  // a batch with silently misaligned messages rather than crash here.
-  XF_CHECK_EQ(sub.src.size(), sub.dst.size());
-  XF_CHECK_EQ(sub.src.size(), sub.etypes.size());
-  XF_CHECK_EQ(sub.nodes.size(), sub.local_of.size());
-  MiniBatch batch;
-  batch.features = nn::Tensor(sub.num_nodes(), g.feature_dim());
-  batch.node_types.resize(sub.num_nodes());
-  for (int64_t local = 0; local < sub.num_nodes(); ++local) {
-    int32_t global = sub.nodes[local];
-    XF_DCHECK_BOUNDS(global, g.num_nodes());
-    batch.node_types[local] = static_cast<int32_t>(g.node_type(global));
-    if (g.HasFeatures(global)) {
-      const float* src = g.Features(global);
-      std::copy(src, src + g.feature_dim(), batch.features.Row(local));
-    }
-  }
-  batch.edge_src = sub.src;
-  batch.edge_dst = sub.dst;
-  batch.edge_types.resize(sub.etypes.size());
-  for (size_t e = 0; e < sub.etypes.size(); ++e) {
-    batch.edge_types[e] = static_cast<int32_t>(sub.etypes[e]);
-  }
-  for (int32_t seed : seed_globals) {
-    auto it = sub.local_of.find(seed);
-    XF_CHECK(it != sub.local_of.end()) << "seed not in subgraph";
-    int8_t label = g.label(seed);
-    XF_CHECK_NE(label, graph::kLabelUnknown);
-    batch.target_locals.push_back(it->second);
-    batch.target_labels.push_back(label);
-  }
-  batch.sub = std::move(sub);
-  return batch;
-}
-
 MiniBatch Sampler::SampleBatch(const HeteroGraph& g,
                                const std::vector<int32_t>& seeds,
                                xfraud::Rng* rng) const {
@@ -221,21 +183,31 @@ Subgraph HgSampler::Sample(const HeteroGraph& g,
     for (int type = 0; type < graph::kNumNodeTypes; ++type) {
       auto& candidates = budget[type];
       for (int pick = 0; pick < width && !candidates.empty(); ++pick) {
+        // Pin the candidate order before accumulating: the raw hash-map
+        // order is an artifact of the library's bucketing, and both the
+        // float sum below and the cumulative-probability scan would
+        // inherit it — the same rng draw could pick different nodes on a
+        // different stdlib. Sorted by node id, the pick is a pure function
+        // of (budget contents, rng draw) everywhere. The snapshot copy is
+        // order-insensitive because it is sorted immediately.
+        // xfraud-analyze: allow(unordered-iter)
+        std::vector<std::pair<int32_t, double>> ordered(candidates.begin(),
+                                                        candidates.end());
+        std::sort(ordered.begin(), ordered.end());
         // Normalized squared-budget sampling.
         double total = 0.0;
-        for (const auto& [node, score] : candidates) total += score * score;
+        for (const auto& [node, score] : ordered) total += score * score;
         if (total <= 0.0) break;
         double u = rng->NextDouble() * total;
-        int32_t chosen = -1;
+        int32_t chosen = ordered.front().first;
         double acc = 0.0;
-        for (const auto& [node, score] : candidates) {
+        for (const auto& [node, score] : ordered) {
           acc += score * score;
           if (u < acc) {
             chosen = node;
             break;
           }
         }
-        if (chosen < 0) chosen = candidates.begin()->first;
         candidates.erase(chosen);
         AddNode(&sub, chosen);
         add_to_budget(chosen);

@@ -6,32 +6,17 @@
 
 #include "xfraud/common/rng.h"
 #include "xfraud/graph/hetero_graph.h"
+#include "xfraud/graph/mini_batch.h"
 #include "xfraud/graph/subgraph.h"
 #include "xfraud/nn/tensor.h"
 
 namespace xfraud::sample {
 
-/// A model-ready mini-batch: the sampled subgraph materialized into tensors.
-/// Local node 0..N-1; features are zero-filled for non-transaction nodes
-/// (only txn nodes carry input features, paper §3.2.1).
-struct MiniBatch {
-  graph::Subgraph sub;
-  nn::Tensor features;                  // [N, F]
-  std::vector<int32_t> node_types;      // [N] as ints
-  std::vector<int32_t> edge_src;        // [E]
-  std::vector<int32_t> edge_dst;        // [E]
-  std::vector<int32_t> edge_types;      // [E] as ints
-  std::vector<int32_t> target_locals;   // rows to classify
-  std::vector<int> target_labels;       // 0/1 per target
-
-  int64_t num_nodes() const { return static_cast<int64_t>(node_types.size()); }
-  int64_t num_edges() const { return static_cast<int64_t>(edge_src.size()); }
-};
-
-/// Materializes a subgraph plus a set of labeled seed transactions into a
-/// MiniBatch (the seeds must be members of the subgraph).
-MiniBatch MakeBatch(const graph::HeteroGraph& g, graph::Subgraph sub,
-                    const std::vector<int32_t>& seed_globals);
+/// The batch type and its materializer moved down to graph/mini_batch.h so
+/// the KV-backed loader (kv/feature_store) can return one without including
+/// sample/ headers; these aliases keep the established sample:: spelling.
+using MiniBatch = graph::MiniBatch;
+using graph::MakeBatch;
 
 /// Interface of the neighbourhood samplers that feed the detector.
 class Sampler {

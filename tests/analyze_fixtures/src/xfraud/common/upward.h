@@ -1,0 +1,10 @@
+// Seeded upward edge: common (layer 0) reaching into obs (layer 1) is a
+// layering violation no matter what; the foundation depends on nothing.
+#ifndef XFRAUD_TESTS_ANALYZE_FIXTURES_COMMON_UPWARD_H_
+#define XFRAUD_TESTS_ANALYZE_FIXTURES_COMMON_UPWARD_H_
+
+#include "xfraud/obs/registry.h"
+
+inline int CommonUpward() { return 3; }
+
+#endif  // XFRAUD_TESTS_ANALYZE_FIXTURES_COMMON_UPWARD_H_

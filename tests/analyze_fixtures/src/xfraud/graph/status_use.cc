@@ -1,0 +1,38 @@
+// Seeded discarded-Status call sites, with every sanctioned use shape
+// alongside so the pass's precision is pinned by tests.
+
+#include "xfraud/common/status.h"
+
+namespace xfraud::graph {
+
+struct Holder {
+  Status Flush();
+};
+
+Status SaveThing(int x);
+Result<int> CountThing(int x);
+
+void Caller(Holder* h) {
+  SaveThing(1);        // discarded: finding (line 16)
+  CountThing(2);       // discarded Result: finding (line 17)
+  h->Flush();          // discarded through a receiver: finding (line 18)
+  (void)SaveThing(3);  // explicitly voided: fine
+  Status kept = SaveThing(4);
+  if (!SaveThing(5).ok()) return;
+  // xfraud-analyze: allow(discarded-status)
+  SaveThing(6);  // suppressed at the site: fine
+  (void)kept;
+}
+
+Status Forward() { return SaveThing(7); }
+
+// A name declared with conflicting return types is excluded from the pass
+// rather than guessed at.
+Status Reused(int x);
+int Reused(char c);
+
+void AmbiguousCaller() {
+  Reused(8);  // not flagged: `Reused` is ambiguous
+}
+
+}  // namespace xfraud::graph

@@ -1,0 +1,10 @@
+// Seeded cycle half: kv -> sample is a same-layer edge (layering finding
+// when not blessed) and cycle_b.h includes us back (include-cycle finding).
+#ifndef XFRAUD_TESTS_ANALYZE_FIXTURES_KV_CYCLE_A_H_
+#define XFRAUD_TESTS_ANALYZE_FIXTURES_KV_CYCLE_A_H_
+
+#include "xfraud/sample/cycle_b.h"
+
+inline int KvCycleA() { return 1; }
+
+#endif  // XFRAUD_TESTS_ANALYZE_FIXTURES_KV_CYCLE_A_H_

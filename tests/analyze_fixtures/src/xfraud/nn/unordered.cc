@@ -1,0 +1,41 @@
+// Seeded unordered-container iteration: every way hash order can start
+// flowing toward results, plus the sanctioned suppression.
+
+#include <unordered_map>
+#include <vector>
+
+namespace xfraud::nn {
+
+std::unordered_map<int, double> scores_;
+std::vector<std::unordered_map<int, int>> buckets_;
+
+double Total() {
+  double t = 0.0;
+  for (const auto& [k, v] : scores_) t += v;  // range-for: finding (line 14)
+  return t;
+}
+
+int BucketSum() {
+  auto& first = buckets_[0];  // alias of an unordered element
+  int n = 0;
+  for (const auto& [k, v] : first) n += v;        // finding (line 21)
+  for (const auto& [k, v] : buckets_[1]) n += k;  // finding (line 22)
+  return n;
+}
+
+std::vector<std::pair<int, double>> Snapshot() {
+  // Iterator-pair traversal feeds the snapshot in hash order: finding
+  // (line 29) — sorting afterwards is what makes the REAL tree's
+  // equivalents safe, and those carry allow() comments saying so.
+  return std::vector<std::pair<int, double>>(scores_.begin(), scores_.end());
+}
+
+double AllowedTotal() {
+  double t = 0.0;
+  // Order provably irrelevant: the loop only counts entries.
+  // xfraud-analyze: allow(unordered-iter)
+  for (const auto& [k, v] : scores_) t += 1.0;
+  return t;
+}
+
+}  // namespace xfraud::nn

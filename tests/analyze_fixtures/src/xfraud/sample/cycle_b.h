@@ -1,0 +1,10 @@
+// Seeded cycle half: closes the kv <-> sample loop opened by cycle_a.h.
+// The edge itself is same-layer (layering finding when not blessed).
+#ifndef XFRAUD_TESTS_ANALYZE_FIXTURES_SAMPLE_CYCLE_B_H_
+#define XFRAUD_TESTS_ANALYZE_FIXTURES_SAMPLE_CYCLE_B_H_
+
+#include "xfraud/kv/cycle_a.h"
+
+inline int SampleCycleB() { return 2; }
+
+#endif  // XFRAUD_TESTS_ANALYZE_FIXTURES_SAMPLE_CYCLE_B_H_

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "xfraud/common/crc32.h"
 #include "xfraud/common/thread_pool.h"
 #include "xfraud/data/generator.h"
 #include "xfraud/kv/feature_store.h"
@@ -14,6 +15,7 @@
 #include "xfraud/kv/mem_kv.h"
 #include "xfraud/kv/replicated_kv.h"
 #include "xfraud/kv/sharded_kv.h"
+#include "xfraud/sample/sampler.h"
 
 namespace xfraud::kv {
 namespace {

@@ -305,6 +305,69 @@ TEST(LintAllow, SupportsMultipleRules) {
           .empty());
 }
 
+TEST(LintScanner, RawStringContentsNeverReachCode) {
+  // Default delimiter: contents would fire nondeterminism + no-raw-io.
+  EXPECT_TRUE(
+      LintContent(kLibPath, "const char* q = R\"(rand(); std::cout;)\";\n")
+          .empty());
+  // Custom delimiter: an embedded )" must not close the literal.
+  EXPECT_TRUE(LintContent(kLibPath,
+                          "const char* q = R\"xy(new int; )\" rand();)xy\";\n")
+                  .empty());
+  // Encoding prefixes.
+  EXPECT_TRUE(
+      LintContent(kLibPath, "auto q = u8R\"(time(nullptr))\";\n").empty());
+  EXPECT_TRUE(
+      LintContent(kLibPath, "auto q = LR\"(socket(1, 2, 3))\";\n").empty());
+  // A trailing backslash in a raw string is literal, not an escape; the
+  // literal still closes and code after it is scanned normally.
+  auto f = LintContent(kLibPath, "auto q = R\"(\\)\"; int x = rand();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "nondeterminism");
+}
+
+TEST(LintScanner, PastedIdentifierIsNotARawString) {
+  // FOOR"..." — the R belongs to an identifier, so this is an ordinary
+  // string; its \" is an escape and the literal ends at the final quote.
+  EXPECT_TRUE(
+      LintContent(kLibPath, "auto q = FOOR\"(text)\" + std::string();\n")
+          .empty());
+  // Malformed d-char-seq (space before the open paren): not a raw string;
+  // falls back to ordinary string scanning rather than eating the file.
+  auto f = LintContent(kLibPath,
+                       "auto q = R\"bad delim(x)\";\nint y = rand();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintScanner, SplitKeepsOffsetsAndSeparatesHalves) {
+  SplitSource s = SplitCodeComments("int a; // note\nR\"(hid)\" int b;\n");
+  EXPECT_EQ(s.code.size(), s.comments.size());
+  EXPECT_NE(s.code.find("int a;"), std::string::npos);
+  EXPECT_EQ(s.code.find("note"), std::string::npos);
+  EXPECT_NE(s.comments.find("note"), std::string::npos);
+  EXPECT_EQ(s.code.find("hid"), std::string::npos);
+  EXPECT_EQ(s.comments.find("hid"), std::string::npos);
+  EXPECT_NE(s.code.find("int b;"), std::string::npos);
+}
+
+TEST(LintScanner, ParseAllowDirectivesHonorsTag) {
+  std::vector<std::string> comments = {
+      " xfraud-analyze: allow(unordered-iter, layering)",
+      " xfraud-lint: allow(no-naked-new)",
+  };
+  auto analyze = ParseAllowDirectives(comments, "xfraud-analyze:");
+  ASSERT_EQ(analyze.size(), 2u);
+  ASSERT_EQ(analyze[0].size(), 2u);
+  EXPECT_EQ(analyze[0][0], "unordered-iter");
+  EXPECT_EQ(analyze[0][1], "layering");
+  EXPECT_TRUE(analyze[1].empty());
+  auto lint = ParseAllowDirectives(comments, "xfraud-lint:");
+  EXPECT_TRUE(lint[0].empty());
+  ASSERT_EQ(lint[1].size(), 1u);
+  EXPECT_EQ(lint[1][0], "no-naked-new");
+}
+
 TEST(LintJson, EscapesAndFormats) {
   std::vector<Finding> findings = {{"a\"b.cc", 3, "rule-x", "msg \\ done"}};
   std::string json = FindingsToJson(findings);

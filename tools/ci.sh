@@ -3,7 +3,14 @@
 #
 #   tools/ci.sh                      # plain: hygiene + configure + build + test
 #   tools/ci.sh --mode=plain
-#   tools/ci.sh --mode=lint          # hygiene + xfraud_lint + clang-tidy (no ctest)
+#   tools/ci.sh --mode=lint          # hygiene + xfraud_lint + xfraud_analyze
+#                                    # + clang-tidy (no ctest)
+#   tools/ci.sh --mode=analyze       # hygiene + xfraud_analyze only: the
+#                                    # whole-program passes (layering DAG,
+#                                    # include cycles, discarded Status,
+#                                    # unordered iteration) against the
+#                                    # checked-in baseline; writes an
+#                                    # ANALYZE.json snapshot (gitignored)
 #   tools/ci.sh --mode=ubsan         # build + test with XFRAUD_SANITIZE=undefined
 #   tools/ci.sh --mode=tsan          # build + test with XFRAUD_SANITIZE=thread
 #   tools/ci.sh --mode=asan          # build + test with XFRAUD_SANITIZE=address
@@ -39,12 +46,12 @@ done
 
 SANITIZE=""
 case "${MODE}" in
-  plain|lint|faults|mp|bench-smoke) ;;
+  plain|lint|analyze|faults|mp|bench-smoke) ;;
   ubsan) SANITIZE="undefined" ;;
   tsan) SANITIZE="thread" ;;
   asan) SANITIZE="address" ;;
   *)
-    echo "ci.sh: unknown mode '${MODE}' (plain|lint|ubsan|tsan|asan|faults|mp|bench-smoke)" >&2
+    echo "ci.sh: unknown mode '${MODE}' (plain|lint|analyze|ubsan|tsan|asan|faults|mp|bench-smoke)" >&2
     exit 2
     ;;
 esac
@@ -67,6 +74,24 @@ fi
 echo "== hygiene =="
 tools/check_no_build_artifacts.sh
 
+# Whole-program analyzer: exits 1 on any finding not covered by the
+# checked-in baseline (tools/analyze/analyze_baseline.txt — empty, and
+# meant to stay that way). ANALYZE.json is the machine-readable snapshot.
+run_analyze() {
+  echo "== build xfraud_analyze =="
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target xfraud_analyze
+  echo "== xfraud_analyze =="
+  "${BUILD_DIR}/tools/xfraud_analyze" --json=ANALYZE.json
+}
+
+if [[ "${MODE}" == "analyze" ]]; then
+  echo "== configure (for xfraud_analyze) =="
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+  run_analyze
+  echo "== analyze ok =="
+  exit 0
+fi
+
 if [[ "${MODE}" == "lint" ]]; then
   echo "== configure (for xfraud_lint + compile db) =="
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
@@ -74,6 +99,7 @@ if [[ "${MODE}" == "lint" ]]; then
   cmake --build "${BUILD_DIR}" -j "$(nproc)" --target xfraud_lint
   echo "== xfraud_lint =="
   "${BUILD_DIR}/tools/xfraud_lint"
+  run_analyze
   echo "== clang-tidy =="
   tools/run_clang_tidy.sh "${BUILD_DIR}"
   echo "== lint ok =="

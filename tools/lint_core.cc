@@ -16,15 +16,50 @@ bool IsWordChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Splits source into (code, comments): both same length as the input with
-/// the other half (plus string/char literal contents) blanked to spaces, so
-/// byte offsets and line numbers stay aligned with the original file.
-struct SplitSource {
-  std::string code;      // comments + literal contents blanked
-  std::string comments;  // everything except comment text blanked
-};
+/// True when src[quote] is the '"' of a raw-string literal: immediately
+/// preceded by an R / LR / uR / UR / u8R prefix that is not glued onto a
+/// longer identifier (`FOOR"..."` is a macro-pasted ordinary string).
+bool IsRawStringQuote(const std::string& src, size_t quote) {
+  if (quote == 0 || src[quote - 1] != 'R') return false;
+  size_t start = quote - 1;  // index of 'R'
+  if (start > 0) {
+    if (src[start - 1] == '8' && start >= 2 && src[start - 2] == 'u') {
+      start -= 2;
+    } else if (src[start - 1] == 'L' || src[start - 1] == 'u' ||
+               src[start - 1] == 'U') {
+      start -= 1;
+    }
+  }
+  return start == 0 || !IsWordChar(src[start - 1]);
+}
 
-SplitSource Split(const std::string& src) {
+/// For a raw string opening at src[quote] == '"', finds the '(' that ends
+/// the d-char-seq. Returns npos when no well-formed delimiter follows (at
+/// most 16 d-chars, none of space/paren/backslash/newline), in which case
+/// the literal is scanned as an ordinary string.
+size_t RawDelimiterOpen(const std::string& src, size_t quote) {
+  for (size_t j = quote + 1; j < src.size() && j <= quote + 17; ++j) {
+    char d = src[j];
+    if (d == '(') return j;
+    if (d == ' ' || d == ')' || d == '\\' || d == '\n' || d == '"') break;
+  }
+  return std::string::npos;
+}
+
+bool ShouldSkipDir(const fs::path& dir) {
+  std::string name = dir.filename().string();
+  return name == ".git" || name.ends_with("_fixtures") ||
+         name.rfind("build", 0) == 0 || name == "CMakeFiles";
+}
+
+bool LintableFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+SplitSource SplitCodeComments(const std::string& src) {
   SplitSource out;
   out.code.assign(src.size(), ' ');
   out.comments.assign(src.size(), ' ');
@@ -51,18 +86,17 @@ SplitSource Split(const std::string& src) {
           ++i;
           break;
         }
-        if (c == 'R' && next == '"' &&
-            (i == 0 || !IsWordChar(src[i - 1]))) {
-          size_t open = src.find('(', i + 2);
-          if (open != std::string::npos) {
-            raw_delim = ")" + src.substr(i + 2, open - (i + 2)) + "\"";
-            out.code[i] = 'R';
-            state = State::kRaw;
-            i = open;  // literal contents blanked from here on
-            break;
-          }
-        }
         if (c == '"') {
+          if (IsRawStringQuote(src, i)) {
+            size_t open = RawDelimiterOpen(src, i);
+            if (open != std::string::npos) {
+              raw_delim = ")" + src.substr(i + 1, open - (i + 1)) + "\"";
+              out.code[i] = '"';
+              state = State::kRaw;
+              i = open;  // literal contents blanked from here on
+              break;
+            }
+          }
           state = State::kString;
           out.code[i] = '"';
           break;
@@ -104,6 +138,7 @@ SplitSource Split(const std::string& src) {
       case State::kRaw:
         if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
           i += raw_delim.size() - 1;
+          out.code[i] = '"';
           state = State::kCode;
         }
         break;
@@ -127,8 +162,6 @@ std::vector<std::string> SplitLines(const std::string& text) {
   return lines;
 }
 
-/// True when `line` contains `word` as a whole identifier; if
-/// `requires_call`, the next non-space character must be '('.
 bool HasWord(const std::string& line, const std::string& word,
              bool requires_call) {
   std::string::size_type pos = 0;
@@ -145,6 +178,84 @@ bool HasWord(const std::string& line, const std::string& word,
   }
   return false;
 }
+
+std::vector<std::vector<std::string>> ParseAllowDirectives(
+    const std::vector<std::string>& comment_lines, const std::string& tag) {
+  std::vector<std::vector<std::string>> allowed(comment_lines.size());
+  for (size_t i = 0; i < comment_lines.size(); ++i) {
+    std::string::size_type tag_pos = comment_lines[i].find(tag);
+    if (tag_pos == std::string::npos) continue;
+    std::string::size_type open =
+        comment_lines[i].find("allow(", tag_pos + tag.size());
+    if (open == std::string::npos) continue;
+    std::string::size_type close = comment_lines[i].find(')', open);
+    if (close == std::string::npos) continue;
+    std::string args =
+        comment_lines[i].substr(open + 6, close - (open + 6));
+    std::stringstream ss(args);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
+      if (!rule.empty()) allowed[i].push_back(rule);
+    }
+  }
+  return allowed;
+}
+
+bool ListSourceFiles(const std::vector<std::string>& roots,
+                     std::vector<std::string>* files, std::string* error) {
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    fs::file_status st = fs::status(root, ec);
+    if (ec) {
+      *error = "cannot stat " + root + ": " + ec.message();
+      return false;
+    }
+    if (fs::is_regular_file(st)) {
+      files->push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(st)) {
+      *error = root + " is neither a file nor a directory";
+      return false;
+    }
+    fs::recursive_directory_iterator it(root, ec), end;
+    if (ec) {
+      *error = "cannot walk " + root + ": " + ec.message();
+      return false;
+    }
+    for (; it != end; it.increment(ec)) {
+      if (ec) {
+        *error = "walk failed under " + root + ": " + ec.message();
+        return false;
+      }
+      if (it->is_directory() && ShouldSkipDir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && LintableFile(it->path())) {
+        files->push_back(it->path().string());
+      }
+    }
+  }
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+bool ReadFileToString(const std::string& path, std::string* contents,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *contents = buf.str();
+  return true;
+}
+
+namespace {
 
 struct FileScope {
   bool is_header = false;
@@ -181,42 +292,15 @@ FileScope ClassifyPath(const std::string& path) {
   return scope;
 }
 
-/// Parses `xfraud-lint: allow(rule-a, rule-b)` directives out of comment
-/// lines. allowed[line] holds the rules suppressed on that line AND the
-/// line below (0-based lines).
-std::vector<std::vector<std::string>> ParseAllows(
-    const std::vector<std::string>& comment_lines) {
-  std::vector<std::vector<std::string>> allowed(comment_lines.size());
-  const std::string kTag = "xfraud-lint:";
-  for (size_t i = 0; i < comment_lines.size(); ++i) {
-    std::string::size_type tag = comment_lines[i].find(kTag);
-    if (tag == std::string::npos) continue;
-    std::string::size_type open =
-        comment_lines[i].find("allow(", tag + kTag.size());
-    if (open == std::string::npos) continue;
-    std::string::size_type close = comment_lines[i].find(')', open);
-    if (close == std::string::npos) continue;
-    std::string args =
-        comment_lines[i].substr(open + 6, close - (open + 6));
-    std::stringstream ss(args);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
-      if (!rule.empty()) allowed[i].push_back(rule);
-    }
-  }
-  return allowed;
-}
-
 class Linter {
  public:
   Linter(const std::string& path, const std::string& contents)
       : path_(path),
         scope_(ClassifyPath(path)),
-        split_(Split(contents)),
+        split_(SplitCodeComments(contents)),
         code_lines_(SplitLines(split_.code)),
         comment_lines_(SplitLines(split_.comments)),
-        allowed_(ParseAllows(comment_lines_)) {}
+        allowed_(ParseAllowDirectives(comment_lines_, "xfraud-lint:")) {}
 
   std::vector<Finding> Run() {
     CheckNondeterminism();
@@ -496,17 +580,6 @@ class Linter {
   std::vector<Finding> findings_;
 };
 
-bool ShouldSkipDir(const fs::path& dir) {
-  std::string name = dir.filename().string();
-  return name == ".git" || name == "lint_fixtures" ||
-         name.rfind("build", 0) == 0 || name == "CMakeFiles";
-}
-
-bool LintableFile(const fs::path& p) {
-  std::string ext = p.extension().string();
-  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
-}
-
 }  // namespace
 
 const std::vector<std::string>& RuleIds() {
@@ -527,50 +600,11 @@ std::vector<Finding> LintContent(const std::string& path,
 bool LintPaths(const std::vector<std::string>& roots,
                std::vector<Finding>* findings, std::string* error) {
   std::vector<std::string> files;
-  for (const std::string& root : roots) {
-    std::error_code ec;
-    fs::file_status st = fs::status(root, ec);
-    if (ec) {
-      *error = "cannot stat " + root + ": " + ec.message();
-      return false;
-    }
-    if (fs::is_regular_file(st)) {
-      files.push_back(root);
-      continue;
-    }
-    if (!fs::is_directory(st)) {
-      *error = root + " is neither a file nor a directory";
-      return false;
-    }
-    fs::recursive_directory_iterator it(root, ec), end;
-    if (ec) {
-      *error = "cannot walk " + root + ": " + ec.message();
-      return false;
-    }
-    for (; it != end; it.increment(ec)) {
-      if (ec) {
-        *error = "walk failed under " + root + ": " + ec.message();
-        return false;
-      }
-      if (it->is_directory() && ShouldSkipDir(it->path())) {
-        it.disable_recursion_pending();
-        continue;
-      }
-      if (it->is_regular_file() && LintableFile(it->path())) {
-        files.push_back(it->path().string());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
+  if (!ListSourceFiles(roots, &files, error)) return false;
   for (const std::string& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      *error = "cannot read " + file;
-      return false;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::vector<Finding> f = LintContent(file, buf.str());
+    std::string contents;
+    if (!ReadFileToString(file, &contents, error)) return false;
+    std::vector<Finding> f = LintContent(file, contents);
     findings->insert(findings->end(), f.begin(), f.end());
   }
   return true;

@@ -14,6 +14,55 @@ struct Finding {
   std::string message;
 };
 
+// ---------------------------------------------------------------------------
+// Scanner layer, shared by xfraud_lint (per-file rules) and xfraud_analyze
+// (whole-program passes). Std-only by design: the tooling must build and run
+// even when the library itself doesn't compile.
+// ---------------------------------------------------------------------------
+
+/// Source split into (code, comments): both the same length as the input
+/// with the other half (plus string/char literal contents) blanked to
+/// spaces, so byte offsets and line numbers stay aligned with the original
+/// file. Understands //, /*...*/, "...", '...', and raw string literals
+/// including custom delimiters and encoding prefixes (R"x(...)x", u8R, LR,
+/// uR, UR) — their contents never leak into `code`.
+struct SplitSource {
+  std::string code;      // comments + literal contents blanked
+  std::string comments;  // everything except comment text blanked
+};
+
+SplitSource SplitCodeComments(const std::string& src);
+
+/// Splits on '\n'; a trailing newline does not produce an extra empty line.
+std::vector<std::string> SplitLines(const std::string& text);
+
+/// True when `line` contains `word` as a whole identifier; if
+/// `requires_call`, the next non-space character must be '('.
+bool HasWord(const std::string& line, const std::string& word,
+             bool requires_call);
+
+/// Parses `<tag> allow(rule-a, rule-b)` directives out of comment lines
+/// (tag is e.g. "xfraud-lint:" or "xfraud-analyze:"). The result has one
+/// entry per line; entry i holds the rules suppressed on line i AND the
+/// line below (0-based lines).
+std::vector<std::vector<std::string>> ParseAllowDirectives(
+    const std::vector<std::string>& comment_lines, const std::string& tag);
+
+/// Recursively collects *.h/*.cc/*.hpp/*.cpp under each root (a root may
+/// also be a single file), sorted. Build trees, .git, and *_fixtures/ dirs
+/// are skipped during the walk unless the root itself points into them.
+/// Returns false and sets `error` on I/O failure.
+bool ListSourceFiles(const std::vector<std::string>& roots,
+                     std::vector<std::string>* files, std::string* error);
+
+/// Reads a file wholesale; false + `error` on failure.
+bool ReadFileToString(const std::string& path, std::string* contents,
+                      std::string* error);
+
+// ---------------------------------------------------------------------------
+// Lint rules.
+// ---------------------------------------------------------------------------
+
 /// All rule identifiers, for `--list-rules` and directive validation.
 const std::vector<std::string>& RuleIds();
 
@@ -24,10 +73,8 @@ const std::vector<std::string>& RuleIds();
 std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& contents);
 
-/// Recursively lints *.h/*.cc/*.hpp/*.cpp under each root (a root may also
-/// be a single file). Build trees, .git, and lint_fixtures/ are skipped
-/// during the walk unless the root itself points into them. Returns false
-/// and sets `error` on I/O failure.
+/// Recursively lints *.h/*.cc/*.hpp/*.cpp under each root (walk semantics of
+/// ListSourceFiles). Returns false and sets `error` on I/O failure.
 bool LintPaths(const std::vector<std::string>& roots,
                std::vector<Finding>* findings, std::string* error);
 
