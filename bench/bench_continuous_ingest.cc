@@ -1,0 +1,233 @@
+// Continuous-ingest chaos harness (DESIGN.md §15).
+//
+// Section A drives sustained transaction ingestion through the streaming
+// topology — append/publish epochs on one thread, concurrent pinned-epoch
+// scoring on reader threads, the background compactor garbage-collecting
+// behind the pins — under a chaos plan (kill_replica + torn_write +
+// stall_compaction), and reports per-epoch publish latency, retries forced
+// by torn writes, scoring throughput, and compaction cycles. Every scored
+// (request_id, epoch) pair is re-scored at the end against its still-pinned
+// epoch and must match bit-for-bit: the harness *asserts* zero torn reads.
+//
+// Section B measures the cost of crash recovery: reopen the chaos-written
+// directory and time StreamingTopology::Open's replay + reattach.
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace xfraud::bench {
+namespace {
+
+struct IngestStats {
+  int epochs = 0;
+  int64_t txns = 0;
+  int64_t publish_retries = 0;
+  double publish_p50_ms = 0.0;
+  double publish_p99_ms = 0.0;
+  int64_t scores = 0;
+  int64_t torn_writes = 0;
+  int64_t compaction_stalls = 0;
+  int64_t compaction_cycles = 0;
+};
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+IngestStats RunChaosIngest(const std::string& dir,
+                           const std::vector<graph::TransactionRecord>&
+                               records,
+                           size_t batch, int reader_threads) {
+  stream::StreamingOptions options;
+  options.dir = dir;
+  options.num_shards = 2;
+  options.num_replicas = 2;
+  auto plan = fault::FaultPlan::Parse(
+      "seed=20260805,kill_replica=1,torn_write=0.001,"
+      "stall_compaction=0.0005");
+  XF_CHECK(plan.ok()) << plan.status().ToString();
+  options.plan = plan.value();
+  auto topo = stream::StreamingTopology::Open(std::move(options));
+  XF_CHECK(topo.ok()) << topo.status().ToString();
+  stream::StreamingTopology* t = topo.value().get();
+
+  core::DetectorConfig model_config;
+  model_config.feature_dim =
+      static_cast<int64_t>(records[0].features.size());
+  model_config.hidden_dim = 16;
+  model_config.num_heads = 2;
+  model_config.num_layers = 1;
+  Rng model_rng(kSeedA);
+  core::XFraudDetector model(model_config, &model_rng);
+  serve::ServiceOptions service_options;
+  service_options.deadline_s = 0.0;  // determinism study, not latency
+  serve::ScoringService service(&model, t->features(), service_options);
+
+  t->ingestor()->StartCompactor(Clock::Real(), /*interval_s=*/0.002,
+                                t->injector());
+
+  IngestStats stats;
+  std::vector<double> publish_ms;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> scored{0};
+
+  // Readers: pin the latest epoch, score a transaction against it, and
+  // remember (request_id, node, score) plus the still-pinned view for the
+  // replay audit — an audited epoch stays pinned to the end, so compaction
+  // must preserve it no matter how far the writer advances.
+  struct Scored {
+    int64_t request_id;
+    int32_t node;
+    double score;
+    stream::GraphView view;
+  };
+  std::mutex audit_mu;
+  std::vector<Scored> audit;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < reader_threads; ++r) {
+    readers.emplace_back([&, r] {
+      int64_t request_id = 1000000 * (r + 1);
+      while (!done.load(std::memory_order_relaxed)) {
+        auto view = t->OpenView();
+        if (!view.ok()) continue;  // nothing published yet
+        // Node 0 is the first transaction — present in every epoch.
+        const int32_t node = 0;
+        auto resp = service.ScoreAt(++request_id, node, /*deadline_s=*/0.0,
+                                    view.value().epoch());
+        XF_CHECK(resp.ok()) << resp.status().ToString();
+        scored.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(audit_mu);
+        if (audit.size() < 64) {
+          audit.push_back({request_id, node, resp.value().score,
+                           std::move(view).value()});
+        }
+      }
+    });
+  }
+
+  // Writer: the bench's timed section — publish latency under chaos.
+  size_t next = 0;
+  while (next < records.size()) {
+    for (size_t i = 0; i < batch && next < records.size(); ++i) {
+      Status s = t->ingestor()->Append(records[next++]);
+      XF_CHECK(s.ok()) << s.ToString();
+    }
+    WallTimer timer;
+    Result<uint64_t> epoch = t->ingestor()->PublishEpoch();
+    while (!epoch.ok()) {
+      ++stats.publish_retries;
+      epoch = t->ingestor()->PublishEpoch();
+    }
+    publish_ms.push_back(timer.ElapsedSeconds() * 1e3);
+    ++stats.epochs;
+  }
+  done.store(true);
+  for (auto& th : readers) th.join();
+  t->ingestor()->StopCompactor();
+
+  // The replay audit: every sampled (request, epoch) score reproduces
+  // bit-identically after ingest finished and the compactor ran — the
+  // audited epochs stayed pinned, so GC worked around them. A mismatch
+  // aborts the bench.
+  for (Scored& s : audit) {
+    auto again = service.ScoreAt(s.request_id, s.node, /*deadline_s=*/0.0,
+                                 s.view.epoch());
+    XF_CHECK(again.ok()) << again.status().ToString();
+    XF_CHECK(again.value().score == s.score)
+        << "torn read: epoch " << s.view.epoch() << " request "
+        << s.request_id;
+    s.view.Release();
+  }
+
+  stats.txns = static_cast<int64_t>(next);
+  stats.publish_p50_ms = Percentile(publish_ms, 0.5);
+  stats.publish_p99_ms = Percentile(publish_ms, 0.99);
+  stats.scores = scored.load();
+  stats.torn_writes = t->injector()->injected_torn_writes();
+  stats.compaction_stalls = t->injector()->injected_compaction_stalls();
+  stats.compaction_cycles = t->ingestor()->compaction_cycles();
+  return stats;
+}
+
+void Run() {
+  PrintHeader("Continuous-ingest chaos harness",
+              "streaming robustness study (DESIGN.md §15; epoch/MVCC "
+              "snapshots under kill_replica/torn_write/stall_compaction)");
+
+  data::GeneratorConfig config = data::TransactionGenerator::SimSmall();
+  config.feature_dim = 16;
+  if (FastMode()) {
+    config.num_buyers = 150;
+    config.txns_per_buyer_mean = 2.0;
+    config.num_fraud_rings = 4;
+    config.num_stolen_cards = 8;
+  }
+  data::TransactionGenerator gen(config);
+  const std::vector<graph::TransactionRecord> records =
+      gen.GenerateRecords();
+  const size_t batch = FastMode() ? 25 : 100;
+  const int readers = 2;
+  const std::string dir = "/tmp/xfraud-bench-continuous-ingest";
+  XF_CHECK_EQ(std::system(("rm -rf " + dir).c_str()), 0);
+
+  WallTimer total;
+  IngestStats stats = RunChaosIngest(dir, records, batch, readers);
+  const double ingest_s = total.ElapsedSeconds();
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"transactions ingested", std::to_string(stats.txns)});
+  table.AddRow({"epochs published", std::to_string(stats.epochs)});
+  table.AddRow({"publish retries (torn writes)",
+                std::to_string(stats.publish_retries)});
+  table.AddRow({"publish p50 (ms)", TablePrinter::Num(stats.publish_p50_ms,
+                                                      2)});
+  table.AddRow({"publish p99 (ms)", TablePrinter::Num(stats.publish_p99_ms,
+                                                      2)});
+  table.AddRow({"ingest throughput (txn/s)",
+                TablePrinter::Num(static_cast<double>(stats.txns) /
+                                      ingest_s,
+                                  1)});
+  table.AddRow({"concurrent pinned-epoch scores",
+                std::to_string(stats.scores)});
+  table.AddRow({"injected torn writes", std::to_string(stats.torn_writes)});
+  table.AddRow({"injected compaction stalls",
+                std::to_string(stats.compaction_stalls)});
+  table.AddRow({"compaction cycles", std::to_string(stats.compaction_cycles)});
+  table.Print(std::cout);
+  std::cout << "replay audit: every sampled pinned-epoch score reproduced "
+               "bit-identically after chaos + compaction\n";
+
+  // Section B: crash-recovery cost — reopen the chaos-written grid.
+  WallTimer reopen;
+  stream::StreamingOptions options;
+  options.dir = dir;
+  auto topo = stream::StreamingTopology::Open(std::move(options));
+  XF_CHECK(topo.ok()) << topo.status().ToString();
+  std::cout << "\nrecovery: reopened " << dir << " (replay + reattach) in "
+            << TablePrinter::Num(reopen.ElapsedSeconds() * 1e3, 1)
+            << " ms at epoch "
+            << topo.value()->epochs()->published_epoch() << " with "
+            << topo.value()->ingestor()->num_nodes() << " nodes\n";
+
+  EmitObsSnapshot();
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::bench::InitObsFromEnv();
+  xfraud::bench::Run();
+  return 0;
+}

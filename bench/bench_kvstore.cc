@@ -35,7 +35,7 @@ double MeasureLoader(const kv::FeatureStore& fs,
         std::vector<int32_t> batch_seeds(seeds.begin() + start,
                                          seeds.begin() + start + 64);
         auto batch = fs.LoadBatch(batch_seeds, /*hops=*/2, /*fanout=*/12,
-                                  &rng);
+                                  &rng, kv::kHeadEpoch);
         XF_CHECK(batch.ok()) << batch.status().ToString();
         loaded.fetch_add(batch.value().num_nodes());
       }

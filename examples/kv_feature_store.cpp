@@ -56,7 +56,8 @@ int main() {
   std::vector<int32_t> seeds(dataset.train_nodes.begin(),
                              dataset.train_nodes.begin() + 64);
   WallTimer timer;
-  auto batch = features.LoadBatch(seeds, /*hops=*/2, /*fanout=*/12, &rng);
+  auto batch = features.LoadBatch(seeds, /*hops=*/2, /*fanout=*/12, &rng,
+                                  kv::kHeadEpoch);
   if (!batch.ok()) {
     std::cerr << "load failed: " << batch.status().ToString() << "\n";
     return 1;

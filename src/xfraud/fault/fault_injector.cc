@@ -21,6 +21,8 @@ struct FaultMetrics {
   obs::Counter* injected_latencies;
   obs::Counter* injected_replica_failures;
   obs::Counter* injected_replica_slowdowns;
+  obs::Counter* injected_torn_writes;
+  obs::Counter* injected_compaction_stalls;
 
   static const FaultMetrics& Get() {
     static FaultMetrics metrics = [] {
@@ -29,7 +31,9 @@ struct FaultMetrics {
                           r.counter("fault/injected_corruptions"),
                           r.counter("fault/injected_latencies"),
                           r.counter("fault/injected_replica_failures"),
-                          r.counter("fault/injected_replica_slowdowns")};
+                          r.counter("fault/injected_replica_slowdowns"),
+                          r.counter("fault/injected_torn_writes"),
+                          r.counter("fault/injected_compaction_stalls")};
     }();
     return metrics;
   }
@@ -43,11 +47,13 @@ FaultInjector::KvFault FaultInjector::NextKvFault(double* latency_s) {
   const int64_t op = kv_ops_.fetch_add(1);
   Rng rng(Rng::StreamSeed(plan_.seed ^ kKvSiteTag,
                           static_cast<uint64_t>(op)));
-  // Draw all three decisions unconditionally so the stream layout is stable
-  // even when individual rates are zero.
+  // Draw all decisions unconditionally so the stream layout is stable even
+  // when individual rates are zero (torn_write draws last: plans written
+  // before it existed replay the exact same error/corrupt/latency fates).
   const double u_error = rng.NextDouble();
   const double u_corrupt = rng.NextDouble();
   const double u_latency = rng.NextDouble();
+  const double u_torn = rng.NextDouble();
   if (latency_s != nullptr && u_latency < plan_.kv_latency_rate) {
     *latency_s = plan_.kv_latency_s;
     injected_latencies_.fetch_add(1);
@@ -63,7 +69,19 @@ FaultInjector::KvFault FaultInjector::NextKvFault(double* latency_s) {
     FaultMetrics::Get().injected_corruptions->Increment();
     return KvFault::kCorruption;
   }
+  if (u_torn < plan_.torn_write_rate) {
+    injected_torn_writes_.fetch_add(1);
+    FaultMetrics::Get().injected_torn_writes->Increment();
+    return KvFault::kTornWrite;
+  }
   return KvFault::kNone;
+}
+
+double FaultInjector::NextCompactionStall() {
+  if (plan_.stall_compaction_s <= 0.0) return 0.0;
+  injected_compaction_stalls_.fetch_add(1);
+  FaultMetrics::Get().injected_compaction_stalls->Increment();
+  return plan_.stall_compaction_s;
 }
 
 bool FaultInjector::NextReplicaFault(int replica_id, int shard_id,

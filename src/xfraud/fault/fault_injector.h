@@ -30,12 +30,20 @@ class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
 
-  enum class KvFault { kNone, kIoError, kCorruption };
+  enum class KvFault { kNone, kIoError, kCorruption, kTornWrite };
 
   /// Decides the fate of the next KV operation. `latency_s` (may be null)
   /// receives the extra latency to add before serving the op (0 if none);
   /// latency composes with errors — a slow failing disk is the common case.
+  /// kTornWrite only applies to writes (a read-path decorator treats it as
+  /// kNone): the Put persists a prefix of its value and reports IoError,
+  /// the crash-during-write shape the WAL's CRC framing must absorb.
   KvFault NextKvFault(double* latency_s);
+
+  /// Seconds the background compactor should stall before its next cycle
+  /// (0 if the plan doesn't stall compaction). Deterministic — every cycle
+  /// pays the same planned pause.
+  double NextCompactionStall();
 
   /// Position-based verdict for one op on a store sitting at
   /// (replica_id, shard_id) in a serving topology (-1 for "not positioned").
@@ -73,6 +81,10 @@ class FaultInjector {
   int64_t injected_replica_slowdowns() const {
     return injected_replica_slowdowns_.load();
   }
+  int64_t injected_torn_writes() const { return injected_torn_writes_.load(); }
+  int64_t injected_compaction_stalls() const {
+    return injected_compaction_stalls_.load();
+  }
 
  private:
   FaultPlan plan_;
@@ -83,6 +95,8 @@ class FaultInjector {
   std::atomic<int64_t> injected_latencies_{0};
   std::atomic<int64_t> injected_replica_failures_{0};
   std::atomic<int64_t> injected_replica_slowdowns_{0};
+  std::atomic<int64_t> injected_torn_writes_{0};
+  std::atomic<int64_t> injected_compaction_stalls_{0};
 };
 
 /// Dies by SIGKILL, exactly like a machine loss: no destructors, no atexit,

@@ -171,6 +171,13 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
       XF_RETURN_IF_ERROR(ParseIndex(key, value, &plan.kill_shard));
     } else if (key == "slow_replica") {
       XF_RETURN_IF_ERROR(ParseSlowReplica(value, &plan));
+    } else if (key == "torn_write") {
+      XF_RETURN_IF_ERROR(ParseRate(key, value, &plan.torn_write_rate));
+    } else if (key == "stall_compaction") {
+      XF_RETURN_IF_ERROR(ParseF64(key, value, &plan.stall_compaction_s));
+      if (plan.stall_compaction_s < 0.0) {
+        return Status::InvalidArgument("fault plan: stall_compaction < 0");
+      }
     } else {
       return Status::InvalidArgument("fault plan: unknown key '" +
                                      std::string(key) + "'");
@@ -204,6 +211,10 @@ std::string FaultPlan::ToString() const {
   if (slow_replica >= 0) {
     out << ",slow_replica=" << slow_replica << "@"
         << slow_replica_latency_s;
+  }
+  if (torn_write_rate > 0.0) out << ",torn_write=" << torn_write_rate;
+  if (stall_compaction_s > 0.0) {
+    out << ",stall_compaction=" << stall_compaction_s;
   }
   return out.str();
 }

@@ -26,6 +26,8 @@ namespace xfraud::fault {
 ///   kill_replica=<r>        every op on KV replica r fails (all shards)
 ///   kill_shard=<s>          every op on all replicas of shard s fails
 ///   slow_replica=<r>@<sec>  every op on replica r takes +<sec> latency
+///   torn_write=<f>          P(a Put persists only a prefix, then errors)
+///   stall_compaction=<sec>  background compaction pauses <sec> per cycle
 ///
 /// Example: "seed=7,kv_error_rate=0.05,kill_worker=1@0:3"
 struct FaultPlan {
@@ -46,12 +48,17 @@ struct FaultPlan {
   int kill_shard = -1;              // -1: no shard kill
   int slow_replica = -1;            // -1: no slow replica
   double slow_replica_latency_s = 0.0;
+  /// P(a Put writes a prefix of its value and then reports IoError) — the
+  /// canonical crash-during-write shape the WAL's CRC must absorb.
+  double torn_write_rate = 0.0;
+  /// Seconds the background compactor stalls before each cycle (models a
+  /// GC pause / slow disk holding the GC floor back while writers advance).
+  double stall_compaction_s = 0.0;
 
   /// True if the plan injects anything at all.
   bool any() const {
-    return kv_error_rate > 0.0 || kv_corrupt_rate > 0.0 ||
-           kv_latency_rate > 0.0 || kill_worker >= 0 || crash_batch >= 0 ||
-           has_replica_faults();
+    return has_kv_faults() || kill_worker >= 0 || crash_batch >= 0 ||
+           has_replica_faults() || stall_compaction_s > 0.0;
   }
   /// True if any replica-position fault is planned.
   bool has_replica_faults() const {
@@ -59,7 +66,7 @@ struct FaultPlan {
   }
   bool has_kv_faults() const {
     return kv_error_rate > 0.0 || kv_corrupt_rate > 0.0 ||
-           kv_latency_rate > 0.0;
+           kv_latency_rate > 0.0 || torn_write_rate > 0.0;
   }
 
   /// Parses the spec grammar above. Unknown keys, malformed numbers, or

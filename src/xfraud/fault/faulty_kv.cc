@@ -2,7 +2,7 @@
 
 namespace xfraud::fault {
 
-Status FaultyKvStore::MaybeInject(std::string_view key) const {
+Status FaultyKvStore::MaybeInject(std::string_view key, bool* torn) const {
   double replica_latency_s = 0.0;
   const bool replica_dead =
       injector_->NextReplicaFault(replica_id_, shard_id_, &replica_latency_s);
@@ -28,12 +28,28 @@ Status FaultyKvStore::MaybeInject(std::string_view key) const {
     case FaultInjector::KvFault::kCorruption:
       return Status::Corruption("injected corruption on key '" +
                                 std::string(key) + "'");
+    case FaultInjector::KvFault::kTornWrite:
+      // Only a write can tear. On a read path (torn == nullptr) the draw
+      // is a no-op so read fates keep matching plans without torn_write.
+      if (torn != nullptr) *torn = true;
+      return Status::OK();
   }
   return Status::Internal("unreachable");
 }
 
 Status FaultyKvStore::Put(std::string_view key, std::string_view value) {
-  XF_RETURN_IF_ERROR(MaybeInject(key));
+  bool torn = false;
+  XF_RETURN_IF_ERROR(MaybeInject(key, &torn));
+  if (torn) {
+    // The writer "died" mid-value: persist a prefix, then report the write
+    // failed. Against an MVCC store the remnant lands in the uncommitted
+    // pending epoch — the caller must retry (replacing it in place) before
+    // publishing, so no committed epoch ever exposes the half value.
+    Status inner = inner_->Put(key, value.substr(0, value.size() / 2));
+    if (!inner.ok()) return inner;
+    return Status::IoError("torn write (injected) on key '" +
+                           std::string(key) + "'");
+  }
   return inner_->Put(key, value);
 }
 
@@ -51,6 +67,17 @@ int64_t FaultyKvStore::Count() const { return inner_->Count(); }
 std::vector<std::string> FaultyKvStore::KeysWithPrefix(
     std::string_view prefix) const {
   return inner_->KeysWithPrefix(prefix);
+}
+
+Status FaultyKvStore::GetAt(std::string_view key, uint64_t epoch,
+                            std::string* value) const {
+  XF_RETURN_IF_ERROR(MaybeInject(key));
+  return inner_->GetAt(key, epoch, value);
+}
+
+std::vector<std::string> FaultyKvStore::KeysWithPrefixAt(
+    std::string_view prefix, uint64_t epoch) const {
+  return inner_->KeysWithPrefixAt(prefix, epoch);
 }
 
 }  // namespace xfraud::fault

@@ -43,11 +43,21 @@ class FaultyKvStore : public kv::KvStore {
   int64_t Count() const override;
   std::vector<std::string> KeysWithPrefix(
       std::string_view prefix) const override;
+  Status GetAt(std::string_view key, uint64_t epoch,
+               std::string* value) const override;
+  std::vector<std::string> KeysWithPrefixAt(std::string_view prefix,
+                                            uint64_t epoch) const override;
 
  private:
   /// Applies the injector's verdict for one op; returns the injected error
-  /// (after any injected latency) or OK to proceed to the inner store.
-  Status MaybeInject(std::string_view key) const;
+  /// (after any injected latency) or OK to proceed to the inner store. The
+  /// verdicts compose in a fixed order — the slow-replica and per-op
+  /// latency draws are summed and slept first, then the dead-replica
+  /// verdict, then the randomized per-op fault — so adding a fault kind
+  /// never cancels another. A torn-write verdict sets `*torn` (when the
+  /// caller passed one; read paths pass nullptr and proceed clean) and
+  /// returns OK: the *write* itself must happen, half-way.
+  Status MaybeInject(std::string_view key, bool* torn = nullptr) const;
 
   kv::KvStore* inner_;
   FaultInjector* injector_;

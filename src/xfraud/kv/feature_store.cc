@@ -40,16 +40,19 @@ Status CheckDeadline(const char* stage) {
 
 }  // namespace
 
-Status FeatureStore::GetWithRetry(const std::string& key,
-                                  std::string* value) const {
-  if (!retry_.enabled()) return store_->Get(key, value);
+Status FeatureStore::GetWithRetry(const std::string& key, std::string* value,
+                                  uint64_t epoch) const {
+  auto read = [&] {
+    return epoch == kHeadEpoch ? store_->Get(key, value)
+                               : store_->GetAt(key, epoch, value);
+  };
+  if (!retry_.enabled()) return read();
   // Jitter stream keyed by the record so concurrent loader threads
   // retrying different keys don't back off in lockstep, while a replayed
   // run retries each key on the identical schedule.
   uint64_t jitter_seed =
       Rng::StreamSeed(0x5254525EULL, std::hash<std::string>{}(key));
-  return RetryWithBackoff(retry_, jitter_seed,
-                          [&] { return store_->Get(key, value); });
+  return RetryWithBackoff(retry_, jitter_seed, read);
 }
 
 Status FeatureStore::Ingest(const graph::HeteroGraph& g) {
@@ -81,9 +84,9 @@ Status FeatureStore::Ingest(const graph::HeteroGraph& g) {
   return Status::OK();
 }
 
-Result<int64_t> FeatureStore::NumNodes() const {
+Result<int64_t> FeatureStore::NumNodes(uint64_t epoch) const {
   std::string meta;
-  XF_RETURN_IF_ERROR(GetWithRetry("m", &meta));
+  XF_RETURN_IF_ERROR(GetWithRetry("m", &meta, epoch));
   size_t offset = 0;
   int64_t num_nodes = 0;
   if (!ReadPod(meta, &offset, &num_nodes)) {
@@ -92,9 +95,9 @@ Result<int64_t> FeatureStore::NumNodes() const {
   return num_nodes;
 }
 
-Result<int64_t> FeatureStore::FeatureDim() const {
+Result<int64_t> FeatureStore::FeatureDim(uint64_t epoch) const {
   std::string meta;
-  XF_RETURN_IF_ERROR(GetWithRetry("m", &meta));
+  XF_RETURN_IF_ERROR(GetWithRetry("m", &meta, epoch));
   size_t offset = sizeof(int64_t);
   int64_t dim = 0;
   if (!ReadPod(meta, &offset, &dim)) {
@@ -103,10 +106,10 @@ Result<int64_t> FeatureStore::FeatureDim() const {
   return dim;
 }
 
-Status FeatureStore::ReadFeatures(int32_t node,
-                                  std::vector<float>* out) const {
+Status FeatureStore::ReadFeatures(int32_t node, std::vector<float>* out,
+                                  uint64_t epoch) const {
   std::string raw;
-  XF_RETURN_IF_ERROR(GetWithRetry(FeatKey(node), &raw));
+  XF_RETURN_IF_ERROR(GetWithRetry(FeatKey(node), &raw, epoch));
   if (raw.size() % sizeof(float) != 0) {
     return Status::Corruption("bad feature record size");
   }
@@ -117,9 +120,17 @@ Status FeatureStore::ReadFeatures(int32_t node,
 
 Status FeatureStore::ReadNeighbors(int32_t node,
                                    std::vector<int32_t>* neighbors,
-                                   std::vector<uint8_t>* edge_types) const {
+                                   std::vector<uint8_t>* edge_types,
+                                   uint64_t epoch) const {
   std::string raw;
-  XF_RETURN_IF_ERROR(GetWithRetry(AdjKey(node), &raw));
+  // Adjacency rows are immutable within a published epoch, so epoch-pinned
+  // reads may be served from (and fill) the shared per-epoch cache. Head
+  // rows mutate under writers — never cached.
+  const bool cacheable = adj_cache_ != nullptr && epoch != kHeadEpoch;
+  if (!cacheable || !adj_cache_->Lookup(epoch, node, &raw)) {
+    XF_RETURN_IF_ERROR(GetWithRetry(AdjKey(node), &raw, epoch));
+    if (cacheable) adj_cache_->Insert(epoch, node, raw);
+  }
   constexpr size_t kEntry = sizeof(int32_t) + sizeof(uint8_t);
   if (raw.size() % kEntry != 0) {
     return Status::Corruption("bad adjacency record size");
@@ -140,9 +151,9 @@ Status FeatureStore::ReadNeighbors(int32_t node,
 }
 
 Status FeatureStore::ReadNode(int32_t node, graph::NodeType* type,
-                              int8_t* label) const {
+                              int8_t* label, uint64_t epoch) const {
   std::string raw;
-  XF_RETURN_IF_ERROR(GetWithRetry(NodeKey(node), &raw));
+  XF_RETURN_IF_ERROR(GetWithRetry(NodeKey(node), &raw, epoch));
   size_t offset = 0;
   uint8_t type_byte = 0, has_features = 0;
   if (!ReadPod(raw, &offset, &type_byte) || !ReadPod(raw, &offset, label) ||
@@ -158,24 +169,24 @@ Status FeatureStore::ReadNode(int32_t node, graph::NodeType* type,
 }
 
 Result<graph::MiniBatch> FeatureStore::LoadBatch(
-    const std::vector<int32_t>& seeds, int hops, int fanout,
-    xfraud::Rng* rng) const {
-  return LoadBatchImpl(seeds, hops, fanout, rng, nullptr);
+    const std::vector<int32_t>& seeds, int hops, int fanout, xfraud::Rng* rng,
+    uint64_t epoch) const {
+  return LoadBatchImpl(seeds, hops, fanout, rng, epoch, nullptr);
 }
 
 Result<graph::MiniBatch> FeatureStore::LoadBatchDegraded(
     const std::vector<int32_t>& seeds, int hops, int fanout,
-    xfraud::Rng* rng, DegradedLoadStats* stats) const {
+    xfraud::Rng* rng, uint64_t epoch, DegradedLoadStats* stats) const {
   *stats = DegradedLoadStats{};
-  return LoadBatchImpl(seeds, hops, fanout, rng, stats);
+  return LoadBatchImpl(seeds, hops, fanout, rng, epoch, stats);
 }
 
 Result<graph::MiniBatch> FeatureStore::LoadBatchImpl(
     const std::vector<int32_t>& seeds, int hops, int fanout,
-    xfraud::Rng* rng, DegradedLoadStats* stats) const {
+    xfraud::Rng* rng, uint64_t epoch, DegradedLoadStats* stats) const {
   // Metadata must be readable — without the feature dim no batch shape
   // exists, degraded or not.
-  Result<int64_t> dim = FeatureDim();
+  Result<int64_t> dim = FeatureDim(epoch);
   if (!dim.ok()) return dim.status();
 
   graph::MiniBatch batch;
@@ -201,7 +212,7 @@ Result<graph::MiniBatch> FeatureStore::LoadBatchImpl(
     std::vector<int32_t> next;
     for (int32_t v : frontier) {
       XF_RETURN_IF_ERROR(CheckDeadline("feature_store/expand"));
-      Status ns = ReadNeighbors(v, &neighbors, &etypes);
+      Status ns = ReadNeighbors(v, &neighbors, &etypes, epoch);
       if (!ns.ok()) {
         if (stats == nullptr) return ns;
         // Degraded: the node stays in the batch, its neighborhood is
@@ -241,7 +252,7 @@ Result<graph::MiniBatch> FeatureStore::LoadBatchImpl(
     XF_RETURN_IF_ERROR(CheckDeadline("feature_store/materialize"));
     graph::NodeType type = graph::NodeType::kTxn;
     int8_t label = graph::kLabelUnknown;
-    Status node_status = ReadNode(global, &type, &label);
+    Status node_status = ReadNode(global, &type, &label, epoch);
     if (!node_status.ok()) {
       if (stats == nullptr) return node_status;
       // Degraded: impute the type (kTxn keeps the row flowing through the
@@ -252,7 +263,7 @@ Result<graph::MiniBatch> FeatureStore::LoadBatchImpl(
     batch.node_types[local] = static_cast<int32_t>(type);
 
     std::vector<float> feat;
-    Status fs = ReadFeatures(global, &feat);
+    Status fs = ReadFeatures(global, &feat, epoch);
     if (fs.ok()) {
       XF_CHECK_EQ(static_cast<int64_t>(feat.size()), dim.value());
       std::copy(feat.begin(), feat.end(),
@@ -263,7 +274,7 @@ Result<graph::MiniBatch> FeatureStore::LoadBatchImpl(
       ++stats->imputed_feature_rows;
     }
 
-    Status as = ReadNeighbors(global, &neighbors, &etypes);
+    Status as = ReadNeighbors(global, &neighbors, &etypes, epoch);
     if (!as.ok()) {
       if (stats == nullptr) return as;
       ++stats->failed_adjacency_reads;
@@ -287,7 +298,7 @@ Result<graph::MiniBatch> FeatureStore::LoadBatchImpl(
     // degraded mode — there is nothing meaningful to score.
     graph::NodeType type;
     int8_t label;
-    XF_RETURN_IF_ERROR(ReadNode(seed, &type, &label));
+    XF_RETURN_IF_ERROR(ReadNode(seed, &type, &label, epoch));
     batch.target_locals.push_back(sub.local_of.at(seed));
     batch.target_labels.push_back(label == graph::kLabelFraud ? 1 : 0);
   }

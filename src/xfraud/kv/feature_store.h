@@ -9,6 +9,7 @@
 #include "xfraud/graph/hetero_graph.h"
 #include "xfraud/graph/mini_batch.h"
 #include "xfraud/kv/kvstore.h"
+#include "xfraud/kv/snapshot.h"
 
 namespace xfraud::kv {
 
@@ -36,22 +37,36 @@ class FeatureStore {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Optional per-epoch adjacency cache shared with other readers of the
+  /// same backing store. Only epoch-pinned reads consult it — adjacency is
+  /// immutable within a published epoch, while the head mutates under
+  /// writers. Not thread-safe against concurrent reads — configure before
+  /// handing the store to loader threads. The cache must outlive this store.
+  void set_adjacency_cache(AdjacencyCache* cache) { adj_cache_ = cache; }
+
   /// Writes the whole graph into the store.
   Status Ingest(const graph::HeteroGraph& g);
 
+  /// Point reads take an optional pinned epoch (default: head). The epoch
+  /// is forwarded to the backing store's GetAt — a store without version
+  /// history fails loudly with FailedPrecondition rather than serving a
+  /// possibly mixed-epoch answer.
   /// Number of nodes recorded in the store's metadata.
-  Result<int64_t> NumNodes() const;
-  Result<int64_t> FeatureDim() const;
+  Result<int64_t> NumNodes(uint64_t epoch = kHeadEpoch) const;
+  Result<int64_t> FeatureDim(uint64_t epoch = kHeadEpoch) const;
 
   /// Reads one node's feature row (NotFound for entity nodes).
-  Status ReadFeatures(int32_t node, std::vector<float>* out) const;
+  Status ReadFeatures(int32_t node, std::vector<float>* out,
+                      uint64_t epoch = kHeadEpoch) const;
 
   /// Reads one node's in-neighbour list.
   Status ReadNeighbors(int32_t node, std::vector<int32_t>* neighbors,
-                       std::vector<uint8_t>* edge_types) const;
+                       std::vector<uint8_t>* edge_types,
+                       uint64_t epoch = kHeadEpoch) const;
 
   /// Node metadata.
-  Status ReadNode(int32_t node, graph::NodeType* type, int8_t* label) const;
+  Status ReadNode(int32_t node, graph::NodeType* type, int8_t* label,
+                  uint64_t epoch = kHeadEpoch) const;
 
   /// Materializes a model-ready batch for `seeds` by pure KV reads: BFS the
   /// k-hop neighbourhood (`hops`, fan-out capped at `fanout`) through "a"
@@ -62,9 +77,14 @@ class FeatureStore {
   /// materialization checks the remaining budget and fails fast with
   /// DeadlineExceeded once it is spent, so a dead request never keeps
   /// issuing KV reads.
+  ///
+  /// `epoch` is deliberately explicit (no default): a whole batch is read
+  /// at ONE epoch — kHeadEpoch for the frozen/offline path, or a pinned
+  /// published epoch for streaming reads — so rows from different epochs
+  /// can never be silently merged into one tensor.
   Result<graph::MiniBatch> LoadBatch(const std::vector<int32_t>& seeds,
-                                      int hops, int fanout,
-                                      xfraud::Rng* rng) const;
+                                      int hops, int fanout, xfraud::Rng* rng,
+                                      uint64_t epoch) const;
 
   /// What LoadBatchDegraded had to paper over (all zero on a clean load).
   struct DegradedLoadStats {
@@ -97,19 +117,21 @@ class FeatureStore {
   /// store, including the RNG stream.
   Result<graph::MiniBatch> LoadBatchDegraded(
       const std::vector<int32_t>& seeds, int hops, int fanout,
-      xfraud::Rng* rng, DegradedLoadStats* stats) const;
+      xfraud::Rng* rng, uint64_t epoch, DegradedLoadStats* stats) const;
 
  private:
   Result<graph::MiniBatch> LoadBatchImpl(const std::vector<int32_t>& seeds,
                                           int hops, int fanout,
-                                          xfraud::Rng* rng,
+                                          xfraud::Rng* rng, uint64_t epoch,
                                           DegradedLoadStats* stats) const;
-  /// All reads funnel through here: one KV Get under the retry policy, with
-  /// a deterministic per-key jitter stream.
-  Status GetWithRetry(const std::string& key, std::string* value) const;
+  /// All reads funnel through here: one KV Get (or epoch-pinned GetAt)
+  /// under the retry policy, with a deterministic per-key jitter stream.
+  Status GetWithRetry(const std::string& key, std::string* value,
+                      uint64_t epoch) const;
 
   KvStore* store_;
   RetryPolicy retry_;
+  AdjacencyCache* adj_cache_ = nullptr;
 };
 
 }  // namespace xfraud::kv

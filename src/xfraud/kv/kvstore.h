@@ -9,6 +9,11 @@
 
 namespace xfraud::kv {
 
+/// Sentinel epoch meaning "the latest published state plus any pending
+/// writes" — the pre-MVCC read semantics. Versioned reads pass a real epoch
+/// instead; unversioned stores only understand kHeadEpoch.
+inline constexpr uint64_t kHeadEpoch = ~0ULL;
+
 /// Key-value store interface backing the graph data loaders (paper §3.3.3 /
 /// Appendix C: all graph-related information — node features, adjacency —
 /// lives in a lightweight KV store so multiple loader threads can feed the
@@ -31,6 +36,28 @@ class KvStore {
   /// All live keys with the given prefix, in ascending byte order.
   virtual std::vector<std::string> KeysWithPrefix(
       std::string_view prefix) const = 0;
+
+  /// Epoch-pinned read: the value `key` had as of published epoch `epoch`.
+  /// kHeadEpoch means "latest" and is accepted everywhere. Stores without
+  /// version history (MemKvStore, plain decorators over them) refuse any
+  /// real epoch with FailedPrecondition — a loud failure instead of a
+  /// silently mixed-epoch result.
+  virtual Status GetAt(std::string_view key, uint64_t epoch,
+                       std::string* value) const {
+    if (epoch == kHeadEpoch) return Get(key, value);
+    return Status::FailedPrecondition(
+        "store is not versioned: cannot read at epoch " +
+        std::to_string(epoch));
+  }
+
+  /// Epoch-pinned prefix scan; same contract as GetAt. Unversioned stores
+  /// return an empty list for real epochs (scans cannot return Status, so
+  /// callers needing a hard failure should probe GetAt first).
+  virtual std::vector<std::string> KeysWithPrefixAt(std::string_view prefix,
+                                                    uint64_t epoch) const {
+    if (epoch == kHeadEpoch) return KeysWithPrefix(prefix);
+    return {};
+  }
 };
 
 }  // namespace xfraud::kv

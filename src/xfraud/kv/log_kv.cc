@@ -18,12 +18,20 @@ namespace {
 
 constexpr uint8_t kKindPut = 1;
 constexpr uint8_t kKindDelete = 2;
+constexpr uint8_t kKindEpoch = 3;  // commit marker: klen 0, value LE64 epoch
+constexpr uint8_t kKindFloor = 4;  // GC floor: klen 0, value LE64 epoch
 constexpr size_t kHeaderSize = 4 + 1 + 4 + 4;  // crc + kind + klen + vlen
 
 void EncodeU32(char* out, uint32_t v) { std::memcpy(out, &v, 4); }
 uint32_t DecodeU32(const char* in) {
   uint32_t v;
   std::memcpy(&v, in, 4);
+  return v;
+}
+void EncodeU64(char* out, uint64_t v) { std::memcpy(out, &v, 8); }
+uint64_t DecodeU64(const char* in) {
+  uint64_t v;
+  std::memcpy(&v, in, 8);
   return v;
 }
 
@@ -49,6 +57,10 @@ Result<std::unique_ptr<LogKvStore>> LogKvStore::Open(const std::string& path) {
     return Status::IoError("fstat failed on " + path);
   }
   store->file_size_ = st.st_size;
+  // No lock needed: the store is not shared until Open returns. Note that
+  // replay keeps any uncommitted pending-epoch tail — rolling it back is an
+  // explicit policy decision (DiscardPending, e.g. on ingestor reattach),
+  // never something Open does silently.
   Status s = store->ReplayLog();
   if (!s.ok()) return s;
   return store;
@@ -80,8 +92,10 @@ Status LogKvStore::RemapForRead() const {
 }
 
 Status LogKvStore::ReplayLog() {
-  std::unique_lock lock(mu_);
   index_.clear();
+  published_ = 0;
+  published_end_ = 0;
+  floor_ = 0;
   XF_RETURN_IF_ERROR(RemapForRead());
   int64_t offset = 0;
   int64_t valid_end = 0;
@@ -96,12 +110,22 @@ Status LogKvStore::ReplayLog() {
     uint32_t actual = Crc32(rec + 4, kHeaderSize - 4 + klen + vlen);
     if (actual != crc) break;  // corrupt tail: stop replay (crash safety)
     std::string key(rec + kHeaderSize, klen);
+    const int64_t value_offset =
+        offset + static_cast<int64_t>(kHeaderSize) + klen;
     if (kind == kKindPut) {
-      index_[key] = IndexEntry{offset + static_cast<int64_t>(kHeaderSize) +
-                                   klen,
-                               vlen};
+      UpsertPending(key, Version{published_ + 1, value_offset, vlen});
     } else if (kind == kKindDelete) {
-      index_.erase(key);
+      UpsertPending(key, Version{published_ + 1, -1, 0});
+    } else if (kind == kKindEpoch) {
+      // A marker commits exactly the next epoch; anything else means the
+      // log was torn or tampered with — stop replay there.
+      if (klen != 0 || vlen != 8) break;
+      if (DecodeU64(rec + kHeaderSize) != published_ + 1) break;
+      ++published_;
+      published_end_ = offset + total;
+    } else if (kind == kKindFloor) {
+      if (klen != 0 || vlen != 8) break;
+      floor_ = DecodeU64(rec + kHeaderSize);
     } else {
       break;  // unknown record kind: treat as corruption
     }
@@ -117,6 +141,33 @@ Status LogKvStore::ReplayLog() {
     XF_RETURN_IF_ERROR(RemapForRead());
   }
   return Status::OK();
+}
+
+void LogKvStore::UpsertPending(const std::string& key, Version v) {
+  std::vector<Version>& chain = index_[key];
+  if (!chain.empty() && chain.back().epoch == v.epoch) {
+    chain.back() = v;  // rewrite within the open epoch replaces in place
+  } else {
+    chain.push_back(v);
+  }
+}
+
+bool LogKvStore::VisibleAt(const Version& v, uint64_t epoch) const {
+  if (v.epoch > epoch) return false;
+  return ttl_epochs_ == 0 || epoch - v.epoch < ttl_epochs_;
+}
+
+const LogKvStore::Version* LogKvStore::ResolveAt(
+    const std::vector<Version>& chain, uint64_t epoch) const {
+  // Latest version at or below the read epoch wins; if it is a tombstone
+  // or TTL-expired the key is absent at that epoch (older versions are
+  // shadowed, never resurrected).
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->epoch > epoch) continue;
+    if (it->tombstone() || !VisibleAt(*it, epoch)) return nullptr;
+    return &*it;
+  }
+  return nullptr;
 }
 
 Status LogKvStore::AppendRecord(uint8_t kind, std::string_view key,
@@ -150,8 +201,9 @@ Status LogKvStore::Put(std::string_view key, std::string_view value) {
   int64_t value_offset = file_size_ + static_cast<int64_t>(kHeaderSize) +
                          static_cast<int64_t>(key.size());
   XF_RETURN_IF_ERROR(AppendRecord(kKindPut, key, value));
-  index_[std::string(key)] =
-      IndexEntry{value_offset, static_cast<uint32_t>(value.size())};
+  UpsertPending(std::string(key),
+                Version{head_epoch_locked(), value_offset,
+                        static_cast<uint32_t>(value.size())});
   XF_RETURN_IF_ERROR(RemapForRead());
   metrics.put_ops->Increment();
   metrics.bytes_written->Add(
@@ -163,31 +215,72 @@ Status LogKvStore::Get(std::string_view key, std::string* value) const {
   const KvMetrics& metrics = KvMetrics::Get();
   std::shared_lock lock(mu_);
   auto it = index_.find(std::string(key));
-  if (it == index_.end()) {
+  const Version* v = it == index_.end()
+                         ? nullptr
+                         : ResolveAt(it->second, head_epoch_locked());
+  if (v == nullptr) {
     metrics.get_misses->Increment();
     return Status::NotFound("key: " + std::string(key));
   }
-  const IndexEntry& entry = it->second;
-  XF_CHECK_LE(entry.value_offset + entry.value_size, map_size_);
-  value->assign(map_base_ + entry.value_offset, entry.value_size);
+  XF_CHECK_LE(v->value_offset + v->value_size, map_size_);
+  value->assign(map_base_ + v->value_offset, v->value_size);
   metrics.get_hits->Increment();
-  metrics.bytes_read->Add(static_cast<int64_t>(entry.value_size));
+  metrics.bytes_read->Add(static_cast<int64_t>(v->value_size));
+  return Status::OK();
+}
+
+Status LogKvStore::GetAt(std::string_view key, uint64_t epoch,
+                         std::string* value) const {
+  if (epoch == kHeadEpoch) return Get(key, value);
+  const KvMetrics& metrics = KvMetrics::Get();
+  std::shared_lock lock(mu_);
+  if (epoch == 0 || epoch > published_) {
+    return Status::FailedPrecondition(
+        "epoch " + std::to_string(epoch) + " is not published (head is " +
+        std::to_string(published_) + ")");
+  }
+  if (epoch < earliest_locked()) {
+    return Status::FailedPrecondition(
+        "epoch " + std::to_string(epoch) + " was compacted away (floor " +
+        std::to_string(earliest_locked()) + ")");
+  }
+  auto it = index_.find(std::string(key));
+  const Version* v =
+      it == index_.end() ? nullptr : ResolveAt(it->second, epoch);
+  if (v == nullptr) {
+    metrics.get_misses->Increment();
+    return Status::NotFound("key: " + std::string(key) + " at epoch " +
+                            std::to_string(epoch));
+  }
+  XF_CHECK_LE(v->value_offset + v->value_size, map_size_);
+  value->assign(map_base_ + v->value_offset, v->value_size);
+  metrics.get_hits->Increment();
+  metrics.bytes_read->Add(static_cast<int64_t>(v->value_size));
   return Status::OK();
 }
 
 Status LogKvStore::Delete(std::string_view key) {
   std::unique_lock lock(mu_);
   auto it = index_.find(std::string(key));
-  if (it == index_.end()) return Status::OK();  // idempotent
+  if (it == index_.end() ||
+      ResolveAt(it->second, head_epoch_locked()) == nullptr) {
+    return Status::OK();  // idempotent: nothing visible to delete
+  }
   XF_RETURN_IF_ERROR(AppendRecord(kKindDelete, key, ""));
-  index_.erase(it);
+  UpsertPending(std::string(key), Version{head_epoch_locked(), -1, 0});
   XF_RETURN_IF_ERROR(RemapForRead());
   return Status::OK();
 }
 
 int64_t LogKvStore::Count() const {
   std::shared_lock lock(mu_);
-  return static_cast<int64_t>(index_.size());
+  int64_t live = 0;
+  // Order-insensitive hash-map walk: counting only.
+  // xfraud-analyze: allow(unordered-iter)
+  for (const auto& [key, chain] : index_) {
+    if (ResolveAt(chain, head_epoch_locked()) != nullptr) ++live;
+  }
+  return live;
 }
 
 std::vector<std::string> LogKvStore::KeysWithPrefix(
@@ -197,14 +290,113 @@ std::vector<std::string> LogKvStore::KeysWithPrefix(
   // Order-insensitive hash-map walk: the matches are sorted below, so the
   // iteration order never reaches the caller.
   // xfraud-analyze: allow(unordered-iter)
-  for (const auto& [key, entry] : index_) {
+  for (const auto& [key, chain] : index_) {
     if (key.size() >= prefix.size() &&
-        std::string_view(key).substr(0, prefix.size()) == prefix) {
+        std::string_view(key).substr(0, prefix.size()) == prefix &&
+        ResolveAt(chain, head_epoch_locked()) != nullptr) {
       out.push_back(key);
     }
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::string> LogKvStore::KeysWithPrefixAt(std::string_view prefix,
+                                                      uint64_t epoch) const {
+  if (epoch == kHeadEpoch) return KeysWithPrefix(prefix);
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  if (epoch == 0 || epoch > published_ || epoch < earliest_locked()) {
+    return out;  // unreadable epoch: callers probe GetAt for the Status
+  }
+  // Order-insensitive hash-map walk, sorted below.
+  // xfraud-analyze: allow(unordered-iter)
+  for (const auto& [key, chain] : index_) {
+    if (key.size() >= prefix.size() &&
+        std::string_view(key).substr(0, prefix.size()) == prefix &&
+        ResolveAt(chain, epoch) != nullptr) {
+      out.push_back(key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<uint64_t> LogKvStore::PublishEpoch() {
+  std::unique_lock lock(mu_);
+  const uint64_t next = published_ + 1;
+  char buf[8];
+  EncodeU64(buf, next);
+  XF_RETURN_IF_ERROR(AppendRecord(kKindEpoch, "", std::string_view(buf, 8)));
+  // The marker + fsync IS the commit: before this returns OK the epoch does
+  // not exist (replay stops at the previous marker); after it returns OK
+  // the epoch can never be lost to a crash.
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync failed on " + path_);
+  }
+  published_ = next;
+  published_end_ = file_size_;
+  XF_RETURN_IF_ERROR(RemapForRead());
+  return next;
+}
+
+uint64_t LogKvStore::published_epoch() const {
+  std::shared_lock lock(mu_);
+  return published_;
+}
+
+Status LogKvStore::PinEpoch(uint64_t epoch) {
+  std::unique_lock lock(mu_);
+  if (epoch == 0 || epoch == kHeadEpoch) {
+    return Status::InvalidArgument("cannot pin epoch " +
+                                   std::to_string(epoch));
+  }
+  if (epoch > published_) {
+    return Status::FailedPrecondition(
+        "cannot pin unpublished epoch " + std::to_string(epoch) +
+        " (published " + std::to_string(published_) + ")");
+  }
+  if (epoch < earliest_locked()) {
+    return Status::FailedPrecondition(
+        "epoch " + std::to_string(epoch) + " was compacted away (floor " +
+        std::to_string(earliest_locked()) + ")");
+  }
+  ++pins_[epoch];
+  return Status::OK();
+}
+
+void LogKvStore::UnpinEpoch(uint64_t epoch) {
+  std::unique_lock lock(mu_);
+  auto it = pins_.find(epoch);
+  XF_CHECK(it != pins_.end()) << "unpin of never-pinned epoch " << epoch;
+  if (--it->second == 0) pins_.erase(it);
+}
+
+Status LogKvStore::DiscardPending() {
+  std::unique_lock lock(mu_);
+  if (file_size_ == published_end_) return Status::OK();
+  if (::ftruncate(fd_, published_end_) != 0) {
+    return Status::IoError("ftruncate failed on " + path_);
+  }
+  file_size_ = published_end_;
+  // Rebuild the index from the truncated log: cheap relative to how rarely
+  // an ingestor reattaches, and obviously equivalent to a crash + reopen.
+  return ReplayLog();
+}
+
+void LogKvStore::SetTtlEpochs(uint64_t ttl) {
+  std::unique_lock lock(mu_);
+  ttl_epochs_ = ttl;
+}
+
+uint64_t LogKvStore::earliest_epoch() const {
+  std::shared_lock lock(mu_);
+  return earliest_locked();
+}
+
+void LogKvStore::SetCompactionHook(std::function<void(int)> hook) {
+  std::unique_lock lock(mu_);
+  compaction_hook_ = std::move(hook);
 }
 
 Result<int64_t> LogKvStore::Compact() {
@@ -213,54 +405,132 @@ Result<int64_t> LogKvStore::Compact() {
   int tmp_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (tmp_fd < 0) return Status::IoError("cannot open " + tmp_path);
 
+  // GC floor: nothing at or below it is pinned except the floor itself, so
+  // per key only the latest floor-visible version survives from below; every
+  // version above the floor (including the uncommitted pending tail) is
+  // preserved verbatim.
+  uint64_t floor = published_;
+  if (!pins_.empty()) floor = std::min(floor, pins_.begin()->first);
+
+  struct Slot {
+    std::string_view key;
+    const Version* v;
+  };
+  // One bucket per epoch segment 1..published_+1 (index 0 unused): kept
+  // versions are rewritten into their ORIGINAL epoch segment, between the
+  // preserved commit markers, so every readable epoch — and the TTL
+  // arithmetic that depends on write epochs — is bit-identical across
+  // compaction.
+  std::vector<std::vector<Slot>> segments(published_ + 2);
+  // The collection loop itself is order-insensitive (each segment is sorted
+  // by key below, making the image a pure function of retained state).
+  // xfraud-analyze: allow(unordered-iter)
+  for (const auto& [key, chain] : index_) {
+    const Version* below = nullptr;  // latest version at or below the floor
+    std::vector<const Version*> retained;
+    for (const Version& v : chain) {
+      if (v.epoch <= floor) {
+        below = &v;
+      } else {
+        retained.push_back(&v);
+      }
+    }
+    if (below != nullptr && !below->tombstone() && VisibleAt(*below, floor)) {
+      retained.insert(retained.begin(), below);
+    }
+    // Leading tombstones shadow nothing retained — drop them (this is what
+    // reclaims deleted keys once no pin can see their values).
+    size_t start = 0;
+    while (start < retained.size() && retained[start]->tombstone()) ++start;
+    for (size_t i = start; i < retained.size(); ++i) {
+      segments[retained[i]->epoch].push_back(Slot{key, retained[i]});
+    }
+  }
+
   int64_t old_size = file_size_;
   int64_t new_size = 0;
-  std::unordered_map<std::string, IndexEntry> new_index;
-  // Compact in ascending key order, not hash order: the compacted image's
-  // byte layout becomes a pure function of the live contents, so two
-  // stores holding the same state — e.g. a replica pair, or the same run
-  // replayed on a different stdlib — emit byte-identical logs. The
-  // collection loop itself is order-insensitive (sorted below).
-  std::vector<std::pair<std::string_view, const IndexEntry*>> live;
-  live.reserve(index_.size());
-  // xfraud-analyze: allow(unordered-iter)
-  for (const auto& [key, entry] : index_) live.emplace_back(key, &entry);
-  std::sort(live.begin(), live.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [key, entry_ptr] : live) {
-    const IndexEntry& entry = *entry_ptr;
-    size_t total = kHeaderSize + key.size() + entry.value_size;
+  int64_t new_published_end = 0;
+  std::unordered_map<std::string, std::vector<Version>> new_index;
+
+  auto write_record = [&](uint8_t kind, std::string_view key,
+                          std::string_view value) -> Status {
+    size_t total = kHeaderSize + key.size() + value.size();
     std::string buf(total, '\0');
-    buf[4] = static_cast<char>(kKindPut);
+    buf[4] = static_cast<char>(kind);
     EncodeU32(buf.data() + 5, static_cast<uint32_t>(key.size()));
-    EncodeU32(buf.data() + 9, entry.value_size);
+    EncodeU32(buf.data() + 9, static_cast<uint32_t>(value.size()));
     std::memcpy(buf.data() + kHeaderSize, key.data(), key.size());
-    std::memcpy(buf.data() + kHeaderSize + key.size(),
-                map_base_ + entry.value_offset, entry.value_size);
+    std::memcpy(buf.data() + kHeaderSize + key.size(), value.data(),
+                value.size());
     EncodeU32(buf.data(), Crc32(buf.data() + 4, total - 4));
     if (::pwrite(tmp_fd, buf.data(), total, new_size) !=
         static_cast<ssize_t>(total)) {
-      ::close(tmp_fd);
       return Status::IoError("short write on " + tmp_path);
     }
-    new_index[std::string(key)] =
-        IndexEntry{new_size + static_cast<int64_t>(kHeaderSize) +
-                       static_cast<int64_t>(key.size()),
-                   entry.value_size};
     new_size += static_cast<int64_t>(total);
+    return Status::OK();
+  };
+  auto fail = [&](Status s) -> Result<int64_t> {
+    ::close(tmp_fd);
+    return s;
+  };
+
+  // A floor above 1 must survive reopen (readers below it would otherwise
+  // see a silently collapsed history); at or below 1 no record is written,
+  // which keeps never-pinned single-epoch stores' images byte-identical to
+  // the pre-MVCC layout.
+  if (floor > 1) {
+    char buf[8];
+    EncodeU64(buf, floor);
+    Status s = write_record(kKindFloor, "", std::string_view(buf, 8));
+    if (!s.ok()) return fail(std::move(s));
+  }
+  for (uint64_t e = 1; e <= published_ + 1; ++e) {
+    std::vector<Slot>& seg = segments[e];
+    std::sort(seg.begin(), seg.end(), [](const Slot& a, const Slot& b) {
+      return a.key < b.key;
+    });
+    for (const Slot& slot : seg) {
+      if (slot.v->tombstone()) {
+        Status s = write_record(kKindDelete, slot.key, "");
+        if (!s.ok()) return fail(std::move(s));
+        new_index[std::string(slot.key)].push_back(Version{e, -1, 0});
+      } else {
+        int64_t value_offset = new_size + static_cast<int64_t>(kHeaderSize) +
+                               static_cast<int64_t>(slot.key.size());
+        Status s = write_record(
+            kKindPut, slot.key,
+            std::string_view(map_base_ + slot.v->value_offset,
+                             slot.v->value_size));
+        if (!s.ok()) return fail(std::move(s));
+        new_index[std::string(slot.key)].push_back(
+            Version{e, value_offset, slot.v->value_size});
+      }
+    }
+    // Commit markers for every published epoch are preserved (replay
+    // validates consecutive numbering); the pending segment, if any, stays
+    // uncommitted — no trailing marker.
+    if (e <= published_) {
+      char buf[8];
+      EncodeU64(buf, e);
+      Status s = write_record(kKindEpoch, "", std::string_view(buf, 8));
+      if (!s.ok()) return fail(std::move(s));
+      new_published_end = new_size;
+    }
   }
 
+  if (compaction_hook_) compaction_hook_(0);
   // Make the compacted image durable before the rename publishes it; a
   // crash between rename and a later fsync could otherwise surface a
   // zero-length "compacted" log.
   if (::fsync(tmp_fd) != 0) {
-    ::close(tmp_fd);
-    return Status::IoError("fsync failed on " + tmp_path);
+    return fail(Status::IoError("fsync failed on " + tmp_path));
   }
+  if (compaction_hook_) compaction_hook_(1);
   if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-    ::close(tmp_fd);
-    return Status::IoError("rename failed for " + tmp_path);
+    return fail(Status::IoError("rename failed for " + tmp_path));
   }
+  if (compaction_hook_) compaction_hook_(2);
   if (map_base_ != nullptr) {
     ::munmap(const_cast<char*>(map_base_), map_size_);
     map_base_ = nullptr;
@@ -269,6 +539,8 @@ Result<int64_t> LogKvStore::Compact() {
   ::close(fd_);
   fd_ = tmp_fd;
   file_size_ = new_size;
+  published_end_ = new_published_end;
+  if (floor > 1) floor_ = floor;
   index_ = std::move(new_index);
   XF_RETURN_IF_ERROR(RemapForRead());
   return old_size - new_size;

@@ -1,6 +1,8 @@
 #ifndef XFRAUD_KV_LOG_KV_H_
 #define XFRAUD_KV_LOG_KV_H_
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -9,23 +11,39 @@
 #include <vector>
 
 #include "xfraud/kv/kvstore.h"
+#include "xfraud/kv/snapshot.h"
 
 namespace xfraud::kv {
 
 /// A persistent, log-structured KV store — the reproduction's LMDB stand-in
-/// (paper §3.3.3). Writes append CRC-protected records to a segment file;
-/// an in-memory index maps live keys to their latest record. Reads go
-/// through a read-only mmap of the segment, so — like LMDB — concurrent
-/// readers touch shared, immutable pages and scale with threads (the
-/// property Figure 13's multi-threaded loader exploits).
+/// (paper §3.3.3), now with MVCC epochs (DESIGN.md §15). Writes append
+/// CRC-protected records to a segment file; an in-memory index maps each key
+/// to its version chain. Reads go through a read-only mmap of the segment,
+/// so — like LMDB — concurrent readers touch shared, immutable pages and
+/// scale with threads (the property Figure 13's multi-threaded loader
+/// exploits).
 ///
 /// Record layout (little endian):
-///   u32 crc (over the rest) | u8 kind (1=put, 2=del) | u32 klen | u32 vlen
+///   u32 crc (over the rest) | u8 kind | u32 klen | u32 vlen
 ///   | key bytes | value bytes
+/// Kinds: 1=put, 2=delete, 3=epoch-commit marker (klen 0, value = LE64
+/// epoch number, which replay validates against the marker count — a marker
+/// can never be half-believed), 4=GC floor (klen 0, value = LE64 floor
+/// epoch; written only by Compact, only when the floor exceeds 1).
 ///
-/// Open() replays the log and stops at the first corrupt/truncated record
-/// (crash-safe append semantics). Compact() rewrites live records only.
-class LogKvStore : public KvStore {
+/// Epoch model: writes land in the *pending* epoch (published + 1), durable
+/// in the WAL immediately but committed only by PublishEpoch (marker +
+/// fsync). Head reads (Get/KeysWithPrefix/Count) see published + pending;
+/// GetAt/KeysWithPrefixAt see exactly one published epoch. PinEpoch holds
+/// an epoch against TTL expiry and compaction; DiscardPending rolls the
+/// uncommitted tail back (crash-recovery on ingestor reattach).
+///
+/// Open() replays the log and stops at the first corrupt/truncated record,
+/// truncating the torn tail (crash-safe append semantics). Compact()
+/// garbage-collects versions below the GC floor = min(pins, published),
+/// preserving each surviving version in its original epoch segment so every
+/// readable epoch is bit-identical across compaction.
+class LogKvStore : public KvStore, public EpochSource {
  public:
   /// Opens (creating if needed) the store backed by `path`.
   static Result<std::unique_ptr<LogKvStore>> Open(const std::string& path);
@@ -41,32 +59,85 @@ class LogKvStore : public KvStore {
   int64_t Count() const override;
   std::vector<std::string> KeysWithPrefix(
       std::string_view prefix) const override;
+  Status GetAt(std::string_view key, uint64_t epoch,
+               std::string* value) const override;
+  std::vector<std::string> KeysWithPrefixAt(std::string_view prefix,
+                                            uint64_t epoch) const override;
 
-  /// Rewrites the segment with live records only; returns bytes reclaimed.
-  Result<int64_t> Compact();
+  // EpochSource:
+  Result<uint64_t> PublishEpoch() override;
+  uint64_t published_epoch() const override;
+  Status PinEpoch(uint64_t epoch) override;
+  void UnpinEpoch(uint64_t epoch) override;
+  Status DiscardPending() override;
+
+  /// Garbage-collects versions below the GC floor and rewrites the segment;
+  /// returns bytes reclaimed. Crash-safe: the new image is fsynced before an
+  /// atomic rename publishes it, so SIGKILL at any instant leaves either the
+  /// old or the new image — never a half-published epoch.
+  Result<int64_t> Compact() override;
+
+  /// Read-time TTL in epochs (0 = keep forever). A version written at epoch
+  /// e is visible at read epoch E iff E - e < ttl; head reads use
+  /// E = published + 1 (the open epoch). Purely a visibility rule — expiry
+  /// is monotone in E, so compaction can reclaim expired versions without
+  /// coordinating with readers beyond the pin floor.
+  void SetTtlEpochs(uint64_t ttl);
+
+  /// Earliest epoch still readable (compaction floor; 1 on a fresh log).
+  uint64_t earliest_epoch() const;
 
   /// Current segment size in bytes (live + garbage).
   int64_t FileSize() const;
 
+  /// Test hook: called inside Compact at phase 0 (image written, not yet
+  /// fsynced), 1 (fsynced, not yet renamed), 2 (renamed). The SIGKILL
+  /// crash-window tests park a self-kill here.
+  void SetCompactionHook(std::function<void(int)> hook);
+
  private:
   explicit LogKvStore(std::string path);
+
+  /// One entry in a key's version chain, ascending by epoch, at most one
+  /// per (key, epoch) — a rewrite within the open epoch replaces in place,
+  /// which keeps single-epoch (legacy) stores compacting exactly as before.
+  struct Version {
+    uint64_t epoch;
+    int64_t value_offset;  // offset of the value bytes; -1 = tombstone
+    uint32_t value_size;
+    bool tombstone() const { return value_offset < 0; }
+  };
 
   Status ReplayLog();
   Status AppendRecord(uint8_t kind, std::string_view key,
                       std::string_view value);
   Status RemapForRead() const;
-
-  struct IndexEntry {
-    int64_t value_offset;  // offset of the value bytes in the file
-    uint32_t value_size;
-  };
+  /// Records `v` as the pending-epoch version of `key` (replace-in-place
+  /// within the open epoch).
+  void UpsertPending(const std::string& key, Version v);
+  /// TTL + epoch-order visibility of one version at read epoch `epoch`.
+  bool VisibleAt(const Version& v, uint64_t epoch) const;
+  /// Latest version of `chain` visible at `epoch`; nullptr if none (or the
+  /// winner is a tombstone / TTL-expired).
+  const Version* ResolveAt(const std::vector<Version>& chain,
+                           uint64_t epoch) const;
+  uint64_t head_epoch_locked() const { return published_ + 1; }
+  uint64_t earliest_locked() const { return floor_ == 0 ? 1 : floor_; }
 
   std::string path_;
   int fd_ = -1;
   int64_t file_size_ = 0;
 
   mutable std::shared_mutex mu_;  // index guard: shared Get, exclusive Put
-  std::unordered_map<std::string, IndexEntry> index_;
+  std::unordered_map<std::string, std::vector<Version>> index_;
+
+  uint64_t published_ = 0;      // committed epochs (= markers in the log)
+  int64_t published_end_ = 0;   // file offset just past the last marker
+  uint64_t floor_ = 0;          // GC floor from a kind-4 record (0 = none)
+  uint64_t ttl_epochs_ = 0;     // 0 = no expiry
+  std::map<uint64_t, int> pins_;  // epoch -> live pin count
+
+  std::function<void(int)> compaction_hook_;
 
   // Read-only mapping of the segment; remapped when the file grows.
   mutable const char* map_base_ = nullptr;

@@ -151,16 +151,32 @@ void ReplicatedKvStore::RecordOutcome(size_t r, bool healthy) const {
 }
 
 Status ReplicatedKvStore::GetOnce(size_t r, std::string_view key,
-                                  std::string* value,
+                                  uint64_t epoch, std::string* value,
                                   double* latency_s) const {
   const double start_s = clock_->NowSeconds();
-  Status s = replicas_[r]->Get(key, value);
+  Status s = epoch == kHeadEpoch ? replicas_[r]->Get(key, value)
+                                 : replicas_[r]->GetAt(key, epoch, value);
   *latency_s = clock_->NowSeconds() - start_s;
   return s;
 }
 
 Status ReplicatedKvStore::Get(std::string_view key,
                               std::string* value) const {
+  return GetImpl(key, kHeadEpoch, value);
+}
+
+Status ReplicatedKvStore::GetAt(std::string_view key, uint64_t epoch,
+                                std::string* value) const {
+  return GetImpl(key, epoch, value);
+}
+
+std::vector<std::string> ReplicatedKvStore::KeysWithPrefixAt(
+    std::string_view prefix, uint64_t epoch) const {
+  return replicas_[0]->KeysWithPrefixAt(prefix, epoch);
+}
+
+Status ReplicatedKvStore::GetImpl(std::string_view key, uint64_t epoch,
+                                  std::string* value) const {
   reads_->Increment();
   const Deadline* deadline = DeadlineScope::Current();
   const size_t n = replicas_.size();
@@ -179,8 +195,11 @@ Status ReplicatedKvStore::Get(std::string_view key,
     any_attempt = true;
     std::string tmp;
     double latency = 0.0;
-    Status s = GetOnce(r, key, &tmp, &latency);
-    const bool healthy = s.ok() || s.IsNotFound();
+    Status s = GetOnce(r, key, epoch, &tmp, &latency);
+    // NotFound and FailedPrecondition are authoritative answers (replicas
+    // hold identical histories): healthy for the breaker, no failover.
+    const bool healthy =
+        s.ok() || s.IsNotFound() || s.IsFailedPrecondition();
     RecordOutcome(r, healthy);
     if (!healthy) {
       last = std::move(s);
@@ -198,7 +217,7 @@ Status ReplicatedKvStore::Get(std::string_view key,
         hedged_reads_->Increment();
         std::string hedge_tmp;
         double hedge_latency = 0.0;
-        Status hs = GetOnce(h, key, &hedge_tmp, &hedge_latency);
+        Status hs = GetOnce(h, key, epoch, &hedge_tmp, &hedge_latency);
         const bool hedge_healthy = hs.ok() || hs.IsNotFound();
         RecordOutcome(h, hedge_healthy);
         const double hedged_total = options_.hedge_delay_s + hedge_latency;

@@ -110,6 +110,16 @@ class ReplicatedKvStore : public KvStore {
   std::vector<std::string> KeysWithPrefix(
       std::string_view prefix) const override;
 
+  /// Epoch-pinned read with the full failover/breaker/hedge machinery; the
+  /// epoch is forwarded to whichever replica serves the attempt. Like
+  /// NotFound, a FailedPrecondition ("epoch not readable here") is an
+  /// authoritative answer — replicas hold identical histories, so it does
+  /// not fail over.
+  Status GetAt(std::string_view key, uint64_t epoch,
+               std::string* value) const override;
+  std::vector<std::string> KeysWithPrefixAt(std::string_view prefix,
+                                            uint64_t epoch) const override;
+
   size_t num_replicas() const { return replicas_.size(); }
   BreakerState breaker_state(size_t replica) const;
 
@@ -130,8 +140,10 @@ class ReplicatedKvStore : public KvStore {
   /// open breaker to half-open (the caller becomes the probe).
   bool AdmitRead(size_t r) const;
   void RecordOutcome(size_t r, bool healthy) const;
-  Status GetOnce(size_t r, std::string_view key, std::string* value,
-                 double* latency_s) const;
+  Status GetOnce(size_t r, std::string_view key, uint64_t epoch,
+                 std::string* value, double* latency_s) const;
+  Status GetImpl(std::string_view key, uint64_t epoch,
+                 std::string* value) const;
 
   std::vector<std::unique_ptr<KvStore>> owned_;
   std::vector<KvStore*> replicas_;

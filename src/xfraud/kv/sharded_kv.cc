@@ -79,6 +79,46 @@ Status ShardedKvStore::Get(std::string_view key, std::string* value) const {
   return s;
 }
 
+Status ShardedKvStore::GetAt(std::string_view key, uint64_t epoch,
+                             std::string* value) const {
+  if (epoch == kHeadEpoch) return Get(key, value);
+  size_t shard = ShardOf(key);
+  auto read = [&] {
+    if (!retry_.enabled()) return shards_[shard]->GetAt(key, epoch, value);
+    uint64_t jitter_seed =
+        Rng::StreamSeed(0x53484152ULL, std::hash<std::string_view>{}(key));
+    return RetryWithBackoff(retry_, jitter_seed, [&] {
+      return shards_[shard]->GetAt(key, epoch, value);
+    });
+  };
+  if (!obs::IsEnabled()) return read();
+  WallTimer timer;
+  Status s = read();
+  shard_get_s_[shard]->Record(timer.ElapsedSeconds());
+  return s;
+}
+
+std::vector<std::string> ShardedKvStore::KeysWithPrefixAt(
+    std::string_view prefix, uint64_t epoch) const {
+  if (epoch == kHeadEpoch) return KeysWithPrefix(prefix);
+  // Same shard-layout-independent merge as the head scan; every shard is
+  // asked for the SAME epoch, so the merged listing is a single-epoch view.
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::vector<std::string> keys = shard->KeysWithPrefixAt(prefix, epoch);
+    std::sort(keys.begin(), keys.end());  // defensive: contract says sorted
+    std::vector<std::string> merged;
+    merged.reserve(out.size() + keys.size());
+    std::merge(std::make_move_iterator(out.begin()),
+               std::make_move_iterator(out.end()),
+               std::make_move_iterator(keys.begin()),
+               std::make_move_iterator(keys.end()),
+               std::back_inserter(merged));
+    out = std::move(merged);
+  }
+  return out;
+}
+
 Status ShardedKvStore::Delete(std::string_view key) {
   return shards_[ShardOf(key)]->Delete(key);
 }

@@ -34,6 +34,14 @@ class ShardedKvStore : public KvStore {
   int64_t Count() const override;
   std::vector<std::string> KeysWithPrefix(
       std::string_view prefix) const override;
+  /// Epoch-pinned reads route to the same shard and retry policy as their
+  /// head counterparts; the epoch travels to the shard backend verbatim, so
+  /// a scan can never silently merge rows from different epochs — shards
+  /// that can't serve the epoch fail loudly instead.
+  Status GetAt(std::string_view key, uint64_t epoch,
+               std::string* value) const override;
+  std::vector<std::string> KeysWithPrefixAt(std::string_view prefix,
+                                            uint64_t epoch) const override;
 
   size_t num_shards() const { return shards_.size(); }
 

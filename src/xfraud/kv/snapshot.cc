@@ -1,0 +1,79 @@
+#include "xfraud/kv/snapshot.h"
+
+#include "xfraud/obs/registry.h"
+
+namespace xfraud::kv {
+
+namespace {
+
+struct SnapshotMetrics {
+  obs::Counter* pins;
+  obs::Counter* adj_cache_hits;
+  obs::Counter* adj_cache_misses;
+
+  static const SnapshotMetrics& Get() {
+    static const SnapshotMetrics m = [] {
+      auto& r = obs::Registry::Global();
+      return SnapshotMetrics{r.counter("kv/snapshot/pins"),
+                             r.counter("kv/snapshot/adj_cache_hits"),
+                             r.counter("kv/snapshot/adj_cache_misses")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+Result<SnapshotHandle> SnapshotHandle::Pin(EpochSource* source,
+                                           uint64_t epoch) {
+  XF_RETURN_IF_ERROR(source->PinEpoch(epoch));
+  SnapshotMetrics::Get().pins->Increment();
+  return SnapshotHandle(source, epoch);
+}
+
+Result<SnapshotHandle> SnapshotHandle::PinLatest(EpochSource* source) {
+  const uint64_t epoch = source->published_epoch();
+  if (epoch == 0) {
+    return Status::FailedPrecondition("no epoch has been published yet");
+  }
+  return Pin(source, epoch);
+}
+
+bool AdjacencyCache::Lookup(uint64_t epoch, int64_t node,
+                            std::string* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto eit = epochs_.find(epoch);
+  if (eit == epochs_.end()) {
+    SnapshotMetrics::Get().adj_cache_misses->Increment();
+    return false;
+  }
+  auto nit = eit->second.find(node);
+  if (nit == eit->second.end()) {
+    SnapshotMetrics::Get().adj_cache_misses->Increment();
+    return false;
+  }
+  *value = nit->second;
+  SnapshotMetrics::Get().adj_cache_hits->Increment();
+  return true;
+}
+
+void AdjacencyCache::Insert(uint64_t epoch, int64_t node, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epochs_[epoch][node] = std::move(value);
+}
+
+void AdjacencyCache::EvictEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epochs_.erase(epoch);
+}
+
+int64_t AdjacencyCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [epoch, nodes] : epochs_) {
+    total += static_cast<int64_t>(nodes.size());
+  }
+  return total;
+}
+
+}  // namespace xfraud::kv

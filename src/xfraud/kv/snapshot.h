@@ -1,0 +1,131 @@
+#ifndef XFRAUD_KV_SNAPSHOT_H_
+#define XFRAUD_KV_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xfraud/common/status.h"
+#include "xfraud/kv/kvstore.h"
+
+namespace xfraud::kv {
+
+/// The epoch/MVCC control surface (DESIGN.md §15). LogKvStore implements it
+/// directly; stream::StreamingTopology fans it out across a shard × replica
+/// grid of logs. The contract:
+///
+///  - Writes accumulate in the *pending* epoch (published + 1). They are
+///    durable in the WAL immediately but invisible to epoch-pinned readers
+///    until PublishEpoch commits them atomically (marker record + fsync).
+///  - PinEpoch/UnpinEpoch bracket a reader's claim on a published epoch;
+///    while any pin is live, compaction and TTL expiry must preserve every
+///    version visible at that epoch.
+///  - DiscardPending drops uncommitted writes (crash-recovery semantics on
+///    reattach: a half-written epoch is rolled back, never half-published).
+class EpochSource {
+ public:
+  virtual ~EpochSource() = default;
+
+  /// Commits the pending epoch; returns the newly published epoch number.
+  virtual Result<uint64_t> PublishEpoch() = 0;
+
+  /// Latest published epoch (0 = nothing published yet).
+  virtual uint64_t published_epoch() const = 0;
+
+  /// Claims `epoch` against GC. Fails if the epoch is unpublished or
+  /// already compacted away (below the GC floor).
+  virtual Status PinEpoch(uint64_t epoch) = 0;
+  virtual void UnpinEpoch(uint64_t epoch) = 0;
+
+  /// Truncates any uncommitted (pending-epoch) writes from the log.
+  virtual Status DiscardPending() = 0;
+
+  /// Garbage-collects versions no pinned or future reader can see; returns
+  /// bytes reclaimed. Safe to call concurrently with pinned readers.
+  virtual Result<int64_t> Compact() = 0;
+};
+
+/// Move-only RAII pin on a published epoch. While the handle is alive,
+/// every GetAt/KeysWithPrefixAt at its epoch sees the exact committed state
+/// of that epoch — concurrent writers, publishes, TTL expiry, and
+/// compaction cannot disturb it. Destroying the last handle on an epoch
+/// unblocks GC of its superseded versions.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  ~SnapshotHandle() { Release(); }
+
+  SnapshotHandle(SnapshotHandle&& other) noexcept
+      : source_(other.source_), epoch_(other.epoch_) {
+    other.source_ = nullptr;
+  }
+  SnapshotHandle& operator=(SnapshotHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      source_ = other.source_;
+      epoch_ = other.epoch_;
+      other.source_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  /// Pins a specific published epoch.
+  static Result<SnapshotHandle> Pin(EpochSource* source, uint64_t epoch);
+
+  /// Pins the latest published epoch. If a publish races in between the
+  /// read and the pin, the pinned epoch is simply the one read — still a
+  /// valid consistent snapshot.
+  static Result<SnapshotHandle> PinLatest(EpochSource* source);
+
+  /// True if this handle holds a live pin.
+  bool valid() const { return source_ != nullptr; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Drops the pin early (idempotent).
+  void Release() {
+    if (source_ != nullptr) {
+      source_->UnpinEpoch(epoch_);
+      source_ = nullptr;
+    }
+  }
+
+ private:
+  SnapshotHandle(EpochSource* source, uint64_t epoch)
+      : source_(source), epoch_(epoch) {}
+
+  EpochSource* source_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
+/// Per-epoch adjacency (frontier) cache for the sampler's epoch-pinned
+/// walks. Adjacency rows are immutable *within* an epoch — an epoch is a
+/// committed snapshot — so caching (epoch, node) → neighbor bytes is safe
+/// and turns the sampler's hottest KV reads into memory lookups. Head
+/// reads (kHeadEpoch) are never cached: the head mutates under writers.
+/// Entries are dropped per epoch when the last GraphView on that epoch
+/// goes away (the incremental invalidation protocol: nothing is evicted
+/// early, nothing stale survives the epoch).
+class AdjacencyCache {
+ public:
+  /// Returns true and fills `*value` on a hit.
+  bool Lookup(uint64_t epoch, int64_t node, std::string* value) const;
+  void Insert(uint64_t epoch, int64_t node, std::string value);
+  void EvictEpoch(uint64_t epoch);
+
+  int64_t entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Ordered map keyed by epoch so eviction is a single erase; inner map
+  // keyed by node id. Iteration order never escapes (point lookups only).
+  std::map<uint64_t, std::map<int64_t, std::string>> epochs_;
+};
+
+}  // namespace xfraud::kv
+
+#endif  // XFRAUD_KV_SNAPSHOT_H_

@@ -96,12 +96,14 @@ Result<ScoreResponse> ScoringService::Finish(ScoreResponse resp,
 Result<ScoreResponse> ScoringService::FallbackScore(int32_t txn_node,
                                                     double start_s,
                                                     const Deadline& deadline,
+                                                    uint64_t epoch,
                                                     const char* reason) {
   XF_CHECK(fallback_ != nullptr);
-  // The fallback still reads the seed's own features, under the deadline.
+  // The fallback still reads the seed's own features, under the deadline
+  // and at the request's pinned epoch.
   DeadlineScope scope(deadline);
   std::vector<float> features;
-  Status fs = features_->ReadFeatures(txn_node, &features);
+  Status fs = features_->ReadFeatures(txn_node, &features, epoch);
   if (fs.IsDeadlineExceeded()) {
     deadline_exceeded_->Increment();
     return fs;
@@ -133,6 +135,13 @@ Result<ScoreResponse> ScoringService::Score(int64_t request_id,
 Result<ScoreResponse> ScoringService::Score(int64_t request_id,
                                             int32_t txn_node,
                                             double deadline_s) {
+  return ScoreAt(request_id, txn_node, deadline_s, kv::kHeadEpoch);
+}
+
+Result<ScoreResponse> ScoringService::ScoreAt(int64_t request_id,
+                                              int32_t txn_node,
+                                              double deadline_s,
+                                              uint64_t epoch) {
   requests_->Increment();
   (void)kv::HedgeRebate::Take();  // drop stale credit from earlier work
   const double start_s = clock_->NowSeconds();
@@ -145,7 +154,7 @@ Result<ScoreResponse> ScoringService::Score(int64_t request_id,
     shed_->Increment();
     if (options_.shed_policy == ShedPolicy::kDegrade &&
         fallback_ != nullptr) {
-      return FallbackScore(txn_node, start_s, deadline, "load shed");
+      return FallbackScore(txn_node, start_s, deadline, epoch, "load shed");
     }
     return Status::Unavailable(
         "load shed: " + std::to_string(guard.depth()) +
@@ -159,7 +168,7 @@ Result<ScoreResponse> ScoringService::Score(int64_t request_id,
   kv::FeatureStore::DegradedLoadStats stats;
   const double sample_start_s = clock_->NowSeconds();
   Result<sample::MiniBatch> batch = features_->LoadBatchDegraded(
-      {txn_node}, options_.hops, options_.fanout, &rng, &stats);
+      {txn_node}, options_.hops, options_.fanout, &rng, epoch, &stats);
   sample_s_->Record(clock_->NowSeconds() - sample_start_s);
   if (!batch.ok()) {
     if (batch.status().IsDeadlineExceeded()) {
@@ -168,7 +177,7 @@ Result<ScoreResponse> ScoringService::Score(int64_t request_id,
     }
     if (options_.shed_policy == ShedPolicy::kDegrade &&
         fallback_ != nullptr && !deadline.Expired()) {
-      return FallbackScore(txn_node, start_s, deadline,
+      return FallbackScore(txn_node, start_s, deadline, epoch,
                            "graph load failed");
     }
     unavailable_->Increment();

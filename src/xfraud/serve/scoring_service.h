@@ -96,6 +96,15 @@ class ScoringService {
   Result<ScoreResponse> Score(int64_t request_id, int32_t txn_node,
                               double deadline_s);
 
+  /// Scores against one pinned published epoch: every KV read under this
+  /// request (sampling walk, features, metadata) is issued at `epoch`, so
+  /// the score is a pure function of that epoch's snapshot even while a
+  /// writer advances the head concurrently. Callers pin the epoch first
+  /// (kv::SnapshotHandle) so it cannot be compacted away mid-request;
+  /// kv::kHeadEpoch reproduces Score exactly.
+  Result<ScoreResponse> ScoreAt(int64_t request_id, int32_t txn_node,
+                                double deadline_s, uint64_t epoch);
+
   /// Currently admitted requests (tests and load reporting).
   int64_t inflight() const {
     return inflight_.load(std::memory_order_relaxed);
@@ -106,7 +115,7 @@ class ScoringService {
 
   Result<ScoreResponse> FallbackScore(int32_t txn_node, double start_s,
                                       const Deadline& deadline,
-                                      const char* reason);
+                                      uint64_t epoch, const char* reason);
   Result<ScoreResponse> Finish(ScoreResponse resp, double start_s,
                                const Deadline& deadline);
   /// Reserves one degraded completion against max_degraded_frac.

@@ -27,6 +27,11 @@
 ///   serve   -> online scoring service over a sharded+replicated KV
 ///              topology: failover, hedged reads, circuit breakers,
 ///              deadlines, load shedding (sits above core/kv/baselines)
+///   stream  -> crash-safe streaming ingestion (DESIGN.md §15): the
+///              GraphIngestor appends transactions through the WAL write
+///              path and publishes immutable MVCC epochs; GraphView pins
+///              an epoch for consistent reads while writers advance and
+///              the background compactor garbage-collects behind the pins
 
 #include "xfraud/baselines/gat.h"
 #include "xfraud/baselines/gem.h"
@@ -75,6 +80,7 @@
 #include "xfraud/kv/mem_kv.h"
 #include "xfraud/kv/replicated_kv.h"
 #include "xfraud/kv/sharded_kv.h"
+#include "xfraud/kv/snapshot.h"
 #include "xfraud/nn/modules.h"
 #include "xfraud/nn/ops.h"
 #include "xfraud/nn/optim.h"
@@ -86,6 +92,8 @@
 #include "xfraud/sample/sampler.h"
 #include "xfraud/serve/scoring_service.h"
 #include "xfraud/serve/topology.h"
+#include "xfraud/stream/graph_ingestor.h"
+#include "xfraud/stream/streaming_topology.h"
 #include "xfraud/train/checkpoint.h"
 #include "xfraud/train/incremental.h"
 #include "xfraud/train/metrics.h"

@@ -1,5 +1,5 @@
 // Tests for xfraud_analyze (tools/analyze/analyze_core.*): the layering
-// config, all three whole-program passes on in-memory trees, suppression
+// config, all four whole-program passes on in-memory trees, suppression
 // and baseline round-trips, and a walk over the deliberately-broken fixture
 // tree in tests/analyze_fixtures/ with exact expected findings.
 
@@ -66,6 +66,7 @@ TEST(AnalyzeConfig, ModuleLayersMatchDeclaredDag) {
   EXPECT_EQ(ModuleLayer("kv"), 2);
   EXPECT_EQ(ModuleLayer("fault"), 3);
   EXPECT_EQ(ModuleLayer("serve"), 4);
+  EXPECT_EQ(ModuleLayer("stream"), 4);
   EXPECT_EQ(ModuleLayer("nonexistent"), -1);
 }
 
@@ -310,6 +311,70 @@ TEST(AnalyzeUnordered, AllowCommentSuppressesOneSite) {
 }
 
 // ---------------------------------------------------------------------------
+// Pass 4: ingest bypass.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeIngest, FlagsStoreMutationOutsideIngestTier) {
+  auto f = Analyze({{"src/xfraud/serve/holder.h",
+                 "struct Holder {\n"
+                 "  kv::KvStore* store_;\n"
+                 "  std::unique_ptr<kv::LogKvStore> wal_;\n"
+                 "};\n"},
+                {"src/xfraud/serve/use.cc",
+                 "void f(Holder* h, kv::FeatureStore* features) {\n"
+                 "  h->store_->Put(\"k\", \"v\");\n"
+                 "  h->wal_->Delete(\"k\");\n"
+                 "  features->Ingest(g);\n"
+                 "}\n"}});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].rule, "ingest-bypass");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_NE(f[0].message.find("'store_.Put'"), std::string::npos);
+  EXPECT_NE(f[0].message.find("module 'serve'"), std::string::npos);
+  EXPECT_EQ(f[1].line, 3);
+  EXPECT_EQ(f[2].line, 4);
+}
+
+TEST(AnalyzeIngest, StoreOwnersAndReadsAreClean) {
+  // kv, stream, and fault own the write path; reads bypass nothing; and
+  // tests/tools are not library code.
+  for (const char* path :
+       {"src/xfraud/kv/use.cc", "src/xfraud/stream/use.cc",
+        "src/xfraud/fault/use.cc", "tests/use_test.cc", "tools/use.cc"}) {
+    EXPECT_TRUE(Analyze({{path,
+                      "kv::KvStore* store_;\n"
+                      "void f() { store_->Put(\"k\", \"v\"); }\n"}})
+                    .empty())
+        << path;
+  }
+  EXPECT_TRUE(Analyze({{"src/xfraud/serve/use.cc",
+                    "kv::KvStore* store_;\n"
+                    "void g(std::string* v) { store_->Get(\"k\", v); }\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeIngest, NonStoreReceiversAreClean) {
+  auto f = Analyze({{"src/xfraud/serve/use.cc",
+                 "kv::KvStore* serving() const;\n"
+                 "Cache index_;\n"
+                 "void f() { index_.Put(1); }\n"}});
+  EXPECT_TRUE(f.empty()) << f[0].message;
+}
+
+TEST(AnalyzeIngest, SubscriptedReceiverAndAllowComment) {
+  auto f = Analyze({{"src/xfraud/serve/use.cc",
+                 "std::vector<kv::MemKvStore*> cells_;\n"
+                 "void f() {\n"
+                 "  cells_[0]->Put(\"k\", \"v\");\n"
+                 "  // xfraud-analyze: allow(ingest-bypass)\n"
+                 "  cells_[1]->Put(\"k\", \"v\");\n"
+                 "}\n"}});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_NE(f[0].message.find("'cells_.Put'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Baseline round-trip.
 // ---------------------------------------------------------------------------
 
@@ -361,6 +426,11 @@ TEST(AnalyzeFixtures, ExactFindingsWithEmptyConfig) {
       Fx("src/xfraud/graph/status_use.cc") + ":17: discarded-status",
       Fx("src/xfraud/graph/status_use.cc") + ":18: discarded-status",
       Fx("src/xfraud/kv/cycle_a.h") + ":6: include-cycle",
+      Fx("src/xfraud/train/ingest_bypass.cc") + ":18: ingest-bypass",
+      Fx("src/xfraud/train/ingest_bypass.cc") + ":19: ingest-bypass",
+      Fx("src/xfraud/train/ingest_bypass.cc") + ":20: ingest-bypass",
+      Fx("src/xfraud/train/ingest_bypass.cc") + ":21: ingest-bypass",
+      Fx("src/xfraud/train/ingest_bypass.cc") + ":34: ingest-bypass",
       Fx("src/xfraud/common/upward.h") + ":6: layering",
       Fx("src/xfraud/kv/cycle_a.h") + ":6: layering",
       Fx("src/xfraud/sample/cycle_b.h") + ":6: layering",
@@ -418,7 +488,8 @@ TEST(AnalyzeFixtures, JsonSnapshotCarriesEveryFinding) {
       << error;
   std::string json = lint::FindingsToJson(findings);
   for (const char* rule :
-       {"layering", "include-cycle", "discarded-status", "unordered-iter"}) {
+       {"layering", "include-cycle", "discarded-status", "unordered-iter",
+        "ingest-bypass"}) {
     EXPECT_NE(json.find(std::string("\"rule\": \"") + rule + "\""),
               std::string::npos)
         << rule;

@@ -87,6 +87,63 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_TRUE(FaultPlan::Parse("seed=1junk").status().IsInvalidArgument());
 }
 
+TEST(FaultPlanTest, ParsesTornWriteAndStallCompactionKeys) {
+  auto parsed = FaultPlan::Parse("seed=3,torn_write=0.25,stall_compaction=0.5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FaultPlan& plan = parsed.value();
+  EXPECT_DOUBLE_EQ(plan.torn_write_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.stall_compaction_s, 0.5);
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.has_kv_faults());
+
+  // A stall-only plan injects no per-op KV faults but is still a plan (the
+  // streaming topology must build an injector for its compactor).
+  auto stall_only = FaultPlan::Parse("stall_compaction=0.1");
+  ASSERT_TRUE(stall_only.ok());
+  EXPECT_TRUE(stall_only.value().any());
+  EXPECT_FALSE(stall_only.value().has_kv_faults());
+
+  auto reparsed = FaultPlan::Parse(plan.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_DOUBLE_EQ(reparsed.value().torn_write_rate, plan.torn_write_rate);
+  EXPECT_DOUBLE_EQ(reparsed.value().stall_compaction_s,
+                   plan.stall_compaction_s);
+
+  EXPECT_TRUE(FaultPlan::Parse("torn_write=1.5").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultPlan::Parse("stall_compaction=-1").status().IsInvalidArgument());
+}
+
+TEST(FaultInjectorTest, TornWritePersistsHalfTheValueThenErrors) {
+  auto plan = FaultPlan::Parse("seed=5,torn_write=1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(plan.value());
+  kv::MemKvStore inner;
+  FaultyKvStore faulty(&inner, &injector);
+  Status s = faulty.Put("k", "0123456789");
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+  // The inner store holds a half-persisted value — exactly the remnant an
+  // MVCC retry must overwrite in the pending epoch before publishing.
+  std::string remnant;
+  ASSERT_TRUE(inner.Get("k", &remnant).ok());
+  EXPECT_EQ(remnant, "01234");
+  EXPECT_GE(injector.injected_torn_writes(), 1);
+}
+
+TEST(FaultInjectorTest, CompactionStallFollowsThePlan) {
+  auto plan = FaultPlan::Parse("stall_compaction=0.25");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(plan.value());
+  EXPECT_DOUBLE_EQ(injector.NextCompactionStall(), 0.25);
+  EXPECT_DOUBLE_EQ(injector.NextCompactionStall(), 0.25);
+  EXPECT_EQ(injector.injected_compaction_stalls(), 2);
+
+  FaultPlan empty;
+  FaultInjector none(empty);
+  EXPECT_DOUBLE_EQ(none.NextCompactionStall(), 0.0);
+  EXPECT_EQ(none.injected_compaction_stalls(), 0);
+}
+
 TEST(FaultPlanTest, FromEnvReadsXfraudFaultPlan) {
   // Save whatever the harness set (ci.sh --mode=faults exports a chaos
   // profile for the whole suite) and restore it on the way out.

@@ -327,7 +327,7 @@ TEST_F(FeatureStoreTest, LoadBatchMatchesDirectSampling) {
                              ds_.train_nodes.begin() + 8);
   Rng rng(3);
   auto batch = feature_store_->LoadBatch(seeds, /*hops=*/2, /*fanout=*/-1,
-                                         &rng);
+                                         &rng, kHeadEpoch);
   ASSERT_TRUE(batch.ok());
   const auto& b = batch.value();
   EXPECT_EQ(b.target_locals.size(), seeds.size());

@@ -622,6 +622,120 @@ void CheckUnorderedIteration(const ScannedFile& f, const TaintIndex& index,
   });
 }
 
+// --------------------------------------------------------------------------
+// Pass 4: ingest bypass — direct store mutation outside the ingest tier.
+// --------------------------------------------------------------------------
+
+/// Identifiers declared with a KV-store type: the "KvStore"-suffixed
+/// classes and FeatureStore, through pointer/reference declarators and
+/// smart-pointer/container wrappers (`std::unique_ptr<LogKvStore> cell_;`).
+/// Name-keyed and whole-program like the taint index: a header member
+/// declaration informs call sites in any .cc.
+struct IngestIndex {
+  std::set<std::string> stores;
+};
+
+bool IsStoreTypeName(const std::string& tok) {
+  if (tok == "FeatureStore") return true;
+  return tok.size() >= 7 && tok.compare(tok.size() - 7, 7, "KvStore") == 0;
+}
+
+void IndexStoreDecls(const ScannedFile& f, IngestIndex* index) {
+  const std::string& code = f.split.code;
+  ForEachIdentifier(code, [&](size_t b, size_t e) {
+    std::string tok = code.substr(b, e - b);
+    size_t j = SkipWs(code, e);
+    bool wrapper = tok == "unique_ptr" || tok == "shared_ptr" ||
+                   tok == "vector" || tok == "array" || tok == "deque";
+    if (wrapper) {
+      if (j >= code.size() || code[j] != '<') return;
+      size_t close = BalanceFrom(code, j, '<', '>');
+      if (close == std::string::npos) return;
+      std::string inner = code.substr(j, close - j);
+      if (inner.find("KvStore") == std::string::npos &&
+          inner.find("FeatureStore") == std::string::npos) {
+        return;
+      }
+      j = SkipWs(code, close);
+    } else if (!IsStoreTypeName(tok)) {
+      return;
+    }
+    bool indirect = false;
+    while (j < code.size() && (code[j] == '&' || code[j] == '*')) {
+      indirect = true;
+      j = SkipWs(code, j + 1);
+    }
+    std::string name;
+    size_t after = ParseQualifiedId(code, j, &name);
+    if (after == std::string::npos) return;
+    after = SkipWs(code, after);
+    // `KvStore* serving()` declares a function returning a store, not a
+    // store variable (calls through accessors are out of scope); a value
+    // type followed by '(' is ctor-argument initialization and counts.
+    if (indirect && after < code.size() && code[after] == '(') return;
+    index->stores.insert(name);
+  });
+}
+
+/// Flags `x.Put(` / `x->Delete(` / `x.Ingest(` where x was declared as a
+/// store anywhere in the program. Only the kv/stream/fault modules (the
+/// schema owners and the fault wrapper) may mutate stores directly;
+/// everywhere else a raw write silently side-steps the epoch/snapshot
+/// machinery and crash recovery of the ingest tier.
+void CheckIngestBypass(const ScannedFile& f, const IngestIndex& index,
+                       std::vector<Finding>* findings) {
+  const std::string& code = f.split.code;
+  ForEachIdentifier(code, [&](size_t b, size_t e) {
+    std::string tok = code.substr(b, e - b);
+    if (tok != "Put" && tok != "Delete" && tok != "Ingest") return;
+    size_t j = SkipWs(code, e);
+    if (j >= code.size() || code[j] != '(') return;
+    bool dot = b >= 1 && code[b - 1] == '.';
+    bool arrow = b >= 2 && code[b - 2] == '-' && code[b - 1] == '>';
+    if (!dot && !arrow) return;
+    // Walk back over the receiver, balancing over subscripts so
+    // `cells_[i]->Put(...)` resolves to `cells_`.
+    size_t rb = b - (dot ? 1 : 2);
+    size_t re = rb;
+    while (re > 0) {
+      char c = code[re - 1];
+      if (IsWordChar(c)) {
+        --re;
+        continue;
+      }
+      if (c == ']') {
+        int depth = 0;
+        size_t i = re;
+        while (i > 0) {
+          --i;
+          if (code[i] == ']') ++depth;
+          if (code[i] == '[' && --depth == 0) break;
+        }
+        if (depth != 0) return;  // unbalanced: not a plain receiver
+        re = i;
+        continue;
+      }
+      break;
+    }
+    size_t we = re;
+    while (we < rb && IsWordChar(code[we])) ++we;
+    std::string recv = code.substr(re, we - re);
+    if (recv.empty() || index.stores.count(recv) == 0) return;
+    int line = LineOf(f, b);
+    if (AllowedAt(f, line, "ingest-bypass")) return;
+    findings->push_back(
+        {f.src->path, line, "ingest-bypass",
+         "'" + recv + "." + tok +
+             "' mutates a KV store directly from module '" + f.module +
+             "'; route writes through the ingest tier "
+             "(stream::GraphIngestor, or kv::FeatureStore::Ingest inside "
+             "kv/stream) so epoch snapshots and crash recovery observe "
+             "them — or suppress with // xfraud-analyze: "
+             "allow(ingest-bypass) if this call IS a sanctioned bulk-load "
+             "path"});
+  });
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -681,6 +795,7 @@ int ModuleLayer(const std::string& module) {
       {"kv", 2},     {"sample", 2},    {"data", 2}, {"baselines", 2},
       {"core", 3},   {"fault", 3},
       {"train", 4},  {"explain", 4},   {"dist", 4}, {"serve", 4},
+      {"stream", 4},
   };
   auto it = kLayers.find(module);
   return it == kLayers.end() ? -1 : it->second;
@@ -688,7 +803,8 @@ int ModuleLayer(const std::string& module) {
 
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
-      "layering", "include-cycle", "discarded-status", "unordered-iter"};
+      "layering", "include-cycle", "discarded-status", "unordered-iter",
+      "ingest-bypass"};
   return kRules;
 }
 
@@ -737,6 +853,19 @@ std::vector<Finding> AnalyzeTree(const std::vector<SourceFile>& files,
   for (const ScannedFile& f : scanned) {
     if (!f.in_library) continue;
     CheckUnorderedIteration(f, taint_index, &findings);
+  }
+
+  // Pass 4: ingest bypass, library-only minus the store owners. kv and
+  // stream define the serving schema and the ingest tier, fault wraps the
+  // raw write path — everywhere else store mutation must go through them.
+  IngestIndex ingest_index;
+  for (const ScannedFile& f : scanned) IndexStoreDecls(f, &ingest_index);
+  for (const ScannedFile& f : scanned) {
+    if (!f.in_library) continue;
+    if (f.module == "kv" || f.module == "stream" || f.module == "fault") {
+      continue;
+    }
+    CheckIngestBypass(f, ingest_index, &findings);
   }
 
   // Deterministic order and at most one finding per site and rule.

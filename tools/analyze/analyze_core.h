@@ -21,6 +21,10 @@
 //                      cast to (void).
 //   unordered-iter   — iteration over an unordered_map/unordered_set in
 //                      src/xfraud, where hash order can leak into results.
+//   ingest-bypass    — a Put/Delete/Ingest on a KV store from a library
+//                      module other than kv/stream/fault: direct store
+//                      mutation outside the ingest tier side-steps epoch
+//                      snapshots and crash recovery.
 //
 // Suppression mirrors lint: `// xfraud-analyze: allow(rule-id)` on the
 // offending line or the line above, plus an optional checked-in baseline of
@@ -53,7 +57,7 @@ bool LoadLayeringConfig(const std::string& path, LayeringConfig* config,
 
 /// Layer of a module in the declared DAG
 ///   common -> {obs, graph, nn, la} -> {kv, sample, data, baselines}
-///          -> {core, fault} -> {train, explain, dist, serve}
+///          -> {core, fault} -> {train, explain, dist, serve, stream}
 /// (0 = common, 4 = top). Returns -1 for a module the DAG does not know,
 /// which pass 1 reports as a layering finding.
 int ModuleLayer(const std::string& module);

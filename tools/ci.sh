@@ -173,6 +173,17 @@ if [[ "${MODE}" == "faults" ]]; then
   echo "== serving chaos =="
   XFRAUD_FAULT_PLAN="seed=20260805,kill_replica=0,kv_error_rate=0.005" \
     "${BUILD_DIR}/tests/xfraud_tests" --gtest_filter='ServingChaos*'
+
+  # Continuous-ingest chaos leg (DESIGN.md §15): streaming writers publish
+  # MVCC epochs while pinned readers score and the compactor GCs, under
+  # kill_replica + torn_write + stall_compaction. stream_test.cc asserts
+  # pinned-epoch scores bit-identical to a fault-free run and zero torn
+  # reads; the bench emits a metrics snapshot (gitignored) on top.
+  echo "== continuous-ingest chaos =="
+  "${BUILD_DIR}/tests/xfraud_tests" --gtest_filter='ContinuousIngest*'
+  echo "== bench_continuous_ingest snapshot =="
+  XFRAUD_BENCH_FAST=1 XFRAUD_METRICS_OUT=BENCH_continuous_ingest.json \
+    "${BUILD_DIR}/bench/bench_continuous_ingest"
 fi
 
 echo "== ci ok (${MODE}) =="

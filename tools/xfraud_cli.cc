@@ -186,7 +186,7 @@ void ProbeKvPath(const data::SimDataset& ds) {
         seeds.begin() + begin,
         seeds.begin() + std::min(begin + 128, limit));
     auto loaded = feature_store.LoadBatch(batch, /*hops=*/2, /*fanout=*/12,
-                                          &rng);
+                                          &rng, kv::kHeadEpoch);
     if (!loaded.ok()) {
       std::cerr << "kv probe: " << loaded.status().ToString() << "\n";
       return;
