@@ -1,0 +1,194 @@
+// Multi-process serving tier: in-process vs socket-transport latency, and
+// the cost of chaos (DESIGN.md §16).
+//
+// Section A scores the same request stream through (1) an in-process
+// ScoringService over a LogKvStore cell and (2) a Router speaking CRC'd
+// XFRM frames to real forked shard-server processes, and prints both
+// latency distributions side by side — the wire + process-hop overhead in
+// milliseconds. The scores themselves are asserted bit-identical: the
+// socket tier is the same pure function behind a transport.
+//
+// Section B re-runs the socket tier under a kill_server chaos plan (every
+// shard's primary SIGKILLed mid-load, supervisor respawns from the WAL)
+// and reports the tail next to the clean run, with the failover/respawn
+// counters that explain the difference.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+
+namespace xfraud::bench {
+namespace {
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) * (rank - lo);
+}
+
+int64_t CounterValue(const char* name) {
+  return obs::Registry::Global().counter(name)->value();
+}
+
+std::string BenchDir(const std::string& tag) {
+  std::string dir = "/tmp/xf-bench-smp-" + tag + "-" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+serve::ServiceOptions BenchServiceOptions() {
+  serve::ServiceOptions options;
+  options.deadline_s = 30.0;  // generous: these sections measure latency
+  return options;
+}
+
+struct TierRun {
+  std::vector<double> scores;
+  std::vector<double> wall_s;  // per-request end-to-end latency
+  int respawns = 0;
+  int64_t failovers = 0;
+  int64_t redials = 0;
+};
+
+/// The in-process baseline: same WAL write path, same detector seed, same
+/// service options — everything but the processes and the wire.
+TierRun RunInProcess(const data::SimDataset& ds,
+                     const std::vector<int32_t>& nodes) {
+  std::string dir = BenchDir("inproc");
+  std::filesystem::create_directories(dir);
+  auto store = kv::LogKvStore::Open(dir + "/cell.log");
+  XF_CHECK(store.ok()) << store.status().ToString();
+  kv::FeatureStore features(store.value().get());
+  XF_CHECK(features.Ingest(ds.graph).ok());
+  auto epoch = store.value()->PublishEpoch();
+  XF_CHECK(epoch.ok());
+  Rng model_rng(kSeedA);
+  core::XFraudDetector detector(DetectorConfigFor(ds.graph), &model_rng);
+  serve::ScoringService service(&detector, &features, BenchServiceOptions());
+
+  TierRun run;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    WallTimer timer;
+    auto resp = service.ScoreAt(static_cast<int64_t>(i), nodes[i],
+                                /*deadline_s=*/30.0, epoch.value());
+    XF_CHECK(resp.ok()) << resp.status().ToString();
+    run.wall_s.push_back(timer.ElapsedSeconds());
+    run.scores.push_back(resp.value().score);
+  }
+  std::filesystem::remove_all(dir);
+  return run;
+}
+
+TierRun RunSocketTier(const data::SimDataset& ds,
+                      const std::vector<int32_t>& nodes,
+                      const std::string& tag, const fault::FaultPlan& plan) {
+  std::string dir = BenchDir(tag);
+  serve::SupervisorOptions options;
+  options.dir = dir;
+  options.num_shards = 2;
+  options.num_replicas = 2;
+  options.detector = DetectorConfigFor(ds.graph);
+  options.model_seed = kSeedA;
+  options.service = BenchServiceOptions();
+  options.plan = plan;
+  auto sup = serve::Supervisor::Start(ds.graph, options);
+  XF_CHECK(sup.ok()) << sup.status().ToString();
+
+  const int64_t failovers_before = CounterValue("serve/router/failovers");
+  const int64_t redials_before = CounterValue("serve/router/redials");
+  serve::Router router(sup.value()->MakeRouterOptions());
+  TierRun run;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    WallTimer timer;
+    auto resp = router.Score(static_cast<int64_t>(i), nodes[i]);
+    XF_CHECK(resp.ok()) << "request " << i << ": "
+                        << resp.status().ToString();
+    run.wall_s.push_back(timer.ElapsedSeconds());
+    run.scores.push_back(resp.value().score);
+  }
+  run.respawns = sup.value()->restarts();
+  run.failovers = CounterValue("serve/router/failovers") - failovers_before;
+  run.redials = CounterValue("serve/router/redials") - redials_before;
+  XF_CHECK(sup.value()->Stop().ok());
+  std::filesystem::remove_all(dir);
+  return run;
+}
+
+void AddRow(TablePrinter* table, const std::string& label,
+            const TierRun& run) {
+  table->AddRow({label, TablePrinter::Num(Percentile(run.wall_s, 0.50) * 1e3, 2),
+                 TablePrinter::Num(Percentile(run.wall_s, 0.95) * 1e3, 2),
+                 TablePrinter::Num(Percentile(run.wall_s, 0.99) * 1e3, 2),
+                 std::to_string(run.respawns), std::to_string(run.failovers),
+                 std::to_string(run.redials)});
+}
+
+void Run() {
+  PrintHeader("Multi-process serving: transport overhead & chaos cost",
+              "serving-tier robustness study (DESIGN.md §16; paper §3.3.3 "
+              "deployment context)");
+
+  data::GeneratorConfig config = data::TransactionGenerator::SimSmall();
+  if (FastMode()) {
+    config.num_buyers = 300;
+    config.num_fraud_rings = 8;
+  }
+  data::SimDataset ds = data::TransactionGenerator::Make(config, "serve-mp");
+  auto labeled = ds.graph.LabeledTransactions();
+  XF_CHECK(!labeled.empty());
+  const int num_requests = FastMode() ? 24 : 120;
+  std::vector<int32_t> nodes;
+  for (int i = 0; i < num_requests; ++i) {
+    nodes.push_back(labeled[static_cast<size_t>(i) % labeled.size()]);
+  }
+
+  std::cout << "-- A: in-process vs socket transport (" << num_requests
+            << " requests, 2 shards x 2 replica processes) --\n";
+  const TierRun inproc = RunInProcess(ds, nodes);
+  const TierRun socket_clean =
+      RunSocketTier(ds, nodes, "clean", fault::FaultPlan{});
+  // The tier's determinism contract, checked at bench time too: the wire
+  // moves IEEE-754 bit patterns, so equality is exact.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    XF_CHECK(socket_clean.scores[i] == inproc.scores[i])
+        << "request " << i << " diverged across transports";
+  }
+
+  std::cout << "-- B: socket transport under kill_server chaos (every "
+               "shard's primary SIGKILLed on its 3rd request) --\n";
+  auto plan = fault::FaultPlan::Parse("seed=20260807,kill_server=0@2");
+  XF_CHECK(plan.ok()) << plan.status().ToString();
+  const TierRun socket_chaos =
+      RunSocketTier(ds, nodes, "chaos", plan.value());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    XF_CHECK(socket_chaos.scores[i] == inproc.scores[i])
+        << "request " << i << " diverged under chaos";
+  }
+
+  TablePrinter table({"config", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                      "respawns", "failovers", "redials"});
+  AddRow(&table, "in-process", inproc);
+  AddRow(&table, "socket, clean", socket_clean);
+  AddRow(&table, "socket, kill_server chaos", socket_chaos);
+  table.Print(std::cout);
+  std::cout << "all " << num_requests * 3
+            << " scores bit-identical across transports and chaos\n";
+  EmitObsSnapshot();
+}
+
+}  // namespace
+}  // namespace xfraud::bench
+
+int main() {
+  xfraud::bench::InitObsFromEnv();
+  xfraud::bench::Run();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "xfraud/common/crc32.h"
+
 namespace xfraud {
 
 namespace {
@@ -44,6 +46,32 @@ uint64_t GetU64(const unsigned char* in) {
 
 }  // namespace
 
+uint32_t FramePayloadCrc(const void* payload, size_t n) {
+  return Crc32(n > 0 ? payload : "", n);
+}
+
+void SealFramePayload(FrameHeader* header, const void* payload, size_t n) {
+  header->payload_bytes = n;
+  header->payload_crc = FramePayloadCrc(payload, n);
+}
+
+Status VerifyFramePayload(const FrameHeader& header, const void* payload,
+                          size_t n) {
+  if (header.payload_bytes != n) {
+    return Status::Corruption(
+        "frame: payload length mismatch: header says " +
+        std::to_string(header.payload_bytes) + " bytes, got " +
+        std::to_string(n));
+  }
+  const uint32_t crc = FramePayloadCrc(payload, n);
+  if (crc != header.payload_crc) {
+    return Status::Corruption("frame: payload CRC mismatch (type " +
+                              std::to_string(static_cast<int>(header.type)) +
+                              ", seq " + std::to_string(header.seq) + ")");
+  }
+  return Status::OK();
+}
+
 void EncodeFrameHeader(const FrameHeader& header, unsigned char* out) {
   for (int i = 0; i < 4; ++i) out[i] = kMagic[i];
   PutU16(out + 4, static_cast<uint16_t>(header.type));
@@ -51,6 +79,7 @@ void EncodeFrameHeader(const FrameHeader& header, unsigned char* out) {
   PutU32(out + 8, header.rank);
   PutU64(out + 12, header.seq);
   PutU64(out + 20, header.payload_bytes);
+  PutU32(out + 28, header.payload_crc);
 }
 
 Result<FrameHeader> DecodeFrameHeader(const unsigned char* data) {
@@ -62,7 +91,7 @@ Result<FrameHeader> DecodeFrameHeader(const unsigned char* data) {
   FrameHeader header;
   uint16_t type = GetU16(data + 4);
   if (type < static_cast<uint16_t>(FrameType::kHello) ||
-      type > static_cast<uint16_t>(FrameType::kGather)) {
+      type > static_cast<uint16_t>(FrameType::kDrain)) {
     return Status::Corruption("frame: unknown type " + std::to_string(type));
   }
   header.type = static_cast<FrameType>(type);
@@ -70,6 +99,7 @@ Result<FrameHeader> DecodeFrameHeader(const unsigned char* data) {
   header.rank = GetU32(data + 8);
   header.seq = GetU64(data + 12);
   header.payload_bytes = GetU64(data + 20);
+  header.payload_crc = GetU32(data + 28);
   if (header.payload_bytes > kMaxFramePayload) {
     return Status::Corruption("frame: payload length " +
                               std::to_string(header.payload_bytes) +

@@ -8,21 +8,26 @@
 
 namespace xfraud {
 
-/// Length-prefixed wire frame used by the dist/ socket transport and the
-/// rank-0 rendezvous. A frame is a fixed 28-byte header followed by
-/// `payload_bytes` of payload:
+/// Length-prefixed wire frame used by the dist/ socket transport, the
+/// rank-0 rendezvous, and the multi-process serving tier. A frame is a
+/// fixed 32-byte header followed by `payload_bytes` of payload:
 ///
 ///   [0..4)   magic  "XFRM"
 ///   [4..6)   type   u16 (FrameType)
 ///   [6..8)   flags  u16 (dtype / backend-specific bits)
 ///   [8..12)  rank   u32 (sender rank, or root, depending on type)
-///   [12..20) seq    u64 (collective sequence number or generation)
+///   [12..20) seq    u64 (collective sequence number, generation, or
+///                        request id)
 ///   [20..28) payload_bytes u64
+///   [28..32) payload_crc   u32 (CRC32 of the payload bytes; CRC of the
+///                               empty payload for payload-less frames)
 ///
 /// Integers are encoded little-endian byte-by-byte, so the encoding is
 /// host-endianness independent (frames only ever cross localhost today, but
-/// the format does not bake that in). Serialization lives in common/ so it
-/// carries no socket I/O — dist/ owns the fds.
+/// the format does not bake that in). The payload CRC makes a torn or
+/// bit-flipped payload detectable at the receiver: VerifyFramePayload
+/// returns Corruption instead of silently accepting garbage. Serialization
+/// lives in common/ so it carries no socket I/O — dist/ owns the fds.
 enum class FrameType : uint16_t {
   kHello = 1,      // ring handshake: rank = sender's rank
   kJoin = 2,       // rendezvous: rank = joiner, seq = generation, payload = ring endpoint
@@ -32,6 +37,11 @@ enum class FrameType : uint16_t {
   kBroadcast = 6,  // broadcast payload, rank = root
   kBarrier = 7,    // empty token circling the ring
   kGather = 8,     // concatenated per-rank entries travelling toward root
+  // Multi-process serving tier (serve/wire.h owns the payload codecs):
+  kScoreRequest = 9,  // router -> shard server: seq = request id
+  kScoreReply = 10,   // shard server -> router: seq echoes the request id
+  kHealth = 11,       // supervisor ping/pong: seq echoes the nonce
+  kDrain = 12,        // orderly shutdown: request and ack are both kDrain
 };
 
 /// Payload dtype, carried in `flags` for the numeric collectives.
@@ -43,14 +53,28 @@ struct FrameHeader {
   uint32_t rank = 0;
   uint64_t seq = 0;
   uint64_t payload_bytes = 0;
+  uint32_t payload_crc = 0;
 };
 
-inline constexpr size_t kFrameHeaderBytes = 28;
+inline constexpr size_t kFrameHeaderBytes = 32;
 
 /// Frames above this payload size are rejected as corrupt — far above any
 /// gradient buffer the simulation ships, far below anything that could make
 /// a malformed length field allocate the host out of memory.
 inline constexpr uint64_t kMaxFramePayload = 1ULL << 31;
+
+/// CRC32 of a frame payload (the value carried at header offset 28).
+uint32_t FramePayloadCrc(const void* payload, size_t n);
+
+/// Stamps `header` with payload_bytes = n and the payload's CRC. Senders
+/// call this (directly or via dist::SendFrame) before encoding.
+void SealFramePayload(FrameHeader* header, const void* payload, size_t n);
+
+/// Checks `n` received payload bytes against the CRC the sender sealed into
+/// `header`. Returns Corruption on any mismatch — a torn read, a bit flip
+/// on the wire, or a length that disagrees with the header.
+Status VerifyFramePayload(const FrameHeader& header, const void* payload,
+                          size_t n);
 
 /// Encodes `header` into `out`, which must hold kFrameHeaderBytes.
 void EncodeFrameHeader(const FrameHeader& header, unsigned char* out);

@@ -101,6 +101,11 @@ Result<Endpoint> RendezvousHost::Exchange(const Endpoint& rank0_ring,
         continue;
       }
     }
+    // A CRC-damaged join is dropped like any other malformed one; the real
+    // joiner's retry dial supplies a clean frame.
+    if (!VerifyFramePayload(join.value(), spec.data(), spec.size()).ok()) {
+      continue;
+    }
     Result<Endpoint> ring = ParseEndpoint(spec);
     if (!ring.ok()) continue;
     // Duplicate rank: a restarted worker raced its own dead predecessor
@@ -169,6 +174,8 @@ Result<Endpoint> JoinRendezvous(const Endpoint& host, int rank, int world,
     XF_RETURN_IF_ERROR(RecvAllBytes(conn.get(), succ_spec.data(),
                                     succ_spec.size(), deadline, clock));
   }
+  XF_RETURN_IF_ERROR(
+      VerifyFramePayload(assign.value(), succ_spec.data(), succ_spec.size()));
   if (host_generation != nullptr) {
     *host_generation = assign.value().seq;
   }

@@ -269,7 +269,7 @@ Status RecvAllBytes(int fd, void* data, size_t n, const Deadline& deadline,
 
 Status SendFrame(int fd, FrameHeader header, const void* payload, size_t n,
                  const Deadline& deadline, Clock* clock) {
-  header.payload_bytes = n;
+  SealFramePayload(&header, payload, n);
   std::array<unsigned char, kFrameHeaderBytes> buf;
   EncodeFrameHeader(header, buf.data());
   XF_RETURN_IF_ERROR(SendAllBytes(fd, buf.data(), buf.size(), deadline, clock));
@@ -279,11 +279,39 @@ Status SendFrame(int fd, FrameHeader header, const void* payload, size_t n,
   return Status::OK();
 }
 
+Status SendFrameCorrupting(int fd, FrameHeader header, const void* payload,
+                           size_t n, int64_t corrupt_byte,
+                           const Deadline& deadline, Clock* clock) {
+  if (corrupt_byte < 0 || static_cast<uint64_t>(corrupt_byte) >= n) {
+    return SendFrame(fd, header, payload, n, deadline, clock);
+  }
+  SealFramePayload(&header, payload, n);  // CRC of the *clean* payload
+  std::vector<unsigned char> damaged(
+      static_cast<const unsigned char*>(payload),
+      static_cast<const unsigned char*>(payload) + n);
+  damaged[static_cast<size_t>(corrupt_byte)] ^= 0x40;
+  std::array<unsigned char, kFrameHeaderBytes> buf;
+  EncodeFrameHeader(header, buf.data());
+  XF_RETURN_IF_ERROR(SendAllBytes(fd, buf.data(), buf.size(), deadline, clock));
+  return SendAllBytes(fd, damaged.data(), damaged.size(), deadline, clock);
+}
+
 Result<FrameHeader> RecvFrameHeader(int fd, const Deadline& deadline,
                                     Clock* clock) {
   std::array<unsigned char, kFrameHeaderBytes> buf;
   XF_RETURN_IF_ERROR(RecvAllBytes(fd, buf.data(), buf.size(), deadline, clock));
   return DecodeFrameHeader(buf.data());
+}
+
+Status RecvFramePayload(int fd, const FrameHeader& header,
+                        std::vector<unsigned char>* payload,
+                        const Deadline& deadline, Clock* clock) {
+  payload->resize(header.payload_bytes);
+  if (!payload->empty()) {
+    XF_RETURN_IF_ERROR(RecvAllBytes(fd, payload->data(), payload->size(),
+                                    deadline, clock));
+  }
+  return VerifyFramePayload(header, payload->data(), payload->size());
 }
 
 Status RecvFrameInto(int fd, FrameType want, void* payload,
@@ -306,7 +334,45 @@ Status RecvFrameInto(int fd, FrameType want, void* payload,
     XF_RETURN_IF_ERROR(
         RecvAllBytes(fd, payload, payload_bytes, deadline, clock));
   }
-  return Status::OK();
+  return VerifyFramePayload(header.value(), payload, payload_bytes);
+}
+
+Result<int> WaitAnyReadable(const std::vector<int>& fds,
+                            const Deadline& deadline, Clock* clock) {
+  (void)clock;
+  if (fds.empty()) {
+    return Status::InvalidArgument("WaitAnyReadable needs at least one fd");
+  }
+  std::vector<struct pollfd> pfds(fds.size());
+  for (;;) {
+    double remaining = deadline.RemainingSeconds();
+    if (remaining <= 0.0) {
+      return Status::DeadlineExceeded("socket wait timed out");
+    }
+    int slice_ms = 100;
+    if (!deadline.unlimited()) {
+      slice_ms =
+          static_cast<int>(std::min(remaining * 1000.0 + 1.0, 100.0));
+      slice_ms = std::max(slice_ms, 1);
+    }
+    for (size_t i = 0; i < fds.size(); ++i) {
+      pfds[i].fd = fds[i];
+      pfds[i].events = POLLIN;
+      pfds[i].revents = 0;
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), slice_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("poll"));
+    }
+    if (rc > 0) {
+      for (size_t i = 0; i < pfds.size(); ++i) {
+        // HUP/ERR surface as readability: the next read maps them onto a
+        // precise Unavailable, same as the single-fd PollFor contract.
+        if (pfds[i].revents != 0) return static_cast<int>(i);
+      }
+    }
+  }
 }
 
 // ---- SocketCommunicator ----------------------------------------------------
@@ -372,7 +438,7 @@ struct SocketCommunicator::Impl {
     if (n > 0) {
       XF_RETURN_IF_ERROR(RecvAllBytes(pred.get(), payload, n, deadline, clock));
     }
-    return Status::OK();
+    return VerifyFramePayload(header.value(), payload, n);
   }
 
   Status ValidateHeader(const FrameHeader& header, FrameType type,
@@ -505,9 +571,8 @@ struct SocketCommunicator::Impl {
       if (!header.ok()) return header.status();
       XF_RETURN_IF_ERROR(ValidateHeader(header.value(), FrameType::kGather, 0,
                                         header.value().payload_bytes));
-      scratch.resize(header.value().payload_bytes);
-      XF_RETURN_IF_ERROR(RecvAllBytes(pred.get(), scratch.data(),
-                                      scratch.size(), deadline, clock));
+      XF_RETURN_IF_ERROR(RecvFramePayload(pred.get(), header.value(),
+                                          &scratch, deadline, clock));
       size_t at = 0;
       for (int i = 0; i < world - 1; ++i) {
         if (at + 12 > scratch.size()) {
@@ -536,9 +601,8 @@ struct SocketCommunicator::Impl {
       if (!header.ok()) return header.status();
       XF_RETURN_IF_ERROR(ValidateHeader(header.value(), FrameType::kGather, 0,
                                         header.value().payload_bytes));
-      buf.resize(header.value().payload_bytes);
       XF_RETURN_IF_ERROR(
-          RecvAllBytes(pred.get(), buf.data(), buf.size(), deadline, clock));
+          RecvFramePayload(pred.get(), header.value(), &buf, deadline, clock));
     }
     append_own(&buf);
     return Send(FrameType::kGather, 0, buf.data(), buf.size(), deadline);

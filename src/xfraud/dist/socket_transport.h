@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "xfraud/common/clock.h"
 #include "xfraud/common/fd.h"
@@ -36,19 +37,45 @@ Status SendAllBytes(int fd, const void* data, size_t n,
 Status RecvAllBytes(int fd, void* data, size_t n, const Deadline& deadline,
                     Clock* clock);
 
-/// Writes header + payload (`header.payload_bytes` is set from `n`).
+/// Writes header + payload. `header.payload_bytes` and `header.payload_crc`
+/// are sealed from `n` / the payload bytes (SealFramePayload), so every
+/// frame on the wire carries a receiver-verifiable payload checksum.
 Status SendFrame(int fd, FrameHeader header, const void* payload, size_t n,
                  const Deadline& deadline, Clock* clock);
 
-/// Reads and validates one frame header (payload is read by the caller).
+/// SendFrame with wire-level fault injection: the header is sealed over the
+/// *clean* payload, then byte `corrupt_byte` of the payload is flipped
+/// before it hits the wire — the receiver must detect the damage through
+/// the payload CRC. `corrupt_byte` outside [0, n) sends the frame intact.
+Status SendFrameCorrupting(int fd, FrameHeader header, const void* payload,
+                           size_t n, int64_t corrupt_byte,
+                           const Deadline& deadline, Clock* clock);
+
+/// Reads and validates one frame header (payload is read by the caller,
+/// who is responsible for VerifyFramePayload once it has the bytes).
 Result<FrameHeader> RecvFrameHeader(int fd, const Deadline& deadline,
                                     Clock* clock);
 
+/// Reads `header.payload_bytes` of payload for an already-received header
+/// into `*payload` (resized) and verifies the payload CRC; Corruption on a
+/// flipped or torn payload.
+Status RecvFramePayload(int fd, const FrameHeader& header,
+                        std::vector<unsigned char>* payload,
+                        const Deadline& deadline, Clock* clock);
+
 /// Reads one frame that must match `want` type with exactly
-/// `payload_bytes` of payload, into `payload`.
+/// `payload_bytes` of payload, into `payload` (CRC-verified).
 Status RecvFrameInto(int fd, FrameType want, void* payload,
                      size_t payload_bytes, const Deadline& deadline,
                      Clock* clock);
+
+/// Waits until any fd in `fds` is readable and returns its index in `fds`
+/// (ties break toward the lowest index); DeadlineExceeded on expiry. The
+/// serving tier's event loops (shard server, router hedging) multiplex
+/// connections through this instead of issuing their own poll() — socket
+/// readiness stays a dist/ primitive.
+Result<int> WaitAnyReadable(const std::vector<int>& fds,
+                            const Deadline& deadline, Clock* clock);
 
 // ---- SocketCommunicator ----------------------------------------------------
 

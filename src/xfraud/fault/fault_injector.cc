@@ -14,6 +14,9 @@ namespace {
 // Site tag folded into the decision-stream seed so KV decisions are
 // independent of any other injection site added later.
 constexpr uint64_t kKvSiteTag = 0x4B564F50ULL;  // "KVOP"
+// Serve-tier wire faults draw from their own stream: adding them must not
+// perturb the KV decision sequence of plans written before they existed.
+constexpr uint64_t kWireSiteTag = 0x57495245ULL;  // "WIRE"
 
 struct FaultMetrics {
   obs::Counter* injected_io_errors;
@@ -23,6 +26,7 @@ struct FaultMetrics {
   obs::Counter* injected_replica_slowdowns;
   obs::Counter* injected_torn_writes;
   obs::Counter* injected_compaction_stalls;
+  obs::Counter* injected_frame_corruptions;
 
   static const FaultMetrics& Get() {
     static FaultMetrics metrics = [] {
@@ -33,7 +37,8 @@ struct FaultMetrics {
                           r.counter("fault/injected_replica_failures"),
                           r.counter("fault/injected_replica_slowdowns"),
                           r.counter("fault/injected_torn_writes"),
-                          r.counter("fault/injected_compaction_stalls")};
+                          r.counter("fault/injected_compaction_stalls"),
+                          r.counter("fault/injected_frame_corruptions")};
     }();
     return metrics;
   }
@@ -101,6 +106,20 @@ bool FaultInjector::NextReplicaFault(int replica_id, int shard_id,
     FaultMetrics::Get().injected_replica_failures->Increment();
   }
   return killed;
+}
+
+void FaultInjector::RecordFrameCorruption() {
+  injected_frame_corruptions_.fetch_add(1);
+  FaultMetrics::Get().injected_frame_corruptions->Increment();
+}
+
+int64_t FaultInjector::CorruptByteFor(int64_t frame_index,
+                                      size_t payload_bytes) const {
+  if (payload_bytes == 0) return -1;
+  Rng rng(Rng::StreamSeed(plan_.seed ^ kWireSiteTag,
+                          static_cast<uint64_t>(frame_index)));
+  return static_cast<int64_t>(rng.NextUint64() %
+                              static_cast<uint64_t>(payload_bytes));
 }
 
 void KillCurrentProcess() {

@@ -67,6 +67,33 @@ class FaultInjector {
   /// Claims the next sampler-call index (used by FaultySampler).
   int64_t NextSamplerCall() { return sampler_calls_.fetch_add(1); }
 
+  /// True exactly at the planned shard-server self-kill point: this server
+  /// hosts replica `replica` and is handling its own score request number
+  /// `request_index` (0-based per-process count, so the respawned process —
+  /// launched with the kill suppressed — never re-fires it).
+  bool ShouldKillServer(int replica, int64_t request_index) const {
+    return plan_.kill_server >= 0 && replica == plan_.kill_server &&
+           request_index == plan_.kill_server_request;
+  }
+
+  /// Claims the next serve-tier wire-frame index (the router counts every
+  /// request frame it sends).
+  int64_t NextWireFrame() { return wire_frames_.fetch_add(1); }
+
+  /// True for the planned wire corruption (0-based frame index). The
+  /// sender flips one payload byte AFTER sealing the frame CRC
+  /// (dist::SendFrameCorrupting); the receiver must report Corruption.
+  bool ShouldCorruptFrame(int64_t frame_index) {
+    const bool hit =
+        plan_.corrupt_frame >= 0 && frame_index == plan_.corrupt_frame;
+    if (hit) RecordFrameCorruption();
+    return hit;
+  }
+
+  /// Deterministic payload byte to flip for frame `frame_index` (derived
+  /// from the plan seed, so a replay damages the identical bit).
+  int64_t CorruptByteFor(int64_t frame_index, size_t payload_bytes) const;
+
   const FaultPlan& plan() const { return plan_; }
 
   /// Totals for tests and reporting.
@@ -85,11 +112,18 @@ class FaultInjector {
   int64_t injected_compaction_stalls() const {
     return injected_compaction_stalls_.load();
   }
+  int64_t injected_frame_corruptions() const {
+    return injected_frame_corruptions_.load();
+  }
 
  private:
+  void RecordFrameCorruption();
+
   FaultPlan plan_;
   std::atomic<int64_t> kv_ops_{0};
   std::atomic<int64_t> sampler_calls_{0};
+  std::atomic<int64_t> wire_frames_{0};
+  std::atomic<int64_t> injected_frame_corruptions_{0};
   std::atomic<int64_t> injected_io_errors_{0};
   std::atomic<int64_t> injected_corruptions_{0};
   std::atomic<int64_t> injected_latencies_{0};

@@ -119,6 +119,26 @@ Status ParseSlowReplica(std::string_view text, FaultPlan* plan) {
   return Status::OK();
 }
 
+// kill_server=<replica>[@<request>]
+Status ParseKillServer(std::string_view text, FaultPlan* plan) {
+  size_t at = text.find('@');
+  int64_t replica = 0;
+  int64_t request = 0;
+  XF_RETURN_IF_ERROR(
+      ParseI64("kill_server", text.substr(0, at), &replica));
+  if (at != std::string_view::npos) {
+    XF_RETURN_IF_ERROR(
+        ParseI64("kill_server", text.substr(at + 1), &request));
+  }
+  if (replica < 0 || request < 0) {
+    return Status::InvalidArgument(
+        "fault plan: kill_server fields must be non-negative");
+  }
+  plan->kill_server = static_cast<int>(replica);
+  plan->kill_server_request = request;
+  return Status::OK();
+}
+
 Status ParseIndex(std::string_view key, std::string_view text, int* out) {
   int64_t v = 0;
   XF_RETURN_IF_ERROR(ParseI64(key, text, &v));
@@ -178,6 +198,13 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
       if (plan.stall_compaction_s < 0.0) {
         return Status::InvalidArgument("fault plan: stall_compaction < 0");
       }
+    } else if (key == "kill_server") {
+      XF_RETURN_IF_ERROR(ParseKillServer(value, &plan));
+    } else if (key == "corrupt_frame") {
+      XF_RETURN_IF_ERROR(ParseI64(key, value, &plan.corrupt_frame));
+      if (plan.corrupt_frame < 0) {
+        return Status::InvalidArgument("fault plan: corrupt_frame < 0");
+      }
     } else {
       return Status::InvalidArgument("fault plan: unknown key '" +
                                      std::string(key) + "'");
@@ -216,6 +243,10 @@ std::string FaultPlan::ToString() const {
   if (stall_compaction_s > 0.0) {
     out << ",stall_compaction=" << stall_compaction_s;
   }
+  if (kill_server >= 0) {
+    out << ",kill_server=" << kill_server << "@" << kill_server_request;
+  }
+  if (corrupt_frame >= 0) out << ",corrupt_frame=" << corrupt_frame;
   return out.str();
 }
 

@@ -28,6 +28,13 @@ namespace xfraud::fault {
 ///   slow_replica=<r>@<sec>  every op on replica r takes +<sec> latency
 ///   torn_write=<f>          P(a Put persists only a prefix, then errors)
 ///   stall_compaction=<sec>  background compaction pauses <sec> per cycle
+///   kill_server=<r>[@<n>]   the replica-r shard-server process of every
+///                           shard SIGKILLs itself on its n-th score
+///                           request (default n=0) — a real process death
+///                           the serve::Supervisor must absorb
+///   corrupt_frame=<n>       flip one payload byte of the n-th serve-tier
+///                           wire frame the router sends (the receiver must
+///                           detect it via the frame payload CRC)
 ///
 /// Example: "seed=7,kv_error_rate=0.05,kill_worker=1@0:3"
 struct FaultPlan {
@@ -54,11 +61,26 @@ struct FaultPlan {
   /// Seconds the background compactor stalls before each cycle (models a
   /// GC pause / slow disk holding the GC floor back while writers advance).
   double stall_compaction_s = 0.0;
+  /// Multi-process serving faults (DESIGN.md §16). kill_server is a REAL
+  /// SIGKILL: the replica-`kill_server` shard-server process of every shard
+  /// kills itself on score request number kill_server_request (its own
+  /// 0-based count); the supervisor observes the death and respawns it.
+  int kill_server = -1;  // -1: no server kill
+  int64_t kill_server_request = 0;
+  /// 0-based index of the serve-tier wire frame whose payload gets one byte
+  /// flipped on the wire (-1: none). Deterministic: the router counts the
+  /// frames it sends.
+  int64_t corrupt_frame = -1;
 
   /// True if the plan injects anything at all.
   bool any() const {
     return has_kv_faults() || kill_worker >= 0 || crash_batch >= 0 ||
-           has_replica_faults() || stall_compaction_s > 0.0;
+           has_replica_faults() || stall_compaction_s > 0.0 ||
+           has_server_faults();
+  }
+  /// True if any multi-process serving fault is planned.
+  bool has_server_faults() const {
+    return kill_server >= 0 || corrupt_frame >= 0;
   }
   /// True if any replica-position fault is planned.
   bool has_replica_faults() const {

@@ -1,0 +1,289 @@
+#include "xfraud/serve/router.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xfraud/common/frame.h"
+#include "xfraud/common/logging.h"
+#include "xfraud/common/rng.h"
+#include "xfraud/dist/socket_transport.h"
+#include "xfraud/obs/registry.h"
+#include "xfraud/serve/wire.h"
+
+namespace xfraud::serve {
+
+namespace {
+constexpr uint64_t kRouterJitterTag = 0x524F5554ULL;  // "ROUT"
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Real()),
+      backends_(static_cast<size_t>(options_.num_shards) *
+                static_cast<size_t>(options_.num_replicas)) {
+  XF_CHECK(options_.num_shards >= 1 && options_.num_replicas >= 1);
+  XF_CHECK(options_.endpoints.size() == backends_.size());
+  auto& r = obs::Registry::Global();
+  requests_ = r.counter("serve/router/requests");
+  ok_ = r.counter("serve/router/ok");
+  failovers_ = r.counter("serve/router/failovers");
+  hedged_ = r.counter("serve/router/hedged");
+  hedge_wins_ = r.counter("serve/router/hedge_wins");
+  breaker_opens_ = r.counter("serve/router/breaker_opens");
+  corrupt_retries_ = r.counter("serve/router/corrupt_retries");
+  redials_ = r.counter("serve/router/redials");
+}
+
+Router::~Router() = default;
+
+void Router::CloseAll() {
+  for (Backend& b : backends_) b.conn.Reset();
+}
+
+bool Router::BreakerOpen(const Backend& b) const {
+  return b.open_until_s > clock_->NowSeconds();
+}
+
+void Router::MarkFailure(Backend* b) {
+  ++b->consecutive_failures;
+  if (b->consecutive_failures >= options_.breaker_threshold) {
+    // Open (or re-extend) the breaker; after the cooloff the next request
+    // is the half-open probe.
+    b->open_until_s = clock_->NowSeconds() + options_.breaker_cooloff_s;
+    breaker_opens_->Increment();
+  }
+}
+
+void Router::MarkSuccess(Backend* b) {
+  b->consecutive_failures = 0;
+  b->open_until_s = 0.0;
+}
+
+Status Router::EnsureConnected(int shard, int replica,
+                               const Deadline& deadline) {
+  Backend& b = backend(shard, replica);
+  if (b.conn.valid()) return Status::OK();
+  const dist::Endpoint& ep =
+      options_.endpoints[static_cast<size_t>(shard) * options_.num_replicas +
+                         static_cast<size_t>(replica)];
+  // A respawning server needs a moment to replay its WAL and rebind; dial
+  // refusals are IoError and retried with backoff inside the budget.
+  RetryPolicy policy = options_.retry;
+  policy.clock = clock_;
+  policy.deadline_s =
+      std::min(options_.connect_timeout_s, deadline.RemainingSeconds());
+  const uint64_t seed = Rng::StreamSeed(
+      kRouterJitterTag, static_cast<uint64_t>(shard) << 16 |
+                            static_cast<uint64_t>(replica));
+  Status dialed = RetryWithBackoff(policy, seed, [&]() -> Status {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("router: dial budget spent");
+    }
+    const Deadline one = Deadline::After(
+        clock_, std::min(options_.connect_timeout_s,
+                         std::max(0.0, deadline.RemainingSeconds())));
+    Result<UniqueFd> fd = dist::DialEndpoint(ep, one, clock_);
+    if (!fd.ok()) return fd.status();
+    b.conn = std::move(fd).value();
+    return Status::OK();
+  });
+  if (dialed.ok()) redials_->Increment();
+  return dialed;
+}
+
+Status Router::SendRequest(int shard, int replica, int64_t request_id,
+                           int32_t txn_node, const Deadline& deadline) {
+  Backend& b = backend(shard, replica);
+  ScoreRequestWire req;
+  req.epoch = options_.epoch;
+  // Deadline propagation: the frame carries the *remaining* budget at send
+  // time (clamped at zero — an already-expired request still travels so
+  // the server can reject it authoritatively, but it can never be scored).
+  req.deadline_s = deadline.unlimited()
+                       ? -1.0
+                       : std::max(0.0, deadline.RemainingSeconds());
+  req.txn_node = txn_node;
+  const std::string payload = EncodeScoreRequest(req);
+
+  FrameHeader header;
+  header.type = FrameType::kScoreRequest;
+  header.rank = static_cast<uint32_t>(shard);
+  header.seq = static_cast<uint64_t>(request_id);
+
+  int64_t corrupt_byte = -1;
+  if (options_.injector != nullptr) {
+    const int64_t frame_index = options_.injector->NextWireFrame();
+    if (options_.injector->ShouldCorruptFrame(frame_index)) {
+      corrupt_byte =
+          options_.injector->CorruptByteFor(frame_index, payload.size());
+    }
+  }
+  return dist::SendFrameCorrupting(b.conn.get(), header, payload.data(),
+                                   payload.size(), corrupt_byte, deadline,
+                                   clock_);
+}
+
+Result<ScoreResponse> Router::Attempt(int shard, int replica,
+                                      int hedge_replica, int64_t request_id,
+                                      int32_t txn_node,
+                                      const Deadline& deadline,
+                                      bool* retryable) {
+  *retryable = true;
+  Backend& primary = backend(shard, replica);
+  Status conn = EnsureConnected(shard, replica, deadline);
+  if (!conn.ok()) {
+    MarkFailure(&primary);
+    return conn;
+  }
+  Status sent = SendRequest(shard, replica, request_id, txn_node, deadline);
+  if (!sent.ok()) {
+    MarkFailure(&primary);
+    primary.conn.Reset();
+    return sent;
+  }
+
+  Backend* winner = &primary;
+  Backend* loser = nullptr;
+  if (hedge_replica >= 0 && options_.hedge_delay_s >= 0.0) {
+    const Deadline hedge_wait = Deadline::After(
+        clock_, std::max(0.0, std::min(options_.hedge_delay_s,
+                                       deadline.RemainingSeconds())));
+    Result<int> first =
+        dist::WaitAnyReadable({primary.conn.get()}, hedge_wait, clock_);
+    if (!first.ok() && first.status().IsDeadlineExceeded() &&
+        !deadline.Expired()) {
+      // Primary is slow but the request still has budget: duplicate it onto
+      // the backup and take whichever replies first. Scores are
+      // bit-identical across replicas, so the race has one right answer.
+      hedged_->Increment();
+      Backend& backup = backend(shard, hedge_replica);
+      if (EnsureConnected(shard, hedge_replica, deadline).ok() &&
+          SendRequest(shard, hedge_replica, request_id, txn_node, deadline)
+              .ok()) {
+        Result<int> race = dist::WaitAnyReadable(
+            {primary.conn.get(), backup.conn.get()}, deadline, clock_);
+        if (race.ok() && race.value() == 1) {
+          winner = &backup;
+          loser = &primary;
+          hedge_wins_->Increment();
+        } else {
+          loser = &backup;
+        }
+      } else {
+        backup.conn.Reset();
+      }
+    }
+  }
+
+  std::vector<unsigned char> payload;
+  Result<FrameHeader> header =
+      dist::RecvFrameHeader(winner->conn.get(), deadline, clock_);
+  Status got = header.ok()
+                   ? dist::RecvFramePayload(winner->conn.get(), header.value(),
+                                            &payload, deadline, clock_)
+                   : header.status();
+  if (loser != nullptr) {
+    // The slower twin still owes a reply on this connection; drop it rather
+    // than pair a stale reply with a future request.
+    loser->conn.Reset();
+  }
+  if (!got.ok()) {
+    winner->conn.Reset();
+    if (got.IsDeadlineExceeded()) return got;
+    // EOF/reset mid-request: the primary died with our request in flight —
+    // exactly the failover case. The next attempt tries a replica.
+    MarkFailure(winner);
+    return got;
+  }
+  if (header.value().type != FrameType::kScoreReply ||
+      header.value().seq != static_cast<uint64_t>(request_id)) {
+    winner->conn.Reset();
+    return Status::Corruption("router: reply frame does not match request");
+  }
+  Result<ScoreReplyWire> reply =
+      DecodeScoreReply(payload.data(), payload.size());
+  if (!reply.ok()) {
+    winner->conn.Reset();
+    return reply.status();
+  }
+  MarkSuccess(winner);
+  if (reply.value().status.ok()) {
+    return reply.value().response;
+  }
+  if (reply.value().status.IsCorruption()) {
+    // The server rejected OUR request frame as CRC-damaged (satellite 2's
+    // corrupt_frame). The connection is healthy; just resend.
+    corrupt_retries_->Increment();
+    return reply.value().status;
+  }
+  // An application-level verdict (shed, deadline, not-found) from a healthy
+  // server: retrying elsewhere would give the same answer.
+  *retryable = false;
+  return reply.value().status;
+}
+
+Result<ScoreResponse> Router::Score(int64_t request_id, int32_t txn_node) {
+  return Score(request_id, txn_node, options_.deadline_s);
+}
+
+Result<ScoreResponse> Router::Score(int64_t request_id, int32_t txn_node,
+                                    double deadline_s) {
+  requests_->Increment();
+  const int mod = options_.num_shards;
+  const int shard = static_cast<int>(((txn_node % mod) + mod) % mod);
+  const Deadline deadline = deadline_s > 0.0
+                                ? Deadline::After(clock_, deadline_s)
+                                : Deadline();
+  Status last = Status::Unavailable("router: no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("router: request budget spent after " +
+                                      std::to_string(attempt) + " attempts");
+    }
+    // Replica rotation, skipping open breakers when an alternative exists;
+    // with every breaker open the rotation slot becomes the half-open probe.
+    int replica = attempt % options_.num_replicas;
+    for (int k = 0; k < options_.num_replicas; ++k) {
+      const int candidate = (attempt + k) % options_.num_replicas;
+      if (!BreakerOpen(backend(shard, candidate))) {
+        replica = candidate;
+        break;
+      }
+    }
+    int hedge_replica = -1;
+    if (options_.hedge_delay_s >= 0.0 && options_.num_replicas > 1) {
+      for (int k = 1; k < options_.num_replicas; ++k) {
+        const int candidate = (replica + k) % options_.num_replicas;
+        if (!BreakerOpen(backend(shard, candidate))) {
+          hedge_replica = candidate;
+          break;
+        }
+      }
+    }
+    if (attempt > 0 && !last.IsCorruption()) failovers_->Increment();
+    bool retryable = true;
+    Result<ScoreResponse> scored = Attempt(shard, replica, hedge_replica,
+                                           request_id, txn_node, deadline,
+                                           &retryable);
+    if (scored.ok()) {
+      ok_->Increment();
+      return scored;
+    }
+    last = scored.status();
+    if (last.IsDeadlineExceeded() || !retryable) return last;
+    // Backoff before the next attempt, clamped to the remaining wire
+    // deadline so a sleep can never outlive the budget it retries under.
+    RetryPolicy policy = options_.retry;
+    policy.clock = clock_;
+    internal::BackoffAndSleep(
+        policy,
+        Rng::StreamSeed(static_cast<uint64_t>(request_id), kRouterJitterTag),
+        attempt + 2, deadline.RemainingSeconds());
+  }
+  return Status::Unavailable("router: attempts exhausted; last error: " +
+                             last.ToString());
+}
+
+}  // namespace xfraud::serve

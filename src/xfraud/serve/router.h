@@ -1,0 +1,128 @@
+#ifndef XFRAUD_SERVE_ROUTER_H_
+#define XFRAUD_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xfraud/common/clock.h"
+#include "xfraud/common/fd.h"
+#include "xfraud/common/retry.h"
+#include "xfraud/common/status.h"
+#include "xfraud/dist/rendezvous.h"
+#include "xfraud/fault/fault_injector.h"
+#include "xfraud/obs/metrics.h"
+#include "xfraud/serve/scoring_service.h"
+
+namespace xfraud::serve {
+
+struct RouterOptions {
+  int num_shards = 2;
+  int num_replicas = 2;
+  /// Shard-server endpoints, indexed [shard * num_replicas + replica].
+  std::vector<dist::Endpoint> endpoints;
+  /// Published KV epoch stamped into every request; all servers pinned it
+  /// at startup, so every score is a pure function of this snapshot.
+  uint64_t epoch = 0;
+  /// Default per-request wall budget; <= 0 disables deadlines. The
+  /// *remaining* budget travels in each request frame, so a server never
+  /// scores a request whose caller has already given up on it.
+  double deadline_s = 0.25;
+  double connect_timeout_s = 5.0;
+  /// Hedge a slow primary read onto a backup replica after this long
+  /// (< 0 disables hedging — the safe default, since a hedge costs a
+  /// duplicate score on the backup).
+  double hedge_delay_s = -1.0;
+  /// Consecutive failures that open a backend's circuit breaker, and how
+  /// long it stays open before a half-open probe is allowed.
+  int breaker_threshold = 3;
+  double breaker_cooloff_s = 0.05;
+  /// Sends per request (across failover and corruption retries) before the
+  /// router gives up with Unavailable.
+  int max_attempts = 8;
+  /// Backoff between failover attempts; each sleep is clamped to the
+  /// request's remaining wire deadline so a retry can never outlive the
+  /// budget it is retrying under.
+  RetryPolicy retry{.max_attempts = 8,
+                    .initial_backoff_s = 0.001,
+                    .max_backoff_s = 0.05,
+                    .deadline_s = 60.0};
+  /// Wire-fault source (corrupt_frame; not owned, may be null). The router
+  /// is the tier's only frame *sender* on the request path, so it owns the
+  /// deterministic frame count the plan's index refers to.
+  fault::FaultInjector* injector = nullptr;
+  Clock* clock = nullptr;
+};
+
+/// The serving tier's frontend (DESIGN.md §16): routes each request to its
+/// shard (txn_node % num_shards), with per-process circuit breakers,
+/// deadline propagation on the wire, hedged reads against a backup replica,
+/// and failover to a replica process when the primary dies mid-request —
+/// the cross-process analogue of kv::ReplicatedKvStore's read path.
+///
+/// Not thread-safe: backends hold cached connections with in-flight
+/// request/reply pairing. Use one Router per thread (scores are
+/// bit-identical across routers, so this costs only sockets).
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Scores under the default deadline. Error statuses mirror
+  /// ScoringService::Score, plus Unavailable when every replica of the
+  /// shard is dead or breaker-open past the attempt budget.
+  Result<ScoreResponse> Score(int64_t request_id, int32_t txn_node);
+  /// Same with an explicit budget (<= 0: no deadline).
+  Result<ScoreResponse> Score(int64_t request_id, int32_t txn_node,
+                              double deadline_s);
+
+  /// Drops every cached connection (they redial lazily). The supervisor's
+  /// respawn path does not need this — a dead server's connection fails the
+  /// next send and redials — but tests use it to force cold paths.
+  void CloseAll();
+
+ private:
+  struct Backend {
+    UniqueFd conn;
+    int consecutive_failures = 0;
+    /// Breaker: open (skip this backend) until the clock passes this.
+    double open_until_s = 0.0;
+  };
+
+  Backend& backend(int shard, int replica) {
+    return backends_[static_cast<size_t>(shard) * options_.num_replicas +
+                     static_cast<size_t>(replica)];
+  }
+  bool BreakerOpen(const Backend& b) const;
+  void MarkFailure(Backend* b);
+  void MarkSuccess(Backend* b);
+  /// Dials if not connected; IoError/Unavailable on failure.
+  Status EnsureConnected(int shard, int replica, const Deadline& deadline);
+  /// Sends one score request (applying any planned wire corruption).
+  Status SendRequest(int shard, int replica, int64_t request_id,
+                     int32_t txn_node, const Deadline& deadline);
+  /// One full request/reply attempt against (shard, replica), hedging onto
+  /// `hedge_replica` (< 0: none) if the primary is slow.
+  Result<ScoreResponse> Attempt(int shard, int replica, int hedge_replica,
+                                int64_t request_id, int32_t txn_node,
+                                const Deadline& deadline, bool* retryable);
+
+  RouterOptions options_;
+  Clock* clock_;
+  std::vector<Backend> backends_;
+
+  obs::Counter* requests_;
+  obs::Counter* ok_;
+  obs::Counter* failovers_;
+  obs::Counter* hedged_;
+  obs::Counter* hedge_wins_;
+  obs::Counter* breaker_opens_;
+  obs::Counter* corrupt_retries_;
+  obs::Counter* redials_;
+};
+
+}  // namespace xfraud::serve
+
+#endif  // XFRAUD_SERVE_ROUTER_H_

@@ -90,8 +90,12 @@
 #include "xfraud/obs/trace.h"
 #include "xfraud/sample/batch_loader.h"
 #include "xfraud/sample/sampler.h"
+#include "xfraud/serve/router.h"
 #include "xfraud/serve/scoring_service.h"
+#include "xfraud/serve/shard_server.h"
+#include "xfraud/serve/supervisor.h"
 #include "xfraud/serve/topology.h"
+#include "xfraud/serve/wire.h"
 #include "xfraud/stream/graph_ingestor.h"
 #include "xfraud/stream/streaming_topology.h"
 #include "xfraud/train/checkpoint.h"

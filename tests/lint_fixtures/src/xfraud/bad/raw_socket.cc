@@ -1,6 +1,8 @@
 // Fixture: raw socket syscalls outside src/xfraud/dist must trip
 // no-raw-socket — they bypass the Communicator transport's deadlines,
-// retries, and error mapping.
+// retries, and error mapping. The data-plane calls (send/recv/poll and
+// friends) are banned too: a connected fd smuggled out of dist/ must not
+// grow its own unframed, un-CRC'd wire protocol.
 
 int BadRawSocket() {
   int fd = socket(1, 1, 0);
@@ -9,4 +11,14 @@ int BadRawSocket() {
   int peer = accept(fd, nullptr, nullptr);
   connect(peer, nullptr, 0);
   return peer;
+}
+
+int BadRawSocketDataPlane(int fd) {
+  char buf[16] = {0};
+  setsockopt(fd, 0, 0, nullptr, 0);
+  poll(nullptr, 0, 10);
+  send(fd, buf, sizeof(buf), 0);
+  int n = recv(fd, buf, sizeof(buf), 0);
+  shutdown(fd, 2);
+  return n;
 }

@@ -97,6 +97,21 @@ TEST(LintRawSocket, FiresOnSocketSyscallsInLibraryCode) {
   EXPECT_EQ(f[4].line, 5);
 }
 
+TEST(LintRawSocket, FiresOnDataPlaneSyscallsInServe) {
+  // serve/ speaks frames through dist/socket_transport; even a bare
+  // send/recv/poll on a smuggled fd is a layering break there.
+  auto f = LintContent("src/xfraud/serve/router.cc",
+                       "send(fd, buf, n, 0);\n"
+                       "recv(fd, buf, n, 0);\n"
+                       "poll(fds, 2, 100);\n"
+                       "setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, len);\n"
+                       "shutdown(fd, SHUT_RDWR);\n");
+  ASSERT_EQ(f.size(), 5u);
+  for (const auto& finding : f) EXPECT_EQ(finding.rule, "no-raw-socket");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[4].line, 5);
+}
+
 TEST(LintRawSocket, ExemptInDistAndSilentOutsideLibrary) {
   EXPECT_TRUE(LintContent("src/xfraud/dist/socket_transport.cc",
                           "int fd = socket(AF_UNIX, SOCK_STREAM, 0);\n")

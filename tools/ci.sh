@@ -16,10 +16,13 @@
 #   tools/ci.sh --mode=asan          # build + test with XFRAUD_SANITIZE=address
 #   tools/ci.sh --mode=faults        # build + test under a chaos fault plan
 #                                    # (XFRAUD_FAULT_PLAN overrides the default)
-#   tools/ci.sh --mode=mp            # multi-process distributed leg: the
-#                                    # MultiProcess fork/SIGKILL test suite
-#                                    # under a hard timeout, plus a socket
-#                                    # dist-bench smoke (real worker processes)
+#   tools/ci.sh --mode=mp            # multi-process leg: the MultiProcess
+#                                    # fork/SIGKILL test suite under a hard
+#                                    # timeout, a socket dist-bench smoke
+#                                    # (real worker processes), a serving-tier
+#                                    # chaos smoke (shard-server SIGKILL +
+#                                    # respawn + wire corruption), and a
+#                                    # bench_serve_mp snapshot
 #   tools/ci.sh --mode=bench-smoke   # bench_nn_ops under ASan+UBSan (one
 #                                    # short pass, serial and 4 kernel
 #                                    # threads), then a plain-build run that
@@ -158,6 +161,23 @@ if [[ "${MODE}" == "mp" ]]; then
     --log "${MP_TMP}/log.tsv" --transport=socket --workers=4 --epochs=1 \
     --checkpoint-dir "${MP_TMP}/ckpt" \
     --fault-plan "kill_worker=2@0:1"
+
+  # Serving-tier chaos leg (DESIGN.md §16): fork a 2x2 grid of shard-server
+  # processes, SIGKILL every shard's primary mid-load (supervisor respawns
+  # from the cell WAL) and flip one frame byte on the wire (CRC-detected,
+  # router resends). serve_mp_test.cc (in the ctest leg above) asserts the
+  # scores are bit-identical to a single-process run and that replaying the
+  # printed FaultPlan reproduces the outcome; this smoke drives the same
+  # machinery through the CLI, then bench_serve_mp snapshots in-process vs
+  # socket-transport tails.
+  echo "== socket serve-bench chaos smoke =="
+  timeout 300 "${BUILD_DIR}/tools/xfraud_cli" serve-bench \
+    --log "${MP_TMP}/log.tsv" --transport=socket --shards=2 --replicas=2 \
+    --requests=60 --deadline-ms=5000 --dir "${MP_TMP}/serve" \
+    --fault-plan "kill_server=0@5,corrupt_frame=3"
+  echo "== bench_serve_mp snapshot =="
+  XFRAUD_BENCH_FAST=1 XFRAUD_METRICS_OUT=BENCH_serve_mp.json \
+    timeout 300 "${BUILD_DIR}/bench/bench_serve_mp"
   echo "== ci ok (${MODE}) =="
   exit 0
 fi

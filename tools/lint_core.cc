@@ -388,8 +388,14 @@ class Linter {
     for (size_t i = 0; i < code_lines_.size(); ++i) {
       const std::string& line = code_lines_[i];
       bool hit = false;
+      // Lifecycle calls plus the data-plane and option syscalls: the serve/
+      // tier (and everything else) speaks CRC'd frames through
+      // dist/socket_transport, so even a bare send()/recv()/poll() on a
+      // smuggled fd is a layering break.
       for (const char* fn :
-           {"socket", "socketpair", "connect", "bind", "listen", "accept"}) {
+           {"socket", "socketpair", "connect", "bind", "listen", "accept",
+            "send", "recv", "sendto", "recvfrom", "setsockopt", "getsockopt",
+            "shutdown", "poll"}) {
         if (HasWord(line, fn, /*requires_call=*/true)) {
           hit = true;
           break;

@@ -12,7 +12,12 @@
 //       it (the paper's Fig. 11 workflow)
 //   xfraud_cli serve-bench --log log.tsv [--model detector.ckpt] ...
 //       drive the online scoring service (replicated KV, hedged reads,
-//       deadlines, load shedding) and report tail latencies
+//       deadlines, load shedding) and report tail latencies; with
+//       --transport socket the tier is real shard-server processes behind
+//       a supervised frame-speaking router
+//   xfraud_cli serve-worker --cell cell.log --endpoint unix:<path> ...
+//       run one shard-server process (what serve-bench's supervisor forks;
+//       also usable standalone against a prepared cell WAL)
 //   xfraud_cli dist-bench --log log.tsv --transport inproc|socket ...
 //       run distributed data-parallel training over the chosen Communicator
 //       backend (socket forks one real OS process per rank) and print the
@@ -75,6 +80,11 @@ int Usage() {
       "           [--deadline-ms F] [--max-inflight N]\n"
       "           [--shed-policy failfast|degrade] [--max-degraded-frac F]\n"
       "           [--fault-plan SPEC] [--threads N] [--virtual-clock]\n"
+      "           [--transport inproc|socket] [--dir D]\n"
+      "  serve-worker --cell <cell.log> --endpoint unix:<path>|tcp:host:port\n"
+      "           [--shard S] [--replica R] [--hidden N] [--layers N]\n"
+      "           [--seed N] [--generation G] [--suppress-kill]\n"
+      "           [--deadline-ms F] [--idle-timeout SEC] [--fault-plan SPEC]\n"
       "  dist-bench --log <log.tsv> [--transport inproc|socket]\n"
       "           [--workers N] [--epochs N] [--batch N] [--clusters N]\n"
       "           [--recovery elastic|restart] [--fault-plan SPEC]\n"
@@ -118,6 +128,18 @@ int Usage() {
       "(bit-deterministic with --threads 1); --model reuses a trained\n"
       "checkpoint, otherwise a seed-initialized detector is scored\n"
       "(latency-realistic either way). See DESIGN.md §11.\n"
+      "\n"
+      "serve-bench --transport socket promotes the tier to real OS\n"
+      "processes (DESIGN.md §16): a supervisor forks one shard-server per\n"
+      "--shards x --replicas grid slot under --dir (cell WALs + unix\n"
+      "sockets), and a router scores over CRC-framed wire requests with\n"
+      "failover, hedging, circuit breakers, and the remaining deadline\n"
+      "propagated in each frame. --fault-plan gains kill_server=<r>[@<n>]\n"
+      "(replica r of every shard SIGKILLs itself on its n-th request; the\n"
+      "supervisor respawns it from the WAL) and corrupt_frame=<n> (flip a\n"
+      "payload byte on the wire; the server detects it by CRC and the\n"
+      "router resends). Scores stay bit-identical to the in-process tier.\n"
+      "serve-worker runs one such server by hand.\n"
       "\n"
       "distributed training (dist-bench / dist-worker): --transport inproc\n"
       "runs every replica in this process over the shared-memory\n"
@@ -479,6 +501,8 @@ int64_t CounterValue(const char* name) {
   return obs::Registry::Global().counter(name)->value();
 }
 
+int CmdServeBenchSocket(const Flags& flags, const data::SimDataset& ds);
+
 int CmdServeBench(const Flags& flags) {
   std::string path = flags.Get("log");
   if (path.empty()) {
@@ -492,6 +516,13 @@ int CmdServeBench(const Flags& flags) {
   }
   data::SimDataset ds = data::TransactionGenerator::BuildDataset(
       records.value(), path, 0.7, 0.1, flags.GetInt("seed", 7));
+
+  const std::string transport = flags.Get("transport", "inproc");
+  if (transport != "inproc" && transport != "socket") {
+    std::cerr << "serve-bench: --transport must be inproc or socket\n";
+    return 1;
+  }
+  if (transport == "socket") return CmdServeBenchSocket(flags, ds);
 
   VirtualClock virtual_clock;
   Clock* clock =
@@ -659,6 +690,175 @@ Result<fault::FaultPlan> PlanFromFlags(const Flags& flags) {
     return fault::FaultPlan::FromEnv();
   }
   return fault::FaultPlan{};
+}
+
+/// serve-bench --transport=socket: the real multi-process tier. The
+/// Supervisor forks one shard-server process per grid slot; the bench
+/// drives a frame-speaking Router at them and reports *end-to-end wire*
+/// latencies (the in-process table reports server-side scoring time), plus
+/// the router/supervisor chaos counters. Requests run on one thread — the
+/// Router is deliberately single-threaded (one per thread in real use).
+int CmdServeBenchSocket(const Flags& flags, const data::SimDataset& ds) {
+  auto plan = PlanFromFlags(flags);
+  if (!plan.ok()) {
+    std::cerr << "serve-bench: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  if (plan.value().any()) {
+    std::cout << "fault plan: " << plan.value().ToString() << "\n";
+  }
+
+  serve::SupervisorOptions sup_options;
+  sup_options.dir = flags.Get("dir", "/tmp/xfraud-serve-bench");
+  sup_options.num_shards = flags.GetInt("shards", 2);
+  sup_options.num_replicas = flags.GetInt("replicas", 2);
+  sup_options.detector = ConfigFor(ds.graph, flags);
+  sup_options.model_seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  sup_options.service.deadline_s =
+      flags.GetDouble("deadline-ms", 250.0) * 1e-3;
+  sup_options.service.max_inflight = flags.GetInt("max-inflight", 64);
+  sup_options.plan = plan.value();
+  std::cout << "forking " << sup_options.num_shards << " x "
+            << sup_options.num_replicas << " shard-server process(es) under "
+            << sup_options.dir << "\n";
+  auto sup = serve::Supervisor::Start(ds.graph, sup_options);
+  if (!sup.ok()) {
+    std::cerr << "serve-bench: " << sup.status().ToString() << "\n";
+    return 1;
+  }
+
+  serve::RouterOptions router_options = sup.value()->MakeRouterOptions();
+  router_options.hedge_delay_s =
+      flags.GetDouble("hedge-delay-ms", -1.0) * 1e-3;
+  serve::Router router(router_options);
+
+  auto seeds = ds.graph.LabeledTransactions();
+  if (seeds.empty()) {
+    std::cerr << "serve-bench: log has no labeled transactions\n";
+    return 1;
+  }
+  const int num_requests = std::max(1, flags.GetInt("requests", 200));
+  const int64_t hedged_before = CounterValue("serve/router/hedged");
+  const int64_t wins_before = CounterValue("serve/router/hedge_wins");
+  const int64_t failovers_before = CounterValue("serve/router/failovers");
+  const int64_t opens_before = CounterValue("serve/router/breaker_opens");
+  const int64_t corrupt_before = CounterValue("serve/router/corrupt_retries");
+  const int64_t redials_before = CounterValue("serve/router/redials");
+
+  std::vector<double> ok_latencies;
+  int ok_count = 0, shed_count = 0, deadline_count = 0;
+  WallTimer timer;
+  for (int r = 0; r < num_requests; ++r) {
+    const int32_t node = seeds[static_cast<size_t>(r) % seeds.size()];
+    WallTimer request_timer;
+    auto resp = router.Score(/*request_id=*/r, node);
+    if (resp.ok()) {
+      ++ok_count;
+      ok_latencies.push_back(request_timer.ElapsedSeconds());
+    } else if (resp.status().IsDeadlineExceeded()) {
+      ++deadline_count;
+    } else {
+      ++shed_count;
+    }
+  }
+  const double wall_s = timer.ElapsedSeconds();
+
+  std::cout << "scored " << num_requests << " requests over the wire in "
+            << TablePrinter::Num(wall_s, 2) << "s ("
+            << sup_options.num_shards << " shards x "
+            << sup_options.num_replicas << " replica processes)\n";
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"ok", std::to_string(ok_count)});
+  table.AddRow({"shed / unavailable", std::to_string(shed_count)});
+  table.AddRow({"deadline exceeded", std::to_string(deadline_count)});
+  table.AddRow(
+      {"p50 (ms)", TablePrinter::Num(Percentile(ok_latencies, 0.50) * 1e3, 2)});
+  table.AddRow(
+      {"p95 (ms)", TablePrinter::Num(Percentile(ok_latencies, 0.95) * 1e3, 2)});
+  table.AddRow(
+      {"p99 (ms)", TablePrinter::Num(Percentile(ok_latencies, 0.99) * 1e3, 2)});
+  table.AddRow({"hedged requests",
+                std::to_string(CounterValue("serve/router/hedged") -
+                               hedged_before)});
+  table.AddRow({"hedge wins",
+                std::to_string(CounterValue("serve/router/hedge_wins") -
+                               wins_before)});
+  table.AddRow({"failovers",
+                std::to_string(CounterValue("serve/router/failovers") -
+                               failovers_before)});
+  table.AddRow({"breaker opens",
+                std::to_string(CounterValue("serve/router/breaker_opens") -
+                               opens_before)});
+  table.AddRow({"corrupt-frame retries",
+                std::to_string(CounterValue("serve/router/corrupt_retries") -
+                               corrupt_before)});
+  table.AddRow({"redials",
+                std::to_string(CounterValue("serve/router/redials") -
+                               redials_before)});
+  table.AddRow({"server respawns", std::to_string(sup.value()->restarts())});
+  table.Print(std::cout);
+  const std::vector<int> kills = sup.value()->kills_observed();
+  if (!kills.empty()) {
+    std::cout << "kills observed (shard*R+replica):";
+    for (int k : kills) std::cout << " " << k;
+    std::cout << " — " << sup.value()->restarts() << " respawn(s)\n";
+  }
+  Status stop = sup.value()->Stop();
+  if (!stop.ok()) {
+    std::cerr << "serve-bench: stop: " << stop.ToString() << "\n";
+    return 1;
+  }
+  return WriteMetricsSnapshot(flags);
+}
+
+/// One shard-server process, hand-launched (what serve::Supervisor forks —
+/// also usable standalone against a prepared cell WAL). Blocks until
+/// drained, idle-timeout, or error.
+int CmdServeWorker(const Flags& flags) {
+  serve::ShardServerOptions options;
+  options.cell_path = flags.Get("cell");
+  if (options.cell_path.empty()) {
+    std::cerr << "serve-worker: --cell is required\n";
+    return 1;
+  }
+  auto endpoint = dist::ParseEndpoint(flags.Get("endpoint"));
+  if (!endpoint.ok()) {
+    std::cerr << "serve-worker: --endpoint: " << endpoint.status().ToString()
+              << "\n";
+    return 1;
+  }
+  options.endpoint = endpoint.value();
+  options.shard = flags.GetInt("shard", 0);
+  options.replica = flags.GetInt("replica", 0);
+  // feature_dim comes from the cell WAL at the pinned epoch; only the
+  // shape knobs are flag-settable, and they must match the tier's router
+  // side (same defaults as ConfigFor) or replica scores diverge.
+  options.detector.hidden_dim = flags.GetInt("hidden", 32);
+  options.detector.num_layers = flags.GetInt("layers", 2);
+  options.model_seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  options.service.deadline_s = flags.GetDouble("deadline-ms", 250.0) * 1e-3;
+  options.service.max_inflight = flags.GetInt("max-inflight", 64);
+  options.generation = static_cast<uint64_t>(flags.GetInt("generation", 1));
+  options.suppress_kill = flags.Has("suppress-kill");
+  options.idle_timeout_s = flags.GetDouble("idle-timeout", 600.0);
+  auto plan = PlanFromFlags(flags);
+  if (!plan.ok()) {
+    std::cerr << "serve-worker: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  options.fault_plan = plan.value();
+  auto stats = serve::RunShardServer(options);
+  if (!stats.ok()) {
+    std::cerr << "serve-worker: " << stats.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "serve-worker s" << options.shard << "r" << options.replica
+            << ": served " << stats.value().requests_served
+            << " request(s), " << stats.value().corrupt_frames_rejected
+            << " corrupt frame(s) rejected, "
+            << stats.value().deadline_rejects << " deadline reject(s)"
+            << (stats.value().drained ? ", drained" : "") << "\n";
+  return 0;
 }
 
 /// DistWorkerOptions shared by dist-worker and dist-bench --transport
@@ -860,6 +1060,7 @@ int Main(int argc, char** argv) {
   if (command == "score") return CmdScore(flags.value());
   if (command == "explain") return CmdExplain(flags.value());
   if (command == "serve-bench") return CmdServeBench(flags.value());
+  if (command == "serve-worker") return CmdServeWorker(flags.value());
   if (command == "dist-bench") return CmdDistBench(flags.value());
   if (command == "dist-worker") return CmdDistWorker(flags.value());
   return Usage();
